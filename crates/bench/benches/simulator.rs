@@ -1,0 +1,58 @@
+//! Criterion microbenches of the NUMA discrete-event simulator: how
+//! fast one paper-scale time step of each strategy simulates, and the
+//! raw event throughput of the engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use islands_core::{plan_fused, plan_islands, plan_original, InitPolicy, Variant, Workload};
+use numa_sim::{simulate, CoreId, Op, SimConfig, TraceSet, UvParams};
+
+fn bench_simulator(c: &mut Criterion) {
+    let machine = UvParams::uv2000(4).build();
+    let w = Workload::paper();
+    let cfg = SimConfig::default();
+
+    let orig = plan_original(&machine, &w, InitPolicy::ParallelFirstTouch);
+    let fused = plan_fused(&machine, &w, InitPolicy::ParallelFirstTouch).unwrap();
+    let islands = plan_islands(&machine, &w, Variant::A).unwrap();
+
+    let mut group = c.benchmark_group("simulate_one_step_p4");
+    group.sample_size(15);
+    group.bench_function("original", |b| {
+        b.iter(|| std::hint::black_box(simulate(&machine, &orig, &cfg).unwrap()))
+    });
+    group.bench_function("fused_3p1d", |b| {
+        b.iter(|| std::hint::black_box(simulate(&machine, &fused, &cfg).unwrap()))
+    });
+    group.bench_function("islands", |b| {
+        b.iter(|| std::hint::black_box(simulate(&machine, &islands, &cfg).unwrap()))
+    });
+    group.finish();
+
+    // Raw engine throughput: a long chain of alternating ops on 8 cores.
+    let mut raw = TraceSet::for_cores(machine.core_count());
+    let barrier = raw.add_barrier((0..8).map(CoreId).collect());
+    for c_ in 0..8usize {
+        for n in 0..2000 {
+            raw.push(CoreId(c_), Op::Compute { flops: 1e6 });
+            raw.push(
+                CoreId(c_),
+                Op::MemRead {
+                    node: numa_sim::NodeId(0),
+                    bytes: 64.0 * 1024.0,
+                },
+            );
+            if n % 10 == 0 {
+                raw.push(CoreId(c_), Op::Barrier { id: barrier });
+            }
+        }
+    }
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(20);
+    group.bench_function("48k_ops_8_cores", |b| {
+        b.iter(|| std::hint::black_box(simulate(&machine, &raw, &cfg).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **A1 — 2-D island grids** (the paper's future work, §4.2/§6): at a
+//! fixed island count, compare the 1-D variants against 2-D island
+//! grids by their extra-element cost, and simulate the promising
+//! candidates at P = 14.
+//!
+//! Run: `cargo run --release -p islands-bench --bin ablation2d`
+
+use islands_bench::sim_config;
+use islands_core::{
+    estimate, extra_elements, plan_islands_partitioned, IslandLayout, Partition, Variant,
+    Workload,
+};
+use mpdata::mpdata_graph;
+use numa_sim::UvParams;
+use perf_model::Table;
+
+fn main() {
+    let w = Workload::paper();
+    let (graph, _) = mpdata_graph();
+
+    // Extra elements of every factorization of 14 islands (and a few
+    // smaller counts for context).
+    println!("## Extra elements [%] by island grid shape (domain 1024×512×64)");
+    for (pi, pj) in [(14, 1), (7, 2), (2, 7), (1, 14), (4, 2), (2, 4), (8, 1), (1, 8)] {
+        let part = Partition::grid2d(w.domain, pi, pj).unwrap();
+        let e = extra_elements(&graph, &part);
+        println!("  {pi:>2} × {pj:<2} ({} islands): {:>6.3} %", pi * pj, e.percent());
+    }
+    println!();
+
+    // Simulate 1D-A, 1D-B and the 7×2 grid at P = 14.
+    let machine = UvParams::uv2000(14).build();
+    let layout = IslandLayout::per_socket(&machine);
+    let cfg = sim_config();
+    let mut t = Table::new(
+        "Simulated islands time at P = 14 by partition shape",
+        vec!["time [s]".into(), "extra [%]".into()],
+    )
+    .precision(3);
+    for (label, part) in [
+        ("1D variant A (14×1)", Partition::grid2d(w.domain, 14, 1).unwrap()),
+        ("1D variant B (1×14)", Partition::grid2d(w.domain, 1, 14).unwrap()),
+        ("2D grid 7×2", Partition::grid2d(w.domain, 7, 2).unwrap()),
+        ("2D grid 2×7", Partition::grid2d(w.domain, 2, 7).unwrap()),
+    ] {
+        let ts = plan_islands_partitioned(&machine, &w, &part, &layout).expect("plans");
+        let secs = estimate(&machine, &ts, &w, &cfg).expect("simulates").total_seconds;
+        let e = extra_elements(&graph, &part).percent();
+        t.push_row(label, vec![secs, e]);
+    }
+    println!("{}", t.render());
+    println!(
+        "note: with the MPDATA grid twice as long in i as in j, 1D-A already has the\n\
+         smallest cut area; 2D grids pay cuts in both dimensions but shorten each —\n\
+         the paper defers this trade-off to future work, which this ablation maps out."
+    );
+    let _ = Variant::A; // referenced for doc-symmetry with variants.rs
+}

@@ -1,0 +1,68 @@
+//! **E8 — recompute vs. exchange at island granularity**: the paper's
+//! §4.1 presents two scenarios — communicate boundary values
+//! (scenario 1, Fig. 1b) or recompute them (scenario 2, Fig. 1c) — and
+//! argues scenario 2 fits NUMA machines. This experiment pits the two
+//! *directly at island level*: identical partitioning and block
+//! schedule, differing only in whether island boundaries are handled by
+//! redundant computation (the paper's approach) or by per-stage
+//! inter-island cache pulls with machine-wide synchronization.
+//!
+//! Run: `cargo run --release -p islands-bench --bin ablation_exchange`
+
+use islands_bench::sim_config;
+use islands_core::{estimate, plan_islands, plan_islands_exchange, Variant, Workload};
+use numa_sim::UvParams;
+use perf_model::Table;
+
+fn main() {
+    let w = Workload::paper();
+    let cfg = sim_config();
+    let ps = [1usize, 2, 4, 8, 14];
+
+    let mut t = Table::new(
+        "Islands: recompute (scenario 2) vs exchange (scenario 1), simulated UV 2000",
+        vec![
+            "recompute [s]".into(),
+            "exchange [s]".into(),
+            "exchange/recompute".into(),
+        ],
+    )
+    .precision(2);
+    let mut ratios = Vec::new();
+    for &p in &ps {
+        let machine = UvParams::uv2000(p).build();
+        let rec = estimate(
+            &machine,
+            &plan_islands(&machine, &w, Variant::A).expect("plans"),
+            &w,
+            &cfg,
+        )
+        .expect("simulates")
+        .total_seconds;
+        let exc = estimate(
+            &machine,
+            &plan_islands_exchange(&machine, &w, Variant::A).expect("plans"),
+            &w,
+            &cfg,
+        )
+        .expect("simulates")
+        .total_seconds;
+        ratios.push((p, exc / rec));
+        t.push_row(format!("P = {p}"), vec![rec, exc, exc / rec]);
+    }
+    println!("{}", t.render());
+
+    let monotone = ratios.windows(2).all(|w| w[1].1 >= w[0].1 * 0.9);
+    println!(
+        "check: exchange penalty grows with P .... {} (×{:.2} at P=14)",
+        monotone,
+        ratios.last().unwrap().1
+    );
+    println!(
+        "reading: a few percent of redundant updates (Table 2) buys the removal of\n\
+         ~{} machine-wide synchronizations and all inter-island cache pulls per\n\
+         step. The bigger the machine, the better the purchase — the quantitative\n\
+         form of §4.1's qualitative argument.",
+        17 * 256
+    );
+}

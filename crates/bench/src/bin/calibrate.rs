@@ -1,0 +1,66 @@
+//! Calibration probe: simulate the full paper workload at a few
+//! processor counts and print our numbers next to the paper's. Not one
+//! of the published tables — a tool for tuning the machine model
+//! (`UvParams` and `SimConfig`).
+
+use islands_bench::{
+    measure, sim_config, PAPER_FUSED, PAPER_ISLANDS, PAPER_ORIGINAL, PAPER_T1_ORIGINAL_SERIAL,
+};
+use islands_core::{estimate, plan_fused, InitPolicy, Workload};
+use numa_sim::UvParams;
+
+fn breakdown(p: usize, w: &Workload) {
+    let machine = UvParams::uv2000(p).build();
+    let ts = plan_fused(&machine, w, InitPolicy::ParallelFirstTouch).unwrap();
+    let est = estimate(&machine, &ts, w, &sim_config()).unwrap();
+    let r = &est.report;
+    let cores = machine.core_count() as f64;
+    println!(
+        "fused P={p}: step {:.1} ms | per-core avg: compute {:.1} ms, transfer {:.1} ms, \
+         barrier-wait {:.1} ms | episodes {} | dram {:.0} MB (remote {:.0}) | cache remote {:.1} MB",
+        est.step_seconds * 1e3,
+        r.total_compute() / cores * 1e3,
+        r.total_transfer() / cores * 1e3,
+        r.total_barrier_wait() / cores * 1e3,
+        r.barrier_episodes,
+        (r.mem_local_bytes + r.mem_remote_bytes) / 1e6,
+        r.mem_remote_bytes / 1e6,
+        r.cache_remote_bytes / 1e6,
+    );
+}
+
+fn main() {
+    let w = Workload::paper();
+    if std::env::args().nth(1).as_deref() == Some("breakdown") {
+        for p in [1usize, 2, 4, 14] {
+            breakdown(p, &w);
+        }
+        return;
+    }
+    let ps: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("processor count"))
+        .collect();
+    let ps = if ps.is_empty() { vec![1, 2, 4, 8, 14] } else { ps };
+    println!(
+        "{:>3} | {:>18} | {:>18} | {:>18} | {:>18}",
+        "P", "orig-serial", "orig-parallel", "(3+1)D", "islands"
+    );
+    println!("{:>3} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
+        "", "sim", "paper", "sim", "paper", "sim", "paper", "sim", "paper");
+    for &p in &ps {
+        let t = measure(p, &w);
+        println!(
+            "{:>3} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2}",
+            p,
+            t.original_serial,
+            PAPER_T1_ORIGINAL_SERIAL[p - 1],
+            t.original,
+            PAPER_ORIGINAL[p - 1],
+            t.fused,
+            PAPER_FUSED[p - 1],
+            t.islands,
+            PAPER_ISLANDS[p - 1],
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! **Analysis — per-stage halo and redundancy breakdown**: where
+//! Table 2's extra elements actually come from. For every MPDATA stage,
+//! print its cumulative halo (how far the final output depends on it)
+//! and its share of the redundant updates under a 2-island variant-A
+//! partition.
+//!
+//! Run: `cargo run --release -p islands-bench --bin halo_report [iord]`
+
+use mpdata::MpdataProblem;
+use stencil_engine::{Axis, Region3};
+
+fn main() {
+    let iord: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("iord"))
+        .unwrap_or(2);
+    let problem = MpdataProblem::with_iord(iord);
+    let g = problem.graph();
+    let domain = Region3::of_extent(1024, 512, 64);
+    let halves = domain.split(Axis::I, 2);
+    let halos = g.cumulative_halos();
+    let whole = g.required_regions(domain, domain);
+    let left = g.required_regions(halves[0], domain);
+    let right = g.required_regions(halves[1], domain);
+
+    println!(
+        "MPDATA iord = {iord} ({} stages), domain 1024×512×64, variant A, 2 islands\n",
+        g.stage_count()
+    );
+    println!(
+        "{:>3}  {:<12} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}  {:>12}  {:>7}",
+        "#", "stage", "i-", "i+", "j-", "j+", "k-", "k+", "extra cells", "share"
+    );
+    let mut total_extra = 0usize;
+    let extras: Vec<usize> = (0..g.stage_count())
+        .map(|s| left[s].cells() + right[s].cells() - whole[s].cells())
+        .collect();
+    let sum_extra: usize = extras.iter().sum();
+    for (s, st) in g.stages().iter().enumerate() {
+        let h = halos[s];
+        total_extra += extras[s];
+        println!(
+            "{:>3}  {:<12} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}  {:>12}  {:>6.1}%",
+            s + 1,
+            st.name,
+            h.i_neg,
+            h.i_pos,
+            h.j_neg,
+            h.j_pos,
+            h.k_neg,
+            h.k_pos,
+            extras[s],
+            if sum_extra > 0 {
+                100.0 * extras[s] as f64 / sum_extra as f64
+            } else {
+                0.0
+            },
+        );
+    }
+    let base: usize = whole.iter().map(|r| r.cells()).sum();
+    println!(
+        "\ntotal: {total_extra} extra updates over {base} base = {:.3}% (Table 2's 2-island entry)",
+        100.0 * total_extra as f64 / base as f64
+    );
+    println!(
+        "reading: the earliest stages carry the deepest cumulative halos and so\n\
+         pay most of the redundancy — the cost of islands independence is front-\n\
+         loaded onto the upwind fluxes and the low-order update."
+    );
+}

@@ -1,0 +1,55 @@
+//! **E10 — analytic model vs discrete-event engine**: the paper's §6
+//! plans "performance models ... for modeling and management of the
+//! correlation between computation and communication costs". This
+//! binary prints the closed-form model's per-step predictions
+//! (`perf_model::predict`) next to the engine's, across the processor
+//! sweep.
+//!
+//! Run: `cargo run --release -p islands-bench --bin model_check`
+
+use islands_bench::{measure, sim_config, CPU_COUNTS};
+use islands_core::Workload;
+use numa_sim::UvParams;
+use perf_model::{predict, relative_error, Table};
+
+fn main() {
+    let w = Workload::paper();
+    let steps = w.steps as f64;
+    let cfg = sim_config();
+
+    let mut t = Table::new(
+        "Closed-form model vs discrete-event engine, seconds per step",
+        vec![
+            "orig model".into(),
+            "orig engine".into(),
+            "fused model".into(),
+            "fused engine".into(),
+            "isl model".into(),
+            "isl engine".into(),
+        ],
+    )
+    .precision(4);
+    let mut worst: f64 = 0.0;
+    for &p in &[1usize, 2, 4, 8, 11, 14] {
+        let machine = UvParams::uv2000(p).build();
+        let m = predict(&machine, &w, &cfg);
+        let e = measure(p, &w);
+        let (eo, ef, ei) = (e.original / steps, e.fused / steps, e.islands / steps);
+        worst = worst
+            .max(relative_error(m.original, eo))
+            .max(relative_error(m.fused, ef))
+            .max(relative_error(m.islands, ei));
+        t.push_row(
+            format!("P = {p}"),
+            vec![m.original, eo, m.fused, ef, m.islands, ei],
+        );
+    }
+    println!("{}", t.render());
+    println!("worst relative error across the sweep: {:.0} %", worst * 100.0);
+    println!(
+        "check: model within 40% of the engine everywhere ... {}",
+        worst < 0.40
+    );
+    println!("\nJSON:\n{}", t.to_json());
+    let _ = CPU_COUNTS;
+}

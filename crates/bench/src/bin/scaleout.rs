@@ -1,0 +1,99 @@
+//! **E9 — scale-out study** (paper §6 future work: "extending the
+//! scalability of our approach for much larger system configurations"):
+//! simulate 1–4 IRUs (14–56 sockets, 112–448 cores) joined by a
+//! NUMAlink spine, under strong scaling (the paper grid) and weak
+//! scaling (grid grows with the machine).
+//!
+//! Run: `cargo run --release -p islands-bench --bin scaleout`
+
+use islands_bench::sim_config;
+use islands_core::{estimate, plan_islands, Variant, Workload};
+use numa_sim::ScaleOutParams;
+use perf_model::{sustained_gflops, Table};
+use stencil_engine::Region3;
+
+fn main() {
+    let cfg = sim_config();
+    let irus_list = [1usize, 2, 3, 4];
+
+    println!("## Strong scaling: paper grid 1024×512×64, 50 steps");
+    let mut t = Table::new(
+        "Strong scaling across IRUs",
+        vec![
+            "sockets".into(),
+            "islands [s]".into(),
+            "isl Gflop/s".into(),
+            "isl eff [%]".into(),
+        ],
+    )
+    .precision(2);
+    let w = Workload::paper();
+    let mut t1 = None;
+    for &irus in &irus_list {
+        let machine = ScaleOutParams::uv2000(irus, 14).build();
+        let p = irus * 14;
+        let islands = estimate(
+            &machine,
+            &plan_islands(&machine, &w, Variant::A).expect("plans"),
+            &w,
+            &cfg,
+        )
+        .expect("simulates")
+        .total_seconds;
+        let t_one = *t1.get_or_insert(islands * p as f64); // back out T1·P normalization
+        let eff = 100.0 * t_one / (p as f64 * islands);
+        t.push_row(
+            format!("{p}"),
+            vec![
+                p as f64,
+                islands,
+                sustained_gflops(w.domain, w.steps, islands),
+                eff,
+            ],
+        );
+    }
+    println!("{}", t.render());
+
+    println!("## Weak scaling: grid length grows with the machine (1024·irus ×512×64)");
+    let mut t = Table::new(
+        "Weak scaling across IRUs",
+        vec![
+            "sockets".into(),
+            "islands [s]".into(),
+            "isl Gflop/s".into(),
+            "weak eff [%]".into(),
+        ],
+    )
+    .precision(2);
+    let mut base = None;
+    for &irus in &irus_list {
+        let machine = ScaleOutParams::uv2000(irus, 14).build();
+        let p = irus * 14;
+        let w = Workload::new(Region3::of_extent(1024 * irus, 512, 64), 50);
+        let islands = estimate(
+            &machine,
+            &plan_islands(&machine, &w, Variant::A).expect("plans"),
+            &w,
+            &cfg,
+        )
+        .expect("simulates")
+        .total_seconds;
+        let b = *base.get_or_insert(islands);
+        t.push_row(
+            format!("{p}"),
+            vec![
+                p as f64,
+                islands,
+                sustained_gflops(w.domain, w.steps, islands),
+                100.0 * b / islands,
+            ],
+        );
+    }
+    println!("{}", t.render());
+    println!(
+        "reading: islands keep scaling across IRUs because they never touch the\n\
+         spine within a time step — only the once-per-step synchronization and the\n\
+         tiny boundary input halos cross it. This is the property that makes the\n\
+         paper's MPI extension plausible, quantified before writing a line of MPI."
+    );
+}

@@ -1,0 +1,56 @@
+//! **E2 — Table 2**: total extra elements [%] versus the original
+//! version for 1-D mappings of the 1024×512×64 MPDATA grid, variants A
+//! (first dimension) and B (second dimension), for 1..=14 islands.
+//!
+//! This table is *analytic*: the backward requirement analysis counts
+//! redundant element updates exactly; no simulation is involved.
+//!
+//! Run: `cargo run --release -p islands-bench --bin table2`
+
+use islands_bench::{CPU_COUNTS, PAPER_EXTRA_A, PAPER_EXTRA_B};
+use islands_core::{extra_elements, Partition, Variant};
+use mpdata::mpdata_graph;
+use perf_model::Table;
+use stencil_engine::Region3;
+
+fn main() {
+    let (graph, _) = mpdata_graph();
+    let domain = Region3::of_extent(1024, 512, 64);
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for &n in &CPU_COUNTS {
+        a.push(
+            extra_elements(&graph, &Partition::one_d(domain, Variant::A, n).unwrap()).percent(),
+        );
+        b.push(
+            extra_elements(&graph, &Partition::one_d(domain, Variant::B, n).unwrap()).percent(),
+        );
+    }
+
+    let mut t = Table::numbered_columns(
+        "Table 2: extra elements [%] vs original, 1D island grids, domain 1024×512×64",
+        14,
+    );
+    t.push_row("Variant A   [sim]", a.clone());
+    t.push_row("Variant A [paper]", PAPER_EXTRA_A.to_vec());
+    t.push_row("Variant B   [sim]", b.clone());
+    t.push_row("Variant B [paper]", PAPER_EXTRA_B.to_vec());
+    println!("{}", t.render());
+    println!("CSV:\n{}", t.to_csv());
+
+    // Qualitative checks from the paper's discussion.
+    let linear_a = (1..13).all(|n| {
+        let per_cut = a[1];
+        (a[n] - per_cut * n as f64).abs() < 0.15 * per_cut * n as f64 + 1e-9
+    });
+    let b_doubles_a = (1..14).all(|n| (1.7..2.3).contains(&(b[n] / a[n])));
+    println!("check: variant A grows ~linearly in islands .... {linear_a}");
+    println!("check: variant B ≈ 2 × variant A ............... {b_doubles_a}");
+    println!(
+        "note: our 17-stage kernel formulation yields {:.2}%/cut (paper: 0.247%/cut);\n\
+         the constant depends on per-stage halo depths, the linear shape and the\n\
+         A:B = 1:2 ratio are formulation-independent.",
+        a[1]
+    );
+}

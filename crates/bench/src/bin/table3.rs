@@ -1,0 +1,101 @@
+//! **E3 — Table 3 and Fig. 2**: execution times of the original
+//! version, pure (3+1)D decomposition and islands-of-cores approach for
+//! P = 1..=14, with the partial (S_pr) and overall (S_ov) speedups.
+//! The CSV blocks at the end are the two series of Fig. 2(a) and the
+//! two of Fig. 2(b).
+//!
+//! Run: `cargo run --release -p islands-bench --bin table3`
+
+use islands_bench::{measure_sweep, CPU_COUNTS, PAPER_FUSED, PAPER_ISLANDS, PAPER_ORIGINAL};
+use islands_core::Workload;
+use perf_model::{overall_speedup, partial_speedup, AsciiPlot, Table};
+
+fn main() {
+    let w = Workload::paper();
+    let rows = measure_sweep(&CPU_COUNTS, &w);
+
+    let spr: Vec<f64> = rows.iter().map(|r| partial_speedup(r.fused, r.islands)).collect();
+    let sov: Vec<f64> = rows
+        .iter()
+        .map(|r| overall_speedup(r.original, r.islands))
+        .collect();
+
+    let mut t = Table::numbered_columns(
+        "Table 3: execution times [s] and speedups (simulated UV 2000, 50 steps, 1024×512×64)",
+        14,
+    );
+    t.push_row("Original           [sim]", rows.iter().map(|r| r.original).collect());
+    t.push_row("Original         [paper]", PAPER_ORIGINAL.to_vec());
+    t.push_row("(3+1)D             [sim]", rows.iter().map(|r| r.fused).collect());
+    t.push_row("(3+1)D           [paper]", PAPER_FUSED.to_vec());
+    t.push_row("Islands of cores   [sim]", rows.iter().map(|r| r.islands).collect());
+    t.push_row("Islands of cores [paper]", PAPER_ISLANDS.to_vec());
+    t.push_row("S_pr               [sim]", spr.clone());
+    t.push_row(
+        "S_pr             [paper]",
+        PAPER_FUSED
+            .iter()
+            .zip(PAPER_ISLANDS)
+            .map(|(f, i)| f / i)
+            .collect(),
+    );
+    t.push_row("S_ov               [sim]", sov.clone());
+    t.push_row(
+        "S_ov             [paper]",
+        PAPER_ORIGINAL
+            .iter()
+            .zip(PAPER_ISLANDS)
+            .map(|(o, i)| o / i)
+            .collect(),
+    );
+    println!("{}", t.render());
+
+    // Fig. 2(a): execution time series; Fig. 2(b): speedup series.
+    let mut fig2a = Table::numbered_columns("Fig 2a series: execution time [s] vs P", 14);
+    fig2a.push_row("Original", rows.iter().map(|r| r.original).collect());
+    fig2a.push_row("(3+1)D", rows.iter().map(|r| r.fused).collect());
+    fig2a.push_row("Islands", rows.iter().map(|r| r.islands).collect());
+    let mut fig2b = Table::numbered_columns("Fig 2b series: speedups vs P", 14);
+    fig2b.push_row("S_pr", spr.clone());
+    fig2b.push_row("S_ov", sov.clone());
+    println!("CSV (fig2a):\n{}", fig2a.to_csv());
+    println!("CSV (fig2b):\n{}", fig2b.to_csv());
+
+    let ps: Vec<f64> = (1..=14).map(|p| p as f64).collect();
+    let mut plot_a = AsciiPlot::new(
+        "Fig 2a: execution time [s] vs P (o = Original, f = (3+1)D, i = Islands; log y)",
+        56,
+        16,
+    )
+    .log_y();
+    plot_a.series('o', &ps, &rows.iter().map(|r| r.original).collect::<Vec<_>>());
+    plot_a.series('f', &ps, &rows.iter().map(|r| r.fused).collect::<Vec<_>>());
+    plot_a.series('i', &ps, &rows.iter().map(|r| r.islands).collect::<Vec<_>>());
+    println!("{}", plot_a.render());
+    let mut plot_b = AsciiPlot::new("Fig 2b: speedups vs P (p = S_pr, v = S_ov)", 56, 14);
+    plot_b.series('p', &ps, &spr);
+    plot_b.series('v', &ps, &sov);
+    println!("{}", plot_b.render());
+
+    // The paper's headline claims.
+    println!(
+        "check: islands fastest at every P ............... {}",
+        rows.iter()
+            .all(|r| r.islands <= r.fused * 1.001 && r.islands <= r.original * 1.001)
+    );
+    println!(
+        "check: S_pr grows monotonically with P .......... {}",
+        spr.windows(2).all(|w| w[1] >= w[0] * 0.95)
+    );
+    println!(
+        "check: S_pr(14) > 10 ............................. {} (S_pr = {:.1}, paper 10.3)",
+        spr[13] > 10.0,
+        spr[13]
+    );
+    println!(
+        "check: S_ov roughly flat (2.4..3.6) .............. {} (range {:.2}..{:.2}, paper 2.5..3.0)",
+        sov.iter().all(|s| (2.4..3.6).contains(s)),
+        sov.iter().cloned().fold(f64::INFINITY, f64::min),
+        sov.iter().cloned().fold(0.0_f64, f64::max)
+    );
+}

@@ -1,0 +1,71 @@
+//! **E5 — §3.2 traffic claim**: on a single Xeon E5-2660v2 (25 MB L3)
+//! with the 256×256×64 grid and 50 time steps, the paper measures the
+//! main-memory traffic dropping from 133 GB (original) to 30 GB
+//! ((3+1)D), a ≈2.8× execution speedup. We reproduce the traffic
+//! analytically and the speedup on the simulated socket.
+//!
+//! Run: `cargo run --release -p islands-bench --bin traffic`
+
+use islands_core::{estimate, plan_fused, plan_original, InitPolicy, Workload};
+use mpdata::mpdata_graph;
+use numa_sim::{xeon_e5_2660v2, SimConfig};
+use perf_model::{fused_traffic_blocked, fused_traffic_ideal, original_traffic, Table};
+use stencil_engine::Region3;
+
+fn main() {
+    let (graph, _) = mpdata_graph();
+    let domain = Region3::of_extent(256, 256, 64);
+    let steps = 50;
+    let cache = 25 << 20;
+
+    let orig = original_traffic(&graph, domain, steps);
+    let ideal = fused_traffic_ideal(&graph, domain, steps);
+    let blocked = fused_traffic_blocked(&graph, domain, steps, cache).unwrap();
+
+    let mut t = Table::new(
+        "Main-memory traffic, 256×256×64 grid, 50 steps (paper §3.2: 133 GB → 30 GB)",
+        vec!["traffic [GB]".into(), "paper [GB]".into()],
+    )
+    .precision(1);
+    t.push_row("Original (per-stage sweeps)", vec![orig.total_gb(), 133.0]);
+    t.push_row("(3+1)D (blocked, analytic)", vec![blocked.total_gb(), 30.0]);
+    t.push_row("(3+1)D (ideal floor)", vec![ideal.total_gb(), f64::NAN]);
+    println!("{}", t.render());
+
+    // Execution-time side of the claim on the simulated E5-2660v2.
+    let machine = xeon_e5_2660v2();
+    let w = Workload {
+        domain,
+        steps,
+        cache_bytes: cache,
+    };
+    let cfg = SimConfig::default();
+    let t_orig = estimate(
+        &machine,
+        &plan_original(&machine, &w, InitPolicy::ParallelFirstTouch),
+        &w,
+        &cfg,
+    )
+    .unwrap()
+    .total_seconds;
+    let t_fused = estimate(
+        &machine,
+        &plan_fused(&machine, &w, InitPolicy::ParallelFirstTouch).unwrap(),
+        &w,
+        &cfg,
+    )
+    .unwrap()
+    .total_seconds;
+    println!(
+        "execution: original {t_orig:.2} s, (3+1)D {t_fused:.2} s → speedup {:.2}× (paper: ≈2.8×)",
+        t_orig / t_fused
+    );
+    println!(
+        "check: traffic reduction ≥ 4× .......... {}",
+        orig.total_bytes / blocked.total_bytes >= 4.0
+    );
+    println!(
+        "check: single-socket speedup in 2..4× .. {}",
+        (2.0..4.0).contains(&(t_orig / t_fused))
+    );
+}

@@ -1,0 +1,53 @@
+//! **E6 — §5 variant comparison**: the paper ran both 1-D mappings and
+//! reports that variant A (first dimension) "gives better results for
+//! all the benchmarks" as a consequence of its smaller number of extra
+//! elements. We simulate both variants across P.
+//!
+//! Run: `cargo run --release -p islands-bench --bin variants`
+
+use islands_bench::{sim_config, CPU_COUNTS};
+use islands_core::{estimate, extra_elements, plan_islands, Partition, Variant, Workload};
+use mpdata::mpdata_graph;
+use numa_sim::UvParams;
+use perf_model::Table;
+
+fn main() {
+    let w = Workload::paper();
+    let (graph, _) = mpdata_graph();
+    let cfg = sim_config();
+
+    let mut time_a = Vec::new();
+    let mut time_b = Vec::new();
+    let mut extra_a = Vec::new();
+    let mut extra_b = Vec::new();
+    for &p in &CPU_COUNTS {
+        let machine = UvParams::uv2000(p).build();
+        for (variant, times, extras) in [
+            (Variant::A, &mut time_a, &mut extra_a),
+            (Variant::B, &mut time_b, &mut extra_b),
+        ] {
+            let ts = plan_islands(&machine, &w, variant).expect("plans");
+            times.push(estimate(&machine, &ts, &w, &cfg).expect("simulates").total_seconds);
+            extras.push(
+                extra_elements(&graph, &Partition::one_d(w.domain, variant, p).unwrap())
+                    .percent(),
+            );
+        }
+    }
+
+    let mut t = Table::numbered_columns(
+        "Islands-of-cores: variant A (i-cut) vs variant B (j-cut), simulated UV 2000",
+        14,
+    );
+    t.push_row("time A [s]", time_a.clone());
+    t.push_row("time B [s]", time_b.clone());
+    t.push_row("extra A [%]", extra_a);
+    t.push_row("extra B [%]", extra_b);
+    println!("{}", t.render());
+
+    let a_never_worse = time_a
+        .iter()
+        .zip(&time_b)
+        .all(|(a, b)| *a <= b * 1.02);
+    println!("check: variant A ≤ variant B at every P (±2%) ... {a_never_worse}");
+}

@@ -1,0 +1,164 @@
+//! Mapping islands onto the machine: which processor hosts which part.
+//!
+//! "All the neighbour parts should be assigned to the adjacent
+//! processors that are closely connected each other within the
+//! interconnect" (paper §4.2). Parts are produced in axis order by
+//! [`crate::partition::Partition`]; sockets of the UV 2000 preset are
+//! numbered so consecutive sockets share blades — so the identity
+//! mapping *is* the affinity-aware mapping, and [`IslandLayout`] makes
+//! that explicit and testable.
+
+use numa_sim::{CoreId, Machine, NodeId};
+use work_scheduler::TeamSpec;
+
+/// One island: a processor (NUMA node) and its cores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IslandSpec {
+    /// The NUMA node hosting this island's part.
+    pub node: NodeId,
+    /// The cores forming the island's work team.
+    pub cores: Vec<CoreId>,
+}
+
+/// The island → processor assignment for a machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IslandLayout {
+    islands: Vec<IslandSpec>,
+}
+
+impl IslandLayout {
+    /// One island per compute node (socket), in node order — the
+    /// paper's configuration: island `p` on processor `p`, neighbours
+    /// adjacent.
+    pub fn per_socket(machine: &Machine) -> Self {
+        let islands = machine
+            .compute_nodes()
+            .into_iter()
+            .map(|node| IslandSpec {
+                node,
+                cores: machine.cores_of(node).to_vec(),
+            })
+            .collect();
+        IslandLayout { islands }
+    }
+
+    /// Sub-socket islands: every island spans `cores_per_island`
+    /// consecutive cores of one socket (ablation A2, "islands within a
+    /// CPU"). Sockets whose core count is not divisible are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_island` is zero or does not divide each
+    /// socket's core count.
+    pub fn sub_socket(machine: &Machine, cores_per_island: usize) -> Self {
+        assert!(cores_per_island > 0, "need at least one core per island");
+        let mut islands = Vec::new();
+        for node in machine.compute_nodes() {
+            let cores = machine.cores_of(node);
+            assert_eq!(
+                cores.len() % cores_per_island,
+                0,
+                "{} cores per socket do not split into islands of {cores_per_island}",
+                cores.len()
+            );
+            for chunk in cores.chunks(cores_per_island) {
+                islands.push(IslandSpec {
+                    node,
+                    cores: chunk.to_vec(),
+                });
+            }
+        }
+        IslandLayout { islands }
+    }
+
+    /// The islands, in part order.
+    pub fn islands(&self) -> &[IslandSpec] {
+        &self.islands
+    }
+
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Whether the layout has no islands.
+    pub fn is_empty(&self) -> bool {
+        self.islands.is_empty()
+    }
+
+    /// All cores across all islands, in island order.
+    pub fn all_cores(&self) -> Vec<CoreId> {
+        self.islands.iter().flat_map(|i| i.cores.clone()).collect()
+    }
+
+    /// A [`TeamSpec`] binding pool workers (worker `w` ↔ core `w`) to
+    /// islands, for executing the same layout with real threads.
+    pub fn team_spec(&self) -> TeamSpec {
+        TeamSpec::new(
+            self.islands
+                .iter()
+                .map(|i| i.cores.iter().map(|c| c.index()).collect())
+                .collect(),
+        )
+        .expect("islands are non-empty and disjoint")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_sim::UvParams;
+
+    #[test]
+    fn per_socket_layout_matches_machine() {
+        let m = UvParams::uv2000(4).build();
+        let l = IslandLayout::per_socket(&m);
+        assert_eq!(l.len(), 4);
+        for (n, island) in l.islands().iter().enumerate() {
+            assert_eq!(island.node, NodeId(n));
+            assert_eq!(island.cores.len(), 8);
+        }
+        assert_eq!(l.all_cores().len(), 32);
+    }
+
+    #[test]
+    fn neighbouring_islands_are_interconnect_adjacent() {
+        let m = UvParams::uv2000(6).build();
+        let l = IslandLayout::per_socket(&m);
+        // Consecutive islands are never farther apart than
+        // non-consecutive ones (the identity mapping is affinity-aware).
+        for w in l.islands().windows(2) {
+            let near = m.hops(w[0].node, w[1].node);
+            for other in l.islands() {
+                if other.node != w[0].node && other.node != w[1].node {
+                    assert!(near <= m.hops(w[0].node, other.node) + 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_socket_islands() {
+        let m = UvParams::uv2000(2).build();
+        let l = IslandLayout::sub_socket(&m, 4);
+        assert_eq!(l.len(), 4); // 2 sockets × 2 islands
+        assert_eq!(l.islands()[0].node, l.islands()[1].node);
+        assert_ne!(l.islands()[1].node, l.islands()[2].node);
+    }
+
+    #[test]
+    fn team_spec_mirrors_layout() {
+        let m = UvParams::uv2000(2).build();
+        let l = IslandLayout::per_socket(&m);
+        let spec = l.team_spec();
+        assert_eq!(spec.team_count(), 2);
+        assert_eq!(spec.members(1), &[8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_socket_requires_divisibility() {
+        let m = UvParams::uv2000(1).build();
+        let _ = IslandLayout::sub_socket(&m, 3);
+    }
+}

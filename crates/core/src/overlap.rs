@@ -1,0 +1,148 @@
+//! Extra-element analysis: the cost side of the islands-of-cores
+//! trade-off.
+//!
+//! Each island computes every stage on the enlarged region from the
+//! backward requirement analysis instead of receiving neighbour values.
+//! The *extra elements* are the element updates performed beyond the
+//! no-redundancy schedule; Table 2 of the paper reports them as a
+//! percentage of the original version's updates for variants A and B.
+
+use crate::partition::Partition;
+use stencil_engine::{Region3, StageGraph};
+
+/// Redundancy accounting for one partition of one stage graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExtraElements {
+    /// Element updates of the no-redundancy schedule (original version):
+    /// `Σ_stages |stage region over the whole domain|`.
+    pub base_updates: usize,
+    /// Element updates summed over all islands' enlarged schedules.
+    pub total_updates: usize,
+}
+
+impl ExtraElements {
+    /// Extra updates beyond the no-redundancy schedule.
+    pub fn extra_updates(&self) -> usize {
+        self.total_updates - self.base_updates
+    }
+
+    /// Extra updates as a percentage of the base (the unit of Table 2).
+    pub fn percent(&self) -> f64 {
+        100.0 * self.extra_updates() as f64 / self.base_updates as f64
+    }
+}
+
+/// Counts element updates for `partition` under `graph`.
+///
+/// # Panics
+///
+/// Panics if the partition's domain is empty.
+pub fn extra_elements(graph: &StageGraph, partition: &Partition) -> ExtraElements {
+    let domain = partition.domain();
+    assert!(!domain.is_empty(), "empty domain");
+    let base_updates = schedule_updates(graph, domain, domain);
+    let total_updates = partition
+        .parts()
+        .iter()
+        .map(|&part| schedule_updates(graph, part, domain))
+        .sum();
+    ExtraElements {
+        base_updates,
+        total_updates,
+    }
+}
+
+/// Updates of the enlarged schedule computing `target` within `domain`.
+fn schedule_updates(graph: &StageGraph, target: Region3, domain: Region3) -> usize {
+    if target.is_empty() {
+        return 0;
+    }
+    graph
+        .required_regions(target, domain)
+        .iter()
+        .map(|r| r.cells())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{Partition, Variant};
+    use mpdata::mpdata_graph;
+    use stencil_engine::Region3;
+
+    #[test]
+    fn single_island_has_zero_extra() {
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(32, 16, 8);
+        let p = Partition::one_d(d, Variant::A, 1).unwrap();
+        let e = extra_elements(&g, &p);
+        assert_eq!(e.extra_updates(), 0);
+        assert_eq!(e.percent(), 0.0);
+    }
+
+    #[test]
+    fn extra_grows_with_islands() {
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(64, 32, 8);
+        let mut last = 0.0;
+        for n in [2, 4, 8] {
+            let p = Partition::one_d(d, Variant::A, n).unwrap();
+            let e = extra_elements(&g, &p).percent();
+            assert!(e > last, "islands {n}: {e} ≤ {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn variant_a_beats_variant_b_on_wide_grids() {
+        // Table 2's conclusion: when the first dimension is the longest,
+        // cutting it produces smaller cut faces and fewer extra elements.
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(128, 64, 8);
+        for n in [2, 4, 7] {
+            let a = extra_elements(&g, &Partition::one_d(d, Variant::A, n).unwrap());
+            let b = extra_elements(&g, &Partition::one_d(d, Variant::B, n).unwrap());
+            assert!(
+                a.percent() < b.percent(),
+                "islands {n}: A {} ≥ B {}",
+                a.percent(),
+                b.percent()
+            );
+            // The grid is 2× longer in i, so B's cut face is 2× larger
+            // and B pays ≈ 2× the extra elements (boundary-clipping
+            // keeps it from being exact).
+            let ratio = b.percent() / a.percent();
+            assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn extra_is_linear_in_island_count() {
+        // Table 2 rows grow linearly: each additional cut adds the same
+        // overlap volume (for interior cuts).
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(256, 32, 4);
+        let e2 = extra_elements(&g, &Partition::one_d(d, Variant::A, 2).unwrap()).extra_updates();
+        let e5 = extra_elements(&g, &Partition::one_d(d, Variant::A, 5).unwrap()).extra_updates();
+        let per_cut_2 = e2 as f64;
+        let per_cut_5 = e5 as f64 / 4.0;
+        assert!(
+            (per_cut_2 - per_cut_5).abs() / per_cut_2 < 0.05,
+            "per-cut extra not constant: {per_cut_2} vs {per_cut_5}"
+        );
+    }
+
+    #[test]
+    fn grid2d_extra_exceeds_both_1d_variants_at_same_count() {
+        // A 2×2 grid has cuts in both dimensions.
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(64, 64, 8);
+        let g2 = extra_elements(&g, &Partition::grid2d(d, 2, 2).unwrap()).percent();
+        let a4 = extra_elements(&g, &Partition::one_d(d, Variant::A, 4).unwrap()).percent();
+        assert!(g2 > 0.0);
+        // On a square grid, 4 islands in a 2×2 layout cut less total
+        // face area than 4 slabs: 2 cuts vs 3 cuts.
+        assert!(g2 < a4, "2×2 {g2} should beat 1D×4 {a4} on a square grid");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for partitioning and the extra-element analysis.
+
+use islands_core::{extra_elements, IslandLayout, Partition, Variant};
+use mpdata::mpdata_graph;
+use numa_sim::UvParams;
+use proptest::prelude::*;
+use stencil_engine::Region3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any 1-D or 2-D partition disjointly covers the domain.
+    #[test]
+    fn partitions_cover_disjointly(
+        ni in 4usize..40, nj in 4usize..40, nk in 1usize..8,
+        pi in 1usize..6, pj in 1usize..6, two_d in proptest::bool::ANY,
+    ) {
+        let d = Region3::of_extent(ni, nj, nk);
+        let p = if two_d {
+            Partition::grid2d(d, pi, pj).unwrap()
+        } else {
+            Partition::one_d(d, Variant::A, pi * pj).unwrap()
+        };
+        let total: usize = p.parts().iter().map(|r| r.cells()).sum();
+        prop_assert_eq!(total, d.cells());
+        for (n, a) in p.parts().iter().enumerate() {
+            prop_assert!(d.contains_region(*a));
+            for b in &p.parts()[n + 1..] {
+                prop_assert!(!a.overlaps(*b));
+            }
+        }
+    }
+
+    /// Extra elements are monotone in the island count (more cuts can
+    /// never reduce redundancy) and zero for one island.
+    #[test]
+    fn extra_elements_monotone(
+        ni in 16usize..64, nj in 8usize..32,
+        variant_b in proptest::bool::ANY,
+    ) {
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(ni, nj, 4);
+        let v = if variant_b { Variant::B } else { Variant::A };
+        let mut last = 0usize;
+        for n in 1..=4 {
+            let e = extra_elements(&g, &Partition::one_d(d, v, n).unwrap());
+            prop_assert!(e.extra_updates() >= last,
+                "islands {n}: {} < {last}", e.extra_updates());
+            if n == 1 {
+                prop_assert_eq!(e.extra_updates(), 0);
+            }
+            last = e.extra_updates();
+        }
+    }
+
+    /// Total updates are invariant under which variant produced the
+    /// single-island partition (both are the whole domain).
+    #[test]
+    fn single_island_variants_agree(ni in 8usize..32, nj in 8usize..32) {
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(ni, nj, 4);
+        let a = extra_elements(&g, &Partition::one_d(d, Variant::A, 1).unwrap());
+        let b = extra_elements(&g, &Partition::one_d(d, Variant::B, 1).unwrap());
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Island layouts tile the machine's cores exactly once, whatever the
+/// sub-socket granularity.
+#[test]
+fn layouts_tile_cores() {
+    for sockets in [1usize, 3, 8] {
+        let m = UvParams::uv2000(sockets).build();
+        for per in [1usize, 2, 4, 8] {
+            let l = IslandLayout::sub_socket(&m, per);
+            let mut cores: Vec<usize> = l.all_cores().iter().map(|c| c.index()).collect();
+            cores.sort_unstable();
+            let expect: Vec<usize> = (0..m.core_count()).collect();
+            assert_eq!(cores, expect, "sockets {sockets}, {per}/island");
+            assert_eq!(l.len() * per, m.core_count());
+        }
+    }
+}

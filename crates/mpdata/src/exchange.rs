@@ -1,0 +1,282 @@
+//! The halo-exchange executor — Fig. 1's **scenario 1** as real code.
+//!
+//! Islands own disjoint parts and *communicate*: each island's scratch
+//! arrays cover its part plus a one-cell halo margin, every stage is
+//! computed on exactly the island's own cells, and after each stage the
+//! freshly written boundary planes are copied from the neighbouring
+//! islands' scratches into the margins (with machine-wide
+//! synchronization on both sides of the copy). This is the strategy the
+//! islands-of-cores approach replaces with redundant computation; having
+//! both as real executors lets the test suite pin them against each
+//! other bitwise and lets the benches weigh their host-side costs.
+
+use crate::exec::{rank_slice, ParStore};
+use crate::fields::MpdataFields;
+use crate::graph::MpdataProblem;
+use stencil_engine::{Array3, Axis, Halo3, Region3, StageGraph};
+use work_scheduler::{DisjointCell, TeamSpec, WorkerPool};
+
+/// Parallel halo-exchange (scenario 1) MPDATA executor.
+///
+/// # Examples
+///
+/// ```
+/// use mpdata::{gaussian_pulse, ExchangeExecutor, ReferenceExecutor};
+/// use stencil_engine::{Axis, Region3};
+/// use work_scheduler::{TeamSpec, WorkerPool};
+///
+/// let pool = WorkerPool::new(4);
+/// let domain = Region3::of_extent(24, 8, 4);
+/// let fields = gaussian_pulse(domain, (0.3, 0.0, 0.0));
+/// let got = ExchangeExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).step(&fields);
+/// let expect = ReferenceExecutor::new().step(&fields);
+/// assert_eq!(got.max_abs_diff(&expect), 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ExchangeExecutor<'p> {
+    pool: &'p WorkerPool,
+    teams: TeamSpec,
+    problem: MpdataProblem,
+    partition_axis: Axis,
+    split_axis: Axis,
+}
+
+impl<'p> ExchangeExecutor<'p> {
+    /// Creates the executor: one island per team, parts cut along
+    /// `partition_axis`.
+    pub fn new(pool: &'p WorkerPool, teams: TeamSpec, partition_axis: Axis) -> Self {
+        Self::with_problem(pool, teams, partition_axis, MpdataProblem::standard())
+    }
+
+    /// Creates the executor for an arbitrary MPDATA problem (open
+    /// boundaries only — see [`crate::Boundary`]).
+    pub fn with_problem(
+        pool: &'p WorkerPool,
+        teams: TeamSpec,
+        partition_axis: Axis,
+        problem: MpdataProblem,
+    ) -> Self {
+        ExchangeExecutor {
+            pool,
+            teams,
+            problem,
+            partition_axis,
+            split_axis: Axis::J,
+        }
+    }
+
+    /// The stage graph.
+    pub fn graph(&self) -> &StageGraph {
+        self.problem.graph()
+    }
+
+    /// Performs one time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics for periodic problems (wrap-around halo exchange is not
+    /// implemented) and propagates worker panics.
+    pub fn step(&self, fields: &MpdataFields) -> Array3 {
+        assert_eq!(
+            self.problem.boundary(),
+            crate::kernels::Boundary::Open,
+            "the exchange executor requires open boundaries"
+        );
+        let domain = fields.domain();
+        let graph = self.problem.graph();
+        let n_teams = self.teams.team_count();
+        let parts = domain.split(self.partition_axis, n_teams);
+        // One-cell margins suffice: every individual stage's input halo
+        // is at most one cell in each direction (asserted below).
+        let margin = graph
+            .stages()
+            .iter()
+            .fold(Halo3::ZERO, |h, st| h.max(st.input_halo()));
+        assert!(
+            margin.i_neg <= 1
+                && margin.i_pos <= 1
+                && margin.j_neg <= 1
+                && margin.j_pos <= 1
+                && margin.k_neg <= 1
+                && margin.k_pos <= 1,
+            "single-stage halos wider than one cell need wider margins"
+        );
+        let scratch_regions: Vec<Region3> = parts
+            .iter()
+            .map(|p| p.expand(Halo3::uniform(1)).intersect(domain))
+            .collect();
+
+        let out = DisjointCell::new(Array3::zeros(domain));
+        let stores: Vec<DisjointCell<Option<ParStore<'_>>>> =
+            (0..n_teams).map(|_| DisjointCell::new(None)).collect();
+        let staging: Vec<DisjointCell<Vec<(stencil_engine::FieldId, Array3)>>> =
+            (0..n_teams).map(|_| DisjointCell::new(Vec::new())).collect();
+        let xout = self.problem.xout();
+        let bc = self.problem.boundary();
+
+        // Phase A: allocate island scratches (margins included).
+        self.pool.run_teams(&self.teams, |ctx| {
+            if ctx.rank == 0 && !parts[ctx.team].is_empty() {
+                // SAFETY: rank-0-only write, published by the run_teams
+                // join before any other phase reads it.
+                let slot = unsafe { stores[ctx.team].get_mut() };
+                let mut store = ParStore::new(graph.fields().len(), fields, self.problem.ext());
+                for st in graph.stages() {
+                    for &o in &st.outputs {
+                        if o != xout {
+                            store.alloc(o, scratch_regions[ctx.team]);
+                        }
+                    }
+                }
+                *slot = Some(store);
+            }
+        });
+
+        // Phase B: one run_teams per stage — compute, join (the global
+        // barrier), then exchange, join again. The joins between
+        // broadcasts provide the machine-wide synchronization scenario 1
+        // requires.
+        for st in graph.stages() {
+            let kind = self.problem.kind(st.id);
+            // B1: every island computes exactly its own cells.
+            self.pool.run_teams(&self.teams, |ctx| {
+                let part = parts[ctx.team];
+                if part.is_empty() {
+                    return;
+                }
+                let mine = rank_slice(part, self.split_axis, ctx.rank, ctx.size);
+                if st.outputs == [xout] {
+                    if !mine.is_empty() {
+                        // SAFETY: disjoint regions across all writers.
+                        let out_arr = unsafe { out.get_mut() };
+                        let store =
+                            unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                        store.apply_into(st, kind, domain, bc, mine, out_arr);
+                    }
+                } else {
+                    // SAFETY: disjoint regions across this team's ranks.
+                    let store = unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                    store.apply(st, kind, domain, bc, mine);
+                }
+            });
+            if st.outputs == [xout] {
+                continue; // the final output needs no halo exchange
+            }
+            // B2a: every island (rank 0) *reads* the boundary planes it
+            // needs from its neighbours' scratches into a private
+            // staging buffer. All stores are only read in this phase, so
+            // the shared references are sound.
+            self.pool.run_teams(&self.teams, |ctx| {
+                if ctx.rank != 0 || parts[ctx.team].is_empty() {
+                    return;
+                }
+                let my_scratch = scratch_regions[ctx.team];
+                let mut pieces: Vec<(stencil_engine::FieldId, Array3)> = Vec::new();
+                for (other, &other_part) in parts.iter().enumerate() {
+                    if other == ctx.team || other_part.is_empty() {
+                        continue;
+                    }
+                    let need = my_scratch.intersect(other_part);
+                    if need.is_empty() {
+                        continue;
+                    }
+                    for &f in &st.outputs {
+                        // SAFETY: B2a only reads stores (no writer exists
+                        // until the next run_teams join).
+                        let src = unsafe { stores[other].get_ref() }.as_ref().expect("store");
+                        pieces.push((f, src.extract(f, need)));
+                    }
+                }
+                // SAFETY: each island writes only its own staging slot.
+                *unsafe { staging[ctx.team].get_mut() } = pieces;
+            });
+            // B2b: every island writes its staged planes into its own
+            // margins (exclusive access to its own store).
+            self.pool.run_teams(&self.teams, |ctx| {
+                if ctx.rank != 0 || parts[ctx.team].is_empty() {
+                    return;
+                }
+                // SAFETY: own-slot access, fenced by the joins around
+                // this phase.
+                let pieces = std::mem::take(unsafe { staging[ctx.team].get_mut() });
+                let store = unsafe { stores[ctx.team].get_mut() }.as_mut().expect("store");
+                for (f, piece) in &pieces {
+                    store.blit(*f, piece);
+                }
+            });
+        }
+        out.into_inner()
+    }
+
+    /// Advances `fields.x` by `steps` time steps.
+    pub fn run(&self, fields: &mut MpdataFields, steps: usize) {
+        for _ in 0..steps {
+            fields.x = self.step(fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
+    use crate::reference::ReferenceExecutor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_reference_bitwise() {
+        let d = Region3::of_extent(20, 9, 5);
+        let mut rng = StdRng::seed_from_u64(17);
+        let f = random_fields(&mut rng, d, 0.7);
+        let expect = ReferenceExecutor::new().step(&f);
+        for (workers, teams) in [(2, 2), (4, 2), (6, 3), (8, 4)] {
+            let pool = WorkerPool::new(workers);
+            let got = ExchangeExecutor::new(&pool, TeamSpec::even(workers, teams), Axis::I)
+                .step(&f);
+            assert_eq!(
+                got.max_abs_diff(&expect),
+                0.0,
+                "{teams} exchange islands diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_variant_b() {
+        let d = Region3::of_extent(10, 18, 4);
+        let f = gaussian_pulse(d, (0.15, 0.25, 0.0));
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(6);
+        let got =
+            ExchangeExecutor::new(&pool, TeamSpec::even(6, 3), Axis::J).step(&f);
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn multi_step_matches_recompute_islands() {
+        // Scenario 1 (exchange) and scenario 2 (recompute) must agree
+        // with each other exactly — the paper's two parallelizations of
+        // the same computation.
+        let d = Region3::of_extent(16, 12, 4);
+        let mut a = rotating_cone(d, 0.3);
+        let mut b = a.clone();
+        let pool = WorkerPool::new(4);
+        ExchangeExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).run(&mut a, 4);
+        crate::islands::IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(128 * 1024)
+            .run(&mut b, 4)
+            .unwrap();
+        assert_eq!(a.x.max_abs_diff(&b.x), 0.0);
+    }
+
+    #[test]
+    fn more_islands_than_slabs_is_fine() {
+        let d = Region3::of_extent(3, 8, 4);
+        let f = gaussian_pulse(d, (0.2, 0.1, 0.0));
+        let pool = WorkerPool::new(6);
+        let got = ExchangeExecutor::new(&pool, TeamSpec::even(6, 6), Axis::I).step(&f);
+        let expect = ReferenceExecutor::new().step(&f);
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+}

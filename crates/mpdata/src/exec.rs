@@ -1,0 +1,338 @@
+//! Shared execution plumbing: field storage and region slicing.
+
+use crate::fields::MpdataFields;
+use crate::graph::{ExternalIds, StageKind};
+use crate::kernels::{apply_kind, Boundary};
+use stencil_engine::{Array3, Axis, FieldId, Region3, StageDef};
+use work_scheduler::DisjointCell;
+
+/// The share of `region` that rank `rank` of `size` computes, cutting
+/// along `axis` (empty when the region is thinner than the team).
+pub(crate) fn rank_slice(region: Region3, axis: Axis, rank: usize, size: usize) -> Region3 {
+    region.split(axis, size)[rank]
+}
+
+/// Serial storage: externals borrowed from the field set, intermediates
+/// and the output owned.
+pub(crate) struct SerialStore<'a> {
+    fields: &'a MpdataFields,
+    ids: ExternalIds,
+    owned: Vec<Option<Array3>>,
+}
+
+impl<'a> SerialStore<'a> {
+    pub(crate) fn new(field_count: usize, fields: &'a MpdataFields, ids: ExternalIds) -> Self {
+        SerialStore {
+            fields,
+            ids,
+            owned: (0..field_count).map(|_| None).collect(),
+        }
+    }
+
+    pub(crate) fn alloc(&mut self, f: FieldId, region: Region3) {
+        self.owned[f.index()] = Some(Array3::zeros(region));
+    }
+
+    pub(crate) fn take(&mut self, f: FieldId) -> Array3 {
+        self.owned[f.index()].take().expect("buffer present")
+    }
+
+    fn external(&self, f: FieldId) -> Option<&'a Array3> {
+        let ids = &self.ids;
+        if f == ids.x {
+            Some(&self.fields.x)
+        } else if f == ids.u1 {
+            Some(&self.fields.u1)
+        } else if f == ids.u2 {
+            Some(&self.fields.u2)
+        } else if f == ids.u3 {
+            Some(&self.fields.u3)
+        } else if f == ids.h {
+            Some(&self.fields.h)
+        } else {
+            None
+        }
+    }
+
+    fn get(&self, f: FieldId) -> &Array3 {
+        if let Some(e) = self.external(f) {
+            e
+        } else {
+            self.owned[f.index()].as_ref().expect("buffer present")
+        }
+    }
+
+    /// Applies `stage` (with kernel `kind`) over `region` (no-op when
+    /// empty).
+    pub(crate) fn apply(
+        &mut self,
+        stage: &StageDef,
+        kind: StageKind,
+        domain: Region3,
+        bc: Boundary,
+        region: Region3,
+    ) {
+        if region.is_empty() {
+            return;
+        }
+        let mut outs: Vec<Array3> = stage.outputs.iter().map(|&f| self.take(f)).collect();
+        {
+            let ins: Vec<&Array3> = stage.inputs.iter().map(|(f, _)| self.get(*f)).collect();
+            let mut out_refs: Vec<&mut Array3> = outs.iter_mut().collect();
+            apply_kind(kind, domain, bc, &ins, &mut out_refs, region);
+        }
+        for (f, a) in stage.outputs.iter().zip(outs) {
+            self.owned[f.index()] = Some(a);
+        }
+    }
+}
+
+/// Parallel storage: every non-external field buffer sits in a
+/// [`DisjointCell`] so team ranks can write disjoint regions
+/// concurrently.
+pub(crate) struct ParStore<'a> {
+    fields: &'a MpdataFields,
+    ids: ExternalIds,
+    cells: Vec<DisjointCell<Option<Array3>>>,
+}
+
+impl<'a> ParStore<'a> {
+    pub(crate) fn new(field_count: usize, fields: &'a MpdataFields, ids: ExternalIds) -> Self {
+        ParStore {
+            fields,
+            ids,
+            cells: (0..field_count).map(|_| DisjointCell::new(None)).collect(),
+        }
+    }
+
+    /// Installs a zeroed buffer for `f` (single-threaded setup phase).
+    pub(crate) fn alloc(&mut self, f: FieldId, region: Region3) {
+        *self.cells[f.index()].get_mut_exclusive() = Some(Array3::zeros(region));
+    }
+
+    /// Removes the buffer for `f` (single-threaded teardown phase).
+    pub(crate) fn take(&mut self, f: FieldId) -> Array3 {
+        self.cells[f.index()]
+            .get_mut_exclusive()
+            .take()
+            .expect("buffer present")
+    }
+
+    /// Applies `stage` over `region` from one worker.
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// Concurrent callers must pass mutually disjoint `region`s for the
+    /// same stage, and stages must be separated by a barrier or join.
+    /// Both are guaranteed by the executors: regions come from
+    /// [`rank_slice`] and stages are fenced by broadcasts/team barriers.
+    pub(crate) fn apply(
+        &self,
+        stage: &StageDef,
+        kind: StageKind,
+        domain: Region3,
+        bc: Boundary,
+        region: Region3,
+    ) {
+        if region.is_empty() {
+            return;
+        }
+        let ids = &self.ids;
+        let ext = |f: FieldId| -> Option<&Array3> {
+            if f == ids.x {
+                Some(&self.fields.x)
+            } else if f == ids.u1 {
+                Some(&self.fields.u1)
+            } else if f == ids.u2 {
+                Some(&self.fields.u2)
+            } else if f == ids.u3 {
+                Some(&self.fields.u3)
+            } else if f == ids.h {
+                Some(&self.fields.h)
+            } else {
+                None
+            }
+        };
+        let ins: Vec<&Array3> = stage
+            .inputs
+            .iter()
+            .map(|(f, _)| {
+                ext(*f).unwrap_or_else(|| {
+                    // SAFETY: inputs of a stage are never written during
+                    // that stage (the graph is SSA and validated), and
+                    // prior writes are fenced by a barrier/join.
+                    unsafe { self.cells[f.index()].get_ref() }
+                        .as_ref()
+                        .expect("buffer present")
+                })
+            })
+            .collect();
+        let mut outs: Vec<&mut Array3> = stage
+            .outputs
+            .iter()
+            .map(|f| {
+                // SAFETY: concurrent callers write disjoint regions (see
+                // the contract above), and no caller reads an output of
+                // the stage it is executing.
+                unsafe { self.cells[f.index()].get_mut() }
+                    .as_mut()
+                    .expect("buffer present")
+            })
+            .collect();
+        apply_kind(kind, domain, bc, &ins, &mut outs, region);
+    }
+
+    /// Copies `region` of `f` out of the store (shared access only —
+    /// safe to run while other threads also read this store).
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// No concurrent writer may overlap `region` of `f`; callers
+    /// separate extraction and mutation phases with joins.
+    pub(crate) fn extract(&self, f: FieldId, region: Region3) -> Array3 {
+        // SAFETY: see the contract above.
+        let src = unsafe { self.cells[f.index()].get_ref() }
+            .as_ref()
+            .expect("buffer present");
+        let mut out = Array3::zeros(region);
+        out.copy_region_from(src, region);
+        out
+    }
+
+    /// Copies `piece` into `f`'s buffer (exclusive access).
+    pub(crate) fn blit(&mut self, f: FieldId, piece: &Array3) {
+        let dst = self.cells[f.index()]
+            .get_mut_exclusive()
+            .as_mut()
+            .expect("buffer present");
+        dst.copy_region_from(piece, piece.region());
+    }
+
+    /// Applies a single-output `stage` over `region`, writing into the
+    /// caller-supplied buffer instead of a store slot (used by the
+    /// islands executor to write the final stage straight into the
+    /// shared output array). Same disjointness contract as
+    /// [`ParStore::apply`].
+    pub(crate) fn apply_into(
+        &self,
+        stage: &StageDef,
+        kind: StageKind,
+        domain: Region3,
+        bc: Boundary,
+        region: Region3,
+        out: &mut Array3,
+    ) {
+        if region.is_empty() {
+            return;
+        }
+        assert_eq!(stage.outputs.len(), 1, "apply_into takes one output");
+        let ids = &self.ids;
+        let ext = |f: FieldId| -> Option<&Array3> {
+            if f == ids.x {
+                Some(&self.fields.x)
+            } else if f == ids.u1 {
+                Some(&self.fields.u1)
+            } else if f == ids.u2 {
+                Some(&self.fields.u2)
+            } else if f == ids.u3 {
+                Some(&self.fields.u3)
+            } else if f == ids.h {
+                Some(&self.fields.h)
+            } else {
+                None
+            }
+        };
+        let ins: Vec<&Array3> = stage
+            .inputs
+            .iter()
+            .map(|(f, _)| {
+                ext(*f).unwrap_or_else(|| {
+                    // SAFETY: see `apply`.
+                    unsafe { self.cells[f.index()].get_ref() }
+                        .as_ref()
+                        .expect("buffer present")
+                })
+            })
+            .collect();
+        apply_kind(kind, domain, bc, &ins, &mut [out], region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::gaussian_pulse;
+    use crate::graph::MpdataProblem;
+    use stencil_engine::Range1;
+
+    #[test]
+    fn rank_slice_partitions() {
+        let r = Region3::of_extent(10, 7, 3);
+        let total: usize = (0..4).map(|w| rank_slice(r, Axis::J, w, 4).cells()).sum();
+        assert_eq!(total, r.cells());
+        assert!(rank_slice(r, Axis::K, 3, 4).is_empty());
+    }
+
+    #[test]
+    fn serial_store_roundtrip() {
+        let p = MpdataProblem::standard();
+        let g = p.graph();
+        let d = Region3::of_extent(6, 6, 6);
+        let f = gaussian_pulse(d, (0.1, 0.0, 0.0));
+        let f1 = g.fields().find("f1").unwrap();
+        let mut store = SerialStore::new(g.fields().len(), &f, p.ext());
+        store.alloc(f1, d);
+        store.apply(&g.stages()[0], p.kind(g.stages()[0].id), d, Boundary::Open, d);
+        let f1a = store.take(f1);
+        // Positive velocity ⇒ flux equals 0.1 × upstream value > 0.
+        assert!(f1a.get(3, 3, 3) > 0.0);
+    }
+
+    #[test]
+    fn par_store_matches_serial_for_stage0() {
+        let p = MpdataProblem::standard();
+        let g = p.graph();
+        let d = Region3::of_extent(6, 6, 6);
+        let f = gaussian_pulse(d, (0.1, 0.0, 0.0));
+        let f1 = g.fields().find("f1").unwrap();
+        let kind = p.kind(g.stages()[0].id);
+        let mut s = SerialStore::new(g.fields().len(), &f, p.ext());
+        s.alloc(f1, d);
+        s.apply(&g.stages()[0], kind, d, Boundary::Open, d);
+        let serial = s.take(f1);
+
+        let mut ps = ParStore::new(g.fields().len(), &f, p.ext());
+        ps.alloc(f1, d);
+        // Two "workers", disjoint halves, sequential here (the pool tests
+        // exercise true concurrency).
+        ps.apply(
+            &g.stages()[0],
+            kind,
+            d,
+            Boundary::Open,
+            Region3::new(Range1::new(0, 3), d.j, d.k),
+        );
+        ps.apply(
+            &g.stages()[0],
+            kind,
+            d,
+            Boundary::Open,
+            Region3::new(Range1::new(3, 6), d.j, d.k),
+        );
+        let par = ps.take(f1);
+        assert_eq!(par.max_abs_diff(&serial), 0.0);
+    }
+
+    #[test]
+    fn empty_region_is_noop() {
+        let p = MpdataProblem::standard();
+        let g = p.graph();
+        let d = Region3::of_extent(4, 4, 4);
+        let f = gaussian_pulse(d, (0.1, 0.0, 0.0));
+        let f1 = g.fields().find("f1").unwrap();
+        let mut s = SerialStore::new(g.fields().len(), &f, p.ext());
+        s.alloc(f1, d);
+        s.apply(&g.stages()[0], p.kind(g.stages()[0].id), d, Boundary::Open, Region3::empty());
+        assert_eq!(s.take(f1).sum(), 0.0);
+    }
+}

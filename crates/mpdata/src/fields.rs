@@ -1,0 +1,239 @@
+//! MPDATA field sets and problem generators.
+//!
+//! A time step of MPDATA consumes five external arrays — the advected
+//! scalar `x`, the three C-grid Courant-number components `u1, u2, u3`
+//! (defined on the low faces of each cell) and the density/Jacobian `h` —
+//! and produces the advected scalar for the next step. [`MpdataFields`]
+//! owns these arrays; the generators below build the standard test
+//! problems used throughout the test suite and the examples.
+
+use rand::Rng;
+use stencil_engine::{Array3, Region3};
+
+/// Small constant preventing division by zero in antidiffusive velocities
+/// and limiters (standard MPDATA epsilon for double precision).
+pub const EPS: f64 = 1e-15;
+
+/// The external inputs of an MPDATA time step.
+#[derive(Clone, Debug)]
+pub struct MpdataFields {
+    /// The advected non-negative scalar field.
+    pub x: Array3,
+    /// Courant number through the low-`i` face of each cell.
+    pub u1: Array3,
+    /// Courant number through the low-`j` face of each cell.
+    pub u2: Array3,
+    /// Courant number through the low-`k` face of each cell.
+    pub u3: Array3,
+    /// Density / Jacobian (≥ some positive floor).
+    pub h: Array3,
+}
+
+impl MpdataFields {
+    /// The domain all five arrays cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the arrays disagree on their region.
+    pub fn domain(&self) -> Region3 {
+        debug_assert_eq!(self.x.region(), self.u1.region());
+        debug_assert_eq!(self.x.region(), self.h.region());
+        self.x.region()
+    }
+
+    /// Total mass `Σ x·h` — the quantity MPDATA conserves in a closed
+    /// box.
+    pub fn mass(&self) -> f64 {
+        let d = self.domain();
+        let mut m = 0.0;
+        for (i, j, k) in d.points() {
+            m += self.x.get(i, j, k) * self.h.get(i, j, k);
+        }
+        m
+    }
+
+    /// Zeroes the face velocities on the domain boundary, closing the box
+    /// so mass is conserved exactly. `u1[lo_i]` faces are set to zero and
+    /// likewise for the other axes; the high faces lie outside the stored
+    /// arrays (face `n` of cell `n` is read from the clamped cell `n-1`…
+    /// `n`), so zeroing the *last* stored face too keeps the boundary
+    /// consistent under clamped reads.
+    pub fn close_boundaries(&mut self) {
+        let d = self.domain();
+        for j in d.j.lo..d.j.hi {
+            for k in d.k.lo..d.k.hi {
+                self.u1.set(d.i.lo, j, k, 0.0);
+                self.u1.set(d.i.hi - 1, j, k, 0.0);
+            }
+        }
+        for i in d.i.lo..d.i.hi {
+            for k in d.k.lo..d.k.hi {
+                self.u2.set(i, d.j.lo, k, 0.0);
+                self.u2.set(i, d.j.hi - 1, k, 0.0);
+            }
+        }
+        for i in d.i.lo..d.i.hi {
+            for j in d.j.lo..d.j.hi {
+                self.u3.set(i, j, d.k.lo, 0.0);
+                self.u3.set(i, j, d.k.hi - 1, 0.0);
+            }
+        }
+    }
+}
+
+/// A Gaussian pulse advected by a uniform flow — the canonical
+/// quickstart problem.
+///
+/// `courant` is the per-axis Courant number of the uniform flow; keep
+/// `|c1| + |c2| + |c3| < 1` for stability.
+pub fn gaussian_pulse(domain: Region3, courant: (f64, f64, f64)) -> MpdataFields {
+    let (ci, cj, ck) = courant;
+    let c = (
+        (domain.i.lo + domain.i.hi) as f64 / 2.0,
+        (domain.j.lo + domain.j.hi) as f64 / 2.0,
+        (domain.k.lo + domain.k.hi) as f64 / 2.0,
+    );
+    let sigma = (domain.i.len().min(domain.j.len()).min(domain.k.len()).max(4)) as f64 / 6.0;
+    let x = Array3::from_fn(domain, |i, j, k| {
+        let di = i as f64 + 0.5 - c.0;
+        let dj = j as f64 + 0.5 - c.1;
+        let dk = k as f64 + 0.5 - c.2;
+        2.0 + 10.0 * (-(di * di + dj * dj + dk * dk) / (2.0 * sigma * sigma)).exp()
+    });
+    MpdataFields {
+        x,
+        u1: Array3::filled(domain, ci),
+        u2: Array3::filled(domain, cj),
+        u3: Array3::filled(domain, ck),
+        h: Array3::filled(domain, 1.0),
+    }
+}
+
+/// A rotating flow in the `i–j` plane around the domain centre carrying
+/// a cone (the classic rotating-cone benchmark). The angular velocity
+/// is solid-body out to 0.40 of the smaller planar extent and tapers
+/// smoothly to zero by 0.48 — for any radial profile `f(r)`, the field
+/// `(−f(r)·y, f(r)·x)` is exactly divergence-free, so the flow never
+/// presses mass against the walls. `max_courant` bounds the largest
+/// face Courant number.
+pub fn rotating_cone(domain: Region3, max_courant: f64) -> MpdataFields {
+    let ci = (domain.i.lo + domain.i.hi) as f64 / 2.0;
+    let cj = (domain.j.lo + domain.j.hi) as f64 / 2.0;
+    let planar = (domain.i.len().min(domain.j.len())) as f64;
+    let r0 = 0.40 * planar;
+    let r1 = 0.48 * planar;
+    let omega = max_courant / r1.max(1.0);
+    let profile = move |y: f64, x_: f64| -> f64 {
+        let r = (x_ * x_ + y * y).sqrt();
+        let t = ((r1 - r) / (r1 - r0)).clamp(0.0, 1.0);
+        omega * t
+    };
+    // Cone centred at 1/4 of the i-extent, small enough to stay inside
+    // the solid-body radius.
+    let cone_i = domain.i.lo as f64 + domain.i.len() as f64 / 4.0;
+    let cone_r = planar / 10.0 + 1.0;
+    let x = Array3::from_fn(domain, |i, j, k| {
+        let _ = k;
+        let d = (((i as f64 + 0.5) - cone_i).powi(2) + ((j as f64 + 0.5) - cj).powi(2)).sqrt();
+        1.0 + (4.0 * (1.0 - d / cone_r)).max(0.0)
+    });
+    // u1 at face (i-1/2, j): velocity −f(r)(y−cj); u2 at face
+    // (i, j-1/2): f(r)(x−ci), each evaluated at its face centre.
+    let u1 = Array3::from_fn(domain, |i, j, _| {
+        let y = (j as f64 + 0.5) - cj;
+        let x_ = i as f64 - ci;
+        -profile(y, x_) * y
+    });
+    let u2 = Array3::from_fn(domain, |i, j, _| {
+        let y = j as f64 - cj;
+        let x_ = (i as f64 + 0.5) - ci;
+        profile(y, x_) * x_
+    });
+    let mut f = MpdataFields {
+        x,
+        u1,
+        u2,
+        u3: Array3::filled(domain, 0.0),
+        h: Array3::filled(domain, 1.0),
+    };
+    f.close_boundaries();
+    f
+}
+
+/// Random CFL-safe fields for property testing: positive scalar, face
+/// Courant numbers bounded so the donor-cell positivity condition
+/// `Σ_faces outflow ≤ max_total · h` holds for every cell even when all
+/// six faces flow outward, closed boundaries, and a mildly varying
+/// density with `h ≥ 0.8`.
+pub fn random_fields<R: Rng>(rng: &mut R, domain: Region3, max_total: f64) -> MpdataFields {
+    const H_MIN: f64 = 0.8;
+    let per_axis = max_total * H_MIN / 6.0;
+    let mut f = MpdataFields {
+        x: Array3::from_fn(domain, |_, _, _| rng.gen_range(0.0..10.0)),
+        u1: Array3::from_fn(domain, |_, _, _| rng.gen_range(-per_axis..per_axis)),
+        u2: Array3::from_fn(domain, |_, _, _| rng.gen_range(-per_axis..per_axis)),
+        u3: Array3::from_fn(domain, |_, _, _| rng.gen_range(-per_axis..per_axis)),
+        h: Array3::from_fn(domain, |_, _, _| rng.gen_range(H_MIN..1.2)),
+    };
+    f.close_boundaries();
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_pulse_is_positive_and_peaked() {
+        let d = Region3::of_extent(16, 16, 8);
+        let f = gaussian_pulse(d, (0.2, 0.1, 0.0));
+        assert!(f.x.min() >= 2.0);
+        assert!(f.x.max() > 10.0);
+        assert_eq!(f.domain(), d);
+        assert!(f.mass() > 0.0);
+    }
+
+    #[test]
+    fn close_boundaries_zeroes_normal_faces() {
+        let d = Region3::of_extent(8, 8, 8);
+        let mut f = gaussian_pulse(d, (0.3, 0.3, 0.3));
+        f.close_boundaries();
+        assert_eq!(f.u1.get(0, 3, 3), 0.0);
+        assert_eq!(f.u1.get(7, 3, 3), 0.0);
+        assert_eq!(f.u2.get(3, 0, 3), 0.0);
+        assert_eq!(f.u3.get(3, 3, 7), 0.0);
+        // Interior untouched.
+        assert_eq!(f.u1.get(3, 3, 3), 0.3);
+    }
+
+    #[test]
+    fn rotating_cone_is_closed_and_cfl_safe() {
+        let d = Region3::of_extent(32, 32, 4);
+        let f = rotating_cone(d, 0.4);
+        let mut max_c: f64 = 0.0;
+        for (i, j, k) in d.points() {
+            max_c = max_c
+                .max(f.u1.get(i, j, k).abs())
+                .max(f.u2.get(i, j, k).abs());
+        }
+        assert!(max_c <= 0.4 + 1e-12);
+        assert_eq!(f.u1.get(0, 5, 0), 0.0, "boundary closed");
+        assert!(f.x.min() >= 1.0);
+    }
+
+    #[test]
+    fn random_fields_bounded() {
+        let d = Region3::of_extent(6, 5, 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let f = random_fields(&mut rng, d, 0.9);
+        for (i, j, k) in d.points() {
+            let tot =
+                f.u1.get(i, j, k).abs() + f.u2.get(i, j, k).abs() + f.u3.get(i, j, k).abs();
+            assert!(2.0 * tot / f.h.get(i, j, k) <= 0.9);
+            assert!(f.x.get(i, j, k) >= 0.0);
+            assert!(f.h.get(i, j, k) >= 0.8);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The islands-of-cores executor — the paper's contribution, as real
+//! threaded code.
+//!
+//! The domain is partitioned into one part per work team (island). Each
+//! island runs the (3+1)D decomposition on its part, computing every
+//! stage on the *enlarged* regions from the backward requirement
+//! analysis: the handful of boundary cells whose values would otherwise
+//! have to be fetched from a neighbouring island are simply recomputed
+//! (the paper's "extra elements", Table 2). Within a time step islands
+//! synchronize only among their own cores (team barriers between
+//! stages); all islands meet once per step when the team run joins.
+
+use crate::exec::{rank_slice, ParStore};
+use crate::fields::MpdataFields;
+use crate::graph::MpdataProblem;
+use stencil_engine::{Array3, Axis, BlockPlanner, PlanBlocksError, Region3, StageGraph};
+use work_scheduler::{DisjointCell, TeamSpec, WorkerPool};
+
+/// Parallel islands-of-cores MPDATA executor.
+///
+/// # Examples
+///
+/// ```
+/// use mpdata::{gaussian_pulse, IslandsExecutor, ReferenceExecutor};
+/// use stencil_engine::{Axis, Region3};
+/// use work_scheduler::{TeamSpec, WorkerPool};
+///
+/// let pool = WorkerPool::new(4);
+/// let teams = TeamSpec::even(4, 2); // two islands of two cores
+/// let domain = Region3::of_extent(24, 8, 4);
+/// let fields = gaussian_pulse(domain, (0.3, 0.0, 0.0));
+/// let islands = IslandsExecutor::new(&pool, teams, Axis::I)
+///     .cache_bytes(64 * 1024)
+///     .step(&fields)?;
+/// let reference = ReferenceExecutor::new().step(&fields);
+/// assert_eq!(islands.max_abs_diff(&reference), 0.0);
+/// # Ok::<(), stencil_engine::PlanBlocksError>(())
+/// ```
+/// How the domain is divided among islands.
+#[derive(Clone, Debug)]
+enum PartitionKind {
+    /// 1-D split along an axis (variant A = `I`, variant B = `J`).
+    Axis(Axis),
+    /// Explicit parts, one per team in order (e.g. 2-D island grids).
+    Explicit(Vec<Region3>),
+}
+
+/// Parallel islands-of-cores MPDATA executor (see the crate docs and
+/// the example above the struct's builder methods).
+#[derive(Debug)]
+pub struct IslandsExecutor<'p> {
+    pool: &'p WorkerPool,
+    teams: TeamSpec,
+    problem: MpdataProblem,
+    cache_bytes: usize,
+    partition: PartitionKind,
+    /// Axis along which a team splits each stage sweep among its cores.
+    split_axis: Axis,
+}
+
+impl<'p> IslandsExecutor<'p> {
+    /// Creates the executor: one island per team of `teams`, partitioning
+    /// the domain along `partition_axis`.
+    pub fn new(pool: &'p WorkerPool, teams: TeamSpec, partition_axis: Axis) -> Self {
+        Self::with_problem(pool, teams, partition_axis, MpdataProblem::standard())
+    }
+
+    /// Creates the executor for an arbitrary MPDATA problem.
+    pub fn with_problem(
+        pool: &'p WorkerPool,
+        teams: TeamSpec,
+        partition_axis: Axis,
+        problem: MpdataProblem,
+    ) -> Self {
+        IslandsExecutor {
+            pool,
+            teams,
+            problem,
+            cache_bytes: crate::fused::DEFAULT_CACHE_BYTES,
+            partition: PartitionKind::Axis(partition_axis),
+            split_axis: Axis::J,
+        }
+    }
+
+    /// Replaces the 1-D axis split with an explicit partition: one part
+    /// per team, in team order (2-D island grids, uneven splits, …).
+    /// Parts must disjointly cover every domain this executor is run on;
+    /// [`IslandsExecutor::step`] asserts the cover per call.
+    pub fn with_partition(mut self, parts: Vec<Region3>) -> Self {
+        assert_eq!(
+            parts.len(),
+            self.teams.team_count(),
+            "one part per team required"
+        );
+        self.partition = PartitionKind::Explicit(parts);
+        self
+    }
+
+    /// Sets the per-block cache budget of each island.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the axis along which a team splits stage sweeps internally.
+    pub fn split_axis(mut self, axis: Axis) -> Self {
+        self.split_axis = axis;
+        self
+    }
+
+    /// The stage graph.
+    pub fn graph(&self) -> &StageGraph {
+        self.problem.graph()
+    }
+
+    /// The island partition of `domain`: one part per team.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit partition does not disjointly cover
+    /// `domain`.
+    pub fn partition(&self, domain: Region3) -> Vec<Region3> {
+        match &self.partition {
+            PartitionKind::Axis(axis) => domain.split(*axis, self.teams.team_count()),
+            PartitionKind::Explicit(parts) => {
+                let covered: usize = parts.iter().map(|p| p.cells()).sum();
+                assert_eq!(covered, domain.cells(), "partition must cover the domain");
+                for (n, a) in parts.iter().enumerate() {
+                    assert!(domain.contains_region(*a), "part {n} outside domain");
+                    for b in &parts[n + 1..] {
+                        assert!(!a.overlaps(*b), "parts overlap");
+                    }
+                }
+                parts.clone()
+            }
+        }
+    }
+
+    /// Performs one time step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanBlocksError`] when an island's block does not fit
+    /// the cache budget.
+    pub fn step(&self, fields: &MpdataFields) -> Result<Array3, PlanBlocksError> {
+        assert_eq!(
+            self.problem.boundary(),
+            crate::kernels::Boundary::Open,
+            "the islands executor requires open boundaries: periodic wrap \
+             dependencies cannot be expressed by box-shaped island regions"
+        );
+        let domain = fields.domain();
+        let parts = self.partition(domain);
+        // Plan every island up front so planning errors surface before
+        // any thread runs.
+        let plans: Vec<_> = parts
+            .iter()
+            .map(|&part| {
+                if part.is_empty() {
+                    // More islands than slabs along the partition axis:
+                    // the extra islands simply have no work.
+                    Ok(stencil_engine::Blocking {
+                        axis: Axis::I,
+                        depth: 1,
+                        blocks: Vec::new(),
+                    })
+                } else {
+                    BlockPlanner::new(self.cache_bytes)
+                        .plan_wavefront(self.problem.graph(), part, domain)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // The shared output array; islands write disjoint parts of it.
+        let out = DisjointCell::new(Array3::zeros(domain));
+        // One private store per island (teams never share intermediates).
+        let stores: Vec<DisjointCell<Option<ParStore<'_>>>> = (0..self.teams.team_count())
+            .map(|_| DisjointCell::new(None))
+            .collect();
+
+        self.pool.run_teams(&self.teams, |ctx| {
+            let blocking = &plans[ctx.team];
+            // Rank 0 of each team owns the island store creation and the
+            // persistent (cross-block, wavefront) scratch allocation;
+            // the team barrier publishes both to the other ranks.
+            if ctx.rank == 0 {
+                // SAFETY: only rank 0 touches the slot before the
+                // barrier below.
+                let slot = unsafe { stores[ctx.team].get_mut() };
+                let graph = self.problem.graph();
+                let mut store = ParStore::new(graph.fields().len(), fields, self.problem.ext());
+                let scratch = blocking.hull();
+                if !scratch.is_empty() {
+                    for st in graph.stages() {
+                        for &o in &st.outputs {
+                            if o != self.problem.xout() {
+                                store.alloc(o, scratch);
+                            }
+                        }
+                    }
+                }
+                *slot = Some(store);
+            }
+            ctx.team_barrier();
+            for b in 0..blocking.len() {
+                let block = &blocking.blocks[b];
+                for st in self.problem.graph().stages() {
+                    let region = block.stage_regions[st.id.index()];
+                    let mine = rank_slice(region, self.split_axis, ctx.rank, ctx.size);
+                    let kind = self.problem.kind(st.id);
+                    if st.outputs == [self.problem.xout()] {
+                        // Final stage: write straight into the shared
+                        // output. Blocks of different islands are
+                        // disjoint on output, ranks split disjointly.
+                        if !mine.is_empty() {
+                            // SAFETY: all concurrent writers cover
+                            // mutually disjoint regions.
+                            let out_arr = unsafe { out.get_mut() };
+                            let store =
+                                unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                            store.apply_into(st, kind, domain, self.problem.boundary(), mine, out_arr);
+                        }
+                    } else {
+                        // SAFETY: ranks of this team write disjoint
+                        // regions of the island-private scratch.
+                        let store =
+                            unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                        store.apply(st, kind, domain, self.problem.boundary(), mine);
+                    }
+                    // Intra-island synchronization only — this is the
+                    // whole point of the approach.
+                    ctx.team_barrier();
+                }
+            }
+        });
+        Ok(out.into_inner())
+    }
+
+    /// Advances `fields.x` by `steps` time steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanBlocksError`] when an island's block does not fit
+    /// the cache budget.
+    pub fn run(&self, fields: &mut MpdataFields, steps: usize) -> Result<(), PlanBlocksError> {
+        for _ in 0..steps {
+            fields.x = self.step(fields)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
+    use crate::reference::ReferenceExecutor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_reference_bitwise_variant_a() {
+        let d = Region3::of_extent(24, 9, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = random_fields(&mut rng, d, 0.7);
+        let expect = ReferenceExecutor::new().step(&f);
+        for (workers, teams) in [(2, 2), (4, 2), (6, 3), (8, 4)] {
+            let pool = WorkerPool::new(workers);
+            let spec = TeamSpec::even(workers, teams);
+            let got = IslandsExecutor::new(&pool, spec, Axis::I)
+                .cache_bytes(64 * 1024)
+                .step(&f)
+                .unwrap();
+            assert_eq!(
+                got.max_abs_diff(&expect),
+                0.0,
+                "{workers} workers / {teams} islands diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_bitwise_variant_b() {
+        let d = Region3::of_extent(12, 18, 4);
+        let f = gaussian_pulse(d, (0.2, 0.2, 0.0));
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(6);
+        let got = IslandsExecutor::new(&pool, TeamSpec::even(6, 3), Axis::J)
+            .cache_bytes(48 * 1024)
+            .step(&f)
+            .unwrap();
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn multi_step_matches_reference() {
+        let d = Region3::of_extent(20, 10, 4);
+        let mut f1 = rotating_cone(d, 0.25);
+        let mut f2 = f1.clone();
+        let pool = WorkerPool::new(4);
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(48 * 1024)
+            .run(&mut f1, 3)
+            .unwrap();
+        ReferenceExecutor::new().run(&mut f2, 3);
+        assert_eq!(f1.x.max_abs_diff(&f2.x), 0.0);
+    }
+
+    #[test]
+    fn single_island_equals_fused() {
+        let d = Region3::of_extent(16, 8, 4);
+        let f = gaussian_pulse(d, (0.3, 0.0, 0.0));
+        let pool = WorkerPool::new(4);
+        let islands = IslandsExecutor::new(&pool, TeamSpec::even(4, 1), Axis::I)
+            .cache_bytes(64 * 1024)
+            .step(&f)
+            .unwrap();
+        let fused = crate::fused::FusedExecutor::new(&pool)
+            .cache_bytes(64 * 1024)
+            .step(&f)
+            .unwrap();
+        assert_eq!(islands.max_abs_diff(&fused), 0.0);
+    }
+
+    #[test]
+    fn explicit_2d_partition_matches_reference() {
+        // A 2×2 island grid — the paper's future-work shape — executed
+        // with real threads.
+        let d = Region3::of_extent(16, 16, 4);
+        let f = gaussian_pulse(d, (0.2, 0.2, 0.0));
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(4);
+        let mut parts = Vec::new();
+        for half_i in d.split(Axis::I, 2) {
+            parts.extend(half_i.split(Axis::J, 2));
+        }
+        let got = IslandsExecutor::new(&pool, TeamSpec::even(4, 4), Axis::I)
+            .with_partition(parts)
+            .cache_bytes(64 * 1024)
+            .step(&f)
+            .unwrap();
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn explicit_partition_must_cover_domain() {
+        let d = Region3::of_extent(8, 8, 4);
+        let f = gaussian_pulse(d, (0.1, 0.0, 0.0));
+        let pool = WorkerPool::new(2);
+        let half = d.split(Axis::I, 2)[0];
+        let _ = IslandsExecutor::new(&pool, TeamSpec::even(2, 2), Axis::I)
+            .with_partition(vec![half, half]) // overlapping, not covering
+            .step(&f);
+    }
+
+    #[test]
+    fn more_islands_than_slabs_still_correct() {
+        let d = Region3::of_extent(5, 6, 4);
+        let f = gaussian_pulse(d, (0.2, 0.1, 0.0));
+        let pool = WorkerPool::new(8);
+        let got = IslandsExecutor::new(&pool, TeamSpec::even(8, 8), Axis::I)
+            .cache_bytes(64 * 1024)
+            .step(&f)
+            .unwrap();
+        let expect = ReferenceExecutor::new().step(&f);
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+}

@@ -1,0 +1,805 @@
+//! The numerics of the 17 MPDATA stages.
+//!
+//! Each kernel writes one region of its output array(s), reading inputs
+//! at the offsets declared by the matching [`crate::graph`] stage —
+//! a correspondence enforced by the `kernel_patterns` test below, which
+//! perturbs inputs outside the declared pattern and asserts the output
+//! is unaffected.
+//!
+//! Boundary handling: reads are clamped to the domain box (zero-gradient
+//! extension). Combined with [`crate::fields::MpdataFields::close_boundaries`]
+//! this makes the scheme exactly conservative in a closed box, and —
+//! crucially for the reproduction — makes every execution strategy
+//! (reference, original, (3+1)D, islands) produce **bitwise identical**
+//! results, because a redundantly recomputed cell always sees exactly
+//! the same operands.
+
+use crate::fields::EPS;
+use crate::graph::StageKind;
+use stencil_engine::{Array3, Region3};
+
+/// How reads beyond the domain box resolve.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Boundary {
+    /// Zero-gradient extension: out-of-domain indices are projected onto
+    /// the nearest face (the paper's setting; all executors support it).
+    #[default]
+    Open,
+    /// Periodic wrap-around. Supported by the reference and original
+    /// executors; the cache-blocked executors reject it because the
+    /// box-shaped requirement analysis cannot express wrap dependencies.
+    Periodic,
+}
+
+/// Boundary-resolved read.
+#[inline(always)]
+fn rd_bc(a: &Array3, d: Region3, bc: Boundary, i: i64, j: i64, k: i64) -> f64 {
+    match bc {
+        Boundary::Open => a.get(
+            i.clamp(d.i.lo, d.i.hi - 1),
+            j.clamp(d.j.lo, d.j.hi - 1),
+            k.clamp(d.k.lo, d.k.hi - 1),
+        ),
+        Boundary::Periodic => a.get(
+            d.i.lo + (i - d.i.lo).rem_euclid(d.i.len() as i64),
+            d.j.lo + (j - d.j.lo).rem_euclid(d.j.len() as i64),
+            d.k.lo + (k - d.k.lo).rem_euclid(d.k.len() as i64),
+        ),
+    }
+}
+
+/// Donor-cell (upwind) flux through a face with Courant number `u`,
+/// upstream value `xl`, downstream value `xr`.
+#[inline(always)]
+fn donor(xl: f64, xr: f64, u: f64) -> f64 {
+    u.max(0.0) * xl + u.min(0.0) * xr
+}
+
+/// Applies a kernel of the given [`StageKind`] over `region`.
+///
+/// `inputs` and `outputs` must follow the field order declared by the
+/// corresponding [`crate::graph::MpdataProblem`] stage.
+///
+/// # Panics
+///
+/// Panics if the number of inputs/outputs does not match the kind, or
+/// (in debug builds) if an array does not cover an accessed cell.
+pub fn apply_kind(
+    kind: StageKind,
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+) {
+    // Streaming kinds run a clamp-free row fast path wherever the
+    // stencil provably stays inside the domain; the remaining boundary
+    // shells fall back to the scalar kernels. Both paths evaluate the
+    // same expressions in the same order, so the split is invisible —
+    // bitwise — to callers.
+    if bc == Boundary::Open {
+        if let Some(safe) = fast_safe_domain(kind, domain) {
+            let fast = region.intersect(safe);
+            if !fast.is_empty() {
+                apply_fast(kind, inputs, outputs, fast);
+                for shell in region.subtract(fast) {
+                    apply_kind_scalar(kind, domain, bc, inputs, outputs, shell);
+                }
+                return;
+            }
+        }
+    }
+    apply_kind_scalar(kind, domain, bc, inputs, outputs, region);
+}
+
+/// The sub-box of `domain` on which `kind`'s reads need no boundary
+/// treatment, or `None` for kinds without a fast path.
+fn fast_safe_domain(kind: StageKind, domain: Region3) -> Option<Region3> {
+    use stencil_engine::{Axis, Range1};
+    let shrink_lo = |r: Range1| Range1::new(r.lo + 1, r.hi);
+    let shrink_hi = |r: Range1| Range1::new(r.lo, r.hi - 1);
+    let shrink_both = |r: Range1| Range1::new(r.lo + 1, r.hi - 1);
+    let d = domain;
+    match kind {
+        StageKind::FluxI | StageKind::LimFluxI => Some(d.with_range(Axis::I, shrink_lo(d.i))),
+        StageKind::FluxJ | StageKind::LimFluxJ => Some(d.with_range(Axis::J, shrink_lo(d.j))),
+        StageKind::FluxK | StageKind::LimFluxK => Some(d.with_range(Axis::K, shrink_lo(d.k))),
+        StageKind::Update | StageKind::BetaUp | StageKind::BetaDn => Some(Region3::new(
+            shrink_hi(d.i),
+            shrink_hi(d.j),
+            shrink_hi(d.k),
+        )),
+        StageKind::AntidiffI => Some(Region3::new(
+            shrink_lo(d.i),
+            shrink_both(d.j),
+            shrink_both(d.k),
+        )),
+        StageKind::AntidiffJ => Some(Region3::new(
+            shrink_both(d.i),
+            shrink_lo(d.j),
+            shrink_both(d.k),
+        )),
+        StageKind::AntidiffK => Some(Region3::new(
+            shrink_both(d.i),
+            shrink_both(d.j),
+            shrink_lo(d.k),
+        )),
+        StageKind::MinMax => Some(Region3::new(
+            shrink_both(d.i),
+            shrink_both(d.j),
+            shrink_both(d.k),
+        )),
+    }
+}
+
+/// Dispatches to the row fast path (region must lie in the kind's safe
+/// domain).
+fn apply_fast(kind: StageKind, inputs: &[&Array3], outputs: &mut [&mut Array3], region: Region3) {
+    use crate::kernels_fast as fast;
+    match kind {
+        StageKind::FluxI => fast::flux_axis_rows(inputs[0], inputs[1], &mut *outputs[0], region, 0),
+        StageKind::FluxJ => fast::flux_axis_rows(inputs[0], inputs[1], &mut *outputs[0], region, 1),
+        StageKind::FluxK => fast::flux_axis_rows(inputs[0], inputs[1], &mut *outputs[0], region, 2),
+        StageKind::Update => fast::update_rows(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region,
+        ),
+        StageKind::LimFluxI => {
+            fast::lim_flux_rows(inputs[0], inputs[1], inputs[2], &mut *outputs[0], region, 0)
+        }
+        StageKind::LimFluxJ => {
+            fast::lim_flux_rows(inputs[0], inputs[1], inputs[2], &mut *outputs[0], region, 1)
+        }
+        StageKind::LimFluxK => {
+            fast::lim_flux_rows(inputs[0], inputs[1], inputs[2], &mut *outputs[0], region, 2)
+        }
+        StageKind::AntidiffI => fast::antidiff_rows(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region, 0,
+        ),
+        StageKind::AntidiffJ => fast::antidiff_rows(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region, 1,
+        ),
+        StageKind::AntidiffK => fast::antidiff_rows(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region, 2,
+        ),
+        StageKind::MinMax => {
+            let (mx, rest) = outputs.split_first_mut().expect("two outputs");
+            fast::minmax_rows(inputs[0], inputs[1], mx, &mut *rest[0], region)
+        }
+        StageKind::BetaUp => fast::beta_rows(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
+            &mut *outputs[0], region, true,
+        ),
+        StageKind::BetaDn => fast::beta_rows(
+            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
+            &mut *outputs[0], region, false,
+        ),
+    }
+}
+
+/// The clamp-everywhere scalar kernels — the reference implementation
+/// [`apply_kind`] is pinned against (bitwise). Exposed so downstream
+/// code and benchmarks can compare the two paths.
+///
+/// # Panics
+///
+/// Same conditions as [`apply_kind`].
+pub fn apply_kind_scalar(
+    kind: StageKind,
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+) {
+    match kind {
+        StageKind::FluxI => flux_axis(domain, bc, inputs, outputs, region, AxisDir::I),
+        StageKind::FluxJ => flux_axis(domain, bc, inputs, outputs, region, AxisDir::J),
+        StageKind::FluxK => flux_axis(domain, bc, inputs, outputs, region, AxisDir::K),
+        StageKind::Update => low_order(domain, bc, inputs, outputs, region),
+        StageKind::AntidiffI => antidiff(domain, bc, inputs, outputs, region, AxisDir::I),
+        StageKind::AntidiffJ => antidiff(domain, bc, inputs, outputs, region, AxisDir::J),
+        StageKind::AntidiffK => antidiff(domain, bc, inputs, outputs, region, AxisDir::K),
+        StageKind::MinMax => minmax(domain, bc, inputs, outputs, region),
+        StageKind::BetaUp => beta(domain, bc, inputs, outputs, region, Beta::Up),
+        StageKind::BetaDn => beta(domain, bc, inputs, outputs, region, Beta::Down),
+        StageKind::LimFluxI => lim_flux(domain, bc, inputs, outputs, region, AxisDir::I),
+        StageKind::LimFluxJ => lim_flux(domain, bc, inputs, outputs, region, AxisDir::J),
+        StageKind::LimFluxK => lim_flux(domain, bc, inputs, outputs, region, AxisDir::K),
+    }
+}
+
+/// Applies stage `stage` (0-based) of the *17-stage* graph over
+/// `region` — the index-based convenience wrapper around
+/// [`apply_kind`].
+///
+/// # Panics
+///
+/// Panics if `stage >= 17`, if the number of inputs/outputs does not
+/// match the stage, or (in debug builds) if an array does not cover an
+/// accessed cell.
+pub fn apply_stage(
+    stage: usize,
+    domain: Region3,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+) {
+    assert!(
+        stage < crate::graph::STAGE_COUNT,
+        "MPDATA has 17 stages; stage {stage} does not exist"
+    );
+    apply_kind(
+        crate::graph::STANDARD_KINDS[stage],
+        domain,
+        Boundary::Open,
+        inputs,
+        outputs,
+        region,
+    );
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AxisDir {
+    I,
+    J,
+    K,
+}
+
+impl AxisDir {
+    /// Unit offset along the axis.
+    #[inline(always)]
+    fn d(self) -> (i64, i64, i64) {
+        match self {
+            AxisDir::I => (1, 0, 0),
+            AxisDir::J => (0, 1, 0),
+            AxisDir::K => (0, 0, 1),
+        }
+    }
+}
+
+/// Stages 1–3 and 9–11: donor-cell flux through the low face along one
+/// axis. `inputs = [scalar, velocity]`, `outputs = [flux]`. 5 flops.
+fn flux_axis(
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+    axis: AxisDir,
+) {
+    assert_eq!(inputs.len(), 2, "flux stage takes [scalar, velocity]");
+    assert_eq!(outputs.len(), 1, "flux stage writes one flux array");
+    let (x, u) = (inputs[0], inputs[1]);
+    let f = &mut *outputs[0];
+    let (di, dj, dk) = axis.d();
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for k in region.k.lo..region.k.hi {
+                let xl = rd_bc(x, domain, bc, i - di, j - dj, k - dk);
+                let xr = rd_bc(x, domain, bc, i, j, k);
+                let uu = rd_bc(u, domain, bc, i, j, k);
+                f.set(i, j, k, donor(xl, xr, uu));
+            }
+        }
+    }
+}
+
+/// Stage 4: first-order update ψ* = ψ − div(F)/h.
+/// `inputs = [x, f1, f2, f3, h]`, `outputs = [xp]`. 7 flops.
+fn low_order(
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+) {
+    assert_eq!(inputs.len(), 5, "low_order takes [x, f1, f2, f3, h]");
+    assert_eq!(outputs.len(), 1);
+    let (x, f1, f2, f3, h) = (inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+    let xp = &mut *outputs[0];
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for k in region.k.lo..region.k.hi {
+                let div = (rd_bc(f1, domain, bc, i + 1, j, k) - rd_bc(f1, domain, bc, i, j, k))
+                    + (rd_bc(f2, domain, bc, i, j + 1, k) - rd_bc(f2, domain, bc, i, j, k))
+                    + (rd_bc(f3, domain, bc, i, j, k + 1) - rd_bc(f3, domain, bc, i, j, k));
+                let v = rd_bc(x, domain, bc, i, j, k) - div / rd_bc(h, domain, bc, i, j, k);
+                xp.set(i, j, k, v);
+            }
+        }
+    }
+}
+
+/// Stages 5–7: antidiffusive pseudo-velocity through the low face along
+/// `axis` (Smolarkiewicz's second-order correction with the two cross
+/// terms). `inputs = [xp, u_axis, u_crossA, u_crossB, h]`,
+/// `outputs = [v_axis]`. 36 flops.
+fn antidiff(
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+    axis: AxisDir,
+) {
+    assert_eq!(inputs.len(), 5, "antidiff takes [xp, u_a, u_b, u_c, h]");
+    assert_eq!(outputs.len(), 1);
+    let (xp, ua, ub, uc, h) = (inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+    let v = &mut *outputs[0];
+    // `m` = unit offset along the face axis; `p`, `q` = the two cross
+    // axes (b ↔ p, c ↔ q to match the graph's input ordering).
+    let (m, p, q) = match axis {
+        AxisDir::I => ((1, 0, 0), (0, 1, 0), (0, 0, 1)),
+        AxisDir::J => ((0, 1, 0), (1, 0, 0), (0, 0, 1)),
+        AxisDir::K => ((0, 0, 1), (1, 0, 0), (0, 1, 0)),
+    };
+    let at = |a: &Array3, base: (i64, i64, i64), off: (i64, i64, i64), scale: i64| {
+        rd_bc(
+            a,
+            domain,
+            bc,
+            base.0 + scale * off.0,
+            base.1 + scale * off.1,
+            base.2 + scale * off.2,
+        )
+    };
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for k in region.k.lo..region.k.hi {
+                let c = (i, j, k);
+                let cm = (i - m.0, j - m.1, k - m.2);
+                let xc = rd_bc(xp, domain, bc, c.0, c.1, c.2);
+                let xm = rd_bc(xp, domain, bc, cm.0, cm.1, cm.2);
+                let a = (xc - xm) / (xc + xm + EPS);
+                // Cross-derivative term along p.
+                let xpp = at(xp, c, p, 1) + at(xp, cm, p, 1);
+                let xpm = at(xp, c, p, -1) + at(xp, cm, p, -1);
+                let b_p = 0.5 * (xpp - xpm) / (xpp + xpm + EPS);
+                // Cross-derivative term along q.
+                let xqp = at(xp, c, q, 1) + at(xp, cm, q, 1);
+                let xqm = at(xp, c, q, -1) + at(xp, cm, q, -1);
+                let b_q = 0.5 * (xqp - xqm) / (xqp + xqm + EPS);
+                let u = rd_bc(ua, domain, bc, i, j, k);
+                // Cross velocities averaged to this face.
+                let ub_bar = 0.25
+                    * (rd_bc(ub, domain, bc, c.0, c.1, c.2)
+                        + rd_bc(ub, domain, bc, cm.0, cm.1, cm.2)
+                        + at(ub, c, p, 1)
+                        + at(ub, cm, p, 1));
+                let uc_bar = 0.25
+                    * (rd_bc(uc, domain, bc, c.0, c.1, c.2)
+                        + rd_bc(uc, domain, bc, cm.0, cm.1, cm.2)
+                        + at(uc, c, q, 1)
+                        + at(uc, cm, q, 1));
+                let hbar = 0.5 * (rd_bc(h, domain, bc, c.0, c.1, c.2) + rd_bc(h, domain, bc, cm.0, cm.1, cm.2));
+                let val = u.abs() * (1.0 - u.abs() / hbar) * a
+                    - u * (ub_bar * b_p + uc_bar * b_q) / hbar;
+                v.set(i, j, k, val);
+            }
+        }
+    }
+}
+
+/// Stage 8: local extrema over ψ and ψ* (7-point neighbourhoods).
+/// `inputs = [x, xp]`, `outputs = [mx, mn]`. 26 flops.
+fn minmax(
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+) {
+    assert_eq!(inputs.len(), 2, "minmax takes [x, xp]");
+    assert_eq!(outputs.len(), 2, "minmax writes [mx, mn]");
+    let (x, xp) = (inputs[0], inputs[1]);
+    let (mx_arr, rest) = outputs.split_first_mut().expect("two outputs");
+    let mn_arr = &mut *rest[0];
+    const OFFS: [(i64, i64, i64); 7] = [
+        (0, 0, 0),
+        (-1, 0, 0),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+    ];
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for k in region.k.lo..region.k.hi {
+                let mut hi = f64::NEG_INFINITY;
+                let mut lo = f64::INFINITY;
+                for (di, dj, dk) in OFFS {
+                    let a = rd_bc(x, domain, bc, i + di, j + dj, k + dk);
+                    let b = rd_bc(xp, domain, bc, i + di, j + dj, k + dk);
+                    hi = hi.max(a).max(b);
+                    lo = lo.min(a).min(b);
+                }
+                mx_arr.set(i, j, k, hi);
+                mn_arr.set(i, j, k, lo);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Beta {
+    Up,
+    Down,
+}
+
+/// Stages 12–13: the non-oscillatory β limiters.
+/// `inputs = [extreme(mx|mn), xp, g1, g2, g3, h]`, `outputs = [bu|bd]`.
+/// 15 flops.
+fn beta(
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+    which: Beta,
+) {
+    assert_eq!(inputs.len(), 6, "beta takes [extreme, xp, g1, g2, g3, h]");
+    assert_eq!(outputs.len(), 1);
+    let (ext, xp, g1, g2, g3, h) = (
+        inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
+    );
+    let out = &mut *outputs[0];
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for k in region.k.lo..region.k.hi {
+                let (num, den) = match which {
+                    Beta::Up => {
+                        // Inflow: positive parts of low-face fluxes minus
+                        // negative parts of high-face fluxes.
+                        let inflow = rd_bc(g1, domain, bc, i, j, k).max(0.0)
+                            - rd_bc(g1, domain, bc, i + 1, j, k).min(0.0)
+                            + rd_bc(g2, domain, bc, i, j, k).max(0.0)
+                            - rd_bc(g2, domain, bc, i, j + 1, k).min(0.0)
+                            + rd_bc(g3, domain, bc, i, j, k).max(0.0)
+                            - rd_bc(g3, domain, bc, i, j, k + 1).min(0.0);
+                        (
+                            rd_bc(ext, domain, bc, i, j, k) - rd_bc(xp, domain, bc, i, j, k),
+                            inflow,
+                        )
+                    }
+                    Beta::Down => {
+                        let outflow = rd_bc(g1, domain, bc, i + 1, j, k).max(0.0)
+                            - rd_bc(g1, domain, bc, i, j, k).min(0.0)
+                            + rd_bc(g2, domain, bc, i, j + 1, k).max(0.0)
+                            - rd_bc(g2, domain, bc, i, j, k).min(0.0)
+                            + rd_bc(g3, domain, bc, i, j, k + 1).max(0.0)
+                            - rd_bc(g3, domain, bc, i, j, k).min(0.0);
+                        (
+                            rd_bc(xp, domain, bc, i, j, k) - rd_bc(ext, domain, bc, i, j, k),
+                            outflow,
+                        )
+                    }
+                };
+                out.set(i, j, k, num * rd_bc(h, domain, bc, i, j, k) / (den + EPS));
+            }
+        }
+    }
+}
+
+/// Stages 14–16: monotone limiting of the pseudo flux along `axis`.
+/// `inputs = [g, bu, bd]`, `outputs = [f_limited]`. 9 flops.
+fn lim_flux(
+    domain: Region3,
+    bc: Boundary,
+    inputs: &[&Array3],
+    outputs: &mut [&mut Array3],
+    region: Region3,
+    axis: AxisDir,
+) {
+    assert_eq!(inputs.len(), 3, "lim_flux takes [g, bu, bd]");
+    assert_eq!(outputs.len(), 1);
+    let (g, bu, bd) = (inputs[0], inputs[1], inputs[2]);
+    let out = &mut *outputs[0];
+    let (di, dj, dk) = axis.d();
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for k in region.k.lo..region.k.hi {
+                let gv = rd_bc(g, domain, bc, i, j, k);
+                // A positive flux leaves the low cell and enters this one.
+                let cp = 1.0_f64
+                    .min(rd_bc(bd, domain, bc, i - di, j - dj, k - dk))
+                    .min(rd_bc(bu, domain, bc, i, j, k));
+                let cn = 1.0_f64
+                    .min(rd_bc(bu, domain, bc, i - di, j - dj, k - dk))
+                    .min(rd_bc(bd, domain, bc, i, j, k));
+                out.set(i, j, k, cp * gv.max(0.0) + cn * gv.min(0.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::mpdata_graph;
+    use stencil_engine::{FieldRole, Range1};
+
+    /// The row fast paths must be bit-identical to the scalar kernels on
+    /// every supported kind, over a region including all boundary
+    /// shells, on irregular (non-origin) array regions.
+    #[test]
+    fn fast_paths_bitwise_equal() {
+        use crate::graph::MpdataProblem;
+        let domain = Region3::new(
+            Range1::new(3, 14),
+            Range1::new(-2, 7),
+            Range1::new(5, 18),
+        );
+        let p = MpdataProblem::standard();
+        for st in p.graph().stages() {
+            let kind = p.kind(st.id);
+            if fast_safe_domain(kind, domain).is_none() {
+                continue;
+            }
+            let ins: Vec<Array3> = (0..st.inputs.len())
+                .map(|n| {
+                    Array3::from_fn(domain, |i, j, k| {
+                        0.7 + 0.013 * n as f64
+                            + 0.001 * ((i * 37 + j * 11 + k * 3) % 97) as f64
+                            - 0.0005 * ((i + 2 * j + 3 * k) % 13) as f64
+                    })
+                })
+                .collect();
+            let in_refs: Vec<&Array3> = ins.iter().collect();
+            let mut fast_out: Vec<Array3> =
+                st.outputs.iter().map(|_| Array3::filled(domain, -9.0)).collect();
+            let mut scalar_out: Vec<Array3> =
+                st.outputs.iter().map(|_| Array3::filled(domain, -9.0)).collect();
+            {
+                let mut o: Vec<&mut Array3> = fast_out.iter_mut().collect();
+                apply_kind(kind, domain, Boundary::Open, &in_refs, &mut o, domain);
+            }
+            {
+                let mut o: Vec<&mut Array3> = scalar_out.iter_mut().collect();
+                apply_kind_scalar(kind, domain, Boundary::Open, &in_refs, &mut o, domain);
+            }
+            for (f, s) in fast_out.iter().zip(&scalar_out) {
+                assert_eq!(
+                    f.max_abs_diff(s),
+                    0.0,
+                    "{:?} ({}) fast path diverged from scalar",
+                    kind,
+                    st.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_safe_domains_shrink_correct_side() {
+        let d = Region3::of_extent(8, 8, 8);
+        let s = fast_safe_domain(StageKind::FluxI, d).unwrap();
+        assert_eq!((s.i.lo, s.i.hi), (1, 8));
+        assert_eq!(s.j, d.j);
+        let s = fast_safe_domain(StageKind::Update, d).unwrap();
+        assert_eq!((s.i.hi, s.j.hi, s.k.hi), (7, 7, 7));
+        let s = fast_safe_domain(StageKind::AntidiffI, d).unwrap();
+        assert_eq!((s.i.lo, s.i.hi), (1, 8));
+        assert_eq!((s.j.lo, s.j.hi), (1, 7));
+        assert_eq!((s.k.lo, s.k.hi), (1, 7));
+        let s = fast_safe_domain(StageKind::MinMax, d).unwrap();
+        assert_eq!((s.i.lo, s.i.hi, s.j.lo, s.k.hi), (1, 7, 1, 7));
+        // Degenerate domains collapse the safe box to empty.
+        let thin = Region3::of_extent(1, 8, 8);
+        assert!(fast_safe_domain(StageKind::FluxI, thin).unwrap().is_empty());
+    }
+
+    #[test]
+    fn donor_cell_upwinds() {
+        assert_eq!(donor(2.0, 5.0, 0.5), 1.0);
+        assert_eq!(donor(2.0, 5.0, -0.5), -2.5);
+        assert_eq!(donor(2.0, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn clamped_read_projects_to_faces() {
+        let d = Region3::of_extent(3, 3, 3);
+        let a = Array3::from_fn(d, |i, j, k| (i * 9 + j * 3 + k) as f64);
+        let bc = Boundary::Open;
+        assert_eq!(rd_bc(&a, d, bc, -5, 1, 1), a.get(0, 1, 1));
+        assert_eq!(rd_bc(&a, d, bc, 1, 7, 1), a.get(1, 2, 1));
+        assert_eq!(rd_bc(&a, d, bc, 2, 2, 2), a.get(2, 2, 2));
+    }
+
+    #[test]
+    fn periodic_read_wraps() {
+        let d = Region3::of_extent(3, 3, 3);
+        let a = Array3::from_fn(d, |i, j, k| (i * 9 + j * 3 + k) as f64);
+        let bc = Boundary::Periodic;
+        assert_eq!(rd_bc(&a, d, bc, -1, 0, 0), a.get(2, 0, 0));
+        assert_eq!(rd_bc(&a, d, bc, 3, 1, 1), a.get(0, 1, 1));
+        assert_eq!(rd_bc(&a, d, bc, -4, 5, 7), a.get(2, 2, 1));
+        assert_eq!(rd_bc(&a, d, bc, 1, 1, 1), a.get(1, 1, 1));
+    }
+
+    #[test]
+    fn flux_stage_writes_exact_region() {
+        let d = Region3::of_extent(6, 4, 4);
+        let x = Array3::filled(d, 3.0);
+        let u = Array3::filled(d, 0.5);
+        let mut f = Array3::filled(d, -1.0);
+        let region = Region3::new(Range1::new(2, 4), d.j, d.k);
+        apply_stage(0, d, &[&x, &u], &mut [&mut f], region);
+        assert_eq!(f.get(2, 0, 0), 1.5);
+        assert_eq!(f.get(3, 3, 3), 1.5);
+        assert_eq!(f.get(1, 0, 0), -1.0, "outside region untouched");
+        assert_eq!(f.get(4, 0, 0), -1.0);
+    }
+
+    #[test]
+    fn constant_field_is_fixed_point_of_low_order() {
+        // With uniform x and divergence-free u (uniform here), ψ* = ψ.
+        let d = Region3::of_extent(5, 5, 5);
+        let x = Array3::filled(d, 4.0);
+        let u = Array3::filled(d, 0.3);
+        let h = Array3::filled(d, 1.0);
+        let mut f1 = Array3::zeros(d);
+        let mut f2 = Array3::zeros(d);
+        let mut f3 = Array3::zeros(d);
+        apply_stage(0, d, &[&x, &u], &mut [&mut f1], d);
+        apply_stage(1, d, &[&x, &u], &mut [&mut f2], d);
+        apply_stage(2, d, &[&x, &u], &mut [&mut f3], d);
+        let mut xp = Array3::zeros(d);
+        apply_stage(3, d, &[&x, &f1, &f2, &f3, &h], &mut [&mut xp], d);
+        // Interior cells: flux divergence of a constant field is zero.
+        assert_eq!(xp.get(2, 2, 2), 4.0);
+    }
+
+    #[test]
+    fn antidiff_vanishes_for_constant_field() {
+        let d = Region3::of_extent(5, 5, 5);
+        let xp = Array3::filled(d, 2.0);
+        let u = Array3::filled(d, 0.4);
+        let h = Array3::filled(d, 1.0);
+        let mut v = Array3::filled(d, 9.0);
+        apply_stage(4, d, &[&xp, &u, &u, &u, &h], &mut [&mut v], d);
+        // A and B terms vanish ⇒ v = 0 everywhere.
+        for (_, _, _, val) in v.iter_indexed() {
+            assert!(val.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minmax_brackets_the_field() {
+        let d = Region3::of_extent(4, 4, 4);
+        let x = Array3::from_fn(d, |i, j, k| (i + j + k) as f64);
+        let xp = Array3::from_fn(d, |i, j, k| (i * j * k) as f64);
+        let mut mx = Array3::zeros(d);
+        let mut mn = Array3::zeros(d);
+        apply_stage(7, d, &[&x, &xp], &mut [&mut mx, &mut mn], d);
+        for (i, j, k) in d.points() {
+            assert!(mx.get(i, j, k) >= x.get(i, j, k).max(xp.get(i, j, k)));
+            assert!(mn.get(i, j, k) <= x.get(i, j, k).min(xp.get(i, j, k)));
+        }
+    }
+
+    #[test]
+    fn beta_is_nonnegative_for_bracketed_xp() {
+        let d = Region3::of_extent(4, 4, 4);
+        let xp = Array3::filled(d, 1.0);
+        let mx = Array3::filled(d, 2.0);
+        let g = Array3::filled(d, 0.1);
+        let h = Array3::filled(d, 1.0);
+        let mut bu = Array3::zeros(d);
+        apply_stage(11, d, &[&mx, &xp, &g, &g, &g, &h], &mut [&mut bu], d);
+        for (_, _, _, v) in bu.iter_indexed() {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lim_flux_clamps_but_preserves_sign() {
+        let d = Region3::of_extent(4, 1, 1);
+        let g = Array3::from_fn(d, |i, _, _| if i % 2 == 0 { 0.5 } else { -0.5 });
+        let big = Array3::filled(d, 5.0); // β ≥ 1 ⇒ no limiting
+        let mut f = Array3::zeros(d);
+        apply_stage(13, d, &[&g, &big, &big], &mut [&mut f], d);
+        assert_eq!(f.max_abs_diff(&g), 0.0);
+        let zero = Array3::filled(d, 0.0); // β = 0 ⇒ flux fully limited
+        let mut f2 = Array3::zeros(d);
+        apply_stage(13, d, &[&g, &zero, &zero], &mut [&mut f2], d);
+        assert_eq!(f2.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_stage_panics() {
+        let d = Region3::of_extent(2, 2, 2);
+        let a = Array3::zeros(d);
+        let mut o = Array3::zeros(d);
+        apply_stage(17, d, &[&a], &mut [&mut o], d);
+    }
+
+    /// The declared patterns in the graph are sound: perturbing an input
+    /// cell *outside* the declared pattern of a stage never changes the
+    /// kernel's output at the probe cell. (Completeness — that every
+    /// declared offset is actually read — is deliberately not required:
+    /// a pattern may over-approximate.)
+    #[test]
+    fn kernel_patterns_are_sound() {
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(7, 7, 7);
+        let probe = (3, 3, 3);
+        let probe_region = Region3::new(
+            Range1::new(3, 4),
+            Range1::new(3, 4),
+            Range1::new(3, 4),
+        );
+        for st in g.stages() {
+            let n_in = st.inputs.len();
+            // Baseline arrays: smooth positive values, all distinct.
+            let base: Vec<Array3> = (0..n_in)
+                .map(|n| {
+                    Array3::from_fn(d, |i, j, k| {
+                        1.5 + 0.01 * (n as f64) + 0.003 * (i * 49 + j * 7 + k) as f64
+                    })
+                })
+                .collect();
+            let run = |inputs: &[Array3]| -> Vec<f64> {
+                let refs: Vec<&Array3> = inputs.iter().collect();
+                let mut outs: Vec<Array3> =
+                    st.outputs.iter().map(|_| Array3::zeros(d)).collect();
+                {
+                    let mut out_refs: Vec<&mut Array3> = outs.iter_mut().collect();
+                    apply_stage(st.id.index(), d, &refs, &mut out_refs, probe_region);
+                }
+                outs.iter()
+                    .map(|o| o.get(probe.0, probe.1, probe.2))
+                    .collect()
+            };
+            let baseline = run(&base);
+            for (slot, (_, pattern)) in st.inputs.iter().enumerate() {
+                // Perturb each offset in a ring around the probe that is
+                // NOT in the declared pattern (and also not reachable by
+                // another declared read of the same field in this stage —
+                // pattern_for unions duplicates).
+                let full = st
+                    .inputs
+                    .iter()
+                    .filter(|(f2, _)| *f2 == st.inputs[slot].0)
+                    .fold(pattern.clone(), |acc, (_, p)| acc.union(p));
+                for di in -2..=2_i64 {
+                    for dj in -2..=2_i64 {
+                        for dk in -2..=2_i64 {
+                            if full.contains(stencil_engine::Offset3::new(di, dj, dk)) {
+                                continue;
+                            }
+                            let mut tweaked = base.clone();
+                            // Perturb every slot bound to the same field.
+                            for (s2, (f2, _)) in st.inputs.iter().enumerate() {
+                                if *f2 == st.inputs[slot].0 {
+                                    let old = tweaked[s2].get(
+                                        probe.0 + di,
+                                        probe.1 + dj,
+                                        probe.2 + dk,
+                                    );
+                                    tweaked[s2].set(
+                                        probe.0 + di,
+                                        probe.1 + dj,
+                                        probe.2 + dk,
+                                        old + 7.0,
+                                    );
+                                }
+                            }
+                            let out = run(&tweaked);
+                            assert_eq!(
+                                baseline, out,
+                                "stage {} ({}) reads undeclared offset ({di},{dj},{dk}) of input {}",
+                                st.id.index(),
+                                st.name,
+                                slot
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Sanity: the graph must know its externals.
+        assert_eq!(g.fields().with_role(FieldRole::External).len(), 5);
+    }
+}

@@ -1,0 +1,199 @@
+//! The serial reference executor ("original version", one core).
+//!
+//! Runs every stage over the full domain, stage after stage, with
+//! full-size intermediate arrays — the ground truth against which every
+//! parallel strategy is verified bitwise.
+
+use crate::exec::SerialStore;
+use crate::fields::MpdataFields;
+use crate::graph::MpdataProblem;
+use stencil_engine::{Array3, StageGraph};
+
+/// Serial, full-array MPDATA executor.
+///
+/// # Examples
+///
+/// ```
+/// use mpdata::{gaussian_pulse, ReferenceExecutor};
+/// use stencil_engine::Region3;
+///
+/// let domain = Region3::of_extent(16, 8, 8);
+/// let mut fields = gaussian_pulse(domain, (0.2, 0.0, 0.0));
+/// fields.close_boundaries();
+/// let mass_before = fields.mass();
+/// let mut exec = ReferenceExecutor::new();
+/// exec.run(&mut fields, 3);
+/// assert!((fields.mass() - mass_before).abs() < 1e-9 * mass_before);
+/// ```
+#[derive(Debug)]
+pub struct ReferenceExecutor {
+    problem: MpdataProblem,
+}
+
+impl Default for ReferenceExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReferenceExecutor {
+    /// Creates the executor for the paper's 17-stage configuration.
+    pub fn new() -> Self {
+        Self::with_problem(MpdataProblem::standard())
+    }
+
+    /// Creates the executor for an arbitrary MPDATA problem (e.g.
+    /// `MpdataProblem::with_iord(3)` for a third-order scheme).
+    pub fn with_problem(problem: MpdataProblem) -> Self {
+        ReferenceExecutor { problem }
+    }
+
+    /// The stage graph (shared by analyses and other executors' tests).
+    pub fn graph(&self) -> &StageGraph {
+        self.problem.graph()
+    }
+
+    /// The problem description.
+    pub fn problem(&self) -> &MpdataProblem {
+        &self.problem
+    }
+
+    /// Performs one time step and returns the advected scalar.
+    pub fn step(&self, fields: &MpdataFields) -> Array3 {
+        let domain = fields.domain();
+        let graph = self.problem.graph();
+        let mut store = SerialStore::new(graph.fields().len(), fields, self.problem.ext());
+        for st in graph.stages() {
+            for &out in &st.outputs {
+                store.alloc(out, domain);
+            }
+            store.apply(st, self.problem.kind(st.id), domain, self.problem.boundary(), domain);
+        }
+        store.take(self.problem.xout())
+    }
+
+    /// Advances `fields.x` by `steps` time steps.
+    pub fn run(&self, fields: &mut MpdataFields, steps: usize) {
+        for _ in 0..steps {
+            fields.x = self.step(fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stencil_engine::Region3;
+
+    #[test]
+    fn constant_field_is_preserved() {
+        // Uniform flow with open (clamped) boundaries is divergence-free
+        // everywhere, so a constant field is a fixed point: fluxes
+        // telescope and the antidiffusive velocities vanish.
+        let d = Region3::of_extent(8, 8, 8);
+        let mut f = gaussian_pulse(d, (0.2, 0.1, 0.05));
+        f.x.fill(3.0);
+        let exec = ReferenceExecutor::new();
+        let out = exec.step(&f);
+        for (_, _, _, v) in out.iter_indexed() {
+            assert!((v - 3.0).abs() < 1e-12, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_in_closed_box() {
+        let d = Region3::of_extent(12, 10, 6);
+        let mut f = rotating_cone(d, 0.3);
+        let m0 = f.mass();
+        let exec = ReferenceExecutor::new();
+        exec.run(&mut f, 5);
+        let m1 = f.mass();
+        assert!(
+            (m1 - m0).abs() < 1e-10 * m0.abs(),
+            "mass drifted: {m0} → {m1}"
+        );
+    }
+
+    #[test]
+    fn positivity_is_preserved() {
+        let d = Region3::of_extent(8, 8, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut f = random_fields(&mut rng, d, 0.8);
+        let exec = ReferenceExecutor::new();
+        exec.run(&mut f, 4);
+        assert!(
+            f.x.min() >= -1e-13,
+            "positivity violated: min = {}",
+            f.x.min()
+        );
+    }
+
+    #[test]
+    fn monotone_solution_stays_bracketed() {
+        // The non-oscillatory option guarantees no new extrema under a
+        // divergence-free flow (uniform flow, open boundaries).
+        let d = Region3::of_extent(16, 8, 4);
+        let mut f = gaussian_pulse(d, (0.25, 0.1, 0.0));
+        let (lo, hi) = (f.x.min(), f.x.max());
+        let exec = ReferenceExecutor::new();
+        exec.run(&mut f, 6);
+        assert!(f.x.min() >= lo - 1e-10, "min {} < {lo}", f.x.min());
+        assert!(f.x.max() <= hi + 1e-10, "max {} > {hi}", f.x.max());
+    }
+
+    #[test]
+    fn pulse_moves_downstream() {
+        let d = Region3::of_extent(32, 8, 8);
+        let mut f = gaussian_pulse(d, (0.4, 0.0, 0.0));
+        let centroid = |x: &stencil_engine::Array3| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (i, _, _, v) in x.iter_indexed() {
+                let w = (v - 2.0).max(0.0); // remove the background
+                num += w * (i as f64);
+                den += w;
+            }
+            num / den
+        };
+        let c0 = centroid(&f.x);
+        let exec = ReferenceExecutor::new();
+        exec.run(&mut f, 10);
+        let c1 = centroid(&f.x);
+        // 10 steps at Courant 0.4 ⇒ the pulse should travel ≈ 4 cells.
+        assert!(
+            (c1 - c0 - 4.0).abs() < 0.5,
+            "centroid moved {} cells, expected ≈ 4",
+            c1 - c0
+        );
+    }
+
+    #[test]
+    fn corrective_pass_beats_pure_upwind() {
+        // MPDATA's raison d'être: less numerical diffusion than donor
+        // cell. Advect a pulse and compare peak retention against a
+        // first-order-only run (emulated by zeroing the pseudo fluxes —
+        // here simply by measuring that the peak decays slower than the
+        // upwind bound for a few steps).
+        let d = Region3::of_extent(32, 8, 8);
+        let mut f = gaussian_pulse(d, (0.3, 0.0, 0.0));
+        let peak0 = f.x.max();
+        let exec = ReferenceExecutor::new();
+
+        // Pure upwind comparison: the iord = 1 problem.
+        let mut upwind = f.clone();
+        let upwind_exec =
+            ReferenceExecutor::with_problem(crate::graph::MpdataProblem::with_iord(1));
+        upwind_exec.run(&mut upwind, 6);
+
+        exec.run(&mut f, 6);
+        assert!(
+            f.x.max() > upwind.x.max(),
+            "MPDATA peak {} should beat upwind peak {} (initial {peak0})",
+            f.x.max(),
+            upwind.x.max()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # numa-sim
+//!
+//! A discrete-event simulator of SMP/NUMA machines, built as the hardware
+//! substitute for the SGI UV 2000 server the islands-of-cores paper was
+//! evaluated on (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! The model has three layers:
+//!
+//! * [`Machine`] — topology: sockets with cores, shared caches and memory
+//!   controllers; blade hubs; a NUMAlink-style backplane; shortest-path
+//!   routes. [`UvParams::uv2000`] builds the paper's testbed.
+//! * [`Placement`] — first-touch memory placement: which node's DRAM
+//!   backs which slab of each array (serial vs. parallel initialization
+//!   is exactly the paper's Table 1 distinction).
+//! * [`simulate`] — the engine: per-core [`Op`] streams contend for
+//!   controllers, cache ports and directed links; barriers couple cores.
+//!   Local streaming, remote streaming, and latency-bound remote-cache
+//!   pulls each behave qualitatively differently, which is what makes
+//!   the original / (3+1)D / islands orderings come out of the model.
+//!
+//! ## Example
+//!
+//! ```
+//! use numa_sim::{simulate, CoreId, NodeId, Op, SimConfig, TraceSet, UvParams};
+//!
+//! let machine = UvParams::uv2000(2).build();
+//! let mut traces = TraceSet::for_cores(machine.core_count());
+//! // Core 0 computes 1 Gflop, core 8 (other socket) reads 100 MB of
+//! // node 0's memory across the blade.
+//! traces.push(CoreId(0), Op::Compute { flops: 1e9 });
+//! traces.push(CoreId(8), Op::MemRead { node: NodeId(0), bytes: 100e6 });
+//! let report = simulate(&machine, &traces, &SimConfig::default())?;
+//! assert!(report.makespan > 0.0);
+//! assert_eq!(report.mem_remote_bytes, 100e6);
+//! # Ok::<(), numa_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod memory;
+mod presets;
+mod report;
+mod topology;
+mod trace;
+
+pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use engine::{simulate, SimConfig, SimError, SimReport};
+pub use memory::Placement;
+pub use report::summarize;
+pub use presets::{xeon_e5_2660v2, ScaleOutParams, UvParams};
+pub use topology::{
+    BuildMachineError, CoreId, CoreSpec, LinkId, LinkSpec, Machine, NodeId, NodeSpec,
+};
+pub use trace::{BarrierId, BarrierSpec, Op, TraceError, TraceSet};

@@ -1,0 +1,391 @@
+//! Calibrated machine presets.
+//!
+//! [`UvParams`] describes the SGI UV 2000 server of the IT4Innovations
+//! centre used in the paper: up to 14 NUMA nodes (Intel Xeon E5-4627v2,
+//! 8 cores @ 3.3 GHz), two sockets per blade behind a hub, blades joined
+//! by a NUMAlink 6 backplane at 6.7 GB/s per direction. Theoretical peak
+//! is 105.6 Gflop/s per socket (4 DP flop/cycle/core), 1478.4 Gflop/s for
+//! the full configuration — matching Table 4 of the paper.
+
+use crate::topology::{CoreSpec, LinkSpec, Machine, NodeId, NodeSpec};
+
+/// Parameters of a UV 2000-like machine; defaults reproduce the paper's
+/// testbed, the setters support sensitivity ablations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UvParams {
+    /// Number of populated sockets (1..=14 on the paper's IRU).
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Core frequency, Hz.
+    pub freq_hz: f64,
+    /// Peak DP flops per cycle per core.
+    pub flops_per_cycle: f64,
+    /// Sustained fraction of peak for cache-resident MPDATA kernels.
+    pub compute_efficiency: f64,
+    /// Per-socket DRAM bandwidth, bytes/s.
+    pub dram_bandwidth: f64,
+    /// DRAM latency, s.
+    pub dram_latency: f64,
+    /// Intra-socket L3 bandwidth, bytes/s.
+    pub l3_bandwidth: f64,
+    /// L3 capacity per socket, bytes.
+    pub l3_bytes: usize,
+    /// Socket ↔ blade-hub link bandwidth (QPI-class), bytes/s.
+    pub intra_blade_bandwidth: f64,
+    /// Socket ↔ blade-hub link latency, s.
+    pub intra_blade_latency: f64,
+    /// Hub ↔ backplane NUMAlink 6 bandwidth per direction, bytes/s
+    /// (each blade hub drives two NL6 channels, so the default is
+    /// 2 × 6.7 GB/s).
+    pub numalink_bandwidth: f64,
+    /// Hub ↔ backplane latency, s.
+    pub numalink_latency: f64,
+}
+
+impl UvParams {
+    /// The paper's SGI UV 2000 with `sockets` populated sockets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets` is 0 or exceeds 14.
+    pub fn uv2000(sockets: usize) -> Self {
+        assert!(
+            (1..=14).contains(&sockets),
+            "the paper's IRU hosts 1..=14 sockets, got {sockets}"
+        );
+        UvParams {
+            sockets,
+            cores_per_socket: 8,
+            freq_hz: 3.3e9,
+            flops_per_cycle: 4.0,
+            compute_efficiency: 0.42,
+            dram_bandwidth: 42e9,
+            dram_latency: 90e-9,
+            l3_bandwidth: 160e9,
+            l3_bytes: 16 << 20,
+            intra_blade_bandwidth: 16e9,
+            intra_blade_latency: 120e-9,
+            numalink_bandwidth: 13.4e9,
+            numalink_latency: 280e-9,
+        }
+    }
+
+    /// Scales both interconnect bandwidths by `factor` (sensitivity
+    /// ablation A3).
+    pub fn scale_interconnect(mut self, factor: f64) -> Self {
+        self.intra_blade_bandwidth *= factor;
+        self.numalink_bandwidth *= factor;
+        self
+    }
+
+    /// Builds the [`Machine`].
+    pub fn build(&self) -> Machine {
+        let socket = NodeSpec {
+            cores: self.cores_per_socket,
+            core: CoreSpec {
+                freq_hz: self.freq_hz,
+                flops_per_cycle: self.flops_per_cycle,
+                efficiency: self.compute_efficiency,
+            },
+            dram_bandwidth: self.dram_bandwidth,
+            dram_latency: self.dram_latency,
+            l3_bandwidth: self.l3_bandwidth,
+            l3_bytes: self.l3_bytes,
+        };
+        let silent = NodeSpec {
+            cores: 0,
+            core: CoreSpec {
+                freq_hz: 0.0,
+                flops_per_cycle: 0.0,
+                efficiency: 0.0,
+            },
+            dram_bandwidth: 0.0,
+            dram_latency: 0.0,
+            l3_bandwidth: 0.0,
+            l3_bytes: 0,
+        };
+
+        let mut nodes = vec![socket; self.sockets];
+        let mut links = Vec::new();
+        if self.sockets == 1 {
+            return Machine::build(nodes, links).expect("single-socket machine is valid");
+        }
+        let blades = self.sockets.div_ceil(2);
+        // One hub node per blade.
+        let hub_base = nodes.len();
+        for _ in 0..blades {
+            nodes.push(silent.clone());
+        }
+        for s in 0..self.sockets {
+            links.push(LinkSpec {
+                a: NodeId(s),
+                b: NodeId(hub_base + s / 2),
+                bandwidth: self.intra_blade_bandwidth,
+                latency: self.intra_blade_latency,
+            });
+        }
+        if blades > 1 {
+            // Backplane switch joining the hubs.
+            let backplane = nodes.len();
+            nodes.push(silent);
+            for h in 0..blades {
+                links.push(LinkSpec {
+                    a: NodeId(hub_base + h),
+                    b: NodeId(backplane),
+                    bandwidth: self.numalink_bandwidth,
+                    latency: self.numalink_latency,
+                });
+            }
+        }
+        Machine::build(nodes, links).expect("preset topology is valid")
+    }
+
+    /// Theoretical peak of the configuration in Gflop/s (Table 4 row 1).
+    pub fn peak_gflops(&self) -> f64 {
+        self.sockets as f64
+            * self.cores_per_socket as f64
+            * self.freq_hz
+            * self.flops_per_cycle
+            / 1e9
+    }
+}
+
+/// Parameters for a multi-IRU UV 2000 scale-out configuration — the
+/// paper's §6 future-work direction ("extending the scalability of our
+/// approach for much larger system configurations"). Each IRU is a full
+/// [`UvParams`] machine; IRU backplanes are joined by a global NUMAlink
+/// spine with higher latency and the same per-link bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleOutParams {
+    /// Number of individual rack units.
+    pub irus: usize,
+    /// The per-IRU configuration.
+    pub iru: UvParams,
+    /// IRU-backplane ↔ spine bandwidth per direction, bytes/s.
+    pub spine_bandwidth: f64,
+    /// IRU-backplane ↔ spine latency, s.
+    pub spine_latency: f64,
+}
+
+impl ScaleOutParams {
+    /// `irus` IRUs with `sockets_per_iru` sockets each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `irus == 0` or the per-IRU socket count is invalid.
+    pub fn uv2000(irus: usize, sockets_per_iru: usize) -> Self {
+        assert!(irus >= 1, "need at least one IRU");
+        ScaleOutParams {
+            irus,
+            iru: UvParams::uv2000(sockets_per_iru),
+            spine_bandwidth: 13.4e9,
+            spine_latency: 700e-9,
+        }
+    }
+
+    /// Total sockets across all IRUs.
+    pub fn sockets(&self) -> usize {
+        self.irus * self.iru.sockets
+    }
+
+    /// Theoretical peak in Gflop/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.irus as f64 * self.iru.peak_gflops()
+    }
+
+    /// Builds the multi-IRU machine. Socket numbering is IRU-major, so
+    /// per-socket island layouts keep neighbouring parts on
+    /// NUMA-adjacent processors across the whole system.
+    pub fn build(&self) -> Machine {
+        let p = &self.iru;
+        let socket = NodeSpec {
+            cores: p.cores_per_socket,
+            core: CoreSpec {
+                freq_hz: p.freq_hz,
+                flops_per_cycle: p.flops_per_cycle,
+                efficiency: p.compute_efficiency,
+            },
+            dram_bandwidth: p.dram_bandwidth,
+            dram_latency: p.dram_latency,
+            l3_bandwidth: p.l3_bandwidth,
+            l3_bytes: p.l3_bytes,
+        };
+        let silent = NodeSpec {
+            cores: 0,
+            core: CoreSpec {
+                freq_hz: 0.0,
+                flops_per_cycle: 0.0,
+                efficiency: 0.0,
+            },
+            dram_bandwidth: 0.0,
+            dram_latency: 0.0,
+            l3_bandwidth: 0.0,
+            l3_bytes: 0,
+        };
+        // Sockets of all IRUs first (dense core numbering), then per-IRU
+        // hubs and backplanes, then the spine.
+        let total_sockets = self.sockets();
+        let mut nodes = vec![socket; total_sockets];
+        let mut links = Vec::new();
+        let blades_per_iru = p.sockets.div_ceil(2);
+        let mut backplanes = Vec::new();
+        for iru in 0..self.irus {
+            let socket0 = iru * p.sockets;
+            let hub_base = nodes.len();
+            for _ in 0..blades_per_iru {
+                nodes.push(silent.clone());
+            }
+            for s in 0..p.sockets {
+                links.push(LinkSpec {
+                    a: NodeId(socket0 + s),
+                    b: NodeId(hub_base + s / 2),
+                    bandwidth: p.intra_blade_bandwidth,
+                    latency: p.intra_blade_latency,
+                });
+            }
+            let backplane = nodes.len();
+            nodes.push(silent.clone());
+            backplanes.push(backplane);
+            for h in 0..blades_per_iru {
+                links.push(LinkSpec {
+                    a: NodeId(hub_base + h),
+                    b: NodeId(backplane),
+                    bandwidth: p.numalink_bandwidth,
+                    latency: p.numalink_latency,
+                });
+            }
+        }
+        if self.irus > 1 {
+            let spine = nodes.len();
+            nodes.push(silent);
+            for &b in &backplanes {
+                links.push(LinkSpec {
+                    a: NodeId(b),
+                    b: NodeId(spine),
+                    bandwidth: self.spine_bandwidth,
+                    latency: self.spine_latency,
+                });
+            }
+        }
+        Machine::build(nodes, links).expect("scale-out topology is valid")
+    }
+}
+
+/// The single-socket Intel Xeon E5-2660v2 used for the paper's §3.2
+/// traffic measurement (10 cores @ 2.2 GHz, 25 MB L3).
+pub fn xeon_e5_2660v2() -> Machine {
+    let socket = NodeSpec {
+        cores: 10,
+        core: CoreSpec {
+            freq_hz: 2.2e9,
+            flops_per_cycle: 4.0,
+            efficiency: 0.42,
+        },
+        dram_bandwidth: 48e9,
+        dram_latency: 85e-9,
+        l3_bandwidth: 180e9,
+        l3_bytes: 25 << 20,
+    };
+    Machine::build(vec![socket], vec![]).expect("single socket is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn peak_matches_table4() {
+        // Table 4: 105.6, 211.2, ..., 1478.4 Gflop/s.
+        assert!((UvParams::uv2000(1).peak_gflops() - 105.6).abs() < 1e-9);
+        assert!((UvParams::uv2000(4).peak_gflops() - 422.4).abs() < 1e-9);
+        assert!((UvParams::uv2000(14).peak_gflops() - 1478.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_machine_has_112_cores() {
+        let m = UvParams::uv2000(14).build();
+        assert_eq!(m.core_count(), 112);
+        assert_eq!(m.compute_nodes().len(), 14);
+        assert!((m.peak_flops() / 1e9 - 1478.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_socket_has_no_links() {
+        let m = UvParams::uv2000(1).build();
+        assert_eq!(m.core_count(), 8);
+        assert!(m.links().is_empty());
+    }
+
+    #[test]
+    fn intra_blade_is_closer_than_inter_blade() {
+        let m = UvParams::uv2000(4).build();
+        // Sockets 0,1 share blade 0; sockets 2,3 share blade 1.
+        assert!(m.hops(NodeId(0), NodeId(1)) < m.hops(NodeId(0), NodeId(2)));
+        // Inter-blade bandwidth is pinched by NUMAlink.
+        assert!(
+            m.route_bandwidth(NodeId(0), NodeId(2)) < m.route_bandwidth(NodeId(0), NodeId(1))
+        );
+        assert!((m.route_bandwidth(NodeId(0), NodeId(2)) - 13.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_sockets_single_blade_skips_backplane() {
+        let m = UvParams::uv2000(2).build();
+        assert_eq!(m.hops(NodeId(0), NodeId(1)), 2); // via the blade hub
+        assert!((m.route_bandwidth(NodeId(0), NodeId(1)) - 16e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn odd_socket_count_builds() {
+        let m = UvParams::uv2000(7).build();
+        assert_eq!(m.core_count(), 56);
+        assert_eq!(m.compute_nodes().len(), 7);
+    }
+
+    #[test]
+    fn interconnect_scaling() {
+        let p = UvParams::uv2000(4).scale_interconnect(0.5);
+        assert!((p.numalink_bandwidth - 6.7e9).abs() < 1.0);
+        let m = p.build();
+        assert!((m.route_bandwidth(NodeId(0), NodeId(2)) - 6.7e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn e5_2660v2_preset() {
+        let m = xeon_e5_2660v2();
+        assert_eq!(m.core_count(), 10);
+        assert_eq!(m.nodes()[0].l3_bytes, 25 << 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_14_sockets_panics() {
+        let _ = UvParams::uv2000(15);
+    }
+
+    #[test]
+    fn scaleout_builds_multiple_irus() {
+        let p = ScaleOutParams::uv2000(2, 14);
+        assert_eq!(p.sockets(), 28);
+        assert!((p.peak_gflops() - 2956.8).abs() < 1e-6);
+        let m = p.build();
+        assert_eq!(m.core_count(), 224);
+        assert_eq!(m.compute_nodes().len(), 28);
+        // Same-IRU sockets are closer than cross-IRU sockets.
+        assert!(m.hops(NodeId(0), NodeId(13)) < m.hops(NodeId(0), NodeId(14)));
+        // The cross-IRU route threads the spine: 6 hops
+        // (socket-hub-backplane-spine-backplane-hub-socket).
+        assert_eq!(m.hops(NodeId(0), NodeId(14)), 6);
+    }
+
+    #[test]
+    fn scaleout_single_iru_matches_uv2000() {
+        let a = ScaleOutParams::uv2000(1, 8).build();
+        let b = UvParams::uv2000(8).build();
+        assert_eq!(a.core_count(), b.core_count());
+        assert_eq!(a.compute_nodes(), b.compute_nodes());
+        assert_eq!(a.hops(NodeId(0), NodeId(7)), b.hops(NodeId(0), NodeId(7)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Human-readable summaries of simulation reports — the simulator's
+//! answer to the paper's `likwid-perfctr` runs.
+
+use crate::engine::SimReport;
+use crate::topology::Machine;
+use std::fmt::Write as _;
+
+/// Formats `report` as a per-resource utilization summary over the
+/// simulated interval.
+///
+/// # Examples
+///
+/// ```
+/// use numa_sim::{simulate, summarize, CoreId, NodeId, Op, SimConfig, TraceSet, UvParams};
+/// let machine = UvParams::uv2000(2).build();
+/// let mut t = TraceSet::for_cores(machine.core_count());
+/// t.push(CoreId(0), Op::MemRead { node: NodeId(1), bytes: 1e8 });
+/// let r = simulate(&machine, &t, &SimConfig::default())?;
+/// let s = summarize(&machine, &r);
+/// assert!(s.contains("makespan"));
+/// assert!(s.contains("node0"));
+/// # Ok::<(), numa_sim::SimError>(())
+/// ```
+pub fn summarize(machine: &Machine, report: &SimReport) -> String {
+    let mut out = String::new();
+    let span = report.makespan.max(1e-30);
+    let _ = writeln!(out, "makespan: {:.6} s", report.makespan);
+    let cores = report.core_compute.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "core time: {:.1}% compute, {:.1}% transfer, {:.1}% barrier wait",
+        100.0 * report.total_compute() / (span * cores),
+        100.0 * report.total_transfer() / (span * cores),
+        100.0 * report.total_barrier_wait() / (span * cores),
+    );
+    let _ = writeln!(
+        out,
+        "DRAM bytes: {:.1} MB local, {:.1} MB remote; cache pulls: {:.1} MB local, {:.1} MB remote",
+        report.mem_local_bytes / 1e6,
+        report.mem_remote_bytes / 1e6,
+        report.cache_local_bytes / 1e6,
+        report.cache_remote_bytes / 1e6,
+    );
+    let _ = writeln!(out, "barrier episodes: {}", report.barrier_episodes);
+    let _ = writeln!(out, "memory controllers (busy % of makespan):");
+    for (n, busy) in report.memctrl_busy.iter().enumerate() {
+        if machine.nodes()[n].dram_bandwidth > 0.0 {
+            let _ = writeln!(out, "  node{n}: {:>5.1}%", 100.0 * busy / span);
+        }
+    }
+    let _ = writeln!(out, "links (busy % of makespan, per direction):");
+    for (l, link) in machine.links().iter().enumerate() {
+        let fwd = report.link_busy.get(2 * l).copied().unwrap_or(0.0);
+        let back = report.link_busy.get(2 * l + 1).copied().unwrap_or(0.0);
+        let fb = report.link_bytes.get(2 * l).copied().unwrap_or(0.0);
+        let bb = report.link_bytes.get(2 * l + 1).copied().unwrap_or(0.0);
+        if fb > 0.0 || bb > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {} ↔ {}: {:>5.1}% / {:>5.1}%  ({:.1} / {:.1} MB)",
+                link.a,
+                link.b,
+                100.0 * fwd / span,
+                100.0 * back / span,
+                fb / 1e6,
+                bb / 1e6,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::presets::UvParams;
+    use crate::topology::{CoreId, NodeId};
+    use crate::trace::{Op, TraceSet};
+
+    #[test]
+    fn summary_mentions_busy_resources_only() {
+        let machine = UvParams::uv2000(2).build();
+        let mut t = TraceSet::for_cores(machine.core_count());
+        t.push(
+            CoreId(0),
+            Op::MemRead {
+                node: NodeId(1),
+                bytes: 2e8,
+            },
+        );
+        let r = simulate(&machine, &t, &SimConfig::default()).unwrap();
+        let s = summarize(&machine, &r);
+        assert!(s.contains("makespan:"));
+        assert!(s.contains("node1")); // the accessed controller
+        assert!(s.contains("↔")); // the crossed link
+        assert!(s.contains("barrier episodes: 0"));
+    }
+
+    #[test]
+    fn summary_percentages_are_bounded() {
+        let machine = UvParams::uv2000(1).build();
+        let mut t = TraceSet::for_cores(machine.core_count());
+        for c in 0..8 {
+            t.push(CoreId(c), Op::Compute { flops: 1e9 });
+        }
+        let r = simulate(&machine, &t, &SimConfig::default()).unwrap();
+        let s = summarize(&machine, &r);
+        // All cores compute the whole time: the compute share is ~100%.
+        assert!(s.contains("100.0% compute"), "{s}");
+    }
+}

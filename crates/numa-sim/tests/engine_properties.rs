@@ -1,0 +1,157 @@
+//! Property tests for the discrete-event engine: time monotonicity,
+//! conservation of bytes, and scaling sanity.
+
+use numa_sim::{simulate, CoreId, NodeId, Op, SimConfig, TraceSet, UvParams};
+use proptest::prelude::*;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        quantum_bytes: 64.0 * 1024.0,
+        ..SimConfig::default()
+    }
+}
+
+fn arb_op(nodes: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1e3..1e9f64).prop_map(|flops| Op::Compute { flops }),
+        ((0..nodes), 1e3..1e7f64)
+            .prop_map(|(n, bytes)| Op::MemRead { node: NodeId(n), bytes }),
+        ((0..nodes), 1e3..1e7f64)
+            .prop_map(|(n, bytes)| Op::MemWrite { node: NodeId(n), bytes }),
+        ((0..nodes), 1e3..1e6f64)
+            .prop_map(|(n, bytes)| Op::CacheRead { node: NodeId(n), bytes }),
+        ((0..nodes), 1e3..1e7f64, 1e3..1e8f64, proptest::bool::ANY).prop_map(
+            |(n, bytes, flops, write)| Op::Stream {
+                node: NodeId(n),
+                bytes,
+                flops,
+                write,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Makespan is at least every core's busy time and bytes are
+    /// conserved between the trace and the report.
+    #[test]
+    fn makespan_bounds_and_byte_conservation(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(arb_op(4), 0..12), 1..16),
+    ) {
+        let machine = UvParams::uv2000(4).build();
+        let mut traces = TraceSet::for_cores(machine.core_count());
+        let mut total_bytes = 0.0;
+        for (c, stream) in streams.iter().enumerate() {
+            for op in stream {
+                traces.push(CoreId(c), *op);
+                match op {
+                    Op::MemRead { bytes, .. }
+                    | Op::MemWrite { bytes, .. }
+                    | Op::CacheRead { bytes, .. }
+                    | Op::Stream { bytes, .. } => total_bytes += bytes,
+                    Op::Compute { .. } | Op::Barrier { .. } => {}
+                }
+            }
+        }
+        let r = simulate(&machine, &traces, &cfg()).unwrap();
+        prop_assert!(r.makespan.is_finite());
+        prop_assert!(r.makespan >= 0.0);
+        for c in 0..machine.core_count() {
+            let busy = r.core_compute[c] + r.core_transfer[c];
+            prop_assert!(
+                busy <= r.makespan + 1e-9,
+                "core {c} busy {busy} > makespan {}",
+                r.makespan
+            );
+        }
+        let moved = r.mem_local_bytes + r.mem_remote_bytes
+            + r.cache_local_bytes + r.cache_remote_bytes;
+        prop_assert!((moved - total_bytes).abs() < 1.0,
+            "moved {moved} vs trace {total_bytes}");
+    }
+
+    /// Adding work to a core never reduces the makespan.
+    #[test]
+    fn monotone_in_work(
+        base in proptest::collection::vec(arb_op(2), 1..8),
+        extra in arb_op(2),
+    ) {
+        let machine = UvParams::uv2000(2).build();
+        let mut t1 = TraceSet::for_cores(machine.core_count());
+        for op in &base {
+            t1.push(CoreId(0), *op);
+        }
+        let mut t2 = t1.clone();
+        t2.push(CoreId(0), extra);
+        let r1 = simulate(&machine, &t1, &cfg()).unwrap();
+        let r2 = simulate(&machine, &t2, &cfg()).unwrap();
+        prop_assert!(r2.makespan >= r1.makespan - 1e-12);
+    }
+
+    /// Splitting a read across two cores on the same socket never beats
+    /// the DRAM bandwidth limit.
+    #[test]
+    fn controller_bandwidth_is_respected(bytes in 1e8..1e9f64) {
+        let machine = UvParams::uv2000(1).build();
+        let dram_bw = machine.nodes()[0].dram_bandwidth;
+        let mut t = TraceSet::for_cores(machine.core_count());
+        for c in 0..8 {
+            t.push(CoreId(c), Op::MemRead { node: NodeId(0), bytes });
+        }
+        let r = simulate(&machine, &t, &cfg()).unwrap();
+        let lower_bound = 8.0 * bytes / dram_bw;
+        prop_assert!(r.makespan >= lower_bound * 0.99,
+            "makespan {} below controller bound {}", r.makespan, lower_bound);
+    }
+}
+
+/// Barrier cost grows with the interconnect span of the participants.
+#[test]
+fn barrier_cost_grows_with_spread() {
+    let machine = UvParams::uv2000(8).build();
+    let c = cfg();
+    let time_for = |cores: Vec<CoreId>| {
+        let mut t = TraceSet::for_cores(machine.core_count());
+        let b = t.add_barrier(cores.clone());
+        for core in cores {
+            t.push(core, Op::Barrier { id: b });
+        }
+        simulate(&machine, &t, &c).unwrap().makespan
+    };
+    let same_socket = time_for(vec![CoreId(0), CoreId(7)]);
+    let same_blade = time_for(vec![CoreId(0), CoreId(8)]);
+    let cross_blade = time_for(vec![CoreId(0), CoreId(63)]);
+    assert!(same_socket < same_blade);
+    assert!(same_blade < cross_blade);
+}
+
+/// Barrier-coupled cores finish at the same simulated time.
+#[test]
+fn barrier_equalizes_finish_times() {
+    let machine = UvParams::uv2000(2).build();
+    let mut t = TraceSet::for_cores(machine.core_count());
+    let participants: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let b = t.add_barrier(participants.clone());
+    for (n, &c) in participants.iter().enumerate() {
+        t.push(c, Op::Compute { flops: 1e6 * (n as f64 + 1.0) });
+        t.push(c, Op::Barrier { id: b });
+    }
+    let r = simulate(&machine, &t, &cfg()).unwrap();
+    // Everyone ends at the barrier release; makespan equals slowest
+    // compute plus the barrier cost, and every core's wait is
+    // complementary to its compute time.
+    let slowest = 16.0 * 1e6 / machine.nodes()[0].core.sustained_flops();
+    assert!(r.makespan >= slowest);
+    for (n, &c) in participants.iter().enumerate() {
+        let compute = r.core_compute[c.index()];
+        let wait = r.core_barrier_wait[c.index()];
+        assert!(
+            (compute + wait - r.makespan).abs() < 1e-9,
+            "core {n}: compute {compute} + wait {wait} != makespan {}",
+            r.makespan
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Performance metrics in the paper's units.
+
+use stencil_engine::Region3;
+
+/// Flops of one MPDATA run over `domain` for `steps` steps, without
+/// redundancy (the denominator of sustained-performance numbers; the
+/// paper likewise credits only useful flops).
+pub fn useful_flops(domain: Region3, steps: usize) -> f64 {
+    mpdata::flops_per_cell() * domain.cells() as f64 * steps as f64
+}
+
+/// Sustained performance in Gflop/s (Table 4 row 2).
+pub fn sustained_gflops(domain: Region3, steps: usize, seconds: f64) -> f64 {
+    useful_flops(domain, steps) / seconds / 1e9
+}
+
+/// Utilization rate against a theoretical peak in Gflop/s (Table 4
+/// row 3).
+pub fn utilization_percent(sustained_gflops: f64, peak_gflops: f64) -> f64 {
+    100.0 * sustained_gflops / peak_gflops
+}
+
+/// Parallel efficiency as percentage of linear scaling from the
+/// single-processor time (Table 4 row 4): `t1 / (p · tp) · 100`.
+pub fn parallel_efficiency_percent(t1: f64, tp: f64, p: usize) -> f64 {
+    100.0 * t1 / (p as f64 * tp)
+}
+
+/// Partial speedup `S_pr`: the islands-of-cores time against the pure
+/// (3+1)D decomposition at the same processor count (Table 3).
+pub fn partial_speedup(fused_seconds: f64, islands_seconds: f64) -> f64 {
+    fused_seconds / islands_seconds
+}
+
+/// Overall speedup `S_ov`: islands-of-cores against the original
+/// version at the same processor count (Table 3).
+pub fn overall_speedup(original_seconds: f64, islands_seconds: f64) -> f64 {
+    original_seconds / islands_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn useful_flops_match_paper_scale() {
+        // 1024×512×64 × 50 steps × ≈235 flop/cell ≈ 0.39 Tflop — the
+        // paper's 9.0 s single-socket run at 42.7 Gflop/s implies 0.38.
+        let f = useful_flops(Region3::of_extent(1024, 512, 64), 50);
+        assert!((3.4e11..4.5e11).contains(&f), "flops = {f:e}");
+    }
+
+    #[test]
+    fn gflops_and_utilization() {
+        let d = Region3::of_extent(1024, 512, 64);
+        let g = sustained_gflops(d, 50, 9.0);
+        assert!((38.0..50.0).contains(&g), "gflops = {g}");
+        let u = utilization_percent(g, 105.6);
+        assert!((36.0..48.0).contains(&u));
+    }
+
+    #[test]
+    fn speedups_and_efficiency() {
+        assert!((partial_speedup(10.4, 1.01) - 10.297).abs() < 1e-3);
+        assert!((overall_speedup(2.81, 1.01) - 2.782).abs() < 1e-3);
+        assert!((parallel_efficiency_percent(9.0, 9.0, 1) - 100.0).abs() < 1e-12);
+        assert!((parallel_efficiency_percent(9.0, 1.0, 14) - 64.28).abs() < 0.01);
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal ASCII line plots, so the figure reproductions render as
+//! figures in a terminal and in the captured experiment reports.
+
+use std::fmt::Write as _;
+
+/// An ASCII scatter/line plot of one or more series over a shared
+/// x-axis.
+///
+/// # Examples
+///
+/// ```
+/// use perf_model::AsciiPlot;
+/// let mut p = AsciiPlot::new("speedup vs P", 40, 12);
+/// p.series('a', &[1.0, 2.0, 3.0], &[1.0, 1.9, 2.7]);
+/// let s = p.render();
+/// assert!(s.contains("speedup vs P"));
+/// assert!(s.contains('a'));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot with the given canvas size (columns × rows
+    /// of the data area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2` or `height < 2`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "canvas too small");
+        AsciiPlot {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Plots y on a log scale (for execution-time curves spanning
+    /// decades, like Fig. 2a).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series drawn with `marker`. `xs` and `ys` must have equal
+    /// lengths; non-finite points are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn series(&mut self, marker: char, xs: &[f64], ys: &[f64]) -> &mut Self {
+        assert_eq!(xs.len(), ys.len(), "series length mismatch");
+        let pts = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        self.series.push((marker, pts));
+        self
+    }
+
+    /// Renders the plot.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.clone()).collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        if all.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let ty = |y: f64| if self.log_y { y.max(1e-300).log10() } else { y };
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(ty(y));
+            y1 = y1.max(ty(y));
+        }
+        if (x1 - x0).abs() < 1e-300 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-300 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, pts) in &self.series {
+            for &(x, y) in pts {
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((ty(y) - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx.min(self.width - 1)] = *marker;
+            }
+        }
+        let top = if self.log_y {
+            format!("{:.3}", 10f64.powf(y1))
+        } else {
+            format!("{y1:.3}")
+        };
+        let bottom = if self.log_y {
+            format!("{:.3}", 10f64.powf(y0))
+        } else {
+            format!("{y0:.3}")
+        };
+        let label_w = top.len().max(bottom.len());
+        for (n, row) in grid.iter().enumerate() {
+            let label = if n == 0 {
+                top.clone()
+            } else if n + 1 == self.height {
+                bottom.clone()
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "{label:>label_w$} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{:label_w$} +{}",
+            "",
+            "-".repeat(self.width)
+        );
+        let _ = writeln!(out, "{:label_w$}  {x0:<8.3}{:>w$.3}", "", x1, w = self.width - 8);
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|(m, _)| format!("{m}"))
+            .collect();
+        let _ = writeln!(out, "{:label_w$}  series: {}", "", legend.join(", "));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_bounds() {
+        let mut p = AsciiPlot::new("t", 30, 10);
+        p.series('o', &[1.0, 2.0, 3.0], &[1.0, 4.0, 9.0]);
+        p.series('x', &[1.0, 2.0, 3.0], &[9.0, 4.0, 1.0]);
+        let s = p.render();
+        assert!(s.contains("## t"));
+        assert!(s.contains('o') && s.contains('x'));
+        assert!(s.contains("9.000"));
+        assert!(s.contains("1.000"));
+        // Data rows all equal width + margin.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10 + 4); // title + rows + axis + xlabels + legend
+    }
+
+    #[test]
+    fn log_scale_spreads_decades() {
+        let mut p = AsciiPlot::new("log", 20, 9).log_y();
+        p.series('*', &[1.0, 2.0, 3.0], &[0.01, 1.0, 100.0]);
+        let s = p.render();
+        // The middle decade value must land near the vertical middle:
+        // find the row of '*' for x = middle column.
+        let rows: Vec<usize> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains('*') && l.contains('|'))
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(rows.len(), 3);
+        let mid = rows[1] as f64;
+        assert!((mid - (rows[0] + rows[2]) as f64 / 2.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let p = AsciiPlot::new("empty", 10, 5);
+        assert!(p.render().contains("(no data)"));
+        let mut p = AsciiPlot::new("flat", 10, 5);
+        p.series('=', &[1.0, 2.0], &[3.0, 3.0]);
+        assert!(p.render().contains('='));
+        let mut p = AsciiPlot::new("nan", 10, 5);
+        p.series('n', &[1.0, f64::NAN], &[1.0, 2.0]);
+        assert!(p.render().contains('n'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_series_panics() {
+        let mut p = AsciiPlot::new("bad", 10, 5);
+        p.series('b', &[1.0], &[1.0, 2.0]);
+    }
+}

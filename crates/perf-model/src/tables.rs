@@ -1,0 +1,246 @@
+//! Paper-style table rendering.
+//!
+//! Every bench binary prints its results as an aligned text table whose
+//! rows/columns mirror the corresponding table of the paper, plus a CSV
+//! dump for plotting.
+
+use std::fmt::Write as _;
+
+/// A simple numeric table: one label per row, one label per column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    title: String,
+    col_labels: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    precision: usize,
+}
+
+impl Table {
+    /// Creates an empty table titled `title` with the given columns.
+    pub fn new(title: impl Into<String>, col_labels: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            col_labels,
+            rows: Vec::new(),
+            precision: 2,
+        }
+    }
+
+    /// Column labels `1..=n` (the paper's "# CPUs" header).
+    pub fn numbered_columns(title: impl Into<String>, n: usize) -> Self {
+        Self::new(title, (1..=n).map(|c| c.to_string()).collect())
+    }
+
+    /// Sets the number of fraction digits (default 2).
+    pub fn precision(mut self, p: usize) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.col_labels.len(),
+            "row width must match column labels"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell value by row/column index.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.rows[row].1[col]
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut label_w = 0;
+        for (l, _) in &self.rows {
+            label_w = label_w.max(l.len());
+        }
+        let mut col_w = vec![0usize; self.col_labels.len()];
+        for (c, l) in self.col_labels.iter().enumerate() {
+            col_w[c] = l.len();
+        }
+        let fmt_val =
+            |v: f64, p: usize| -> String { format!("{v:.p$}") };
+        for (_, vals) in &self.rows {
+            for (c, v) in vals.iter().enumerate() {
+                col_w[c] = col_w[c].max(fmt_val(*v, self.precision).len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, l) in self.col_labels.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", l, w = col_w[c]);
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for (c, v) in vals.iter().enumerate() {
+                let _ = write!(out, "  {:>w$}", fmt_val(*v, self.precision), w = col_w[c]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the table as a self-contained JSON object
+    /// (`{"title": ..., "columns": [...], "rows": {label: [values]}}`),
+    /// for plotting pipelines. Labels are escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".into() // NaN/inf are not JSON numbers
+            }
+        }
+        let mut out = String::from("{");
+        let _ = write!(out, "\"title\": {}, \"columns\": [", esc(&self.title));
+        for (n, c) in self.col_labels.iter().enumerate() {
+            if n > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&esc(c));
+        }
+        out.push_str("], \"rows\": {");
+        for (n, (label, vals)) in self.rows.iter().enumerate() {
+            if n > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: [", esc(label));
+            for (m, v) in vals.iter().enumerate() {
+                if m > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&num(*v));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a CSV dump (`label,<col>,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "label");
+        for l in &self.col_labels {
+            let _ = write!(out, ",{l}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::numbered_columns("Execution times [s]", 3).precision(1);
+        t.push_row("Original", vec![30.4, 15.4, 10.5]);
+        t.push_row("(3+1)D", vec![9.0, 8.2, 7.4]);
+        t
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let t = sample();
+        let s = t.render();
+        assert!(s.contains("## Execution times [s]"));
+        assert!(s.contains("Original"));
+        assert!(s.contains("30.4"));
+        assert!(s.contains("7.4"));
+        // Every data line has the same number of columns.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let cols: Vec<usize> = lines
+            .iter()
+            .map(|l| l.split_whitespace().count())
+            .collect();
+        assert_eq!(cols[1], cols[2]);
+    }
+
+    #[test]
+    fn csv_round_trip_values() {
+        let t = sample();
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,1,2,3"));
+        assert!(csv.contains("Original,30.4,15.4,10.5"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut t = sample();
+        t.push_row("na\"n", vec![f64::NAN, 1.0, 2.0]);
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"title\": \"Execution times [s]\""));
+        assert!(j.contains("\"Original\": [30.4, 15.4, 10.5]"));
+        assert!(j.contains("\"na\\\"n\": [null, 1, 2]"));
+        // Balanced braces/brackets (cheap structural check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn value_accessor() {
+        let t = sample();
+        assert_eq!(t.value(1, 0), 9.0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::numbered_columns("t", 2);
+        t.push_row("x", vec![1.0]);
+    }
+}

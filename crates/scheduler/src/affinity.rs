@@ -1,0 +1,129 @@
+//! Logical CPU identities and affinity maps.
+//!
+//! The paper binds OpenMP threads to physical cores with the Thread
+//! Affinity interface so that neighbouring domain parts land on
+//! NUMA-adjacent processors. This reproduction executes on arbitrary
+//! hosts while *modelling* a specific machine, so affinity here is
+//! logical: each pool worker is bound to a [`LogicalCpu`] of the modelled
+//! machine, and that binding drives the NUMA placement decisions (which
+//! island a worker belongs to, which node's memory it first-touches) and
+//! the traces fed to the simulator. On the host, workers are ordinary
+//! threads; the binding is a modelling identity, not an OS-level pin.
+
+use std::fmt;
+
+/// A logical CPU (core) of the modelled machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LogicalCpu(pub usize);
+
+impl LogicalCpu {
+    /// The core index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LogicalCpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Maps pool workers to logical CPUs of the modelled machine.
+///
+/// # Examples
+///
+/// ```
+/// use work_scheduler::{AffinityMap, LogicalCpu};
+/// // Two islands of two cores: workers 0,1 → cpus 0,1; workers 2,3 → 8,9.
+/// let m = AffinityMap::explicit(vec![
+///     LogicalCpu(0), LogicalCpu(1), LogicalCpu(8), LogicalCpu(9),
+/// ]);
+/// assert_eq!(m.cpu_of(2), LogicalCpu(8));
+/// assert_eq!(m.len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffinityMap {
+    cpus: Vec<LogicalCpu>,
+}
+
+impl AffinityMap {
+    /// Identity binding: worker `w` → `LogicalCpu(w)`.
+    pub fn compact(workers: usize) -> Self {
+        AffinityMap {
+            cpus: (0..workers).map(LogicalCpu).collect(),
+        }
+    }
+
+    /// Explicit binding: worker `w` → `cpus[w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two workers are bound to the same CPU.
+    pub fn explicit(cpus: Vec<LogicalCpu>) -> Self {
+        let mut seen = cpus.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), cpus.len(), "duplicate CPU in affinity map");
+        AffinityMap { cpus }
+    }
+
+    /// The CPU worker `worker` is bound to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn cpu_of(&self, worker: usize) -> LogicalCpu {
+        self.cpus[worker]
+    }
+
+    /// Number of bound workers.
+    pub fn len(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Whether the map binds no workers.
+    pub fn is_empty(&self) -> bool {
+        self.cpus.is_empty()
+    }
+
+    /// Iterates over `(worker, cpu)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, LogicalCpu)> + '_ {
+        self.cpus.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_identity() {
+        let m = AffinityMap::compact(4);
+        assert_eq!(m.len(), 4);
+        for w in 0..4 {
+            assert_eq!(m.cpu_of(w), LogicalCpu(w));
+        }
+    }
+
+    #[test]
+    fn explicit_mapping() {
+        let m = AffinityMap::explicit(vec![LogicalCpu(5), LogicalCpu(2)]);
+        assert_eq!(m.cpu_of(0), LogicalCpu(5));
+        assert_eq!(m.cpu_of(1), LogicalCpu(2));
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(0, LogicalCpu(5)), (1, LogicalCpu(2))]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_cpu_panics() {
+        AffinityMap::explicit(vec![LogicalCpu(1), LogicalCpu(1)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", LogicalCpu(3)), "cpu3");
+    }
+}

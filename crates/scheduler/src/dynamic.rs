@@ -1,0 +1,162 @@
+//! Dynamic self-scheduling: an atomic chunk queue for load-imbalanced
+//! sweeps.
+//!
+//! The paper's scheduler distributes work statically (equal slices per
+//! core), which is optimal for MPDATA's homogeneous stages. For
+//! imbalanced workloads — variant B's thin parts, boundary-heavy stages
+//! — a team can instead *self-schedule*: ranks repeatedly claim the next
+//! chunk index from an atomic counter until the range is drained.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An atomic work queue over the chunk indices `0..chunks`.
+///
+/// # Examples
+///
+/// ```
+/// use work_scheduler::{ChunkQueue, WorkerPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = WorkerPool::new(4);
+/// let queue = ChunkQueue::new(100);
+/// let done = AtomicUsize::new(0);
+/// pool.broadcast(|_| {
+///     while let Some(_chunk) = queue.claim() {
+///         done.fetch_add(1, Ordering::Relaxed);
+///     }
+/// });
+/// assert_eq!(done.load(Ordering::Relaxed), 100);
+/// ```
+#[derive(Debug)]
+pub struct ChunkQueue {
+    next: AtomicUsize,
+    chunks: usize,
+}
+
+impl ChunkQueue {
+    /// Creates a queue over `0..chunks`.
+    pub fn new(chunks: usize) -> Self {
+        ChunkQueue {
+            next: AtomicUsize::new(0),
+            chunks,
+        }
+    }
+
+    /// Claims the next chunk index, or `None` when drained.
+    pub fn claim(&self) -> Option<usize> {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        (n < self.chunks).then_some(n)
+    }
+
+    /// Claims up to `batch` consecutive chunks, returning their range.
+    /// Larger batches amortize the atomic per claim; `None` when
+    /// drained.
+    pub fn claim_batch(&self, batch: usize) -> Option<std::ops::Range<usize>> {
+        let batch = batch.max(1);
+        let start = self.next.fetch_add(batch, Ordering::Relaxed);
+        if start >= self.chunks {
+            return None;
+        }
+        Some(start..(start + batch).min(self.chunks))
+    }
+
+    /// Total chunks.
+    pub fn len(&self) -> usize {
+        self.chunks
+    }
+
+    /// Whether the queue covers no chunks at all.
+    pub fn is_empty(&self) -> bool {
+        self.chunks == 0
+    }
+
+    /// Resets the queue for reuse (callers must ensure no concurrent
+    /// claims, e.g. by a barrier).
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn every_chunk_claimed_exactly_once() {
+        let pool = WorkerPool::new(8);
+        let queue = ChunkQueue::new(1000);
+        let claimed = Mutex::new(vec![0u8; 1000]);
+        pool.broadcast(|_| {
+            while let Some(c) = queue.claim() {
+                claimed.lock()[c] += 1;
+            }
+        });
+        assert!(claimed.lock().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn batches_cover_without_overlap() {
+        let pool = WorkerPool::new(4);
+        let queue = ChunkQueue::new(103); // not a multiple of the batch
+        let claimed = Mutex::new(vec![0u8; 103]);
+        pool.broadcast(|_| {
+            while let Some(r) = queue.claim_batch(8) {
+                let mut g = claimed.lock();
+                for c in r {
+                    g[c] += 1;
+                }
+            }
+        });
+        assert!(claimed.lock().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn imbalanced_work_is_stolen_by_idle_ranks() {
+        // One chunk is 100× heavier; dynamic scheduling keeps the
+        // completion spread far below the heavy chunk count.
+        let pool = WorkerPool::new(4);
+        let queue = ChunkQueue::new(64);
+        let per_worker = Mutex::new(vec![0usize; 4]);
+        pool.broadcast(|ctx| {
+            while let Some(c) = queue.claim() {
+                // Emulate imbalance: chunk 0 is slow.
+                let spins = if c == 0 { 200_000 } else { 2_000 };
+                let mut acc = 0u64;
+                for n in 0..spins {
+                    acc = acc.wrapping_add(n);
+                }
+                std::hint::black_box(acc);
+                per_worker.lock()[ctx.worker] += 1;
+            }
+        });
+        let v = per_worker.lock().clone();
+        assert_eq!(v.iter().sum::<usize>(), 64);
+        // The worker stuck on chunk 0 must have claimed fewer chunks
+        // than the sum of the others (work moved, not waited).
+        let min = v.iter().min().unwrap();
+        let rest: usize = v.iter().sum::<usize>() - min;
+        assert!(rest > 3 * min, "no stealing happened: {v:?}");
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let q = ChunkQueue::new(3);
+        assert_eq!(q.claim(), Some(0));
+        q.reset();
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None, "drained queue stays drained");
+    }
+
+    #[test]
+    fn empty_queue() {
+        let q = ChunkQueue::new(0);
+        assert!(q.is_empty());
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim_batch(4), None);
+    }
+}

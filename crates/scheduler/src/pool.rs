@@ -1,0 +1,286 @@
+//! A persistent pool of affinity-bound workers with scoped broadcasts.
+//!
+//! The paper replaces OpenMP's worksharing with a proprietary scheduler
+//! that only uses OpenMP to create threads and pin them; all work
+//! distribution is explicit. [`WorkerPool`] plays that role here: it
+//! spawns one long-lived thread per logical CPU of the modelled machine
+//! and executes *broadcasts* — a closure run once on every worker, with
+//! the pool guaranteeing completion before the call returns, so the
+//! closure may borrow from the caller's stack.
+
+use crate::affinity::{AffinityMap, LogicalCpu};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Context handed to a broadcast closure on each worker.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerCtx {
+    /// Dense worker index in `0..pool.len()`.
+    pub worker: usize,
+    /// Logical CPU of the modelled machine this worker is bound to.
+    pub cpu: LogicalCpu,
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use work_scheduler::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let pool = WorkerPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.broadcast(|ctx| {
+///     hits.fetch_add(ctx.worker + 1, Ordering::SeqCst);
+/// });
+/// assert_eq!(hits.load(Ordering::SeqCst), 1 + 2 + 3 + 4);
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    affinity: AffinityMap,
+    senders: Vec<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads bound compactly (worker `w` → CPU `w`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        Self::with_affinity(AffinityMap::compact(workers))
+    }
+
+    /// Spawns one thread per entry of `affinity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty.
+    pub fn with_affinity(affinity: AffinityMap) -> Self {
+        assert!(!affinity.is_empty(), "a pool needs at least one worker");
+        let mut senders = Vec::with_capacity(affinity.len());
+        let mut handles = Vec::with_capacity(affinity.len());
+        for (worker, cpu) in affinity.iter() {
+            let (tx, rx) = unbounded::<Task>();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("worker-{worker}-{cpu}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        task();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        WorkerPool {
+            affinity,
+            senders,
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether the pool has no workers (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// The affinity map the pool was built with.
+    pub fn affinity(&self) -> &AffinityMap {
+        &self.affinity
+    }
+
+    /// Runs `f` once on every worker and returns when all have finished.
+    ///
+    /// `f` may borrow from the caller because the call blocks until every
+    /// worker is done with it.
+    ///
+    /// # Panics
+    ///
+    /// If any worker's invocation panics, the panic payload is re-raised
+    /// on the caller after all workers have finished the broadcast.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(WorkerCtx) + Sync,
+    {
+        let n = self.len();
+        let remaining = Arc::new(AtomicUsize::new(n));
+        let panic_slot: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+            Arc::new(Mutex::new(None));
+        let f_ref: &(dyn Fn(WorkerCtx) + Sync) = &f;
+        // SAFETY: the tasks sent below are joined before this function
+        // returns (the completion loop waits for `remaining == 0`), so the
+        // erased borrow of `f` never outlives the call. This is the
+        // classic scoped-pool pattern.
+        let f_static: &'static (dyn Fn(WorkerCtx) + Sync) =
+            unsafe { std::mem::transmute(f_ref) };
+        for (worker, cpu) in self.affinity.iter() {
+            let remaining = Arc::clone(&remaining);
+            let panic_slot = Arc::clone(&panic_slot);
+            let ctx = WorkerCtx { worker, cpu };
+            let task: Task = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f_static(ctx)));
+                if let Err(payload) = result {
+                    let mut slot = panic_slot.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+                remaining.fetch_sub(1, Ordering::AcqRel);
+            });
+            self.senders[worker]
+                .send(task)
+                .expect("pool worker exited prematurely");
+        }
+        let mut spins = 0_u32;
+        while remaining.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let payload = panic_slot.lock().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels terminates the worker loops.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            // A worker that panicked outside a broadcast already delivered
+            // its payload; ignore the join error to keep Drop infallible.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn broadcast_runs_on_every_worker_once() {
+        let pool = WorkerPool::new(6);
+        let mask = AtomicUsize::new(0);
+        pool.broadcast(|ctx| {
+            mask.fetch_or(1 << ctx.worker, Ordering::SeqCst);
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0b111111);
+    }
+
+    #[test]
+    fn broadcast_may_borrow_stack_data() {
+        let pool = WorkerPool::new(3);
+        let data = [1_usize, 2, 3];
+        let sum = AtomicUsize::new(0);
+        pool.broadcast(|ctx| {
+            sum.fetch_add(data[ctx.worker], Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn broadcasts_are_sequentially_consistent() {
+        let pool = WorkerPool::new(4);
+        let mut total = 0_usize;
+        for round in 0..50 {
+            let c = AtomicUsize::new(0);
+            pool.broadcast(|_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(c.load(Ordering::SeqCst), 4, "round {round}");
+            total += c.load(Ordering::SeqCst);
+        }
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|ctx| {
+                if ctx.worker == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool must remain usable after a propagated panic.
+        let c = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn pool_churn_is_clean() {
+        // Creating and dropping many pools must neither leak threads
+        // visibly (joins in Drop) nor deadlock.
+        for n in 1..=16 {
+            let pool = WorkerPool::new(1 + n % 4);
+            let c = AtomicUsize::new(0);
+            pool.broadcast(|_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(c.load(Ordering::SeqCst), pool.len());
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn interleaved_broadcasts_and_team_runs() {
+        use crate::team::TeamSpec;
+        let pool = WorkerPool::new(6);
+        for round in 0..20 {
+            let c = AtomicUsize::new(0);
+            pool.broadcast(|_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(c.load(Ordering::SeqCst), 6, "round {round}");
+            let spec = TeamSpec::even(6, if round % 2 == 0 { 2 } else { 3 });
+            let t = AtomicUsize::new(0);
+            pool.run_teams(&spec, |ctx| {
+                ctx.team_barrier();
+                t.fetch_add(1, Ordering::SeqCst);
+                ctx.team_barrier();
+            });
+            assert_eq!(t.load(Ordering::SeqCst), 6, "round {round}");
+        }
+    }
+
+    #[test]
+    fn affinity_is_visible_in_ctx() {
+        use crate::affinity::LogicalCpu;
+        let pool = WorkerPool::with_affinity(AffinityMap::explicit(vec![
+            LogicalCpu(7),
+            LogicalCpu(3),
+        ]));
+        let seen = Mutex::new(Vec::new());
+        pool.broadcast(|ctx| {
+            seen.lock().push((ctx.worker, ctx.cpu));
+        });
+        let mut v = seen.lock().clone();
+        v.sort();
+        assert_eq!(v, vec![(0, LogicalCpu(7)), (1, LogicalCpu(3))]);
+    }
+}

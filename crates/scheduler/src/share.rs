@@ -1,0 +1,124 @@
+//! Shared-mutable cells for disjoint-region parallel writes.
+//!
+//! Stencil executors split one output array among the ranks of a team;
+//! every rank writes a disjoint region. That access pattern is safe but
+//! inexpressible through `&mut` aliasing rules without either splitting
+//! the allocation (impossible for interleaved 3-D regions) or interior
+//! mutability. [`DisjointCell`] is the minimal such cell: it hands out
+//! `&mut T` through an `unsafe` method whose contract is *caller-proved
+//! disjointness in time or space*.
+
+use std::cell::UnsafeCell;
+
+/// A `Sync` cell granting unsynchronized mutable access.
+///
+/// Used by the executors to let team ranks write disjoint regions of one
+/// array concurrently (e.g. `stencil_engine::Array3`).
+///
+/// # Examples
+///
+/// ```
+/// use work_scheduler::{DisjointCell, WorkerPool};
+/// let pool = WorkerPool::new(4);
+/// let cell = DisjointCell::new(vec![0_u64; 4]);
+/// pool.broadcast(|ctx| {
+///     // SAFETY: each worker writes only index `ctx.worker`.
+///     let v = unsafe { cell.get_mut() };
+///     v[ctx.worker] = ctx.worker as u64 + 1;
+/// });
+/// assert_eq!(cell.into_inner(), vec![1, 2, 3, 4]);
+/// ```
+#[derive(Debug)]
+pub struct DisjointCell<T>(UnsafeCell<T>);
+
+// SAFETY: `DisjointCell` only adds the *capability* for shared mutation;
+// every dereference goes through the `unsafe` methods below, whose
+// contracts require the caller to rule out data races. `T: Send` is
+// required because the value is effectively accessed from many threads.
+unsafe impl<T: Send> Sync for DisjointCell<T> {}
+
+impl<T> DisjointCell<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        DisjointCell(UnsafeCell::new(value))
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+
+    /// Returns a mutable reference without synchronization.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that all concurrently existing references
+    /// obtained from this cell access disjoint parts of `T` (e.g. each
+    /// thread writes a distinct sub-region of an array), or that accesses
+    /// are separated by a happens-before edge (e.g. a barrier).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self) -> &mut T {
+        // SAFETY: upheld by the caller per this method's contract.
+        unsafe { &mut *self.0.get() }
+    }
+
+    /// Returns a shared reference without synchronization.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee no concurrent mutable access overlaps the
+    /// data read through this reference (disjointness or a barrier).
+    pub unsafe fn get_ref(&self) -> &T {
+        // SAFETY: upheld by the caller per this method's contract.
+        unsafe { &*self.0.get() }
+    }
+
+    /// Mutable access through an exclusive borrow — always safe.
+    pub fn get_mut_exclusive(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let pool = WorkerPool::new(8);
+        let n = 64;
+        let cell = DisjointCell::new(vec![0_usize; n * 8]);
+        pool.broadcast(|ctx| {
+            // SAFETY: worker w writes slice [w*n, (w+1)*n).
+            let v = unsafe { cell.get_mut() };
+            for x in &mut v[ctx.worker * n..(ctx.worker + 1) * n] {
+                *x = ctx.worker + 1;
+            }
+        });
+        let v = cell.into_inner();
+        for w in 0..8 {
+            assert!(v[w * n..(w + 1) * n].iter().all(|&x| x == w + 1));
+        }
+    }
+
+    #[test]
+    fn exclusive_access_is_safe_api() {
+        let mut cell = DisjointCell::new(5_i32);
+        *cell.get_mut_exclusive() += 1;
+        assert_eq!(cell.into_inner(), 6);
+    }
+
+    #[test]
+    fn read_after_broadcast_sees_writes() {
+        let pool = WorkerPool::new(2);
+        let cell = DisjointCell::new([0_u8; 2]);
+        pool.broadcast(|ctx| {
+            // SAFETY: disjoint indices.
+            let arr = unsafe { cell.get_mut() };
+            arr[ctx.worker] = 9;
+        });
+        // SAFETY: broadcast completion is a happens-before edge.
+        assert_eq!(unsafe { *cell.get_ref() }, [9, 9]);
+    }
+}

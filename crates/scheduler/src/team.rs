@@ -1,0 +1,272 @@
+//! Work teams: disjoint groups of workers with private barriers.
+//!
+//! Under the islands-of-cores approach every island (processor) runs one
+//! *work team* of cores. Teams compute independently within a time step —
+//! synchronizing only among themselves between stages — and all teams
+//! join a global synchronization once per time step. [`TeamSpec`]
+//! describes the grouping; [`WorkerPool::run_teams`] executes a closure
+//! with a [`TeamCtx`] exposing the team-local barrier.
+
+use crate::barrier::SenseBarrier;
+use crate::pool::{WorkerCtx, WorkerPool};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// A partition of the pool's workers into disjoint teams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TeamSpec {
+    members: Vec<Vec<usize>>,
+}
+
+/// Error building a [`TeamSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildTeamsError {
+    /// A worker appears in two teams (or twice in one team).
+    DuplicateWorker {
+        /// The repeated worker index.
+        worker: usize,
+    },
+    /// A team has no members.
+    EmptyTeam {
+        /// Index of the empty team.
+        team: usize,
+    },
+    /// No teams were given.
+    NoTeams,
+}
+
+impl fmt::Display for BuildTeamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTeamsError::DuplicateWorker { worker } => {
+                write!(f, "worker {worker} belongs to more than one team")
+            }
+            BuildTeamsError::EmptyTeam { team } => write!(f, "team {team} has no members"),
+            BuildTeamsError::NoTeams => write!(f, "no teams specified"),
+        }
+    }
+}
+
+impl Error for BuildTeamsError {}
+
+impl TeamSpec {
+    /// Builds a spec from explicit member lists.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty specs, empty teams and workers appearing twice.
+    pub fn new(members: Vec<Vec<usize>>) -> Result<Self, BuildTeamsError> {
+        if members.is_empty() {
+            return Err(BuildTeamsError::NoTeams);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (t, team) in members.iter().enumerate() {
+            if team.is_empty() {
+                return Err(BuildTeamsError::EmptyTeam { team: t });
+            }
+            for &w in team {
+                if !seen.insert(w) {
+                    return Err(BuildTeamsError::DuplicateWorker { worker: w });
+                }
+            }
+        }
+        Ok(TeamSpec { members })
+    }
+
+    /// Splits `workers` consecutive workers into `teams` equal teams
+    /// (worker `w` joins team `w / (workers / teams)`), the layout used
+    /// when one island spans one processor of consecutive cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `teams == 0` or `workers` is not divisible by `teams`.
+    pub fn even(workers: usize, teams: usize) -> Self {
+        assert!(teams > 0, "need at least one team");
+        assert_eq!(
+            workers % teams,
+            0,
+            "workers ({workers}) must divide evenly into {teams} teams"
+        );
+        let per = workers / teams;
+        let members = (0..teams)
+            .map(|t| (t * per..(t + 1) * per).collect())
+            .collect();
+        TeamSpec { members }
+    }
+
+    /// Number of teams.
+    pub fn team_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members of team `t`.
+    pub fn members(&self, t: usize) -> &[usize] {
+        &self.members[t]
+    }
+
+    /// Total workers across all teams.
+    pub fn worker_count(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// The `(team, rank)` of `worker`, if it belongs to any team.
+    pub fn placement(&self, worker: usize) -> Option<(usize, usize)> {
+        for (t, team) in self.members.iter().enumerate() {
+            if let Some(rank) = team.iter().position(|&w| w == worker) {
+                return Some((t, rank));
+            }
+        }
+        None
+    }
+}
+
+/// Context handed to a team closure on each participating worker.
+#[derive(Clone)]
+pub struct TeamCtx {
+    /// The underlying worker context.
+    pub worker: WorkerCtx,
+    /// Team index.
+    pub team: usize,
+    /// This worker's rank within the team.
+    pub rank: usize,
+    /// Team size.
+    pub size: usize,
+    barrier: Arc<SenseBarrier>,
+}
+
+impl TeamCtx {
+    /// Team-local barrier: blocks until all members of this team arrive.
+    /// Returns the serial flag (exactly one member sees `true`).
+    pub fn team_barrier(&self) -> bool {
+        self.barrier.wait()
+    }
+}
+
+impl fmt::Debug for TeamCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TeamCtx {{ team: {}, rank: {}/{}, worker: {} }}",
+            self.team, self.rank, self.size, self.worker.worker
+        )
+    }
+}
+
+impl WorkerPool {
+    /// Runs `f` on every worker that belongs to a team in `spec`, giving
+    /// each a [`TeamCtx`]. Workers not in any team idle for this call.
+    /// Returns when all participants have finished (this completion is
+    /// the once-per-time-step global synchronization of the
+    /// islands-of-cores approach).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` references a worker outside the pool, and
+    /// propagates panics raised by `f`.
+    pub fn run_teams<F>(&self, spec: &TeamSpec, f: F)
+    where
+        F: Fn(TeamCtx) + Sync,
+    {
+        for t in 0..spec.team_count() {
+            for &w in spec.members(t) {
+                assert!(w < self.len(), "team member {w} outside pool of {}", self.len());
+            }
+        }
+        let barriers: Vec<Arc<SenseBarrier>> = (0..spec.team_count())
+            .map(|t| Arc::new(SenseBarrier::new(spec.members(t).len())))
+            .collect();
+        self.broadcast(|wctx| {
+            if let Some((team, rank)) = spec.placement(wctx.worker) {
+                f(TeamCtx {
+                    worker: wctx,
+                    team,
+                    rank,
+                    size: spec.members(team).len(),
+                    barrier: Arc::clone(&barriers[team]),
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn even_spec_layout() {
+        let s = TeamSpec::even(8, 2);
+        assert_eq!(s.team_count(), 2);
+        assert_eq!(s.members(0), &[0, 1, 2, 3]);
+        assert_eq!(s.members(1), &[4, 5, 6, 7]);
+        assert_eq!(s.worker_count(), 8);
+        assert_eq!(s.placement(5), Some((1, 1)));
+        assert_eq!(s.placement(9), None);
+    }
+
+    #[test]
+    fn new_rejects_bad_specs() {
+        assert_eq!(TeamSpec::new(vec![]), Err(BuildTeamsError::NoTeams));
+        assert_eq!(
+            TeamSpec::new(vec![vec![0], vec![]]),
+            Err(BuildTeamsError::EmptyTeam { team: 1 })
+        );
+        assert_eq!(
+            TeamSpec::new(vec![vec![0, 1], vec![1]]),
+            Err(BuildTeamsError::DuplicateWorker { worker: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_requires_divisibility() {
+        let _ = TeamSpec::even(7, 2);
+    }
+
+    #[test]
+    fn run_teams_assigns_ranks() {
+        let pool = WorkerPool::new(6);
+        let spec = TeamSpec::even(6, 3);
+        let hits = AtomicUsize::new(0);
+        pool.run_teams(&spec, |ctx| {
+            assert_eq!(ctx.size, 2);
+            assert_eq!(ctx.team, ctx.worker.worker / 2);
+            assert_eq!(ctx.rank, ctx.worker.worker % 2);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn team_barriers_are_independent() {
+        // Team 0 iterates its barrier many times while team 1 does not
+        // participate at all — if barriers were shared this would hang.
+        let pool = WorkerPool::new(4);
+        let spec = TeamSpec::new(vec![vec![0, 1], vec![2, 3]]).unwrap();
+        let serials = AtomicUsize::new(0);
+        pool.run_teams(&spec, |ctx| {
+            if ctx.team == 0 {
+                for _ in 0..100 {
+                    if ctx.team_barrier() {
+                        serials.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+        assert_eq!(serials.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn partial_team_spec_leaves_other_workers_idle() {
+        let pool = WorkerPool::new(4);
+        let spec = TeamSpec::new(vec![vec![1, 3]]).unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.run_teams(&spec, |ctx| {
+            assert!(ctx.worker.worker == 1 || ctx.worker.worker == 3);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Field identities and storage.
+//!
+//! A *field* is a named 3-D array participating in a stage graph — an
+//! external input (loaded from main memory each time step), an
+//! intermediate (ideally kept in cache under the (3+1)D decomposition), or
+//! an output. [`FieldId`] is a cheap index newtype; [`FieldTable`] interns
+//! names; [`FieldStore`] owns the actual [`Array3`] buffers during
+//! execution.
+
+use crate::array3::Array3;
+use std::fmt;
+
+/// Identifier of a field within one [`crate::StageGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+impl FieldId {
+    /// The index as `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field#{}", self.0)
+    }
+}
+
+/// Role a field plays in a stage graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FieldRole {
+    /// Read-only input present in main memory before the time step.
+    External,
+    /// Produced and consumed within a time step.
+    Intermediate,
+    /// Final output written back to main memory.
+    Output,
+}
+
+/// Interned field names and roles for a stage graph.
+#[derive(Clone, Debug, Default)]
+pub struct FieldTable {
+    names: Vec<String>,
+    roles: Vec<FieldRole>,
+}
+
+impl FieldTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a field and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered.
+    pub fn add(&mut self, name: &str, role: FieldRole) -> FieldId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate field name {name:?}"
+        );
+        let id = FieldId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.roles.push(role);
+        id
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn name(&self, id: FieldId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The role of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn role(&self, id: FieldId) -> FieldRole {
+        self.roles[id.index()]
+    }
+
+    /// Looks a field up by name.
+    pub fn find(&self, name: &str) -> Option<FieldId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| FieldId(p as u32))
+    }
+
+    /// Number of registered fields.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no fields are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Ids of all fields with the given role.
+    pub fn with_role(&self, role: FieldRole) -> Vec<FieldId> {
+        (0..self.names.len() as u32)
+            .map(FieldId)
+            .filter(|id| self.roles[id.index()] == role)
+            .collect()
+    }
+
+    /// Iterates over `(id, name, role)`.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &str, FieldRole)> {
+        self.names
+            .iter()
+            .zip(&self.roles)
+            .enumerate()
+            .map(|(n, (name, role))| (FieldId(n as u32), name.as_str(), *role))
+    }
+}
+
+/// Owns the array buffers for the fields of a stage graph during one
+/// execution. Buffers may cover different regions (e.g. block-local
+/// scratch for intermediates vs. whole-domain externals).
+///
+/// Kernels typically *take* their output buffer, read their inputs through
+/// [`FieldStore::get`], and *put* the output back — the move is O(1).
+#[derive(Debug)]
+pub struct FieldStore {
+    slots: Vec<Option<Array3>>,
+}
+
+impl FieldStore {
+    /// Creates a store with `n` empty slots.
+    pub fn with_capacity(n: usize) -> Self {
+        FieldStore {
+            slots: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of slots (filled or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Installs `array` as the buffer for `id`, returning any previous one.
+    pub fn put(&mut self, id: FieldId, array: Array3) -> Option<Array3> {
+        self.slots[id.index()].replace(array)
+    }
+
+    /// Removes and returns the buffer for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn take(&mut self, id: FieldId) -> Array3 {
+        self.slots[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("field {id} has no buffer"))
+    }
+
+    /// Borrows the buffer for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn get(&self, id: FieldId) -> &Array3 {
+        self.slots[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("field {id} has no buffer"))
+    }
+
+    /// Mutably borrows the buffer for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn get_mut(&mut self, id: FieldId) -> &mut Array3 {
+        self.slots[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("field {id} has no buffer"))
+    }
+
+    /// Whether `id` currently has a buffer.
+    pub fn has(&self, id: FieldId) -> bool {
+        self.slots[id.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region3;
+
+    #[test]
+    fn table_add_and_lookup() {
+        let mut t = FieldTable::new();
+        let x = t.add("x", FieldRole::External);
+        let f1 = t.add("f1", FieldRole::Intermediate);
+        assert_eq!(t.name(x), "x");
+        assert_eq!(t.role(f1), FieldRole::Intermediate);
+        assert_eq!(t.find("f1"), Some(f1));
+        assert_eq!(t.find("nope"), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.with_role(FieldRole::External), vec![x]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_name_panics() {
+        let mut t = FieldTable::new();
+        t.add("x", FieldRole::External);
+        t.add("x", FieldRole::Output);
+    }
+
+    #[test]
+    fn store_take_put_roundtrip() {
+        let mut t = FieldTable::new();
+        let x = t.add("x", FieldRole::External);
+        let mut s = FieldStore::with_capacity(t.len());
+        assert!(!s.has(x));
+        s.put(x, Array3::filled(Region3::of_extent(2, 2, 2), 3.0));
+        assert!(s.has(x));
+        assert_eq!(s.get(x).sum(), 24.0);
+        let a = s.take(x);
+        assert!(!s.has(x));
+        s.put(x, a);
+        assert!(s.has(x));
+    }
+
+    #[test]
+    #[should_panic]
+    fn take_empty_slot_panics() {
+        let mut s = FieldStore::with_capacity(1);
+        let _ = s.take(FieldId(0));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut t = FieldTable::new();
+        t.add("a", FieldRole::External);
+        t.add("b", FieldRole::Output);
+        let v: Vec<_> = t.iter().map(|(_, n, _)| n.to_owned()).collect();
+        assert_eq!(v, vec!["a", "b"]);
+    }
+}

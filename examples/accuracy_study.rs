@@ -1,0 +1,68 @@
+//! Accuracy study: how the number of MPDATA passes (`iord`) affects
+//! numerical diffusion, demonstrated on a torus where transport should
+//! ideally be an exact circular shift.
+//!
+//! Run: `cargo run --release --example accuracy_study`
+
+use islands_of_cores::mpdata::{
+    gaussian_pulse, Boundary, MpdataFields, MpdataProblem, ReferenceExecutor,
+};
+use islands_of_cores::stencil::{Array3, Region3};
+
+fn main() {
+    let d = Region3::of_extent(64, 8, 8);
+    let steps = 40; // 40 × 0.4 = 16 cells of travel
+    let courant = 0.4;
+
+    // A pulse on a torus with uniform flow: the exact solution after
+    // `steps` is the initial pulse shifted by steps × courant cells.
+    let make = || -> MpdataFields {
+        let mut f = gaussian_pulse(d, (0.0, 0.0, 0.0));
+        f.u1 = Array3::filled(d, courant);
+        f
+    };
+    let initial = make();
+    let exact_shift = (steps as f64 * courant) as i64;
+    let exact = Array3::from_fn(d, |i, j, k| {
+        initial
+            .x
+            .get((i - exact_shift).rem_euclid(d.i.len() as i64), j, k)
+    });
+
+    println!(
+        "torus {}×{}×{}, {} steps at Courant {courant} (exact: shift by {exact_shift} cells)\n",
+        d.i.len(),
+        d.j.len(),
+        d.k.len(),
+        steps
+    );
+    println!("{:>6}  {:>8}  {:>12}  {:>12}", "iord", "stages", "peak kept", "L1 error");
+    let peak0 = initial.x.max() - 2.0; // background is 2
+    for iord in 1..=4 {
+        let problem = MpdataProblem::with_iord(iord).with_boundary(Boundary::Periodic);
+        let stages = problem.graph().stage_count();
+        let exec = ReferenceExecutor::with_problem(problem);
+        let mut f = make();
+        exec.run(&mut f, steps);
+        let peak = f.x.max() - 2.0;
+        let mut l1 = 0.0;
+        for (i, j, k) in d.points() {
+            l1 += (f.x.get(i, j, k) - exact.get(i, j, k)).abs();
+        }
+        l1 /= d.cells() as f64;
+        println!(
+            "{:>6}  {:>8}  {:>11.1}%  {:>12.3e}",
+            iord,
+            stages,
+            100.0 * peak / peak0,
+            l1
+        );
+    }
+    println!(
+        "\nreading: the first-order pass smears the pulse badly; each corrective\n\
+         iteration restores peak amplitude and cuts the transport error — the\n\
+         reason MPDATA runs with at least one corrective pass (the paper's 17\n\
+         stages are exactly iord = 2), and why its cost structure is what the\n\
+         islands-of-cores approach optimizes."
+    );
+}

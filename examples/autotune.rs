@@ -1,0 +1,80 @@
+//! Autotuning: ask the closed-form model which strategy to run for a
+//! range of machines and workloads, then double-check each
+//! recommendation against the discrete-event engine.
+//!
+//! Run: `cargo run --release --example autotune`
+
+use islands_of_cores::islands::{
+    estimate, plan_fused, plan_islands, plan_original, InitPolicy, Variant, Workload,
+};
+use islands_of_cores::numa::{SimConfig, UvParams};
+use islands_of_cores::perf::{recommend, Strategy};
+use islands_of_cores::stencil::Region3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SimConfig::default();
+    let cases = [
+        ("paper grid, 2 sockets", Workload::paper(), 2usize),
+        ("paper grid, 14 sockets", Workload::paper(), 14),
+        (
+            "tall grid (j-major), 8 sockets",
+            Workload::new(Region3::of_extent(256, 1024, 64), 50),
+            8,
+        ),
+        (
+            "small grid, 4 sockets",
+            Workload::new(Region3::of_extent(128, 64, 32), 50),
+            4,
+        ),
+    ];
+
+    println!(
+        "{:<32} {:>10} {:>9} {:>12} {:>12} {:>8}",
+        "case", "strategy", "variant", "model [s]", "engine [s]", "best?"
+    );
+    for (name, w, sockets) in cases {
+        let machine = UvParams::uv2000(sockets).build();
+        let rec = recommend(&machine, &w, &cfg);
+
+        // Engine times for all three strategies to grade the pick.
+        let orig = estimate(
+            &machine,
+            &plan_original(&machine, &w, InitPolicy::ParallelFirstTouch),
+            &w,
+            &cfg,
+        )?
+        .total_seconds;
+        let fused = estimate(
+            &machine,
+            &plan_fused(&machine, &w, InitPolicy::ParallelFirstTouch)?,
+            &w,
+            &cfg,
+        )?
+        .total_seconds;
+        let islands =
+            estimate(&machine, &plan_islands(&machine, &w, rec.variant)?, &w, &cfg)?.total_seconds;
+        let engine_time = match rec.strategy {
+            Strategy::Original => orig,
+            Strategy::Fused => fused,
+            Strategy::Islands => islands,
+        };
+        let best = orig.min(fused).min(islands);
+        let graded = engine_time <= best * 1.05;
+        println!(
+            "{:<32} {:>10?} {:>9} {:>12.2} {:>12.2} {:>8}",
+            name,
+            rec.strategy,
+            if rec.variant == Variant::A { "A" } else { "B" },
+            rec.total_seconds,
+            engine_time,
+            if graded { "yes" } else { "NO" },
+        );
+        assert!(
+            graded,
+            "{name}: the model picked {:?} but the engine's best is {best:.2}s",
+            rec.strategy
+        );
+    }
+    println!("\nOK: every recommendation is within 5% of the engine's best strategy.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Explore the simulated SGI UV 2000: build configurations from 1 to 14
+//! sockets, run the paper workload under every execution strategy, and
+//! print a miniature Table 3.
+//!
+//! Run: `cargo run --release --example machine_explorer [P ...]`
+
+use islands_of_cores::islands::{
+    estimate, plan_fused, plan_islands, plan_original, InitPolicy, Variant, Workload,
+};
+use islands_of_cores::numa::{SimConfig, UvParams};
+use islands_of_cores::perf::sustained_gflops;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ps: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse())
+            .collect::<Result<_, _>>()?;
+        if args.is_empty() {
+            vec![1, 2, 4, 8, 14]
+        } else {
+            args
+        }
+    };
+    let w = Workload::paper();
+    let cfg = SimConfig::default();
+
+    println!(
+        "{:>3}  {:>10}  {:>10}  {:>10}  {:>8}  {:>8}  {:>12}",
+        "P", "orig [s]", "(3+1)D [s]", "islands[s]", "S_pr", "S_ov", "isl Gflop/s"
+    );
+    for p in ps {
+        let machine = UvParams::uv2000(p).build();
+        let orig = estimate(
+            &machine,
+            &plan_original(&machine, &w, InitPolicy::ParallelFirstTouch),
+            &w,
+            &cfg,
+        )?
+        .total_seconds;
+        let fused = estimate(
+            &machine,
+            &plan_fused(&machine, &w, InitPolicy::ParallelFirstTouch)?,
+            &w,
+            &cfg,
+        )?
+        .total_seconds;
+        let islands = estimate(&machine, &plan_islands(&machine, &w, Variant::A)?, &w, &cfg)?
+            .total_seconds;
+        println!(
+            "{:>3}  {:>10.2}  {:>10.2}  {:>10.2}  {:>8.2}  {:>8.2}  {:>12.1}",
+            p,
+            orig,
+            fused,
+            islands,
+            fused / islands,
+            orig / islands,
+            sustained_gflops(w.domain, w.steps, islands),
+        );
+    }
+    println!(
+        "\n(one simulated machine per row; the paper's measured P=14 row is\n\
+         original 2.81 s, (3+1)D 10.40 s, islands 1.01 s, S_pr 10.3, S_ov 2.78)"
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: advect a Gaussian pulse through a box with the
+//! islands-of-cores executor and check it against the serial reference.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use islands_of_cores::mpdata::{gaussian_pulse, IslandsExecutor, ReferenceExecutor};
+use islands_of_cores::scheduler::{TeamSpec, WorkerPool};
+use islands_of_cores::stencil::{Axis, Region3};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64×32×16 box, uniform flow at Courant number 0.3 along i.
+    let domain = Region3::of_extent(64, 32, 16);
+    let mut fields = gaussian_pulse(domain, (0.3, 0.0, 0.0));
+    let mass0 = fields.mass();
+    let peak0 = fields.x.max();
+
+    // Four workers grouped into two islands, domain cut along i
+    // (the paper's variant A).
+    let pool = WorkerPool::new(4);
+    let teams = TeamSpec::even(4, 2);
+    let islands = IslandsExecutor::new(&pool, teams, Axis::I).cache_bytes(512 * 1024);
+
+    // Reference result for the same 20 steps.
+    let mut check = fields.clone();
+    ReferenceExecutor::new().run(&mut check, 20);
+
+    islands.run(&mut fields, 20)?;
+
+    println!("steps            : 20 (Courant 0.3 ⇒ pulse travels 6 cells)");
+    println!("initial peak     : {peak0:.4}");
+    println!("final peak       : {:.4}", fields.x.max());
+    println!("mass drift       : {:+.3e}", fields.mass() / mass0 - 1.0);
+    println!("min (positivity) : {:+.3e}", fields.x.min());
+    println!(
+        "vs reference     : max |Δ| = {:.3e} (bitwise-identical schedules)",
+        fields.x.max_abs_diff(&check.x)
+    );
+    assert_eq!(fields.x.max_abs_diff(&check.x), 0.0);
+    assert!(fields.x.min() >= 0.0);
+    println!("OK: islands-of-cores reproduced the reference bitwise.");
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # islands-of-cores
+//!
+//! Facade crate of the islands-of-cores reproduction (Szustak,
+//! Wyrzykowski & Jakl, *Islands-of-Cores Approach for Harnessing
+//! SMP/NUMA Architectures in Heterogeneous Stencil Computations*,
+//! PaCT 2017). Re-exports the public API of every subsystem so examples
+//! and downstream users need a single dependency.
+//!
+//! See the crate READMEs and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use islands_core as islands;
+pub use mpdata;
+pub use numa_sim as numa;
+pub use perf_model as perf;
+pub use stencil_engine as stencil;
+pub use work_scheduler as scheduler;

@@ -1,0 +1,78 @@
+//! Determinism guarantees: identical inputs produce identical outputs —
+//! for the simulator (bit-exact event schedules), for the real threaded
+//! executors (independent of thread interleaving), and for the planners
+//! (stable traces).
+
+use islands_of_cores::islands::{
+    estimate, plan_fused, plan_islands, plan_original, InitPolicy, Variant, Workload,
+};
+use islands_of_cores::mpdata::{rotating_cone, IslandsExecutor, OriginalExecutor};
+use islands_of_cores::numa::{SimConfig, UvParams};
+use islands_of_cores::scheduler::{TeamSpec, WorkerPool};
+use islands_of_cores::stencil::{Axis, Region3};
+
+#[test]
+fn simulator_is_deterministic() {
+    let machine = UvParams::uv2000(4).build();
+    let w = Workload {
+        domain: Region3::of_extent(128, 64, 16),
+        steps: 1,
+        cache_bytes: 1 << 20,
+    };
+    let cfg = SimConfig::default();
+    for mk in [
+        plan_original(&machine, &w, InitPolicy::SerialFirstTouch),
+        plan_original(&machine, &w, InitPolicy::ParallelFirstTouch),
+        plan_fused(&machine, &w, InitPolicy::ParallelFirstTouch).unwrap(),
+        plan_islands(&machine, &w, Variant::A).unwrap(),
+    ] {
+        let a = estimate(&machine, &mk, &w, &cfg).unwrap();
+        let b = estimate(&machine, &mk, &w, &cfg).unwrap();
+        assert_eq!(a.total_seconds, b.total_seconds, "simulation must be bit-exact");
+        assert_eq!(a.report.mem_remote_bytes, b.report.mem_remote_bytes);
+        assert_eq!(a.report.barrier_episodes, b.report.barrier_episodes);
+    }
+}
+
+#[test]
+fn planners_are_deterministic() {
+    let machine = UvParams::uv2000(3).build();
+    let w = Workload {
+        domain: Region3::of_extent(96, 48, 8),
+        steps: 1,
+        cache_bytes: 512 * 1024,
+    };
+    let a = plan_islands(&machine, &w, Variant::B).unwrap();
+    let b = plan_islands(&machine, &w, Variant::B).unwrap();
+    assert_eq!(a.op_count(), b.op_count());
+    for (sa, sb) in a.ops.iter().zip(&b.ops) {
+        assert_eq!(sa, sb, "trace streams must match op for op");
+    }
+}
+
+#[test]
+fn threaded_executors_are_schedule_independent() {
+    // Ten repetitions under the OS scheduler's whims: every run must be
+    // bitwise identical (disjoint writes + barriers leave no room for
+    // interleaving effects).
+    let d = Region3::of_extent(24, 16, 6);
+    let fields = rotating_cone(d, 0.3);
+    let pool = WorkerPool::new(8);
+    let islands = IslandsExecutor::new(&pool, TeamSpec::even(8, 4), Axis::I)
+        .cache_bytes(128 * 1024);
+    let original = OriginalExecutor::new(&pool);
+    let first_i = islands.step(&fields).unwrap();
+    let first_o = original.step(&fields);
+    for run in 0..10 {
+        assert_eq!(
+            islands.step(&fields).unwrap().max_abs_diff(&first_i),
+            0.0,
+            "islands run {run} diverged"
+        );
+        assert_eq!(
+            original.step(&fields).max_abs_diff(&first_o),
+            0.0,
+            "original run {run} diverged"
+        );
+    }
+}

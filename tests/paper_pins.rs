@@ -1,0 +1,107 @@
+//! Regression pins for the paper-scale *analytic* results — quantities
+//! that are exact arithmetic (no simulation, no timing) and must never
+//! drift. If a refactor changes any of these, it changed the
+//! reproduction itself.
+
+use islands_of_cores::islands::{extra_elements, Partition, Variant};
+use islands_of_cores::mpdata::{flops_per_cell, mpdata_graph, MpdataProblem};
+use islands_of_cores::numa::UvParams;
+use islands_of_cores::stencil::Region3;
+
+/// Table 2 at paper scale, variant A: exact percentages (compare with
+/// the paper's 0.25/1.48/3.21 — same shape, our kernel formulation's
+/// constant).
+#[test]
+fn table2_variant_a_values_pinned() {
+    let (g, _) = mpdata_graph();
+    let d = Region3::of_extent(1024, 512, 64);
+    let pct = |n: usize| {
+        extra_elements(&g, &Partition::one_d(d, Variant::A, n).unwrap()).percent()
+    };
+    assert!((pct(2) - 0.218_290_441_176_470_6).abs() < 1e-12);
+    assert!((pct(7) - 1.309_742_647_058_823_6).abs() < 1e-12);
+    assert!((pct(14) - 2.837_775_735_294_117_8).abs() < 1e-12);
+    // Variant B is exactly 2 × variant A on this grid (interior cuts).
+    let b2 = extra_elements(&g, &Partition::one_d(d, Variant::B, 2).unwrap()).percent();
+    assert!((b2 - 2.0 * pct(2)).abs() < 1e-12);
+}
+
+/// The arithmetic intensity of the implemented kernels (drives every
+/// Gflop/s figure).
+#[test]
+fn flops_per_cell_pinned() {
+    assert_eq!(flops_per_cell(), 235.0);
+    assert_eq!(MpdataProblem::with_iord(1).flops_per_cell(), 22.0);
+    assert_eq!(MpdataProblem::with_iord(3).flops_per_cell(), 448.0);
+}
+
+/// Theoretical peaks of Table 4 row 1.
+#[test]
+fn table4_peaks_pinned() {
+    for (p, peak) in [(1, 105.6), (4, 422.4), (12, 1267.2), (14, 1478.4)] {
+        assert!((UvParams::uv2000(p).peak_gflops() - peak).abs() < 1e-9);
+    }
+}
+
+/// Cumulative i-halo structure of the 17-stage graph: total span 38
+/// slices (the source of variant A's 0.218 %/cut — the paper's ≈43
+/// implies 0.247 %/cut).
+#[test]
+fn cumulative_halo_span_pinned() {
+    let (g, _) = mpdata_graph();
+    let total: i64 = g
+        .cumulative_halos()
+        .iter()
+        .map(|h| h.i_neg + h.i_pos)
+        .sum();
+    assert_eq!(total, 38);
+}
+
+/// Fig. 1's counts from the region machinery.
+#[test]
+fn fig1_counts_pinned() {
+    use islands_of_cores::stencil::{
+        Axis, FieldRole, FieldTable, StageDef, StageGraph, StageId, StencilPattern,
+    };
+    let mut t = FieldTable::new();
+    let x = t.add("x", FieldRole::External);
+    let a = t.add("A", FieldRole::Intermediate);
+    let b = t.add("B", FieldRole::Intermediate);
+    let c = t.add("C", FieldRole::Output);
+    let p = || StencilPattern::from_offsets([(-1, 0, 0), (0, 0, 0), (1, 0, 0)]);
+    let g = StageGraph::build(
+        t,
+        vec![
+            StageDef {
+                id: StageId(0),
+                name: "s1".into(),
+                outputs: vec![a],
+                inputs: vec![(x, p())],
+                flops_per_cell: 1.0,
+            },
+            StageDef {
+                id: StageId(1),
+                name: "s2".into(),
+                outputs: vec![b],
+                inputs: vec![(a, p())],
+                flops_per_cell: 1.0,
+            },
+            StageDef {
+                id: StageId(2),
+                name: "s3".into(),
+                outputs: vec![c],
+                inputs: vec![(b, p())],
+                flops_per_cell: 1.0,
+            },
+        ],
+    )
+    .unwrap();
+    let domain = Region3::of_extent(8, 1, 1);
+    let whole: usize = g.required_regions(domain, domain).iter().map(|r| r.cells()).sum();
+    let split: usize = domain
+        .split(Axis::I, 2)
+        .into_iter()
+        .map(|h| g.required_regions(h, domain).iter().map(|r| r.cells()).sum::<usize>())
+        .sum();
+    assert_eq!(split - whole, 6, "Fig. 1(c)'s extra updates");
+}
