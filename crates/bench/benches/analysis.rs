@@ -1,36 +1,37 @@
-//! Criterion microbenches of the planning/analysis layer: backward
-//! requirement analysis, wavefront block planning, extra-element
-//! accounting — the machinery every experiment binary runs at
-//! paper-scale problem sizes.
+//! Microbenches of the planning/analysis layer: backward requirement
+//! analysis, wavefront block planning, extra-element accounting — the
+//! machinery every experiment binary runs at paper-scale problem
+//! sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use islands_bench::microbench::Harness;
 use islands_core::{extra_elements, Partition, Variant};
 use mpdata::mpdata_graph;
 use stencil_engine::{BlockPlanner, Region3};
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis(h: &mut Harness) {
     let (graph, _) = mpdata_graph();
     let domain = Region3::of_extent(1024, 512, 64);
 
-    let mut group = c.benchmark_group("analysis");
-    group.bench_function("required_regions_full_domain", |b| {
-        b.iter(|| std::hint::black_box(graph.required_regions(domain, domain)))
+    let mut group = h.group("analysis");
+    group.bench("required_regions_full_domain", || {
+        std::hint::black_box(graph.required_regions(domain, domain));
     });
-    group.bench_function("cumulative_halos", |b| {
-        b.iter(|| std::hint::black_box(graph.cumulative_halos()))
+    group.bench("cumulative_halos", || {
+        std::hint::black_box(graph.cumulative_halos());
     });
-    group.bench_function("wavefront_plan_paper_domain", |b| {
-        let planner = BlockPlanner::new(16 << 20).min_depth(4);
-        b.iter(|| {
-            std::hint::black_box(planner.plan_wavefront(&graph, domain, domain).unwrap())
-        })
+    let planner = BlockPlanner::new(16 << 20).min_depth(4);
+    group.bench("wavefront_plan_paper_domain", || {
+        std::hint::black_box(planner.plan_wavefront(&graph, domain, domain).unwrap());
     });
-    group.bench_function("extra_elements_14_islands", |b| {
-        let part = Partition::one_d(domain, Variant::A, 14).unwrap();
-        b.iter(|| std::hint::black_box(extra_elements(&graph, &part)))
+    let part = Partition::one_d(domain, Variant::A, 14).unwrap();
+    group.bench("extra_elements_14_islands", || {
+        std::hint::black_box(extra_elements(&graph, &part));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_analysis(&mut h);
+    h.finish();
+}

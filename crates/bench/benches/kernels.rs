@@ -1,8 +1,8 @@
-//! Criterion microbenches of the *real-thread* MPDATA executors on the
-//! build host (correctness-scale grids; the paper-scale performance
-//! numbers come from the simulator binaries, not from here).
+//! Microbenches of the *real-thread* MPDATA executors on the build host
+//! (correctness-scale grids; the paper-scale performance numbers come
+//! from the simulator binaries, not from here).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use islands_bench::microbench::Harness;
 use mpdata::{
     gaussian_pulse, ExchangeExecutor, FusedExecutor, IslandsExecutor, OriginalExecutor,
     ReferenceExecutor,
@@ -10,83 +10,91 @@ use mpdata::{
 use stencil_engine::{Axis, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
 
-fn bench_step(c: &mut Criterion) {
+fn bench_step(h: &mut Harness) {
     let domain = Region3::of_extent(48, 24, 12);
     let fields = gaussian_pulse(domain, (0.2, 0.1, 0.0));
-    let mut group = c.benchmark_group("mpdata_step");
+    let mut group = h.group("mpdata_step");
     group.sample_size(20);
 
     let reference = ReferenceExecutor::new();
-    group.bench_function("reference_serial", |b| {
-        b.iter(|| std::hint::black_box(reference.step(&fields)))
+    group.bench("reference_serial", || {
+        std::hint::black_box(reference.step(&fields));
     });
 
     for workers in [2usize, 4] {
         let pool = WorkerPool::new(workers);
         let original = OriginalExecutor::new(&pool);
-        group.bench_with_input(
-            BenchmarkId::new("original_parallel", workers),
-            &workers,
-            |b, _| b.iter(|| std::hint::black_box(original.step(&fields))),
-        );
+        group.bench_param("original_parallel", workers, || {
+            std::hint::black_box(original.step(&fields));
+        });
         let fused = FusedExecutor::new(&pool).cache_bytes(256 * 1024);
-        group.bench_with_input(BenchmarkId::new("fused_3p1d", workers), &workers, |b, _| {
-            b.iter(|| std::hint::black_box(fused.step(&fields).unwrap()))
+        group.bench_param("fused_3p1d", workers, || {
+            std::hint::black_box(fused.step(&fields).unwrap());
         });
         let islands = IslandsExecutor::new(&pool, TeamSpec::even(workers, workers.min(2)), Axis::I)
             .cache_bytes(256 * 1024);
-        group.bench_with_input(BenchmarkId::new("islands", workers), &workers, |b, _| {
-            b.iter(|| std::hint::black_box(islands.step(&fields).unwrap()))
+        group.bench_param("islands", workers, || {
+            std::hint::black_box(islands.step(&fields).unwrap());
         });
         let exchange =
             ExchangeExecutor::new(&pool, TeamSpec::even(workers, workers.min(2)), Axis::I);
-        group.bench_with_input(BenchmarkId::new("exchange", workers), &workers, |b, _| {
-            b.iter(|| std::hint::black_box(exchange.step(&fields)))
+        group.bench_param("exchange", workers, || {
+            std::hint::black_box(exchange.step(&fields));
         });
     }
     group.finish();
 }
 
-fn bench_single_stage(c: &mut Criterion) {
+fn bench_single_stage(h: &mut Harness) {
     use mpdata::{apply_stage, mpdata_graph};
     use stencil_engine::Array3;
     let domain = Region3::of_extent(64, 64, 32);
     let (graph, _) = mpdata_graph();
     let x = Array3::filled(domain, 2.0);
     let u = Array3::filled(domain, 0.3);
-    let h = Array3::filled(domain, 1.0);
-    let mut group = c.benchmark_group("single_stage");
+    let h_field = Array3::filled(domain, 1.0);
+    let mut group = h.group("single_stage");
     group.sample_size(30);
-    group.bench_function("flux_i", |b| {
+    {
         let mut f = Array3::zeros(domain);
-        b.iter(|| apply_stage(0, domain, &[&x, &u], &mut [&mut f], domain))
-    });
-    group.bench_function("antidiff_i", |b| {
+        group.bench("flux_i", || {
+            apply_stage(0, domain, &[&x, &u], &mut [&mut f], domain)
+        });
+    }
+    {
         let mut v = Array3::zeros(domain);
-        b.iter(|| apply_stage(4, domain, &[&x, &u, &u, &u, &h], &mut [&mut v], domain))
-    });
-    group.bench_function("minmax", |b| {
+        group.bench("antidiff_i", || {
+            apply_stage(
+                4,
+                domain,
+                &[&x, &u, &u, &u, &h_field],
+                &mut [&mut v],
+                domain,
+            )
+        });
+    }
+    {
         let mut mx = Array3::zeros(domain);
         let mut mn = Array3::zeros(domain);
-        b.iter(|| apply_stage(7, domain, &[&x, &u], &mut [&mut mx, &mut mn], domain))
-    });
+        group.bench("minmax", || {
+            apply_stage(7, domain, &[&x, &u], &mut [&mut mx, &mut mn], domain)
+        });
+    }
     group.finish();
     let _ = graph;
 }
 
-fn bench_fast_vs_scalar(c: &mut Criterion) {
-    use mpdata::{apply_kind, apply_kind_scalar, Boundary, MpdataProblem, StageKind};
+fn bench_fast_vs_scalar(h: &mut Harness) {
+    use mpdata::{apply_kind, apply_kind_scalar, Boundary, StageKind};
     use stencil_engine::Array3;
     let domain = Region3::of_extent(64, 64, 64);
     let x = Array3::filled(domain, 2.0);
     let u = Array3::filled(domain, 0.3);
-    let mut group = c.benchmark_group("flux_i_paths");
+    let mut group = h.group("flux_i_paths");
     group.sample_size(40);
-    let p = MpdataProblem::standard();
-    let _ = p;
-    group.bench_function("split_fast", |b| {
+    {
         let mut f = Array3::zeros(domain);
-        b.iter(|| {
+        group.bench("split_fast", || {
             apply_kind(
                 StageKind::FluxI,
                 domain,
@@ -95,11 +103,11 @@ fn bench_fast_vs_scalar(c: &mut Criterion) {
                 &mut [&mut f],
                 domain,
             )
-        })
-    });
-    group.bench_function("scalar", |b| {
+        });
+    }
+    {
         let mut f = Array3::zeros(domain);
-        b.iter(|| {
+        group.bench("scalar", || {
             apply_kind_scalar(
                 StageKind::FluxI,
                 domain,
@@ -108,10 +116,15 @@ fn bench_fast_vs_scalar(c: &mut Criterion) {
                 &mut [&mut f],
                 domain,
             )
-        })
-    });
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_step, bench_single_stage, bench_fast_vs_scalar);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_step(&mut h);
+    bench_single_stage(&mut h);
+    bench_fast_vs_scalar(&mut h);
+    h.finish();
+}

@@ -1,12 +1,12 @@
-//! Criterion microbenches of the NUMA discrete-event simulator: how
-//! fast one paper-scale time step of each strategy simulates, and the
-//! raw event throughput of the engine.
+//! Microbenches of the NUMA discrete-event simulator: how fast one
+//! paper-scale time step of each strategy simulates, and the raw event
+//! throughput of the engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use islands_bench::microbench::Harness;
 use islands_core::{plan_fused, plan_islands, plan_original, InitPolicy, Variant, Workload};
 use numa_sim::{simulate, CoreId, Op, SimConfig, TraceSet, UvParams};
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator(h: &mut Harness) {
     let machine = UvParams::uv2000(4).build();
     let w = Workload::paper();
     let cfg = SimConfig::default();
@@ -15,16 +15,16 @@ fn bench_simulator(c: &mut Criterion) {
     let fused = plan_fused(&machine, &w, InitPolicy::ParallelFirstTouch).unwrap();
     let islands = plan_islands(&machine, &w, Variant::A).unwrap();
 
-    let mut group = c.benchmark_group("simulate_one_step_p4");
+    let mut group = h.group("simulate_one_step_p4");
     group.sample_size(15);
-    group.bench_function("original", |b| {
-        b.iter(|| std::hint::black_box(simulate(&machine, &orig, &cfg).unwrap()))
+    group.bench("original", || {
+        std::hint::black_box(simulate(&machine, &orig, &cfg).unwrap());
     });
-    group.bench_function("fused_3p1d", |b| {
-        b.iter(|| std::hint::black_box(simulate(&machine, &fused, &cfg).unwrap()))
+    group.bench("fused_3p1d", || {
+        std::hint::black_box(simulate(&machine, &fused, &cfg).unwrap());
     });
-    group.bench_function("islands", |b| {
-        b.iter(|| std::hint::black_box(simulate(&machine, &islands, &cfg).unwrap()))
+    group.bench("islands", || {
+        std::hint::black_box(simulate(&machine, &islands, &cfg).unwrap());
     });
     group.finish();
 
@@ -46,13 +46,16 @@ fn bench_simulator(c: &mut Criterion) {
             }
         }
     }
-    let mut group = c.benchmark_group("engine_throughput");
+    let mut group = h.group("engine_throughput");
     group.sample_size(20);
-    group.bench_function("48k_ops_8_cores", |b| {
-        b.iter(|| std::hint::black_box(simulate(&machine, &raw, &cfg).unwrap()))
+    group.bench("48k_ops_8_cores", || {
+        std::hint::black_box(simulate(&machine, &raw, &cfg).unwrap());
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_simulator(&mut h);
+    h.finish();
+}

@@ -7,8 +7,7 @@
 
 use islands_bench::sim_config;
 use islands_core::{
-    estimate, extra_elements, plan_islands_partitioned, IslandLayout, Partition, Variant,
-    Workload,
+    estimate, extra_elements, plan_islands_partitioned, IslandLayout, Partition, Variant, Workload,
 };
 use mpdata::mpdata_graph;
 use numa_sim::UvParams;
@@ -21,10 +20,23 @@ fn main() {
     // Extra elements of every factorization of 14 islands (and a few
     // smaller counts for context).
     println!("## Extra elements [%] by island grid shape (domain 1024×512×64)");
-    for (pi, pj) in [(14, 1), (7, 2), (2, 7), (1, 14), (4, 2), (2, 4), (8, 1), (1, 8)] {
+    for (pi, pj) in [
+        (14, 1),
+        (7, 2),
+        (2, 7),
+        (1, 14),
+        (4, 2),
+        (2, 4),
+        (8, 1),
+        (1, 8),
+    ] {
         let part = Partition::grid2d(w.domain, pi, pj).unwrap();
         let e = extra_elements(&graph, &part);
-        println!("  {pi:>2} × {pj:<2} ({} islands): {:>6.3} %", pi * pj, e.percent());
+        println!(
+            "  {pi:>2} × {pj:<2} ({} islands): {:>6.3} %",
+            pi * pj,
+            e.percent()
+        );
     }
     println!();
 
@@ -38,13 +50,21 @@ fn main() {
     )
     .precision(3);
     for (label, part) in [
-        ("1D variant A (14×1)", Partition::grid2d(w.domain, 14, 1).unwrap()),
-        ("1D variant B (1×14)", Partition::grid2d(w.domain, 1, 14).unwrap()),
+        (
+            "1D variant A (14×1)",
+            Partition::grid2d(w.domain, 14, 1).unwrap(),
+        ),
+        (
+            "1D variant B (1×14)",
+            Partition::grid2d(w.domain, 1, 14).unwrap(),
+        ),
         ("2D grid 7×2", Partition::grid2d(w.domain, 7, 2).unwrap()),
         ("2D grid 2×7", Partition::grid2d(w.domain, 2, 7).unwrap()),
     ] {
         let ts = plan_islands_partitioned(&machine, &w, &part, &layout).expect("plans");
-        let secs = estimate(&machine, &ts, &w, &cfg).expect("simulates").total_seconds;
+        let secs = estimate(&machine, &ts, &w, &cfg)
+            .expect("simulates")
+            .total_seconds;
         let e = extra_elements(&graph, &part).percent();
         t.push_row(label, vec![secs, e]);
     }

@@ -8,8 +8,7 @@
 
 use islands_bench::sim_config;
 use islands_core::{
-    estimate, extra_elements, plan_islands_with_layout, IslandLayout, Partition, Variant,
-    Workload,
+    estimate, extra_elements, plan_islands_with_layout, IslandLayout, Partition, Variant, Workload,
 };
 use mpdata::mpdata_graph;
 use numa_sim::UvParams;
@@ -29,7 +28,9 @@ fn main() {
     for cores_per_island in [8usize, 4, 2, 1] {
         let layout = IslandLayout::sub_socket(&machine, cores_per_island);
         let ts = plan_islands_with_layout(&machine, &w, Variant::A, &layout).expect("plans");
-        let secs = estimate(&machine, &ts, &w, &cfg).expect("simulates").total_seconds;
+        let secs = estimate(&machine, &ts, &w, &cfg)
+            .expect("simulates")
+            .total_seconds;
         let extra = extra_elements(
             &graph,
             &Partition::one_d(w.domain, Variant::A, layout.len()).unwrap(),

@@ -41,13 +41,19 @@ fn main() {
         .skip(1)
         .map(|a| a.parse().expect("processor count"))
         .collect();
-    let ps = if ps.is_empty() { vec![1, 2, 4, 8, 14] } else { ps };
+    let ps = if ps.is_empty() {
+        vec![1, 2, 4, 8, 14]
+    } else {
+        ps
+    };
     println!(
         "{:>3} | {:>18} | {:>18} | {:>18} | {:>18}",
         "P", "orig-serial", "orig-parallel", "(3+1)D", "islands"
     );
-    println!("{:>3} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
-        "", "sim", "paper", "sim", "paper", "sim", "paper", "sim", "paper");
+    println!(
+        "{:>3} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
+        "", "sim", "paper", "sim", "paper", "sim", "paper", "sim", "paper"
+    );
     for &p in &ps {
         let t = measure(p, &w);
         println!(

@@ -31,7 +31,11 @@ fn fig1_graph() -> StageGraph {
     };
     StageGraph::build(
         t,
-        vec![mk(0, "stage1", a, x), mk(1, "stage2", b, a), mk(2, "stage3", c, b)],
+        vec![
+            mk(0, "stage1", a, x),
+            mk(1, "stage2", b, a),
+            mk(2, "stage3", c, b),
+        ],
     )
     .expect("fig1 graph is well-formed")
 }
@@ -65,10 +69,19 @@ fn main() {
 
     // Scenario (c): islands. Per-CPU enlarged schedules; extra updates
     // beyond the no-redundancy total.
-    let whole: usize = g.required_regions(domain, domain).iter().map(|r| r.cells()).sum();
+    let whole: usize = g
+        .required_regions(domain, domain)
+        .iter()
+        .map(|r| r.cells())
+        .sum();
     let per_cpu: Vec<usize> = [cpu_a, cpu_b]
         .iter()
-        .map(|&h| g.required_regions(h, domain).iter().map(|r| r.cells()).sum())
+        .map(|&h| {
+            g.required_regions(h, domain)
+                .iter()
+                .map(|r| r.cells())
+                .sum()
+        })
         .collect();
     let extra = per_cpu.iter().sum::<usize>() - whole;
     println!("\nScenario (c) — islands (recompute):");

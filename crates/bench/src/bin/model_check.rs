@@ -45,7 +45,10 @@ fn main() {
         );
     }
     println!("{}", t.render());
-    println!("worst relative error across the sweep: {:.0} %", worst * 100.0);
+    println!(
+        "worst relative error across the sweep: {:.0} %",
+        worst * 100.0
+    );
     println!(
         "check: model within 40% of the engine everywhere ... {}",
         worst < 0.40

@@ -7,8 +7,7 @@
 //! Run: `cargo run --release -p islands-bench --bin table1`
 
 use islands_bench::{
-    measure_sweep, sim_config, CPU_COUNTS, PAPER_FUSED, PAPER_ORIGINAL,
-    PAPER_T1_ORIGINAL_SERIAL,
+    measure_sweep, sim_config, CPU_COUNTS, PAPER_FUSED, PAPER_ORIGINAL, PAPER_T1_ORIGINAL_SERIAL,
 };
 use islands_core::{estimate, plan_original, InitPolicy, Workload};
 use numa_sim::UvParams;
@@ -52,21 +51,30 @@ fn main() {
         rows.iter().map(|r| r.original).collect(),
     );
     t.push_row("Original (parallel FT) [paper]", PAPER_ORIGINAL.to_vec());
-    t.push_row("(3+1)D                   [sim]", rows.iter().map(|r| r.fused).collect());
+    t.push_row(
+        "(3+1)D                   [sim]",
+        rows.iter().map(|r| r.fused).collect(),
+    );
     t.push_row("(3+1)D                 [paper]", PAPER_FUSED.to_vec());
     t.push_row("Original (interleaved)  [sim+]", interleaved.clone());
     println!("{}", t.render());
     println!("CSV:\n{}", t.to_csv());
 
     // The qualitative claims of Table 1, checked programmatically.
-    let serial_rises = rows.windows(2).all(|w| w[1].original_serial > w[0].original_serial * 0.98);
+    let serial_rises = rows
+        .windows(2)
+        .all(|w| w[1].original_serial > w[0].original_serial * 0.98);
     let fused_wins_only_small = rows[0].fused < rows[0].original
         && rows[1].fused < rows[1].original
         && rows[4..].iter().all(|r| r.fused > r.original);
-    let interleave_between = rows.iter().zip(&interleaved).skip(1).all(|(r, &il)| {
-        il > r.original * 0.95 && il < r.original_serial * 1.05
-    });
+    let interleave_between = rows
+        .iter()
+        .zip(&interleaved)
+        .skip(1)
+        .all(|(r, &il)| il > r.original * 0.95 && il < r.original_serial * 1.05);
     println!("check: serial-init times rise with P ............ {serial_rises}");
     println!("check: (3+1)D beats Original only for P ≤ ~3 .... {fused_wins_only_small}");
-    println!("check: interleaved sits between parallel/serial . {interleave_between} (extension row)");
+    println!(
+        "check: interleaved sits between parallel/serial . {interleave_between} (extension row)"
+    );
 }

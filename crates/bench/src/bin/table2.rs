@@ -20,12 +20,8 @@ fn main() {
     let mut a = Vec::new();
     let mut b = Vec::new();
     for &n in &CPU_COUNTS {
-        a.push(
-            extra_elements(&graph, &Partition::one_d(domain, Variant::A, n).unwrap()).percent(),
-        );
-        b.push(
-            extra_elements(&graph, &Partition::one_d(domain, Variant::B, n).unwrap()).percent(),
-        );
+        a.push(extra_elements(&graph, &Partition::one_d(domain, Variant::A, n).unwrap()).percent());
+        b.push(extra_elements(&graph, &Partition::one_d(domain, Variant::B, n).unwrap()).percent());
     }
 
     let mut t = Table::numbered_columns(

@@ -14,7 +14,10 @@ fn main() {
     let w = Workload::paper();
     let rows = measure_sweep(&CPU_COUNTS, &w);
 
-    let spr: Vec<f64> = rows.iter().map(|r| partial_speedup(r.fused, r.islands)).collect();
+    let spr: Vec<f64> = rows
+        .iter()
+        .map(|r| partial_speedup(r.fused, r.islands))
+        .collect();
     let sov: Vec<f64> = rows
         .iter()
         .map(|r| overall_speedup(r.original, r.islands))
@@ -24,11 +27,20 @@ fn main() {
         "Table 3: execution times [s] and speedups (simulated UV 2000, 50 steps, 1024×512×64)",
         14,
     );
-    t.push_row("Original           [sim]", rows.iter().map(|r| r.original).collect());
+    t.push_row(
+        "Original           [sim]",
+        rows.iter().map(|r| r.original).collect(),
+    );
     t.push_row("Original         [paper]", PAPER_ORIGINAL.to_vec());
-    t.push_row("(3+1)D             [sim]", rows.iter().map(|r| r.fused).collect());
+    t.push_row(
+        "(3+1)D             [sim]",
+        rows.iter().map(|r| r.fused).collect(),
+    );
     t.push_row("(3+1)D           [paper]", PAPER_FUSED.to_vec());
-    t.push_row("Islands of cores   [sim]", rows.iter().map(|r| r.islands).collect());
+    t.push_row(
+        "Islands of cores   [sim]",
+        rows.iter().map(|r| r.islands).collect(),
+    );
     t.push_row("Islands of cores [paper]", PAPER_ISLANDS.to_vec());
     t.push_row("S_pr               [sim]", spr.clone());
     t.push_row(
@@ -68,9 +80,17 @@ fn main() {
         16,
     )
     .log_y();
-    plot_a.series('o', &ps, &rows.iter().map(|r| r.original).collect::<Vec<_>>());
+    plot_a.series(
+        'o',
+        &ps,
+        &rows.iter().map(|r| r.original).collect::<Vec<_>>(),
+    );
     plot_a.series('f', &ps, &rows.iter().map(|r| r.fused).collect::<Vec<_>>());
-    plot_a.series('i', &ps, &rows.iter().map(|r| r.islands).collect::<Vec<_>>());
+    plot_a.series(
+        'i',
+        &ps,
+        &rows.iter().map(|r| r.islands).collect::<Vec<_>>(),
+    );
     println!("{}", plot_a.render());
     let mut plot_b = AsciiPlot::new("Fig 2b: speedups vs P (p = S_pr, v = S_ov)", 56, 14);
     plot_b.series('p', &ps, &spr);

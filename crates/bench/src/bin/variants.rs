@@ -27,10 +27,13 @@ fn main() {
             (Variant::B, &mut time_b, &mut extra_b),
         ] {
             let ts = plan_islands(&machine, &w, variant).expect("plans");
-            times.push(estimate(&machine, &ts, &w, &cfg).expect("simulates").total_seconds);
+            times.push(
+                estimate(&machine, &ts, &w, &cfg)
+                    .expect("simulates")
+                    .total_seconds,
+            );
             extras.push(
-                extra_elements(&graph, &Partition::one_d(w.domain, variant, p).unwrap())
-                    .percent(),
+                extra_elements(&graph, &Partition::one_d(w.domain, variant, p).unwrap()).percent(),
             );
         }
     }
@@ -45,9 +48,6 @@ fn main() {
     t.push_row("extra B [%]", extra_b);
     println!("{}", t.render());
 
-    let a_never_worse = time_a
-        .iter()
-        .zip(&time_b)
-        .all(|(a, b)| *a <= b * 1.02);
+    let a_never_worse = time_a.iter().zip(&time_b).all(|(a, b)| *a <= b * 1.02);
     println!("check: variant A ≤ variant B at every P (±2%) ... {a_never_worse}");
 }

@@ -1,8 +1,8 @@
 //! # islands-bench
 //!
 //! The benchmark harness: one binary per table/figure of the paper (see
-//! `DESIGN.md` §5 for the experiment index), plus the Criterion
-//! microbenches under `benches/`.
+//! `DESIGN.md` §5 for the experiment index), plus the std-only
+//! microbenches under `benches/` (see [`microbench`]).
 //!
 //! This library holds what the binaries share: the paper's published
 //! numbers (for side-by-side printing), the measurement driver that
@@ -11,6 +11,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use islands_core::{
     estimate, plan_fused, plan_islands, plan_original, InitPolicy, Variant, Workload,

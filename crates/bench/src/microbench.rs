@@ -1,0 +1,210 @@
+//! A minimal, std-only microbenchmark harness.
+//!
+//! The hermetic build rules out the external `criterion` crate, and the
+//! microbenches under `benches/` only ever used a sliver of its API:
+//! named groups, per-group sample counts, and a timed closure. This
+//! module provides exactly that sliver. Each benchmark
+//!
+//! 1. calibrates a batch size so one sample runs for at least
+//!    [`MIN_SAMPLE_NANOS`] (timer noise stays far below 1 %),
+//! 2. takes `samples` timed batches after one warmup batch,
+//! 3. prints min / median / max per-iteration times.
+//!
+//! Building the bench crate with `--features criterion` multiplies the
+//! sample counts and minimum sample time for steadier numbers; the
+//! default profile keeps `cargo bench` quick enough for CI.
+//!
+//! A single positional command-line argument (as in
+//! `cargo bench --bench kernels -- fused`) filters benchmarks by
+//! substring of `group/label`.
+
+use std::time::{Duration, Instant};
+
+/// Minimum duration of one timed sample, before the `criterion`
+/// feature's multiplier.
+pub const MIN_SAMPLE_NANOS: u64 = 2_000_000;
+
+fn effort_multiplier() -> u64 {
+    if cfg!(feature = "criterion") {
+        5
+    } else {
+        1
+    }
+}
+
+/// Top-level harness: owns the filter and prints the report.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args` (first non-flag argument
+    /// becomes the substring filter; flags cargo may pass are ignored).
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            filter,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: 20,
+        }
+    }
+
+    /// Prints the run summary. Call once at the end of `main`.
+    pub fn finish(self) {
+        println!(
+            "\n{} benchmark(s) run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f`, reporting per-iteration statistics under
+    /// `group/label`.
+    pub fn bench<F: FnMut()>(&mut self, label: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(flt) = &self.harness.filter {
+            if !full.contains(flt.as_str()) {
+                self.harness.skipped += 1;
+                return;
+            }
+        }
+        let min_sample = Duration::from_nanos(MIN_SAMPLE_NANOS * effort_multiplier());
+        let samples = self.samples * effort_multiplier() as usize;
+
+        // Calibrate: grow the batch until one batch clears min_sample.
+        let mut batch = 1_u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= min_sample {
+                break;
+            }
+            // At least double; overshoot toward the target to converge
+            // in a few rounds even for nanosecond-scale bodies.
+            let scale = (min_sample.as_nanos() as u64)
+                .checked_div(elapsed.as_nanos().max(1) as u64)
+                .unwrap_or(2)
+                .clamp(2, 1024);
+            batch = batch.saturating_mul(scale);
+        }
+
+        // Warmup batch, then timed samples.
+        for _ in 0..batch {
+            f();
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{full:<44} {:>12}  (min {}, max {}, {samples}×{batch} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+        );
+        self.harness.ran += 1;
+    }
+
+    /// Criterion-style alias: benchmark `f` with a parameter shown in
+    /// the label, e.g. `bench_param("original", 4, || ...)`.
+    pub fn bench_param<P: std::fmt::Display, F: FnMut()>(&mut self, label: &str, param: P, f: F) {
+        let composite = format!("{label}/{param}");
+        self.bench(&composite, f);
+    }
+
+    /// Ends the group (kept for call-site symmetry; no work needed).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_time_scales() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut h = Harness {
+            filter: None,
+            ran: 0,
+            skipped: 0,
+        };
+        let mut g = h.group("t");
+        g.sample_size(3);
+        let mut hits = 0_u64;
+        g.bench("noop", || hits += 1);
+        g.finish();
+        assert_eq!(h.ran, 1);
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            filter: Some("nomatch".into()),
+            ran: 0,
+            skipped: 0,
+        };
+        let mut g = h.group("t");
+        g.bench("noop", || {});
+        g.finish();
+        assert_eq!(h.ran, 0);
+        assert_eq!(h.skipped, 1);
+    }
+}

@@ -7,9 +7,9 @@
 //! 1024×512×64 grid). 2-D island grids — the paper's future work — are
 //! provided as [`Partition::grid2d`] and exercised by ablation A1.
 
-use stencil_engine::{Axis, Region3};
 use std::error::Error;
 use std::fmt;
+use stencil_engine::{Axis, Region3};
 
 /// The paper's 1-D partitioning variants.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -150,7 +150,10 @@ mod tests {
         let d = Region3::of_extent(16, 8, 4);
         let p = Partition::one_d(d, Variant::A, 3).unwrap();
         assert_eq!(p.islands(), 3);
-        assert_eq!(p.parts().iter().map(|r| r.cells()).sum::<usize>(), d.cells());
+        assert_eq!(
+            p.parts().iter().map(|r| r.cells()).sum::<usize>(),
+            d.cells()
+        );
         // Adjacent in island order.
         for w in p.parts().windows(2) {
             assert_eq!(w[0].i.hi, w[1].i.lo);
@@ -162,7 +165,10 @@ mod tests {
         let d = Region3::of_extent(8, 8, 4);
         let p = Partition::grid2d(d, 2, 3).unwrap();
         assert_eq!(p.islands(), 6);
-        assert_eq!(p.parts().iter().map(|r| r.cells()).sum::<usize>(), d.cells());
+        assert_eq!(
+            p.parts().iter().map(|r| r.cells()).sum::<usize>(),
+            d.cells()
+        );
         for a in 0..6 {
             for b in (a + 1)..6 {
                 assert!(!p.parts()[a].overlaps(p.parts()[b]));
@@ -190,6 +196,9 @@ mod tests {
             .unwrap()
             .description()
             .contains("variant B"));
-        assert!(Partition::grid2d(d, 2, 2).unwrap().description().contains("2D"));
+        assert!(Partition::grid2d(d, 2, 2)
+            .unwrap()
+            .description()
+            .contains("2D"));
     }
 }

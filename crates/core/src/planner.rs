@@ -34,8 +34,7 @@ use numa_sim::{
     TraceSet,
 };
 use stencil_engine::{
-    Axis, BlockPlanner, Blocking, FieldRole, PlanBlocksError, Region3, StageGraph,
-    BYTES_PER_CELL,
+    Axis, BlockPlanner, Blocking, FieldRole, PlanBlocksError, Region3, StageGraph, BYTES_PER_CELL,
 };
 
 /// The problem a planner schedules.
@@ -95,12 +94,7 @@ fn placement(init: InitPolicy, domain: Region3, machine: &Machine, axis: Axis) -
 /// Emits read streams for `bytes_by_node`, distributing `flops`
 /// proportionally to bytes (all-compute op when there is nothing to
 /// read).
-fn push_streams(
-    ts: &mut TraceSet,
-    core: CoreId,
-    bytes_by_node: &[(NodeId, f64)],
-    flops: f64,
-) {
+fn push_streams(ts: &mut TraceSet, core: CoreId, bytes_by_node: &[(NodeId, f64)], flops: f64) {
     let total: f64 = bytes_by_node.iter().map(|(_, b)| b).sum();
     if total <= 0.0 {
         if flops > 0.0 {
@@ -182,7 +176,12 @@ fn push_block_load(
     let core = team[rank];
     let mut flops = 0.0;
     for st in graph.stages().iter().take(graph.stage_count() - 1) {
-        let slice = st_slice(block.stage_regions[st.id.index()], split_axis, team.len(), rank);
+        let slice = st_slice(
+            block.stage_regions[st.id.index()],
+            split_axis,
+            team.len(),
+            rank,
+        );
         flops += slice.cells() as f64 * st.flops_per_cell;
     }
     // Each external field is loaded over the hull of the regions of the
@@ -318,7 +317,15 @@ pub fn plan_fused(
             let region = block.stage_regions[stage_idx];
             for rank in 0..cores.len() {
                 push_block_stage(
-                    &mut ts, &graph, machine, &place, stage_idx, region, &cores, rank, Axis::J,
+                    &mut ts,
+                    &graph,
+                    machine,
+                    &place,
+                    stage_idx,
+                    region,
+                    &cores,
+                    rank,
+                    Axis::J,
                 );
                 ts.push(cores[rank], Op::Barrier { id: global });
             }
@@ -356,8 +363,8 @@ pub fn plan_islands_with_layout(
     variant: Variant,
     layout: &IslandLayout,
 ) -> Result<TraceSet, PlanBlocksError> {
-    let partition = Partition::one_d(w.domain, variant, layout.len())
-        .expect("layout has at least one island");
+    let partition =
+        Partition::one_d(w.domain, variant, layout.len()).expect("layout has at least one island");
     plan_islands_partitioned(machine, w, &partition, layout)
 }
 
@@ -458,8 +465,8 @@ pub fn plan_islands_exchange(
     variant: Variant,
 ) -> Result<TraceSet, PlanBlocksError> {
     let layout = IslandLayout::per_socket(machine);
-    let partition = Partition::one_d(w.domain, variant, layout.len())
-        .expect("layout has at least one island");
+    let partition =
+        Partition::one_d(w.domain, variant, layout.len()).expect("layout has at least one island");
     let (graph, _) = mpdata_graph();
     let slabs: Vec<(Region3, NodeId)> = partition
         .parts()
@@ -547,7 +554,8 @@ pub fn plan_islands_exchange(
                                     Axis::K => slice.i.len() * slice.j.len(),
                                 } as f64
                                     * BYTES_PER_CELL as f64;
-                                if neg > 0 && region.range(axis).lo == partition.parts()[p].range(axis).lo
+                                if neg > 0
+                                    && region.range(axis).lo == partition.parts()[p].range(axis).lo
                                 {
                                     bytes_lo += neg as f64 * plane;
                                 }
@@ -655,8 +663,13 @@ mod tests {
         let m = UvParams::uv2000(4).build();
         let w = small_workload();
         let cfg = SimConfig::default();
-        let ser = estimate(&m, &plan_original(&m, &w, InitPolicy::SerialFirstTouch), &w, &cfg)
-            .unwrap();
+        let ser = estimate(
+            &m,
+            &plan_original(&m, &w, InitPolicy::SerialFirstTouch),
+            &w,
+            &cfg,
+        )
+        .unwrap();
         let par = estimate(
             &m,
             &plan_original(&m, &w, InitPolicy::ParallelFirstTouch),
@@ -798,7 +811,11 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        assert!(exc.total_seconds > rec, "exchange {} vs recompute {rec}", exc.total_seconds);
+        assert!(
+            exc.total_seconds > rec,
+            "exchange {} vs recompute {rec}",
+            exc.total_seconds
+        );
         // Exchange really does pull across islands...
         assert!(exc.report.cache_remote_bytes > 0.0);
         // ...and performs no redundant flops: trace flops equal fused's.

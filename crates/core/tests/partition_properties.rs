@@ -1,68 +1,163 @@
 //! Property tests for partitioning and the extra-element analysis.
+//!
+//! Hermetic build: the properties are swept over a deterministic,
+//! seeded case list (std-only) instead of the external `proptest`
+//! crate. The default feature set runs a quick sweep; building with
+//! `--features proptest` widens it roughly tenfold. A failing case
+//! prints its case index and drawn parameters, which — the stream
+//! being a pure function of the seed — reproduces exactly.
 
 use islands_core::{extra_elements, IslandLayout, Partition, Variant};
 use mpdata::mpdata_graph;
 use numa_sim::UvParams;
-use proptest::prelude::*;
+use stencil_engine::rng::{Rng64, Xoshiro256pp};
 use stencil_engine::Region3;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases(quick: usize) -> usize {
+    if cfg!(feature = "proptest") {
+        quick * 10
+    } else {
+        quick
+    }
+}
 
-    /// Any 1-D or 2-D partition disjointly covers the domain.
-    #[test]
-    fn partitions_cover_disjointly(
-        ni in 4usize..40, nj in 4usize..40, nk in 1usize..8,
-        pi in 1usize..6, pj in 1usize..6, two_d in proptest::bool::ANY,
-    ) {
+/// Any 1-D or 2-D partition disjointly covers the domain.
+#[test]
+fn partitions_cover_disjointly() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xC0FE_0001);
+    for case in 0..cases(48) {
+        let ni = 4 + rng.below(36);
+        let nj = 4 + rng.below(36);
+        let nk = 1 + rng.below(7);
+        let pi = 1 + rng.below(5);
+        let pj = 1 + rng.below(5);
+        let two_d = rng.next_bool();
         let d = Region3::of_extent(ni, nj, nk);
         let p = if two_d {
             Partition::grid2d(d, pi, pj).unwrap()
         } else {
             Partition::one_d(d, Variant::A, pi * pj).unwrap()
         };
+        let label = format!("case {case}: {ni}×{nj}×{nk}, pi={pi}, pj={pj}, two_d={two_d}");
         let total: usize = p.parts().iter().map(|r| r.cells()).sum();
-        prop_assert_eq!(total, d.cells());
+        assert_eq!(total, d.cells(), "{label}");
         for (n, a) in p.parts().iter().enumerate() {
-            prop_assert!(d.contains_region(*a));
+            assert!(d.contains_region(*a), "{label}");
             for b in &p.parts()[n + 1..] {
-                prop_assert!(!a.overlaps(*b));
+                assert!(!a.overlaps(*b), "{label}");
             }
         }
     }
+}
 
-    /// Extra elements are monotone in the island count (more cuts can
-    /// never reduce redundancy) and zero for one island.
-    #[test]
-    fn extra_elements_monotone(
-        ni in 16usize..64, nj in 8usize..32,
-        variant_b in proptest::bool::ANY,
-    ) {
-        let (g, _) = mpdata_graph();
+/// Extra elements are monotone in the island count (more cuts can
+/// never reduce redundancy) and zero for one island.
+#[test]
+fn extra_elements_monotone() {
+    let (g, _) = mpdata_graph();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xC0FE_0002);
+    for case in 0..cases(48) {
+        let ni = 16 + rng.below(48);
+        let nj = 8 + rng.below(24);
+        let variant_b = rng.next_bool();
         let d = Region3::of_extent(ni, nj, 4);
         let v = if variant_b { Variant::B } else { Variant::A };
         let mut last = 0usize;
         for n in 1..=4 {
             let e = extra_elements(&g, &Partition::one_d(d, v, n).unwrap());
-            prop_assert!(e.extra_updates() >= last,
-                "islands {n}: {} < {last}", e.extra_updates());
+            assert!(
+                e.extra_updates() >= last,
+                "case {case} ({ni}×{nj}, {v:?}), islands {n}: {} < {last}",
+                e.extra_updates()
+            );
             if n == 1 {
-                prop_assert_eq!(e.extra_updates(), 0);
+                assert_eq!(e.extra_updates(), 0, "case {case}");
             }
             last = e.extra_updates();
         }
     }
+}
 
-    /// Total updates are invariant under which variant produced the
-    /// single-island partition (both are the whole domain).
-    #[test]
-    fn single_island_variants_agree(ni in 8usize..32, nj in 8usize..32) {
-        let (g, _) = mpdata_graph();
+/// Total updates are invariant under which variant produced the
+/// single-island partition (both are the whole domain).
+#[test]
+fn single_island_variants_agree() {
+    let (g, _) = mpdata_graph();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xC0FE_0003);
+    for case in 0..cases(48) {
+        let ni = 8 + rng.below(24);
+        let nj = 8 + rng.below(24);
         let d = Region3::of_extent(ni, nj, 4);
         let a = extra_elements(&g, &Partition::one_d(d, Variant::A, 1).unwrap());
         let b = extra_elements(&g, &Partition::one_d(d, Variant::B, 1).unwrap());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {ni}×{nj}");
     }
+}
+
+/// Boundary grids the random sweeps would rarely draw: a single
+/// island, more islands than the cut axis has cells (some parts are
+/// necessarily empty), and prime extents that never divide evenly.
+#[test]
+fn boundary_grids_partition_soundly() {
+    let (g, _) = mpdata_graph();
+    // P = 1 on a tiny domain: the partition is the whole domain and
+    // carries zero redundancy.
+    let tiny = Region3::of_extent(1, 1, 1);
+    let p1 = Partition::one_d(tiny, Variant::A, 1).unwrap();
+    assert_eq!(p1.parts(), &[tiny]);
+    assert_eq!(extra_elements(&g, &p1).extra_updates(), 0);
+
+    // P > nx: the split must still disjointly cover, with the surplus
+    // islands holding empty parts (and never negative-extent regions).
+    for (extent, islands) in [(3usize, 7usize), (1, 4), (5, 6)] {
+        let d = Region3::of_extent(extent, 8, 4);
+        for v in [Variant::A, Variant::B] {
+            let axis_len = match v {
+                Variant::A => extent,
+                Variant::B => 8,
+            };
+            let p = Partition::one_d(d, v, islands).unwrap();
+            assert_eq!(p.islands(), islands);
+            let total: usize = p.parts().iter().map(|r| r.cells()).sum();
+            assert_eq!(total, d.cells(), "{v:?} {extent}→{islands}");
+            let nonempty = p.parts().iter().filter(|r| r.cells() > 0).count();
+            assert_eq!(nonempty, axis_len.min(islands), "{v:?} {extent}→{islands}");
+            for (n, a) in p.parts().iter().enumerate() {
+                assert!(a.i.len() + a.j.len() + a.k.len() > 0 || a.cells() == 0);
+                for b in &p.parts()[n + 1..] {
+                    assert!(!a.overlaps(*b));
+                }
+            }
+        }
+    }
+
+    // Prime extents: no island count from 2..=7 divides 31 or 37, so
+    // every split exercises the uneven-remainder path; parts must
+    // still cover disjointly and differ by at most one slab.
+    for (ni, nj) in [(31usize, 37usize), (37, 31)] {
+        let d = Region3::of_extent(ni, nj, 4);
+        for islands in 2..=7 {
+            for v in [Variant::A, Variant::B] {
+                let p = Partition::one_d(d, v, islands).unwrap();
+                let total: usize = p.parts().iter().map(|r| r.cells()).sum();
+                assert_eq!(total, d.cells());
+                let lens: Vec<usize> = p.parts().iter().map(|r| r.range(v.axis()).len()).collect();
+                let mn = *lens.iter().min().unwrap();
+                let mx = *lens.iter().max().unwrap();
+                assert!(mx - mn <= 1, "{v:?} {ni}×{nj} / {islands}: {lens:?}");
+                // Redundancy stays monotone across the uneven splits.
+                let e = extra_elements(&g, &p);
+                assert!(e.extra_updates() > 0, "cuts must cost something");
+            }
+        }
+    }
+
+    // 2-D grid on prime extents: both factors uneven simultaneously.
+    let d = Region3::of_extent(29, 23, 4);
+    let p = Partition::grid2d(d, 4, 3).unwrap();
+    assert_eq!(p.islands(), 12);
+    let total: usize = p.parts().iter().map(|r| r.cells()).sum();
+    assert_eq!(total, d.cells());
 }
 
 /// Island layouts tile the machine's cores exactly once, whatever the

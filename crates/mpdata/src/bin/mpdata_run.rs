@@ -18,11 +18,10 @@ use mpdata::{
     gaussian_pulse, random_fields, rotating_cone, Boundary, FusedExecutor, IslandsExecutor,
     MpdataFields, MpdataProblem, OriginalExecutor, ReferenceExecutor,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use stencil_engine::{Axis, Region3};
 use std::process::ExitCode;
 use std::time::Instant;
+use stencil_engine::rng::Xoshiro256pp;
+use stencil_engine::{Axis, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
 
 #[derive(Debug)]
@@ -118,7 +117,7 @@ fn make_fields(a: &Args) -> MpdataFields {
     let d = Region3::of_extent(a.domain.0, a.domain.1, a.domain.2);
     match a.problem.as_str() {
         "cone" => rotating_cone(d, 0.35),
-        "random" => random_fields(&mut StdRng::seed_from_u64(7), d, 0.8),
+        "random" => random_fields(&mut Xoshiro256pp::seed_from_u64(7), d, 0.8),
         _ => {
             let mut f = gaussian_pulse(d, (0.3, 0.0, 0.0));
             if a.boundary == Boundary::Open {
@@ -201,7 +200,14 @@ fn main() -> ExitCode {
 
     println!(
         "strategy={} domain={}x{}x{} steps={} workers={} islands={} iord={} boundary={:?}",
-        a.strategy, a.domain.0, a.domain.1, a.domain.2, a.steps, a.workers, a.islands, a.iord,
+        a.strategy,
+        a.domain.0,
+        a.domain.1,
+        a.domain.2,
+        a.steps,
+        a.workers,
+        a.islands,
+        a.iord,
         a.boundary,
     );
     println!("elapsed      : {elapsed:.2?}");
@@ -210,7 +216,11 @@ fn main() -> ExitCode {
         (fields.domain().cells() * a.steps) as f64 / elapsed.as_secs_f64() / 1e6
     );
     println!("mass drift   : {:+.3e}", fields.mass() / mass0 - 1.0);
-    println!("min / max    : {:+.4e} / {:+.4e}", fields.x.min(), fields.x.max());
+    println!(
+        "min / max    : {:+.4e} / {:+.4e}",
+        fields.x.min(),
+        fields.x.max()
+    );
     if let Some(r) = reference {
         let diff = fields.x.max_abs_diff(&r.x);
         println!("verify       : max |Δ| vs reference = {diff:.3e}");

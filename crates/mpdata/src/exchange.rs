@@ -109,8 +109,9 @@ impl<'p> ExchangeExecutor<'p> {
         let out = DisjointCell::new(Array3::zeros(domain));
         let stores: Vec<DisjointCell<Option<ParStore<'_>>>> =
             (0..n_teams).map(|_| DisjointCell::new(None)).collect();
-        let staging: Vec<DisjointCell<Vec<(stencil_engine::FieldId, Array3)>>> =
-            (0..n_teams).map(|_| DisjointCell::new(Vec::new())).collect();
+        let staging: Vec<DisjointCell<Vec<(stencil_engine::FieldId, Array3)>>> = (0..n_teams)
+            .map(|_| DisjointCell::new(Vec::new()))
+            .collect();
         let xout = self.problem.xout();
         let bc = self.problem.boundary();
 
@@ -149,13 +150,16 @@ impl<'p> ExchangeExecutor<'p> {
                     if !mine.is_empty() {
                         // SAFETY: disjoint regions across all writers.
                         let out_arr = unsafe { out.get_mut() };
-                        let store =
-                            unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                        let store = unsafe { stores[ctx.team].get_ref() }
+                            .as_ref()
+                            .expect("store");
                         store.apply_into(st, kind, domain, bc, mine, out_arr);
                     }
                 } else {
                     // SAFETY: disjoint regions across this team's ranks.
-                    let store = unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                    let store = unsafe { stores[ctx.team].get_ref() }
+                        .as_ref()
+                        .expect("store");
                     store.apply(st, kind, domain, bc, mine);
                 }
             });
@@ -199,7 +203,9 @@ impl<'p> ExchangeExecutor<'p> {
                 // SAFETY: own-slot access, fenced by the joins around
                 // this phase.
                 let pieces = std::mem::take(unsafe { staging[ctx.team].get_mut() });
-                let store = unsafe { stores[ctx.team].get_mut() }.as_mut().expect("store");
+                let store = unsafe { stores[ctx.team].get_mut() }
+                    .as_mut()
+                    .expect("store");
                 for (f, piece) in &pieces {
                     store.blit(*f, piece);
                 }
@@ -221,19 +227,18 @@ mod tests {
     use super::*;
     use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
     use crate::reference::ReferenceExecutor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use stencil_engine::rng::Xoshiro256pp;
 
     #[test]
     fn matches_reference_bitwise() {
         let d = Region3::of_extent(20, 9, 5);
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
         let f = random_fields(&mut rng, d, 0.7);
         let expect = ReferenceExecutor::new().step(&f);
         for (workers, teams) in [(2, 2), (4, 2), (6, 3), (8, 4)] {
             let pool = WorkerPool::new(workers);
-            let got = ExchangeExecutor::new(&pool, TeamSpec::even(workers, teams), Axis::I)
-                .step(&f);
+            let got =
+                ExchangeExecutor::new(&pool, TeamSpec::even(workers, teams), Axis::I).step(&f);
             assert_eq!(
                 got.max_abs_diff(&expect),
                 0.0,
@@ -248,8 +253,7 @@ mod tests {
         let f = gaussian_pulse(d, (0.15, 0.25, 0.0));
         let expect = ReferenceExecutor::new().step(&f);
         let pool = WorkerPool::new(6);
-        let got =
-            ExchangeExecutor::new(&pool, TeamSpec::even(6, 3), Axis::J).step(&f);
+        let got = ExchangeExecutor::new(&pool, TeamSpec::even(6, 3), Axis::J).step(&f);
         assert_eq!(got.max_abs_diff(&expect), 0.0);
     }
 

@@ -282,7 +282,13 @@ mod tests {
         let f1 = g.fields().find("f1").unwrap();
         let mut store = SerialStore::new(g.fields().len(), &f, p.ext());
         store.alloc(f1, d);
-        store.apply(&g.stages()[0], p.kind(g.stages()[0].id), d, Boundary::Open, d);
+        store.apply(
+            &g.stages()[0],
+            p.kind(g.stages()[0].id),
+            d,
+            Boundary::Open,
+            d,
+        );
         let f1a = store.take(f1);
         // Positive velocity ⇒ flux equals 0.1 × upstream value > 0.
         assert!(f1a.get(3, 3, 3) > 0.0);
@@ -332,7 +338,13 @@ mod tests {
         let f1 = g.fields().find("f1").unwrap();
         let mut s = SerialStore::new(g.fields().len(), &f, p.ext());
         s.alloc(f1, d);
-        s.apply(&g.stages()[0], p.kind(g.stages()[0].id), d, Boundary::Open, Region3::empty());
+        s.apply(
+            &g.stages()[0],
+            p.kind(g.stages()[0].id),
+            d,
+            Boundary::Open,
+            Region3::empty(),
+        );
         assert_eq!(s.take(f1).sum(), 0.0);
     }
 }

@@ -7,7 +7,7 @@
 //! owns these arrays; the generators below build the standard test
 //! problems used throughout the test suite and the examples.
 
-use rand::Rng;
+use stencil_engine::rng::Rng64;
 use stencil_engine::{Array3, Region3};
 
 /// Small constant preventing division by zero in antidiffusive velocities
@@ -93,7 +93,13 @@ pub fn gaussian_pulse(domain: Region3, courant: (f64, f64, f64)) -> MpdataFields
         (domain.j.lo + domain.j.hi) as f64 / 2.0,
         (domain.k.lo + domain.k.hi) as f64 / 2.0,
     );
-    let sigma = (domain.i.len().min(domain.j.len()).min(domain.k.len()).max(4)) as f64 / 6.0;
+    let sigma = (domain
+        .i
+        .len()
+        .min(domain.j.len())
+        .min(domain.k.len())
+        .max(4)) as f64
+        / 6.0;
     let x = Array3::from_fn(domain, |i, j, k| {
         let di = i as f64 + 0.5 - c.0;
         let dj = j as f64 + 0.5 - c.1;
@@ -165,15 +171,15 @@ pub fn rotating_cone(domain: Region3, max_courant: f64) -> MpdataFields {
 /// `Σ_faces outflow ≤ max_total · h` holds for every cell even when all
 /// six faces flow outward, closed boundaries, and a mildly varying
 /// density with `h ≥ 0.8`.
-pub fn random_fields<R: Rng>(rng: &mut R, domain: Region3, max_total: f64) -> MpdataFields {
+pub fn random_fields<R: Rng64>(rng: &mut R, domain: Region3, max_total: f64) -> MpdataFields {
     const H_MIN: f64 = 0.8;
     let per_axis = max_total * H_MIN / 6.0;
     let mut f = MpdataFields {
-        x: Array3::from_fn(domain, |_, _, _| rng.gen_range(0.0..10.0)),
-        u1: Array3::from_fn(domain, |_, _, _| rng.gen_range(-per_axis..per_axis)),
-        u2: Array3::from_fn(domain, |_, _, _| rng.gen_range(-per_axis..per_axis)),
-        u3: Array3::from_fn(domain, |_, _, _| rng.gen_range(-per_axis..per_axis)),
-        h: Array3::from_fn(domain, |_, _, _| rng.gen_range(H_MIN..1.2)),
+        x: Array3::from_fn(domain, |_, _, _| rng.range_f64(0.0, 10.0)),
+        u1: Array3::from_fn(domain, |_, _, _| rng.range_f64(-per_axis, per_axis)),
+        u2: Array3::from_fn(domain, |_, _, _| rng.range_f64(-per_axis, per_axis)),
+        u3: Array3::from_fn(domain, |_, _, _| rng.range_f64(-per_axis, per_axis)),
+        h: Array3::from_fn(domain, |_, _, _| rng.range_f64(H_MIN, 1.2)),
     };
     f.close_boundaries();
     f
@@ -182,8 +188,7 @@ pub fn random_fields<R: Rng>(rng: &mut R, domain: Region3, max_total: f64) -> Mp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use stencil_engine::rng::Xoshiro256pp;
 
     #[test]
     fn gaussian_pulse_is_positive_and_peaked() {
@@ -226,11 +231,10 @@ mod tests {
     #[test]
     fn random_fields_bounded() {
         let d = Region3::of_extent(6, 5, 4);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let f = random_fields(&mut rng, d, 0.9);
         for (i, j, k) in d.points() {
-            let tot =
-                f.u1.get(i, j, k).abs() + f.u2.get(i, j, k).abs() + f.u3.get(i, j, k).abs();
+            let tot = f.u1.get(i, j, k).abs() + f.u2.get(i, j, k).abs() + f.u3.get(i, j, k).abs();
             assert!(2.0 * tot / f.h.get(i, j, k) <= 0.9);
             assert!(f.x.get(i, j, k) >= 0.0);
             assert!(f.h.get(i, j, k) >= 0.8);

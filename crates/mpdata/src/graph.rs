@@ -182,19 +182,55 @@ impl MpdataProblem {
 
         // ---- Pass 1: upwind ------------------------------------------
         let last_pass = iord == 1;
-        let role = |last: bool| if last { FieldRole::Output } else { FieldRole::Intermediate };
+        let role = |last: bool| {
+            if last {
+                FieldRole::Output
+            } else {
+                FieldRole::Intermediate
+            }
+        };
         let f1 = t.add("f1", FieldRole::Intermediate);
         let f2 = t.add("f2", FieldRole::Intermediate);
         let f3 = t.add("f3", FieldRole::Intermediate);
         let xp = t.add(if last_pass { "xout" } else { "xp" }, role(last_pass));
-        push(&mut stages, &mut kinds, StageKind::FluxI, "flux_i".into(), vec![f1],
-             vec![(x, don(0)), (u1, point())]);
-        push(&mut stages, &mut kinds, StageKind::FluxJ, "flux_j".into(), vec![f2],
-             vec![(x, don(1)), (u2, point())]);
-        push(&mut stages, &mut kinds, StageKind::FluxK, "flux_k".into(), vec![f3],
-             vec![(x, don(2)), (u3, point())]);
-        push(&mut stages, &mut kinds, StageKind::Update, "low_order".into(), vec![xp],
-             vec![(x, point()), (f1, div(0)), (f2, div(1)), (f3, div(2)), (h, point())]);
+        push(
+            &mut stages,
+            &mut kinds,
+            StageKind::FluxI,
+            "flux_i".into(),
+            vec![f1],
+            vec![(x, don(0)), (u1, point())],
+        );
+        push(
+            &mut stages,
+            &mut kinds,
+            StageKind::FluxJ,
+            "flux_j".into(),
+            vec![f2],
+            vec![(x, don(1)), (u2, point())],
+        );
+        push(
+            &mut stages,
+            &mut kinds,
+            StageKind::FluxK,
+            "flux_k".into(),
+            vec![f3],
+            vec![(x, don(2)), (u3, point())],
+        );
+        push(
+            &mut stages,
+            &mut kinds,
+            StageKind::Update,
+            "low_order".into(),
+            vec![xp],
+            vec![
+                (x, point()),
+                (f1, div(0)),
+                (f2, div(1)),
+                (f3, div(2)),
+                (h, point()),
+            ],
+        );
 
         // ---- Corrective iterations -----------------------------------
         // Velocities transporting iteration k: the physical Courant
@@ -204,7 +240,11 @@ impl MpdataProblem {
         let mut vel_prev = (u1, u2, u3);
         for k in 2..=iord {
             let last = k == iord;
-            let sfx = if k == 2 { String::new() } else { format!("_{k}") };
+            let sfx = if k == 2 {
+                String::new()
+            } else {
+                format!("_{k}")
+            };
             let nm = |base: &str| format!("{base}{sfx}");
 
             let (pu1, pu2, pu3) = vel_prev;
@@ -247,31 +287,90 @@ impl MpdataProblem {
             let v1 = t.add(&nm("v1"), FieldRole::Intermediate);
             let v2 = t.add(&nm("v2"), FieldRole::Intermediate);
             let v3 = t.add(&nm("v3"), FieldRole::Intermediate);
-            push(&mut stages, &mut kinds, StageKind::AntidiffI, nm("antidiff_i"), vec![v1],
-                 vec![(scalar_prev, xp_anti(0, 1, 2)), (pu1, point()),
-                      (pu2, cross(0, 1)), (pu3, cross(0, 2)), (h, don(0))]);
-            push(&mut stages, &mut kinds, StageKind::AntidiffJ, nm("antidiff_j"), vec![v2],
-                 vec![(scalar_prev, xp_anti(1, 0, 2)), (pu2, point()),
-                      (pu1, cross(1, 0)), (pu3, cross(1, 2)), (h, don(1))]);
-            push(&mut stages, &mut kinds, StageKind::AntidiffK, nm("antidiff_k"), vec![v3],
-                 vec![(scalar_prev, xp_anti(2, 0, 1)), (pu3, point()),
-                      (pu1, cross(2, 0)), (pu2, cross(2, 1)), (h, don(2))]);
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::AntidiffI,
+                nm("antidiff_i"),
+                vec![v1],
+                vec![
+                    (scalar_prev, xp_anti(0, 1, 2)),
+                    (pu1, point()),
+                    (pu2, cross(0, 1)),
+                    (pu3, cross(0, 2)),
+                    (h, don(0)),
+                ],
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::AntidiffJ,
+                nm("antidiff_j"),
+                vec![v2],
+                vec![
+                    (scalar_prev, xp_anti(1, 0, 2)),
+                    (pu2, point()),
+                    (pu1, cross(1, 0)),
+                    (pu3, cross(1, 2)),
+                    (h, don(1)),
+                ],
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::AntidiffK,
+                nm("antidiff_k"),
+                vec![v3],
+                vec![
+                    (scalar_prev, xp_anti(2, 0, 1)),
+                    (pu3, point()),
+                    (pu1, cross(2, 0)),
+                    (pu2, cross(2, 1)),
+                    (h, don(2)),
+                ],
+            );
 
             let mx = t.add(&nm("mx"), FieldRole::Intermediate);
             let mn = t.add(&nm("mn"), FieldRole::Intermediate);
-            push(&mut stages, &mut kinds, StageKind::MinMax, nm("minmax"), vec![mx, mn],
-                 vec![(x, StencilPattern::seven_point()),
-                      (scalar_prev, StencilPattern::seven_point())]);
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::MinMax,
+                nm("minmax"),
+                vec![mx, mn],
+                vec![
+                    (x, StencilPattern::seven_point()),
+                    (scalar_prev, StencilPattern::seven_point()),
+                ],
+            );
 
             let g1 = t.add(&nm("g1"), FieldRole::Intermediate);
             let g2 = t.add(&nm("g2"), FieldRole::Intermediate);
             let g3 = t.add(&nm("g3"), FieldRole::Intermediate);
-            push(&mut stages, &mut kinds, StageKind::FluxI, nm("pflux_i"), vec![g1],
-                 vec![(scalar_prev, don(0)), (v1, point())]);
-            push(&mut stages, &mut kinds, StageKind::FluxJ, nm("pflux_j"), vec![g2],
-                 vec![(scalar_prev, don(1)), (v2, point())]);
-            push(&mut stages, &mut kinds, StageKind::FluxK, nm("pflux_k"), vec![g3],
-                 vec![(scalar_prev, don(2)), (v3, point())]);
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::FluxI,
+                nm("pflux_i"),
+                vec![g1],
+                vec![(scalar_prev, don(0)), (v1, point())],
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::FluxJ,
+                nm("pflux_j"),
+                vec![g2],
+                vec![(scalar_prev, don(1)), (v2, point())],
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::FluxK,
+                nm("pflux_k"),
+                vec![g3],
+                vec![(scalar_prev, don(2)), (v3, point())],
+            );
 
             let bu = t.add(&nm("bu"), FieldRole::Intermediate);
             let bd = t.add(&nm("bd"), FieldRole::Intermediate);
@@ -285,26 +384,67 @@ impl MpdataProblem {
                     (h, point()),
                 ]
             };
-            push(&mut stages, &mut kinds, StageKind::BetaUp, nm("beta_up"), vec![bu],
-                 beta_inputs(mx));
-            push(&mut stages, &mut kinds, StageKind::BetaDn, nm("beta_dn"), vec![bd],
-                 beta_inputs(mn));
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::BetaUp,
+                nm("beta_up"),
+                vec![bu],
+                beta_inputs(mx),
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::BetaDn,
+                nm("beta_dn"),
+                vec![bd],
+                beta_inputs(mn),
+            );
 
             let f1l = t.add(&nm("f1l"), FieldRole::Intermediate);
             let f2l = t.add(&nm("f2l"), FieldRole::Intermediate);
             let f3l = t.add(&nm("f3l"), FieldRole::Intermediate);
-            push(&mut stages, &mut kinds, StageKind::LimFluxI, nm("lim_flux_i"), vec![f1l],
-                 vec![(g1, point()), (bu, don(0)), (bd, don(0))]);
-            push(&mut stages, &mut kinds, StageKind::LimFluxJ, nm("lim_flux_j"), vec![f2l],
-                 vec![(g2, point()), (bu, don(1)), (bd, don(1))]);
-            push(&mut stages, &mut kinds, StageKind::LimFluxK, nm("lim_flux_k"), vec![f3l],
-                 vec![(g3, point()), (bu, don(2)), (bd, don(2))]);
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::LimFluxI,
+                nm("lim_flux_i"),
+                vec![f1l],
+                vec![(g1, point()), (bu, don(0)), (bd, don(0))],
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::LimFluxJ,
+                nm("lim_flux_j"),
+                vec![f2l],
+                vec![(g2, point()), (bu, don(1)), (bd, don(1))],
+            );
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::LimFluxK,
+                nm("lim_flux_k"),
+                vec![f3l],
+                vec![(g3, point()), (bu, don(2)), (bd, don(2))],
+            );
 
             let xk_name = if last { "xout".to_string() } else { nm("xc") };
             let xk = t.add(&xk_name, role(last));
-            push(&mut stages, &mut kinds, StageKind::Update, nm("update"), vec![xk],
-                 vec![(scalar_prev, point()), (f1l, div(0)), (f2l, div(1)),
-                      (f3l, div(2)), (h, point())]);
+            push(
+                &mut stages,
+                &mut kinds,
+                StageKind::Update,
+                nm("update"),
+                vec![xk],
+                vec![
+                    (scalar_prev, point()),
+                    (f1l, div(0)),
+                    (f2l, div(1)),
+                    (f3l, div(2)),
+                    (h, point()),
+                ],
+            );
 
             scalar_prev = xk;
             vel_prev = (v1, v2, v3);
@@ -530,7 +670,10 @@ mod tests {
             .find(|s| s.outputs == vec![v1_3])
             .unwrap();
         let v1_2 = t.find("v1").unwrap();
-        assert!(anti3.reads(v1_2), "pass 3 must transport with pass-2 velocities");
+        assert!(
+            anti3.reads(v1_2),
+            "pass 3 must transport with pass-2 velocities"
+        );
         // And the second corrective update feeds the third pass (the
         // k = 2 iterate carries no suffix, like the other k = 2 names).
         let xc2 = t.find("xc").expect("intermediate iterate");
@@ -553,7 +696,10 @@ mod tests {
     fn deeper_iord_reaches_farther() {
         let h2 = MpdataProblem::with_iord(2).graph().cumulative_halos();
         let h3 = MpdataProblem::with_iord(3).graph().cumulative_halos();
-        assert!(h3[0].i_neg > h2[0].i_neg, "more passes ⇒ deeper dependencies");
+        assert!(
+            h3[0].i_neg > h2[0].i_neg,
+            "more passes ⇒ deeper dependencies"
+        );
     }
 
     #[test]

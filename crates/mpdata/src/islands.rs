@@ -165,8 +165,11 @@ impl<'p> IslandsExecutor<'p> {
                         blocks: Vec::new(),
                     })
                 } else {
-                    BlockPlanner::new(self.cache_bytes)
-                        .plan_wavefront(self.problem.graph(), part, domain)
+                    BlockPlanner::new(self.cache_bytes).plan_wavefront(
+                        self.problem.graph(),
+                        part,
+                        domain,
+                    )
                 }
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -216,15 +219,24 @@ impl<'p> IslandsExecutor<'p> {
                             // SAFETY: all concurrent writers cover
                             // mutually disjoint regions.
                             let out_arr = unsafe { out.get_mut() };
-                            let store =
-                                unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
-                            store.apply_into(st, kind, domain, self.problem.boundary(), mine, out_arr);
+                            let store = unsafe { stores[ctx.team].get_ref() }
+                                .as_ref()
+                                .expect("store");
+                            store.apply_into(
+                                st,
+                                kind,
+                                domain,
+                                self.problem.boundary(),
+                                mine,
+                                out_arr,
+                            );
                         }
                     } else {
                         // SAFETY: ranks of this team write disjoint
                         // regions of the island-private scratch.
-                        let store =
-                            unsafe { stores[ctx.team].get_ref() }.as_ref().expect("store");
+                        let store = unsafe { stores[ctx.team].get_ref() }
+                            .as_ref()
+                            .expect("store");
                         store.apply(st, kind, domain, self.problem.boundary(), mine);
                     }
                     // Intra-island synchronization only — this is the
@@ -255,13 +267,12 @@ mod tests {
     use super::*;
     use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
     use crate::reference::ReferenceExecutor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use stencil_engine::rng::Xoshiro256pp;
 
     #[test]
     fn matches_reference_bitwise_variant_a() {
         let d = Region3::of_extent(24, 9, 5);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let f = random_fields(&mut rng, d, 0.7);
         let expect = ReferenceExecutor::new().step(&f);
         for (workers, teams) in [(2, 2), (4, 2), (6, 3), (8, 4)] {

@@ -104,11 +104,9 @@ fn fast_safe_domain(kind: StageKind, domain: Region3) -> Option<Region3> {
         StageKind::FluxI | StageKind::LimFluxI => Some(d.with_range(Axis::I, shrink_lo(d.i))),
         StageKind::FluxJ | StageKind::LimFluxJ => Some(d.with_range(Axis::J, shrink_lo(d.j))),
         StageKind::FluxK | StageKind::LimFluxK => Some(d.with_range(Axis::K, shrink_lo(d.k))),
-        StageKind::Update | StageKind::BetaUp | StageKind::BetaDn => Some(Region3::new(
-            shrink_hi(d.i),
-            shrink_hi(d.j),
-            shrink_hi(d.k),
-        )),
+        StageKind::Update | StageKind::BetaUp | StageKind::BetaDn => {
+            Some(Region3::new(shrink_hi(d.i), shrink_hi(d.j), shrink_hi(d.k)))
+        }
         StageKind::AntidiffI => Some(Region3::new(
             shrink_lo(d.i),
             shrink_both(d.j),
@@ -141,7 +139,13 @@ fn apply_fast(kind: StageKind, inputs: &[&Array3], outputs: &mut [&mut Array3], 
         StageKind::FluxJ => fast::flux_axis_rows(inputs[0], inputs[1], &mut *outputs[0], region, 1),
         StageKind::FluxK => fast::flux_axis_rows(inputs[0], inputs[1], &mut *outputs[0], region, 2),
         StageKind::Update => fast::update_rows(
-            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region,
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            inputs[3],
+            inputs[4],
+            &mut *outputs[0],
+            region,
         ),
         StageKind::LimFluxI => {
             fast::lim_flux_rows(inputs[0], inputs[1], inputs[2], &mut *outputs[0], region, 0)
@@ -153,25 +157,60 @@ fn apply_fast(kind: StageKind, inputs: &[&Array3], outputs: &mut [&mut Array3], 
             fast::lim_flux_rows(inputs[0], inputs[1], inputs[2], &mut *outputs[0], region, 2)
         }
         StageKind::AntidiffI => fast::antidiff_rows(
-            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region, 0,
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            inputs[3],
+            inputs[4],
+            &mut *outputs[0],
+            region,
+            0,
         ),
         StageKind::AntidiffJ => fast::antidiff_rows(
-            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region, 1,
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            inputs[3],
+            inputs[4],
+            &mut *outputs[0],
+            region,
+            1,
         ),
         StageKind::AntidiffK => fast::antidiff_rows(
-            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], &mut *outputs[0], region, 2,
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            inputs[3],
+            inputs[4],
+            &mut *outputs[0],
+            region,
+            2,
         ),
         StageKind::MinMax => {
             let (mx, rest) = outputs.split_first_mut().expect("two outputs");
             fast::minmax_rows(inputs[0], inputs[1], mx, &mut *rest[0], region)
         }
         StageKind::BetaUp => fast::beta_rows(
-            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
-            &mut *outputs[0], region, true,
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            inputs[3],
+            inputs[4],
+            inputs[5],
+            &mut *outputs[0],
+            region,
+            true,
         ),
         StageKind::BetaDn => fast::beta_rows(
-            inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], inputs[5],
-            &mut *outputs[0], region, false,
+            inputs[0],
+            inputs[1],
+            inputs[2],
+            inputs[3],
+            inputs[4],
+            inputs[5],
+            &mut *outputs[0],
+            region,
+            false,
         ),
     }
 }
@@ -371,9 +410,11 @@ fn antidiff(
                         + rd_bc(uc, domain, bc, cm.0, cm.1, cm.2)
                         + at(uc, c, q, 1)
                         + at(uc, cm, q, 1));
-                let hbar = 0.5 * (rd_bc(h, domain, bc, c.0, c.1, c.2) + rd_bc(h, domain, bc, cm.0, cm.1, cm.2));
-                let val = u.abs() * (1.0 - u.abs() / hbar) * a
-                    - u * (ub_bar * b_p + uc_bar * b_q) / hbar;
+                let hbar = 0.5
+                    * (rd_bc(h, domain, bc, c.0, c.1, c.2)
+                        + rd_bc(h, domain, bc, cm.0, cm.1, cm.2));
+                let val =
+                    u.abs() * (1.0 - u.abs() / hbar) * a - u * (ub_bar * b_p + uc_bar * b_q) / hbar;
                 v.set(i, j, k, val);
             }
         }
@@ -525,11 +566,7 @@ mod tests {
     #[test]
     fn fast_paths_bitwise_equal() {
         use crate::graph::MpdataProblem;
-        let domain = Region3::new(
-            Range1::new(3, 14),
-            Range1::new(-2, 7),
-            Range1::new(5, 18),
-        );
+        let domain = Region3::new(Range1::new(3, 14), Range1::new(-2, 7), Range1::new(5, 18));
         let p = MpdataProblem::standard();
         for st in p.graph().stages() {
             let kind = p.kind(st.id);
@@ -539,17 +576,22 @@ mod tests {
             let ins: Vec<Array3> = (0..st.inputs.len())
                 .map(|n| {
                     Array3::from_fn(domain, |i, j, k| {
-                        0.7 + 0.013 * n as f64
-                            + 0.001 * ((i * 37 + j * 11 + k * 3) % 97) as f64
+                        0.7 + 0.013 * n as f64 + 0.001 * ((i * 37 + j * 11 + k * 3) % 97) as f64
                             - 0.0005 * ((i + 2 * j + 3 * k) % 13) as f64
                     })
                 })
                 .collect();
             let in_refs: Vec<&Array3> = ins.iter().collect();
-            let mut fast_out: Vec<Array3> =
-                st.outputs.iter().map(|_| Array3::filled(domain, -9.0)).collect();
-            let mut scalar_out: Vec<Array3> =
-                st.outputs.iter().map(|_| Array3::filled(domain, -9.0)).collect();
+            let mut fast_out: Vec<Array3> = st
+                .outputs
+                .iter()
+                .map(|_| Array3::filled(domain, -9.0))
+                .collect();
+            let mut scalar_out: Vec<Array3> = st
+                .outputs
+                .iter()
+                .map(|_| Array3::filled(domain, -9.0))
+                .collect();
             {
                 let mut o: Vec<&mut Array3> = fast_out.iter_mut().collect();
                 apply_kind(kind, domain, Boundary::Open, &in_refs, &mut o, domain);
@@ -725,11 +767,7 @@ mod tests {
         let (g, _) = mpdata_graph();
         let d = Region3::of_extent(7, 7, 7);
         let probe = (3, 3, 3);
-        let probe_region = Region3::new(
-            Range1::new(3, 4),
-            Range1::new(3, 4),
-            Range1::new(3, 4),
-        );
+        let probe_region = Region3::new(Range1::new(3, 4), Range1::new(3, 4), Range1::new(3, 4));
         for st in g.stages() {
             let n_in = st.inputs.len();
             // Baseline arrays: smooth positive values, all distinct.
@@ -742,8 +780,7 @@ mod tests {
                 .collect();
             let run = |inputs: &[Array3]| -> Vec<f64> {
                 let refs: Vec<&Array3> = inputs.iter().collect();
-                let mut outs: Vec<Array3> =
-                    st.outputs.iter().map(|_| Array3::zeros(d)).collect();
+                let mut outs: Vec<Array3> = st.outputs.iter().map(|_| Array3::zeros(d)).collect();
                 {
                     let mut out_refs: Vec<&mut Array3> = outs.iter_mut().collect();
                     apply_stage(st.id.index(), d, &refs, &mut out_refs, probe_region);
@@ -773,11 +810,8 @@ mod tests {
                             // Perturb every slot bound to the same field.
                             for (s2, (f2, _)) in st.inputs.iter().enumerate() {
                                 if *f2 == st.inputs[slot].0 {
-                                    let old = tweaked[s2].get(
-                                        probe.0 + di,
-                                        probe.1 + dj,
-                                        probe.2 + dk,
-                                    );
+                                    let old =
+                                        tweaked[s2].get(probe.0 + di, probe.1 + dj, probe.2 + dk);
                                     tweaked[s2].set(
                                         probe.0 + di,
                                         probe.1 + dj,

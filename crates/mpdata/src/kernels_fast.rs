@@ -32,13 +32,7 @@ fn unit(axis: usize) -> (i64, i64) {
 
 /// Donor-cell flux along axis `m` (0 = i, 1 = j, 2 = k) over an
 /// interior region: `f = donor(x[-1_m], x, u)`.
-pub(crate) fn flux_axis_rows(
-    x: &Array3,
-    u: &Array3,
-    f: &mut Array3,
-    region: Region3,
-    m: usize,
-) {
+pub(crate) fn flux_axis_rows(x: &Array3, u: &Array3, f: &mut Array3, region: Region3, m: usize) {
     let kr = region.k;
     for i in region.i.lo..region.i.hi {
         for j in region.j.lo..region.j.hi {
@@ -180,8 +174,8 @@ pub(crate) fn antidiff_rows(
                 let ub_bar = 0.25 * (ub_c[n] + ub_m[n] + ub_cp[n] + ub_mp[n]);
                 let uc_bar = 0.25 * (uc_c[n] + uc_m[n] + uc_cq[n] + uc_mq[n]);
                 let hbar = 0.5 * (h_c[n] + h_m[n]);
-                *ov = u.abs() * (1.0 - u.abs() / hbar) * a
-                    - u * (ub_bar * b_p + uc_bar * b_q) / hbar;
+                *ov =
+                    u.abs() * (1.0 - u.abs() / hbar) * a - u * (ub_bar * b_p + uc_bar * b_q) / hbar;
             }
         }
     }

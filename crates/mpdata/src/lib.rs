@@ -49,8 +49,8 @@ mod original;
 mod reference;
 
 pub use diagnostics::{error_norms, CflViolation, ErrorNorms};
-pub use fields::{gaussian_pulse, random_fields, rotating_cone, MpdataFields, EPS};
 pub use exchange::ExchangeExecutor;
+pub use fields::{gaussian_pulse, random_fields, rotating_cone, MpdataFields, EPS};
 pub use fused::{FusedExecutor, DEFAULT_CACHE_BYTES};
 pub use graph::{
     flops_per_cell, mpdata_graph, ExternalIds, MpdataFieldIds, MpdataProblem, StageKind,

@@ -74,7 +74,13 @@ impl<'p> OriginalExecutor<'p> {
             // barrier.
             self.pool.broadcast(|ctx| {
                 let mine = rank_slice(domain, self.split_axis, ctx.worker, workers);
-                store.apply(st, self.problem.kind(st.id), domain, self.problem.boundary(), mine);
+                store.apply(
+                    st,
+                    self.problem.kind(st.id),
+                    domain,
+                    self.problem.boundary(),
+                    mine,
+                );
             });
         }
         store.take(self.problem.xout())
@@ -93,24 +99,19 @@ mod tests {
     use super::*;
     use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
     use crate::reference::ReferenceExecutor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use stencil_engine::rng::Xoshiro256pp;
     use stencil_engine::Region3;
 
     #[test]
     fn matches_reference_bitwise_various_pools() {
         let d = Region3::of_extent(12, 9, 5);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let f = random_fields(&mut rng, d, 0.7);
         let expect = ReferenceExecutor::new().step(&f);
         for workers in [1, 2, 3, 5, 8] {
             let pool = WorkerPool::new(workers);
             let got = OriginalExecutor::new(&pool).step(&f);
-            assert_eq!(
-                got.max_abs_diff(&expect),
-                0.0,
-                "{workers} workers diverged"
-            );
+            assert_eq!(got.max_abs_diff(&expect), 0.0, "{workers} workers diverged");
         }
     }
 
@@ -120,9 +121,7 @@ mod tests {
         let f = gaussian_pulse(d, (0.1, 0.2, 0.05));
         let expect = ReferenceExecutor::new().step(&f);
         let pool = WorkerPool::new(4);
-        let got = OriginalExecutor::new(&pool)
-            .split_axis(Axis::J)
-            .step(&f);
+        let got = OriginalExecutor::new(&pool).split_axis(Axis::J).step(&f);
         assert_eq!(got.max_abs_diff(&expect), 0.0);
     }
 

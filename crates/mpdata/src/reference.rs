@@ -67,7 +67,13 @@ impl ReferenceExecutor {
             for &out in &st.outputs {
                 store.alloc(out, domain);
             }
-            store.apply(st, self.problem.kind(st.id), domain, self.problem.boundary(), domain);
+            store.apply(
+                st,
+                self.problem.kind(st.id),
+                domain,
+                self.problem.boundary(),
+                domain,
+            );
         }
         store.take(self.problem.xout())
     }
@@ -84,8 +90,7 @@ impl ReferenceExecutor {
 mod tests {
     use super::*;
     use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use stencil_engine::rng::Xoshiro256pp;
     use stencil_engine::Region3;
 
     #[test]
@@ -120,7 +125,7 @@ mod tests {
     #[test]
     fn positivity_is_preserved() {
         let d = Region3::of_extent(8, 8, 8);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut f = random_fields(&mut rng, d, 0.8);
         let exec = ReferenceExecutor::new();
         exec.run(&mut f, 4);

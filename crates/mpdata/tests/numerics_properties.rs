@@ -1,79 +1,110 @@
 //! Property-based tests of the MPDATA numerics and the equivalence of
 //! all execution strategies.
+//!
+//! Hermetic build: swept over deterministic, seeded random cases
+//! (std-only) instead of the external `proptest` crate; `--features
+//! proptest` widens the sweep roughly tenfold. Each case derives its
+//! geometry and fields from a per-case seed, so a failure message's
+//! case index reproduces exactly.
 
 use mpdata::{
     random_fields, ExchangeExecutor, FusedExecutor, IslandsExecutor, MpdataProblem,
     OriginalExecutor, ReferenceExecutor,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use stencil_engine::rng::{Rng64, Xoshiro256pp};
 use stencil_engine::{Axis, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn cases(quick: usize) -> usize {
+    if cfg!(feature = "proptest") {
+        quick * 10
+    } else {
+        quick
+    }
+}
 
-    /// Positivity: MPDATA is positive definite under the CFL condition,
-    /// for arbitrary (closed-box) velocity and density fields.
-    #[test]
-    fn positive_definite(seed in 0u64..1000, ni in 4usize..12, nj in 4usize..10, nk in 2usize..6) {
+/// Positivity: MPDATA is positive definite under the CFL condition,
+/// for arbitrary (closed-box) velocity and density fields.
+#[test]
+fn positive_definite() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3DA7_0001);
+    for case in 0..cases(24) {
+        let ni = 4 + rng.below(8);
+        let nj = 4 + rng.below(6);
+        let nk = 2 + rng.below(4);
         let d = Region3::of_extent(ni, nj, nk);
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut f = random_fields(&mut rng, d, 0.85);
         ReferenceExecutor::new().run(&mut f, 3);
-        prop_assert!(f.x.min() >= -1e-12, "min = {}", f.x.min());
+        assert!(
+            f.x.min() >= -1e-12,
+            "case {case} ({ni}×{nj}×{nk}): min = {}",
+            f.x.min()
+        );
     }
+}
 
-    /// Conservation: total mass Σ x·h is exactly preserved in a closed
-    /// box (up to rounding), for arbitrary fields.
-    #[test]
-    fn conservative(seed in 0u64..1000, ni in 4usize..12, nj in 4usize..10) {
+/// Conservation: total mass Σ x·h is exactly preserved in a closed
+/// box (up to rounding), for arbitrary fields.
+#[test]
+fn conservative() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3DA7_0002);
+    for case in 0..cases(24) {
+        let ni = 4 + rng.below(8);
+        let nj = 4 + rng.below(6);
         let d = Region3::of_extent(ni, nj, 4);
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut f = random_fields(&mut rng, d, 0.8);
         let m0 = f.mass();
         ReferenceExecutor::new().run(&mut f, 3);
         let m1 = f.mass();
-        prop_assert!((m1 - m0).abs() <= 1e-10 * m0.abs().max(1.0),
-            "mass {m0} → {m1}");
+        assert!(
+            (m1 - m0).abs() <= 1e-10 * m0.abs().max(1.0),
+            "case {case} ({ni}×{nj}): mass {m0} → {m1}"
+        );
     }
+}
 
-    /// Strategy equivalence: original, (3+1)D and islands agree with the
-    /// serial reference bitwise on random fields and random geometry.
-    #[test]
-    fn all_strategies_bitwise_equal(
-        seed in 0u64..1000,
-        ni in 6usize..16,
-        nj in 4usize..10,
-        workers_pow in 1usize..4,
-        teams_choice in 0usize..3,
-        variant_b in proptest::bool::ANY,
-    ) {
-        let workers = 1 << workers_pow; // 2, 4, 8
-        let teams_n = [1, 2, workers][teams_choice].min(workers);
+/// Strategy equivalence: original, (3+1)D and islands agree with the
+/// serial reference bitwise on random fields and random geometry.
+#[test]
+fn all_strategies_bitwise_equal() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3DA7_0003);
+    for case in 0..cases(24) {
+        let ni = 6 + rng.below(10);
+        let nj = 4 + rng.below(6);
+        let workers = 1 << (1 + rng.below(3)); // 2, 4, 8
+        let teams_n = [1, 2, workers][rng.below(3)].min(workers);
+        let variant_b = rng.next_bool();
         let d = Region3::of_extent(ni, nj, 4);
-        let mut rng = StdRng::seed_from_u64(seed);
         let f = random_fields(&mut rng, d, 0.8);
+        let label = format!(
+            "case {case}: {ni}×{nj}, workers={workers}, teams={teams_n}, variant_b={variant_b}"
+        );
         let expect = ReferenceExecutor::new().step(&f);
 
         let pool = WorkerPool::new(workers);
         let orig = OriginalExecutor::new(&pool).step(&f);
-        prop_assert_eq!(orig.max_abs_diff(&expect), 0.0, "original diverged");
+        assert_eq!(
+            orig.max_abs_diff(&expect),
+            0.0,
+            "original diverged: {label}"
+        );
 
-        let fused = FusedExecutor::new(&pool).cache_bytes(96 * 1024).step(&f).unwrap();
-        prop_assert_eq!(fused.max_abs_diff(&expect), 0.0, "fused diverged");
+        let fused = FusedExecutor::new(&pool)
+            .cache_bytes(96 * 1024)
+            .step(&f)
+            .unwrap();
+        assert_eq!(fused.max_abs_diff(&expect), 0.0, "fused diverged: {label}");
 
-        if workers % teams_n == 0 {
+        if workers.is_multiple_of(teams_n) {
             let spec = TeamSpec::even(workers, teams_n);
             let axis = if variant_b { Axis::J } else { Axis::I };
             let isl = IslandsExecutor::new(&pool, spec.clone(), axis)
                 .cache_bytes(96 * 1024)
                 .step(&f)
                 .unwrap();
-            prop_assert_eq!(isl.max_abs_diff(&expect), 0.0, "islands diverged");
+            assert_eq!(isl.max_abs_diff(&expect), 0.0, "islands diverged: {label}");
             let exc = ExchangeExecutor::new(&pool, spec, axis).step(&f);
-            prop_assert_eq!(exc.max_abs_diff(&expect), 0.0, "exchange diverged");
+            assert_eq!(exc.max_abs_diff(&expect), 0.0, "exchange diverged: {label}");
         }
     }
 }
@@ -117,7 +148,7 @@ fn higher_iord_is_less_diffusive() {
 #[test]
 fn iord3_strategies_bitwise_equal() {
     let d = Region3::of_extent(20, 10, 5);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
     let f = random_fields(&mut rng, d, 0.6);
     let problem = || MpdataProblem::with_iord(3);
     let expect = ReferenceExecutor::with_problem(problem()).step(&f);
@@ -178,5 +209,9 @@ fn rotating_cone_long_run() {
     // The closed box makes the flow compressive where it meets the
     // walls, so mass piles up there; assert boundedness, not
     // monotonicity (which only holds for divergence-free flow).
-    assert!(f.x.max() <= hi0 * 2.0, "max grew from {hi0} to {}", f.x.max());
+    assert!(
+        f.x.max() <= hi0 * 2.0,
+        "max grew from {hi0} to {}",
+        f.x.max()
+    );
 }

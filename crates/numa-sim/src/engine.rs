@@ -230,8 +230,9 @@ pub fn simulate(
             done: false,
         })
         .collect();
-    let mut barriers: Vec<BarrierState> =
-        (0..traces.barriers.len()).map(|_| BarrierState::default()).collect();
+    let mut barriers: Vec<BarrierState> = (0..traces.barriers.len())
+        .map(|_| BarrierState::default())
+        .collect();
     // Precompute barrier episode costs from the node spread.
     let barrier_cost: Vec<f64> = traces
         .barriers
@@ -292,20 +293,26 @@ pub fn simulate(
                     if bytes == 0.0 {
                         // A pure-compute "stream": charge the flops.
                         if op_flops > 0.0 {
-                            let rate =
-                                machine.nodes()[my_node.index()].core.sustained_flops();
+                            let rate = machine.nodes()[my_node.index()].core.sustained_flops();
                             let dur = if rate > 0.0 { op_flops / rate } else { 0.0 };
                             st.time += dur;
                             report.core_compute[core] += dur;
                         }
                         st.ip += 1;
-                        heap.push(HeapEntry { time: st.time, core });
+                        heap.push(HeapEntry {
+                            time: st.time,
+                            core,
+                        });
                         continue;
                     }
                 }
                 let q = st.bytes_left.min(config.quantum_bytes);
                 // Data flows home→core for reads, core→home for writes.
-                let (from, to) = if is_read { (node, my_node) } else { (my_node, node) };
+                let (from, to) = if is_read {
+                    (node, my_node)
+                } else {
+                    (my_node, node)
+                };
                 let route: Vec<_> = machine.route(from, to).to_vec();
                 // Start when the core and all resources are available.
                 let mut start = st.time;
@@ -373,7 +380,10 @@ pub fn simulate(
                     st.latency_charged = false;
                     if bytes == 0.0 {
                         st.ip += 1;
-                        heap.push(HeapEntry { time: st.time, core });
+                        heap.push(HeapEntry {
+                            time: st.time,
+                            core,
+                        });
                         continue;
                     }
                 }
@@ -391,10 +401,9 @@ pub fn simulate(
                 } else {
                     // Latency-bound demand misses: `miss_concurrency`
                     // lines in flight per round trip.
-                    let rtt = 2.0 * machine.route_latency(my_node, node)
-                        + config.remote_cache_latency;
-                    let eff_bw =
-                        (config.cache_line_bytes * config.miss_concurrency / rtt).max(1.0);
+                    let rtt =
+                        2.0 * machine.route_latency(my_node, node) + config.remote_cache_latency;
+                    let eff_bw = (config.cache_line_bytes * config.miss_concurrency / rtt).max(1.0);
                     let wire_bw = machine.route_bandwidth(node, my_node);
                     q / eff_bw.min(wire_bw)
                 };
@@ -427,11 +436,7 @@ pub fn simulate(
                 st.ip += 1;
                 let parties = traces.barriers[id.index()].participants.len();
                 if b.arrivals.len() == parties {
-                    let release = b
-                        .arrivals
-                        .iter()
-                        .map(|&(_, t)| t)
-                        .fold(0.0_f64, f64::max)
+                    let release = b.arrivals.iter().map(|&(_, t)| t).fold(0.0_f64, f64::max)
                         + barrier_cost[id.index()];
                     for &(c, arrived) in &b.arrivals {
                         report.core_barrier_wait[c] += release - arrived;
@@ -565,7 +570,11 @@ mod tests {
         c.quantum_bytes = 1e7;
         let r = simulate(&m, &t, &c).unwrap();
         // 10 GB total at 10 GB/s aggregate ⇒ ≈ 1 s (not 5e9/7.5e9 ≈ .67 s).
-        assert!(r.makespan > 0.95 && r.makespan < 1.1, "makespan {}", r.makespan);
+        assert!(
+            r.makespan > 0.95 && r.makespan < 1.1,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -707,7 +716,11 @@ mod tests {
         let r = simulate(&m, &t, &c).unwrap();
         // Core 1 waits 1 s, then both proceed; core 1 computes 1 s more.
         let cost = c.barrier_base; // same node? cores 0,1 are node 0 → base only
-        assert!((r.makespan - (2.0 + cost)).abs() < 1e-6, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan - (2.0 + cost)).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
         assert!(r.core_barrier_wait[1] >= 1.0);
         assert_eq!(r.barrier_episodes, 1);
     }
@@ -797,8 +810,11 @@ mod tests {
         let c = cfg();
         let r = simulate(&m, &t, &c).unwrap();
         // Release at 2 s + base; core 0 computes 1 s after that.
-        assert!((r.makespan - (2.0 + c.barrier_base + 1.0)).abs() < 1e-9,
-            "makespan {}", r.makespan);
+        assert!(
+            (r.makespan - (2.0 + c.barrier_base + 1.0)).abs() < 1e-9,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]

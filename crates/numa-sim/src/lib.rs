@@ -49,8 +49,8 @@ mod trace;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use engine::{simulate, SimConfig, SimError, SimReport};
 pub use memory::Placement;
-pub use report::summarize;
 pub use presets::{xeon_e5_2660v2, ScaleOutParams, UvParams};
+pub use report::summarize;
 pub use topology::{
     BuildMachineError, CoreId, CoreSpec, LinkId, LinkSpec, Machine, NodeId, NodeSpec,
 };

@@ -206,11 +206,7 @@ mod tests {
     #[test]
     fn more_nodes_than_cells_leaves_empty_slabs_out() {
         let r = Region3::of_extent(2, 1, 1);
-        let p = Placement::first_touch_split(
-            r,
-            Axis::I,
-            &[NodeId(0), NodeId(1), NodeId(2)],
-        );
+        let p = Placement::first_touch_split(r, Axis::I, &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(p.slabs().len(), 2);
         let total: f64 = p.bytes_on(r).iter().map(|(_, b)| b).sum();
         assert_eq!(total, 16.0);

@@ -143,10 +143,7 @@ impl UvParams {
 
     /// Theoretical peak of the configuration in Gflop/s (Table 4 row 1).
     pub fn peak_gflops(&self) -> f64 {
-        self.sockets as f64
-            * self.cores_per_socket as f64
-            * self.freq_hz
-            * self.flops_per_cycle
+        self.sockets as f64 * self.cores_per_socket as f64 * self.freq_hz * self.flops_per_cycle
             / 1e9
     }
 }
@@ -324,9 +321,7 @@ mod tests {
         // Sockets 0,1 share blade 0; sockets 2,3 share blade 1.
         assert!(m.hops(NodeId(0), NodeId(1)) < m.hops(NodeId(0), NodeId(2)));
         // Inter-blade bandwidth is pinched by NUMAlink.
-        assert!(
-            m.route_bandwidth(NodeId(0), NodeId(2)) < m.route_bandwidth(NodeId(0), NodeId(1))
-        );
+        assert!(m.route_bandwidth(NodeId(0), NodeId(2)) < m.route_bandwidth(NodeId(0), NodeId(1)));
         assert!((m.route_bandwidth(NodeId(0), NodeId(2)) - 13.4e9).abs() < 1.0);
     }
 

@@ -505,8 +505,11 @@ mod tests {
 
     #[test]
     fn peak_flops_sums_sockets() {
-        let m = Machine::build(vec![socket(8), socket(8), hub()], vec![link(0, 2), link(1, 2)])
-            .unwrap();
+        let m = Machine::build(
+            vec![socket(8), socket(8), hub()],
+            vec![link(0, 2), link(1, 2)],
+        )
+        .unwrap();
         let per_socket = 8.0 * 3.3e9 * 4.0;
         assert!((m.peak_flops() - 2.0 * per_socket).abs() < 1.0);
     }

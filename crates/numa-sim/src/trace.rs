@@ -135,7 +135,10 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::TooManyCores { given, available } => {
-                write!(f, "trace has {given} core streams but machine has {available} cores")
+                write!(
+                    f,
+                    "trace has {given} core streams but machine has {available} cores"
+                )
             }
             TraceError::BadNode { core, op } => write!(f, "{core} op {op} references a bad node"),
             TraceError::BadBarrier { id } => write!(f, "barrier {} is inconsistent", id.0),
@@ -213,19 +216,12 @@ impl TraceSet {
                         }
                     }
                     Op::Stream {
-                        node,
-                        bytes,
-                        flops,
-                        ..
+                        node, bytes, flops, ..
                     } => {
                         if node.index() >= node_count {
                             return Err(TraceError::BadNode { core, op: n });
                         }
-                        if !bytes.is_finite()
-                            || bytes < 0.0
-                            || !flops.is_finite()
-                            || flops < 0.0
-                        {
+                        if !bytes.is_finite() || bytes < 0.0 || !flops.is_finite() || flops < 0.0 {
                             return Err(TraceError::BadAmount { core, op: n });
                         }
                     }
@@ -233,10 +229,7 @@ impl TraceSet {
                         if id.index() >= self.barriers.len() {
                             return Err(TraceError::BadBarrier { id });
                         }
-                        if !self.barriers[id.index()]
-                            .participants
-                            .contains(&core)
-                        {
+                        if !self.barriers[id.index()].participants.contains(&core) {
                             return Err(TraceError::BadBarrier { id });
                         }
                         my_episodes[id.index()] += 1;
@@ -305,10 +298,7 @@ mod tests {
                 bytes: 10.0,
             },
         );
-        assert!(matches!(
-            t.validate(2, 1),
-            Err(TraceError::BadNode { .. })
-        ));
+        assert!(matches!(t.validate(2, 1), Err(TraceError::BadNode { .. })));
     }
 
     #[test]
@@ -328,10 +318,7 @@ mod tests {
         t.push(CoreId(0), Op::Barrier { id: b });
         t.push(CoreId(0), Op::Barrier { id: b });
         t.push(CoreId(1), Op::Barrier { id: b });
-        assert_eq!(
-            t.validate(1, 2),
-            Err(TraceError::BadBarrier { id: b })
-        );
+        assert_eq!(t.validate(1, 2), Err(TraceError::BadBarrier { id: b }));
     }
 
     #[test]
@@ -339,10 +326,7 @@ mod tests {
         let mut t = TraceSet::for_cores(2);
         let b = t.add_barrier(vec![CoreId(0)]);
         t.push(CoreId(1), Op::Barrier { id: b });
-        assert_eq!(
-            t.validate(1, 2),
-            Err(TraceError::BadBarrier { id: b })
-        );
+        assert_eq!(t.validate(1, 2), Err(TraceError::BadBarrier { id: b }));
     }
 
     #[test]

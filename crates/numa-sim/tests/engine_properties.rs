@@ -1,8 +1,12 @@
 //! Property tests for the discrete-event engine: time monotonicity,
 //! conservation of bytes, and scaling sanity.
+//!
+//! Hermetic build: swept over deterministic, seeded random cases
+//! (std-only) instead of the external `proptest` crate; `--features
+//! proptest` widens the sweep roughly tenfold.
 
 use numa_sim::{simulate, CoreId, NodeId, Op, SimConfig, TraceSet, UvParams};
-use proptest::prelude::*;
+use stencil_engine::rng::{Rng64, Xoshiro256pp};
 
 fn cfg() -> SimConfig {
     SimConfig {
@@ -11,42 +15,55 @@ fn cfg() -> SimConfig {
     }
 }
 
-fn arb_op(nodes: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1e3..1e9f64).prop_map(|flops| Op::Compute { flops }),
-        ((0..nodes), 1e3..1e7f64)
-            .prop_map(|(n, bytes)| Op::MemRead { node: NodeId(n), bytes }),
-        ((0..nodes), 1e3..1e7f64)
-            .prop_map(|(n, bytes)| Op::MemWrite { node: NodeId(n), bytes }),
-        ((0..nodes), 1e3..1e6f64)
-            .prop_map(|(n, bytes)| Op::CacheRead { node: NodeId(n), bytes }),
-        ((0..nodes), 1e3..1e7f64, 1e3..1e8f64, proptest::bool::ANY).prop_map(
-            |(n, bytes, flops, write)| Op::Stream {
-                node: NodeId(n),
-                bytes,
-                flops,
-                write,
-            }
-        ),
-    ]
+fn cases(quick: usize) -> usize {
+    if cfg!(feature = "proptest") {
+        quick * 10
+    } else {
+        quick
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn any_op(rng: &mut Xoshiro256pp, nodes: usize) -> Op {
+    match rng.below(5) {
+        0 => Op::Compute {
+            flops: rng.range_f64(1e3, 1e9),
+        },
+        1 => Op::MemRead {
+            node: NodeId(rng.below(nodes)),
+            bytes: rng.range_f64(1e3, 1e7),
+        },
+        2 => Op::MemWrite {
+            node: NodeId(rng.below(nodes)),
+            bytes: rng.range_f64(1e3, 1e7),
+        },
+        3 => Op::CacheRead {
+            node: NodeId(rng.below(nodes)),
+            bytes: rng.range_f64(1e3, 1e6),
+        },
+        _ => Op::Stream {
+            node: NodeId(rng.below(nodes)),
+            bytes: rng.range_f64(1e3, 1e7),
+            flops: rng.range_f64(1e3, 1e8),
+            write: rng.next_bool(),
+        },
+    }
+}
 
-    /// Makespan is at least every core's busy time and bytes are
-    /// conserved between the trace and the report.
-    #[test]
-    fn makespan_bounds_and_byte_conservation(
-        streams in proptest::collection::vec(
-            proptest::collection::vec(arb_op(4), 0..12), 1..16),
-    ) {
-        let machine = UvParams::uv2000(4).build();
+/// Makespan is at least every core's busy time and bytes are
+/// conserved between the trace and the report.
+#[test]
+fn makespan_bounds_and_byte_conservation() {
+    let machine = UvParams::uv2000(4).build();
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D0_0001);
+    for case in 0..cases(64) {
+        let streams = 1 + rng.below(15);
         let mut traces = TraceSet::for_cores(machine.core_count());
         let mut total_bytes = 0.0;
-        for (c, stream) in streams.iter().enumerate() {
-            for op in stream {
-                traces.push(CoreId(c), *op);
+        for c in 0..streams {
+            let ops = rng.below(12);
+            for _ in 0..ops {
+                let op = any_op(&mut rng, 4);
+                traces.push(CoreId(c), op);
                 match op {
                     Op::MemRead { bytes, .. }
                     | Op::MemWrite { bytes, .. }
@@ -57,54 +74,76 @@ proptest! {
             }
         }
         let r = simulate(&machine, &traces, &cfg()).unwrap();
-        prop_assert!(r.makespan.is_finite());
-        prop_assert!(r.makespan >= 0.0);
+        assert!(r.makespan.is_finite(), "case {case}");
+        assert!(r.makespan >= 0.0, "case {case}");
         for c in 0..machine.core_count() {
             let busy = r.core_compute[c] + r.core_transfer[c];
-            prop_assert!(
+            assert!(
                 busy <= r.makespan + 1e-9,
-                "core {c} busy {busy} > makespan {}",
+                "case {case}: core {c} busy {busy} > makespan {}",
                 r.makespan
             );
         }
-        let moved = r.mem_local_bytes + r.mem_remote_bytes
-            + r.cache_local_bytes + r.cache_remote_bytes;
-        prop_assert!((moved - total_bytes).abs() < 1.0,
-            "moved {moved} vs trace {total_bytes}");
+        let moved =
+            r.mem_local_bytes + r.mem_remote_bytes + r.cache_local_bytes + r.cache_remote_bytes;
+        assert!(
+            (moved - total_bytes).abs() < 1.0,
+            "case {case}: moved {moved} vs trace {total_bytes}"
+        );
     }
+}
 
-    /// Adding work to a core never reduces the makespan.
-    #[test]
-    fn monotone_in_work(
-        base in proptest::collection::vec(arb_op(2), 1..8),
-        extra in arb_op(2),
-    ) {
-        let machine = UvParams::uv2000(2).build();
+/// Adding work to a core never reduces the makespan.
+#[test]
+fn monotone_in_work() {
+    let machine = UvParams::uv2000(2).build();
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D0_0002);
+    for case in 0..cases(64) {
+        let n = 1 + rng.below(7);
         let mut t1 = TraceSet::for_cores(machine.core_count());
-        for op in &base {
-            t1.push(CoreId(0), *op);
+        for _ in 0..n {
+            t1.push(CoreId(0), any_op(&mut rng, 2));
         }
+        let extra = any_op(&mut rng, 2);
         let mut t2 = t1.clone();
         t2.push(CoreId(0), extra);
         let r1 = simulate(&machine, &t1, &cfg()).unwrap();
         let r2 = simulate(&machine, &t2, &cfg()).unwrap();
-        prop_assert!(r2.makespan >= r1.makespan - 1e-12);
+        assert!(
+            r2.makespan >= r1.makespan - 1e-12,
+            "case {case}: {extra:?} shrank the makespan {} → {}",
+            r1.makespan,
+            r2.makespan
+        );
     }
+}
 
-    /// Splitting a read across two cores on the same socket never beats
-    /// the DRAM bandwidth limit.
-    #[test]
-    fn controller_bandwidth_is_respected(bytes in 1e8..1e9f64) {
-        let machine = UvParams::uv2000(1).build();
-        let dram_bw = machine.nodes()[0].dram_bandwidth;
+/// Splitting a read across two cores on the same socket never beats
+/// the DRAM bandwidth limit.
+#[test]
+fn controller_bandwidth_is_respected() {
+    let machine = UvParams::uv2000(1).build();
+    let dram_bw = machine.nodes()[0].dram_bandwidth;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51D0_0003);
+    for case in 0..cases(32) {
+        let bytes = rng.range_f64(1e8, 1e9);
         let mut t = TraceSet::for_cores(machine.core_count());
         for c in 0..8 {
-            t.push(CoreId(c), Op::MemRead { node: NodeId(0), bytes });
+            t.push(
+                CoreId(c),
+                Op::MemRead {
+                    node: NodeId(0),
+                    bytes,
+                },
+            );
         }
         let r = simulate(&machine, &t, &cfg()).unwrap();
         let lower_bound = 8.0 * bytes / dram_bw;
-        prop_assert!(r.makespan >= lower_bound * 0.99,
-            "makespan {} below controller bound {}", r.makespan, lower_bound);
+        assert!(
+            r.makespan >= lower_bound * 0.99,
+            "case {case}: makespan {} below controller bound {lower_bound}",
+            r.makespan
+        );
     }
 }
 
@@ -136,7 +175,12 @@ fn barrier_equalizes_finish_times() {
     let participants: Vec<CoreId> = (0..16).map(CoreId).collect();
     let b = t.add_barrier(participants.clone());
     for (n, &c) in participants.iter().enumerate() {
-        t.push(c, Op::Compute { flops: 1e6 * (n as f64 + 1.0) });
+        t.push(
+            c,
+            Op::Compute {
+                flops: 1e6 * (n as f64 + 1.0),
+            },
+        );
         t.push(c, Op::Barrier { id: b });
     }
     let r = simulate(&machine, &t, &cfg()).unwrap();

@@ -28,7 +28,9 @@ impl FieldLayout {
     pub fn new(graph: &StageGraph, domain: Region3) -> Self {
         let field_bytes = (domain.cells() * BYTES_PER_CELL) as u64;
         let stride = field_bytes.div_ceil(4096) * 4096 + 4096;
-        let bases = (0..graph.fields().len() as u64).map(|f| f * stride).collect();
+        let bases = (0..graph.fields().len() as u64)
+            .map(|f| f * stride)
+            .collect();
         FieldLayout {
             domain,
             nj: domain.j.len() as u64,
@@ -189,8 +191,12 @@ mod tests {
             .unwrap();
         let with_big = blocked_schedule_stats(&g, domain, &blocking, big);
         let with_tiny = blocked_schedule_stats(&g, domain, &blocking, tiny);
-        assert!(with_tiny.misses > 2 * with_big.misses,
-            "tiny {} vs big {}", with_tiny.misses, with_big.misses);
+        assert!(
+            with_tiny.misses > 2 * with_big.misses,
+            "tiny {} vs big {}",
+            with_tiny.misses,
+            with_big.misses
+        );
     }
 
     #[test]

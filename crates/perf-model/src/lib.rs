@@ -31,16 +31,14 @@ mod plot;
 mod tables;
 mod traffic;
 
-pub use metrics::{
-    overall_speedup, parallel_efficiency_percent, partial_speedup, sustained_gflops,
-    useful_flops, utilization_percent,
-};
 pub use cache_study::{
     blocked_schedule_stats, compulsory_miss_bytes, per_stage_schedule_stats, FieldLayout,
+};
+pub use metrics::{
+    overall_speedup, parallel_efficiency_percent, partial_speedup, sustained_gflops, useful_flops,
+    utilization_percent,
 };
 pub use model::{predict, recommend, relative_error, ModelPrediction, Recommendation, Strategy};
 pub use plot::AsciiPlot;
 pub use tables::Table;
-pub use traffic::{
-    fused_traffic_blocked, fused_traffic_ideal, original_traffic, TrafficReport,
-};
+pub use traffic::{fused_traffic_blocked, fused_traffic_ideal, original_traffic, TrafficReport};

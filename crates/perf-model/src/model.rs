@@ -62,16 +62,15 @@ pub fn predict(machine: &Machine, w: &Workload, cfg: &SimConfig) -> ModelPredict
         h
     };
     let stages = graph.stage_count() as f64;
-    let original =
-        t_compute.max(t_mem_parallel) + stages * barrier(max_hops);
+    let original = t_compute.max(t_mem_parallel) + stages * barrier(max_hops);
 
     // Serial first touch: everything streams from socket 0, bounded by
     // its DRAM for the local share and its uplink for the remote share.
     let remote_share = (cores - node0.cores as f64) / cores;
     let uplink = if nodes.len() > 1 {
-        machine.route_bandwidth(nodes[1], nodes[0]).min(
-            machine.route_bandwidth(*nodes.last().unwrap(), nodes[0]),
-        )
+        machine
+            .route_bandwidth(nodes[1], nodes[0])
+            .min(machine.route_bandwidth(*nodes.last().unwrap(), nodes[0]))
     } else {
         f64::INFINITY
     };
@@ -107,9 +106,8 @@ pub fn predict(machine: &Machine, w: &Workload, cfg: &SimConfig) -> ModelPredict
     .percent()
         / 100.0;
     let island_blocks = (n_blocks / p).ceil();
-    let islands = t_compute * (1.0 + extra)
-        + island_blocks * stages * barrier(0)
-        + barrier(max_hops);
+    let islands =
+        t_compute * (1.0 + extra) + island_blocks * stages * barrier(0) + barrier(max_hops);
 
     ModelPrediction {
         original,
@@ -182,9 +180,7 @@ pub fn recommend(machine: &Machine, w: &Workload, cfg: &SimConfig) -> Recommenda
 #[cfg(test)]
 mod tests {
     use super::*;
-    use islands_core::{
-        estimate, plan_fused, plan_islands, plan_original, InitPolicy,
-    };
+    use islands_core::{estimate, plan_fused, plan_islands, plan_original, InitPolicy};
     use numa_sim::UvParams;
 
     /// The model must reproduce the *orderings* the paper reports, and
@@ -251,7 +247,10 @@ mod tests {
             }
             if sockets >= 8 {
                 assert!(m.original < m.fused, "P={sockets}: original vs fused");
-                assert!(m.fused < m.original_serial, "P={sockets}: fused vs serial-init");
+                assert!(
+                    m.fused < m.original_serial,
+                    "P={sockets}: fused vs serial-init"
+                );
             }
         }
     }
@@ -277,10 +276,7 @@ mod tests {
         let rec1 = recommend(&UvParams::uv2000(1).build(), &w, &cfg);
         assert_ne!(rec1.strategy, Strategy::Original);
         // A grid taller in j flips the variant.
-        let tall = Workload::new(
-            stencil_engine::Region3::of_extent(128, 512, 16),
-            10,
-        );
+        let tall = Workload::new(stencil_engine::Region3::of_extent(128, 512, 16), 10);
         let rec2 = recommend(&UvParams::uv2000(4).build(), &tall, &cfg);
         assert_eq!(rec2.variant, Variant::B);
     }

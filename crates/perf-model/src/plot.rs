@@ -122,18 +122,15 @@ impl AsciiPlot {
             };
             let _ = writeln!(out, "{label:>label_w$} |{}", row.iter().collect::<String>());
         }
+        let _ = writeln!(out, "{:label_w$} +{}", "", "-".repeat(self.width));
         let _ = writeln!(
             out,
-            "{:label_w$} +{}",
+            "{:label_w$}  {x0:<8.3}{:>w$.3}",
             "",
-            "-".repeat(self.width)
+            x1,
+            w = self.width - 8
         );
-        let _ = writeln!(out, "{:label_w$}  {x0:<8.3}{:>w$.3}", "", x1, w = self.width - 8);
-        let legend: Vec<String> = self
-            .series
-            .iter()
-            .map(|(m, _)| format!("{m}"))
-            .collect();
+        let legend: Vec<String> = self.series.iter().map(|(m, _)| format!("{m}")).collect();
         let _ = writeln!(out, "{:label_w$}  series: {}", "", legend.join(", "));
         out
     }

@@ -81,8 +81,7 @@ impl Table {
         for (c, l) in self.col_labels.iter().enumerate() {
             col_w[c] = l.len();
         }
-        let fmt_val =
-            |v: f64, p: usize| -> String { format!("{v:.p$}") };
+        let fmt_val = |v: f64, p: usize| -> String { format!("{v:.p$}") };
         for (_, vals) in &self.rows {
             for (c, v) in vals.iter().enumerate() {
                 col_w[c] = col_w[c].max(fmt_val(*v, self.precision).len());
@@ -200,10 +199,7 @@ mod tests {
         assert!(s.contains("7.4"));
         // Every data line has the same number of columns.
         let lines: Vec<&str> = s.lines().skip(1).collect();
-        let cols: Vec<usize> = lines
-            .iter()
-            .map(|l| l.split_whitespace().count())
-            .collect();
+        let cols: Vec<usize> = lines.iter().map(|l| l.split_whitespace().count()).collect();
         assert_eq!(cols[1], cols[2]);
     }
 

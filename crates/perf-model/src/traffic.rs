@@ -2,8 +2,8 @@
 //! measurements, derived analytically here).
 
 use stencil_engine::{
-    fused_traffic_bytes, original_traffic_bytes, BlockPlanner, FieldRole, PlanBlocksError,
-    Region3, StageGraph, BYTES_PER_CELL,
+    fused_traffic_bytes, original_traffic_bytes, BlockPlanner, FieldRole, PlanBlocksError, Region3,
+    StageGraph, BYTES_PER_CELL,
 };
 
 /// Traffic of one strategy over a whole run, bytes.
@@ -109,11 +109,19 @@ mod tests {
         let d = Region3::of_extent(256, 256, 64);
         let orig = original_traffic(&g, d, 50);
         // Paper: 133 GB; our stage graph counts 94 sweeps/step ⇒ 158 GB.
-        assert!((100.0..220.0).contains(&orig.total_gb()), "{}", orig.total_gb());
+        assert!(
+            (100.0..220.0).contains(&orig.total_gb()),
+            "{}",
+            orig.total_gb()
+        );
         let blocked = fused_traffic_blocked(&g, d, 50, 25 << 20).unwrap();
         // Paper: 30 GB measured; the analytic floor is lower because
         // the real code also spills some intermediates.
-        assert!((8.0..40.0).contains(&blocked.total_gb()), "{}", blocked.total_gb());
+        assert!(
+            (8.0..40.0).contains(&blocked.total_gb()),
+            "{}",
+            blocked.total_gb()
+        );
     }
 
     #[test]

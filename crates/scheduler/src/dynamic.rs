@@ -81,7 +81,7 @@ impl ChunkQueue {
 mod tests {
     use super::*;
     use crate::pool::WorkerPool;
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
 
     #[test]
     fn every_chunk_claimed_exactly_once() {
@@ -90,10 +90,10 @@ mod tests {
         let claimed = Mutex::new(vec![0u8; 1000]);
         pool.broadcast(|_| {
             while let Some(c) = queue.claim() {
-                claimed.lock()[c] += 1;
+                claimed.lock().unwrap()[c] += 1;
             }
         });
-        assert!(claimed.lock().iter().all(|&c| c == 1));
+        assert!(claimed.lock().unwrap().iter().all(|&c| c == 1));
     }
 
     #[test]
@@ -103,13 +103,13 @@ mod tests {
         let claimed = Mutex::new(vec![0u8; 103]);
         pool.broadcast(|_| {
             while let Some(r) = queue.claim_batch(8) {
-                let mut g = claimed.lock();
+                let mut g = claimed.lock().unwrap();
                 for c in r {
                     g[c] += 1;
                 }
             }
         });
-        assert!(claimed.lock().iter().all(|&c| c == 1));
+        assert!(claimed.lock().unwrap().iter().all(|&c| c == 1));
     }
 
     #[test]
@@ -128,10 +128,10 @@ mod tests {
                     acc = acc.wrapping_add(n);
                 }
                 std::hint::black_box(acc);
-                per_worker.lock()[ctx.worker] += 1;
+                per_worker.lock().unwrap()[ctx.worker] += 1;
             }
         });
-        let v = per_worker.lock().clone();
+        let v = per_worker.lock().unwrap().clone();
         assert_eq!(v.iter().sum::<usize>(), 64);
         // The worker stuck on chunk 0 must have claimed fewer chunks
         // than the sum of the others (work moved, not waited).

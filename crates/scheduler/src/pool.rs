@@ -7,13 +7,35 @@
 //! and executes *broadcasts* — a closure run once on every worker, with
 //! the pool guaranteeing completion before the call returns, so the
 //! closure may borrow from the caller's stack.
+//!
+//! # Completion latch protocol
+//!
+//! Each broadcast allocates one [`Latch`]: a `Mutex<LatchState>` holding
+//! the count of outstanding workers (plus the first panic payload, if
+//! any) and a `Condvar` the caller blocks on. The protocol has three
+//! rules, in this order of importance:
+//!
+//! 1. **Every dispatched task arrives exactly once.** Arrival is
+//!    performed by the destructor of an [`ArriveOnDrop`] guard created
+//!    *before* the user closure runs, so the latch is decremented even
+//!    if the closure's panic escapes `catch_unwind` (e.g. a panic
+//!    raised while the payload itself is being handled) — the unwind
+//!    still runs the guard's destructor on its way out.
+//! 2. **The caller consumes no CPU while workers run.** It waits on the
+//!    `Condvar` under the latch mutex; the last worker to arrive
+//!    notifies it. There is no spin or yield loop anywhere in the path.
+//! 3. **Poisoning is ignored on purpose.** A panicking worker poisons
+//!    the latch mutex between its lock and unlock only if the panic
+//!    happens *inside* `arrive`, which performs no user code; both
+//!    sides therefore treat a poisoned lock as still-valid state
+//!    (`PoisonError::into_inner`) so one propagated panic cannot brick
+//!    subsequent broadcasts.
 
 use crate::affinity::{AffinityMap, LogicalCpu};
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Context handed to a broadcast closure on each worker.
@@ -26,6 +48,79 @@ pub struct WorkerCtx {
 }
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn Any + Send>;
+
+/// Countdown latch a broadcast caller blocks on (see the module docs
+/// for the full protocol).
+#[derive(Debug)]
+struct Latch {
+    state: Mutex<LatchState>,
+    all_done: Condvar,
+}
+
+#[derive(Debug)]
+struct LatchState {
+    remaining: usize,
+    panic: Option<PanicPayload>,
+}
+
+impl Latch {
+    fn new(parties: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: parties,
+                panic: None,
+            }),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Records one task as finished (stashing the first panic payload)
+    /// and wakes the caller when it was the last.
+    fn arrive(&self, payload: Option<PanicPayload>) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = payload;
+        }
+        if st.remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks (on the condvar — no CPU burned) until every party has
+    /// arrived; returns the first panic payload, if any was stashed.
+    fn wait(&self) -> Option<PanicPayload> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while st.remaining != 0 {
+            st = self
+                .all_done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.panic.take()
+    }
+}
+
+/// Arrival guard: decrements the latch in its destructor so a task
+/// arrives exactly once on every exit path — normal return, caught
+/// panic, or an unwind that bypasses the task's own `catch_unwind`.
+struct ArriveOnDrop {
+    latch: Arc<Latch>,
+    payload: Option<PanicPayload>,
+}
+
+impl Drop for ArriveOnDrop {
+    fn drop(&mut self) {
+        self.latch.arrive(self.payload.take());
+    }
+}
 
 /// A fixed-size pool of persistent worker threads.
 ///
@@ -68,13 +163,18 @@ impl WorkerPool {
         let mut senders = Vec::with_capacity(affinity.len());
         let mut handles = Vec::with_capacity(affinity.len());
         for (worker, cpu) in affinity.iter() {
-            let (tx, rx) = unbounded::<Task>();
+            let (tx, rx) = channel::<Task>();
             senders.push(tx);
             let handle = std::thread::Builder::new()
                 .name(format!("worker-{worker}-{cpu}"))
                 .spawn(move || {
                     while let Ok(task) = rx.recv() {
-                        task();
+                        // The worker must outlive any single task: a
+                        // panic that escapes the task (its own
+                        // catch_unwind was bypassed) is swallowed here —
+                        // the task's arrival guard has already delivered
+                        // the payload to the caller.
+                        let _ = catch_unwind(AssertUnwindSafe(task));
                     }
                 })
                 .expect("failed to spawn pool worker");
@@ -105,55 +205,60 @@ impl WorkerPool {
     /// Runs `f` once on every worker and returns when all have finished.
     ///
     /// `f` may borrow from the caller because the call blocks until every
-    /// worker is done with it.
+    /// worker is done with it. The caller sleeps on a condition variable
+    /// while workers run; it consumes no CPU.
     ///
     /// # Panics
     ///
-    /// If any worker's invocation panics, the panic payload is re-raised
-    /// on the caller after all workers have finished the broadcast.
+    /// If any worker's invocation panics, the first panic payload is
+    /// re-raised on the caller after all workers have finished the
+    /// broadcast; the pool remains usable afterwards.
     pub fn broadcast<F>(&self, f: F)
     where
         F: Fn(WorkerCtx) + Sync,
     {
-        let n = self.len();
-        let remaining = Arc::new(AtomicUsize::new(n));
-        let panic_slot: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
-            Arc::new(Mutex::new(None));
+        let latch = Arc::new(Latch::new(self.len()));
         let f_ref: &(dyn Fn(WorkerCtx) + Sync) = &f;
         // SAFETY: the tasks sent below are joined before this function
-        // returns (the completion loop waits for `remaining == 0`), so the
-        // erased borrow of `f` never outlives the call. This is the
-        // classic scoped-pool pattern.
-        let f_static: &'static (dyn Fn(WorkerCtx) + Sync) =
-            unsafe { std::mem::transmute(f_ref) };
+        // returns — `latch.wait()` blocks until every dispatched task's
+        // arrival guard has run, and tasks that could not be dispatched
+        // arrive synchronously right here — so the erased borrow of `f`
+        // never outlives the call. This is the classic scoped-pool
+        // pattern with a latch in place of thread joins.
+        let f_static: &'static (dyn Fn(WorkerCtx) + Sync) = unsafe { std::mem::transmute(f_ref) };
+        let mut dead_worker = false;
         for (worker, cpu) in self.affinity.iter() {
-            let remaining = Arc::clone(&remaining);
-            let panic_slot = Arc::clone(&panic_slot);
+            if dead_worker {
+                // A previous send failed; account for this never-sent
+                // task so `wait` below still terminates.
+                latch.arrive(None);
+                continue;
+            }
+            let latch_task = Arc::clone(&latch);
             let ctx = WorkerCtx { worker, cpu };
             let task: Task = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| f_static(ctx)));
-                if let Err(payload) = result {
-                    let mut slot = panic_slot.lock();
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
+                let mut guard = ArriveOnDrop {
+                    latch: latch_task,
+                    payload: None,
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f_static(ctx))) {
+                    guard.payload = Some(payload);
                 }
-                remaining.fetch_sub(1, Ordering::AcqRel);
+                // `guard` drops here (or during an unwind that bypassed
+                // the catch above), performing the arrival.
             });
-            self.senders[worker]
-                .send(task)
-                .expect("pool worker exited prematurely");
-        }
-        let mut spins = 0_u32;
-        while remaining.load(Ordering::Acquire) != 0 {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+            if self.senders[worker].send(task).is_err() {
+                // The worker thread is gone (it can only have exited via
+                // a channel disconnect race during shutdown). The unsent
+                // task was dropped without running; arrive on its
+                // behalf, then keep draining the latch before failing so
+                // tasks already dispatched release their borrow of `f`.
+                latch.arrive(None);
+                dead_worker = true;
             }
         }
-        let payload = panic_slot.lock().take();
+        let payload = latch.wait();
+        assert!(!dead_worker, "pool worker exited prematurely");
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
@@ -165,8 +270,9 @@ impl Drop for WorkerPool {
         // Closing the channels terminates the worker loops.
         self.senders.clear();
         for h in self.handles.drain(..) {
-            // A worker that panicked outside a broadcast already delivered
-            // its payload; ignore the join error to keep Drop infallible.
+            // Worker loops swallow task panics, so joins only fail if a
+            // thread was killed externally; ignore the error to keep
+            // Drop infallible.
             let _ = h.join();
         }
     }
@@ -175,7 +281,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn broadcast_runs_on_every_worker_once() {
@@ -233,6 +339,84 @@ mod tests {
     }
 
     #[test]
+    fn panic_on_every_worker_propagates_one_payload() {
+        // All workers panic in the same broadcast: exactly one payload
+        // reaches the caller, and the latch still completes (no hang,
+        // no double-arrival).
+        let pool = WorkerPool::new(4);
+        for round in 0..10 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.broadcast(|ctx| panic!("round {round} worker {}", ctx.worker));
+            }));
+            let payload = r.expect_err("broadcast must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("panic carries its message");
+            assert!(msg.starts_with(&format!("round {round} ")), "{msg}");
+        }
+        let c = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(c.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panic_in_team_run_propagates_and_pool_survives() {
+        use crate::team::TeamSpec;
+        let pool = WorkerPool::new(4);
+        let spec = TeamSpec::even(4, 2);
+        // Every rank panics before its first barrier, so no rank is left
+        // waiting on a peer that already unwound.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_teams(&spec, |ctx| {
+                panic!("team {} rank {} failed", ctx.team, ctx.rank);
+            });
+        }));
+        assert!(r.is_err());
+        // Nested recovery: a full team run (with barriers) must work on
+        // the same pool right after the propagated panic.
+        let t = AtomicUsize::new(0);
+        pool.run_teams(&spec, |ctx| {
+            ctx.team_barrier();
+            t.fetch_add(1, Ordering::SeqCst);
+            ctx.team_barrier();
+        });
+        assert_eq!(t.load(Ordering::SeqCst), 4);
+        // And a plain broadcast after the team recovery.
+        let c = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(c.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn alternating_panicking_and_clean_broadcasts() {
+        // Interleave failing and healthy broadcasts to check the latch
+        // never carries state across calls.
+        let pool = WorkerPool::new(3);
+        for round in 0..8 {
+            if round % 2 == 0 {
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    pool.broadcast(|ctx| {
+                        if ctx.worker == round % 3 {
+                            panic!("scheduled failure");
+                        }
+                    });
+                }));
+                assert!(r.is_err(), "round {round}");
+            } else {
+                let c = AtomicUsize::new(0);
+                pool.broadcast(|_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(c.load(Ordering::SeqCst), 3, "round {round}");
+            }
+        }
+    }
+
+    #[test]
     fn pool_churn_is_clean() {
         // Creating and dropping many pools must neither leak threads
         // visibly (joins in Drop) nor deadlock.
@@ -271,16 +455,51 @@ mod tests {
     #[test]
     fn affinity_is_visible_in_ctx() {
         use crate::affinity::LogicalCpu;
-        let pool = WorkerPool::with_affinity(AffinityMap::explicit(vec![
-            LogicalCpu(7),
-            LogicalCpu(3),
-        ]));
+        let pool =
+            WorkerPool::with_affinity(AffinityMap::explicit(vec![LogicalCpu(7), LogicalCpu(3)]));
         let seen = Mutex::new(Vec::new());
         pool.broadcast(|ctx| {
-            seen.lock().push((ctx.worker, ctx.cpu));
+            seen.lock().unwrap().push((ctx.worker, ctx.cpu));
         });
-        let mut v = seen.lock().clone();
+        let mut v = seen.lock().unwrap().clone();
         v.sort();
         assert_eq!(v, vec![(0, LogicalCpu(7)), (1, LogicalCpu(3))]);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn caller_blocks_without_burning_cpu() {
+        // While workers sleep inside the closure, the calling thread
+        // must be parked on the latch condvar, not spinning. Measure the
+        // caller's thread CPU time across a broadcast that sleeps.
+        fn thread_cpu_ns() -> u64 {
+            let mut ts = std::mem::MaybeUninit::<libc_timespec>::uninit();
+            #[repr(C)]
+            #[allow(non_camel_case_types)]
+            struct libc_timespec {
+                tv_sec: i64,
+                tv_nsec: i64,
+            }
+            extern "C" {
+                fn clock_gettime(clk_id: i32, tp: *mut libc_timespec) -> i32;
+            }
+            const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+            let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, ts.as_mut_ptr()) };
+            assert_eq!(rc, 0);
+            let ts = unsafe { ts.assume_init() };
+            ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+        }
+        let pool = WorkerPool::new(2);
+        let before = thread_cpu_ns();
+        pool.broadcast(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+        });
+        let spent = thread_cpu_ns() - before;
+        // A spin loop would burn ~150 ms of CPU here; condvar parking
+        // costs microseconds. Allow generous slack for dispatch cost.
+        assert!(
+            spent < 50_000_000,
+            "caller burned {spent} ns of CPU during a sleeping broadcast"
+        );
     }
 }

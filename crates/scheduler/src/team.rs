@@ -170,7 +170,11 @@ impl WorkerPool {
     {
         for t in 0..spec.team_count() {
             for &w in spec.members(t) {
-                assert!(w < self.len(), "team member {w} outside pool of {}", self.len());
+                assert!(
+                    w < self.len(),
+                    "team member {w} outside pool of {}",
+                    self.len()
+                );
             }
         }
         let barriers: Vec<Arc<SenseBarrier>> = (0..spec.team_count())

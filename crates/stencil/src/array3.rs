@@ -8,7 +8,7 @@
 //! island sub-domains are represented without index translation at every
 //! kernel site.
 
-use crate::region::{Region3};
+use crate::region::Region3;
 use std::fmt;
 
 /// A dense 3-D array of `f64` covering a [`Region3`] of the global index
@@ -226,7 +226,9 @@ impl Array3 {
 
     /// Iterates over `(i, j, k, value)` in layout order.
     pub fn iter_indexed(&self) -> impl Iterator<Item = (i64, i64, i64, f64)> + '_ {
-        self.region.points().map(|(i, j, k)| (i, j, k, self.get(i, j, k)))
+        self.region
+            .points()
+            .map(|(i, j, k)| (i, j, k, self.get(i, j, k)))
     }
 }
 

@@ -99,12 +99,10 @@ impl BlockPlanner {
         domain: Region3,
     ) -> Result<usize, PlanBlocksError> {
         let halos = graph.cumulative_halos();
-        let (hn, hp) = halos
-            .iter()
-            .fold((0_i64, 0_i64), |(n, p), h| {
-                let (a, b) = h.along(self.axis);
-                (n.max(a), p.max(b))
-            });
+        let (hn, hp) = halos.iter().fold((0_i64, 0_i64), |(n, p), h| {
+            let (a, b) = h.along(self.axis);
+            (n.max(a), p.max(b))
+        });
         let halo_span = (hn + hp) as usize;
         // Cells per unit depth along the axis.
         let plane: usize = match self.axis {
@@ -219,7 +217,11 @@ impl BlockPlanner {
                 let hi = r.range(self.axis).hi;
                 frontier[s] = Some(hi.max(lo));
                 let slab = r.with_range(self.axis, crate::region::Range1::new(lo, hi));
-                stage_regions.push(if slab.is_empty() { Region3::empty() } else { slab });
+                stage_regions.push(if slab.is_empty() {
+                    Region3::empty()
+                } else {
+                    slab
+                });
             }
             blocks.push(BlockPlan {
                 output_region: chunk,
@@ -253,7 +255,10 @@ impl fmt::Display for PlanBlocksError {
         match self {
             PlanBlocksError::EmptyDomain => write!(f, "domain contains no cells"),
             PlanBlocksError::CacheTooSmall { need, have } => {
-                write!(f, "minimum block needs {need} B but cache budget is {have} B")
+                write!(
+                    f,
+                    "minimum block needs {need} B but cache budget is {have} B"
+                )
             }
         }
     }
@@ -359,7 +364,11 @@ mod tests {
         let mut prev = x;
         let mut stages = Vec::new();
         for s in 0..stages_n {
-            let role = if s + 1 == stages_n { FR::Output } else { FR::Intermediate };
+            let role = if s + 1 == stages_n {
+                FR::Output
+            } else {
+                FR::Intermediate
+            };
             let f = t.add(&format!("f{s}"), role);
             stages.push(StageDef {
                 id: StageId(s as u32),
@@ -435,11 +444,7 @@ mod tests {
         let g = chain_graph(1, 3);
         let domain = Region3::of_extent(64, 8, 8);
         // An island that owns only [0, 32) and may not compute beyond it...
-        let part = Region3::new(
-            crate::region::Range1::new(0, 32),
-            domain.j,
-            domain.k,
-        );
+        let part = Region3::new(crate::region::Range1::new(0, 32), domain.j, domain.k);
         let planner = BlockPlanner::new(1 << 20).max_depth(8);
         // ...except that the islands executor clips to the *enlarged*
         // island region; here we just verify the clip argument is honoured.
@@ -473,7 +478,10 @@ mod tests {
         let domain = Region3::of_extent(32, 32, 32);
         let orig = original_traffic_bytes(&g, domain);
         let fused = fused_traffic_bytes(&g, domain);
-        assert!(fused < orig, "fused traffic {fused} must beat original {orig}");
+        assert!(
+            fused < orig,
+            "fused traffic {fused} must beat original {orig}"
+        );
         // Original: 5 stages × (1 read + 2 write) × N×8; fused: (1 + 2) × N×8.
         assert_eq!(orig, 5 * 3 * domain.cells() * 8);
         assert_eq!(fused, 3 * domain.cells() * 8);

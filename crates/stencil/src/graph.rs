@@ -66,7 +66,10 @@ impl fmt::Display for BuildGraphError {
                 write!(f, "{stage} writes external {field}")
             }
             BuildGraphError::DuplicateWrite { stage, field } => {
-                write!(f, "{stage} writes {field}, which an earlier stage already wrote")
+                write!(
+                    f,
+                    "{stage} writes {field}, which an earlier stage already wrote"
+                )
             }
             BuildGraphError::UnwrittenOutput { field } => {
                 write!(f, "output {field} is never written")
@@ -492,7 +495,10 @@ mod tests {
     fn build_rejects_unwritten_output_and_empty() {
         let mut t = FieldTable::new();
         let _x = t.add("x", FieldRole::External);
-        assert_eq!(StageGraph::build(t, vec![]).unwrap_err(), BuildGraphError::Empty);
+        assert_eq!(
+            StageGraph::build(t, vec![]).unwrap_err(),
+            BuildGraphError::Empty
+        );
 
         let mut t = FieldTable::new();
         let x = t.add("x", FieldRole::External);

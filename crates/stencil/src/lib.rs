@@ -52,6 +52,7 @@ mod field;
 mod graph;
 mod pattern;
 mod region;
+pub mod rng;
 mod stage;
 
 pub use array3::Array3;

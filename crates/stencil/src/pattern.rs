@@ -28,7 +28,11 @@ impl Offset3 {
     }
 
     /// The centre offset `(0, 0, 0)`.
-    pub const CENTER: Offset3 = Offset3 { di: 0, dj: 0, dk: 0 };
+    pub const CENTER: Offset3 = Offset3 {
+        di: 0,
+        dj: 0,
+        dk: 0,
+    };
 }
 
 impl fmt::Display for Offset3 {
@@ -74,7 +78,10 @@ impl StencilPattern {
             .collect();
         v.sort_unstable();
         v.dedup();
-        assert!(!v.is_empty(), "a stencil pattern must read at least one offset");
+        assert!(
+            !v.is_empty(),
+            "a stencil pattern must read at least one offset"
+        );
         StencilPattern { offsets: v }
     }
 

@@ -406,7 +406,11 @@ impl Region3 {
     pub fn subtract(self, other: Region3) -> Vec<Region3> {
         let cut = self.intersect(other);
         if cut.is_empty() {
-            return if self.is_empty() { Vec::new() } else { vec![self] };
+            return if self.is_empty() {
+                Vec::new()
+            } else {
+                vec![self]
+            };
         }
         let mut out = Vec::new();
         let mut push = |r: Region3| {
@@ -415,11 +419,27 @@ impl Region3 {
             }
         };
         // i-slabs outside the cut, spanning full j × k of self.
-        push(Region3::new(Range1::new(self.i.lo, cut.i.lo), self.j, self.k));
-        push(Region3::new(Range1::new(cut.i.hi, self.i.hi), self.j, self.k));
+        push(Region3::new(
+            Range1::new(self.i.lo, cut.i.lo),
+            self.j,
+            self.k,
+        ));
+        push(Region3::new(
+            Range1::new(cut.i.hi, self.i.hi),
+            self.j,
+            self.k,
+        ));
         // Within the cut's i-range: j-slabs spanning full k.
-        push(Region3::new(cut.i, Range1::new(self.j.lo, cut.j.lo), self.k));
-        push(Region3::new(cut.i, Range1::new(cut.j.hi, self.j.hi), self.k));
+        push(Region3::new(
+            cut.i,
+            Range1::new(self.j.lo, cut.j.lo),
+            self.k,
+        ));
+        push(Region3::new(
+            cut.i,
+            Range1::new(cut.j.hi, self.j.hi),
+            self.k,
+        ));
         // Within the cut's i×j: k-slabs.
         push(Region3::new(cut.i, cut.j, Range1::new(self.k.lo, cut.k.lo)));
         push(Region3::new(cut.i, cut.j, Range1::new(cut.k.hi, self.k.hi)));
@@ -626,11 +646,7 @@ mod tests {
     #[test]
     fn region_intersect_empty_normalized() {
         let a = Region3::of_extent(4, 4, 4);
-        let b = Region3::new(
-            Range1::new(10, 12),
-            Range1::new(0, 4),
-            Range1::new(0, 4),
-        );
+        let b = Region3::new(Range1::new(10, 12), Range1::new(0, 4), Range1::new(0, 4));
         assert_eq!(a.intersect(b), Region3::empty());
         assert!(!a.overlaps(b));
     }

@@ -36,7 +36,10 @@ fn main() {
         d.k.len(),
         steps
     );
-    println!("{:>6}  {:>8}  {:>12}  {:>12}", "iord", "stages", "peak kept", "L1 error");
+    println!(
+        "{:>6}  {:>8}  {:>12}  {:>12}",
+        "iord", "stages", "peak kept", "L1 error"
+    );
     let peak0 = initial.x.max() - 2.0; // background is 2
     for iord in 1..=4 {
         let problem = MpdataProblem::with_iord(iord).with_boundary(Boundary::Periodic);

@@ -51,8 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &cfg,
         )?
         .total_seconds;
-        let islands =
-            estimate(&machine, &plan_islands(&machine, &w, rec.variant)?, &w, &cfg)?.total_seconds;
+        let islands = estimate(
+            &machine,
+            &plan_islands(&machine, &w, rec.variant)?,
+            &w,
+            &cfg,
+        )?
+        .total_seconds;
         let engine_time = match rec.strategy {
             Strategy::Original => orig,
             Strategy::Fused => fused,

@@ -45,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &cfg,
         )?
         .total_seconds;
-        let islands = estimate(&machine, &plan_islands(&machine, &w, Variant::A)?, &w, &cfg)?
-            .total_seconds;
+        let islands =
+            estimate(&machine, &plan_islands(&machine, &w, Variant::A)?, &w, &cfg)?.total_seconds;
         println!(
             "{:>3}  {:>10.2}  {:>10.2}  {:>10.2}  {:>8.2}  {:>8.2}  {:>12.1}",
             p,

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (graph, _) = mpdata_graph();
 
     println!("## Cost side: redundant element updates (variant A, 1024×512×64)");
-    println!("{:>8}  {:>10}  {:>14}", "islands", "extra [%]", "extra updates");
+    println!(
+        "{:>8}  {:>10}  {:>14}",
+        "islands", "extra [%]", "extra updates"
+    );
     for n in [2usize, 4, 8, 14, 28, 56] {
         let part = Partition::one_d(w.domain, Variant::A, n)?;
         let e = extra_elements(&graph, &part);
@@ -40,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .total_seconds;
         let islands =
             estimate(&machine, &plan_islands(&machine, &w, Variant::A)?, &w, &cfg)?.total_seconds;
-        let winner = if islands <= fused { "islands (recompute)" } else { "(3+1)D (communicate)" };
+        let winner = if islands <= fused {
+            "islands (recompute)"
+        } else {
+            "(3+1)D (communicate)"
+        };
         println!(
             "{:>6}  {:>12.2}  {:>12.2}  {:>8.2}  {winner}",
             format!("×{factor}"),

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let drift = islands.mass() / base.mass() - 1.0;
-    println!("\nphysics: mass drift {drift:+.2e}, min {:+.2e} (positive definite)", islands.x.min());
+    println!(
+        "\nphysics: mass drift {drift:+.2e}, min {:+.2e} (positive definite)",
+        islands.x.min()
+    );
     assert_eq!(islands.x.max_abs_diff(&reference.x), 0.0);
     assert!(islands.x.min() >= -1e-12);
     assert!(drift.abs() < 1e-9);

@@ -59,10 +59,7 @@ fn trace_extra_flops_match_overlap_analysis() {
     let trace_extra = (isl - base) / base;
 
     let (graph, _) = mpdata_graph();
-    let analysis = extra_elements(
-        &graph,
-        &Partition::one_d(w.domain, Variant::A, 4).unwrap(),
-    );
+    let analysis = extra_elements(&graph, &Partition::one_d(w.domain, Variant::A, 4).unwrap());
     // Cells-weighted vs flops-weighted redundancy differ only through
     // per-stage flop weights; they must agree closely.
     let cell_extra = analysis.percent() / 100.0;
@@ -107,14 +104,22 @@ fn simulated_orderings_and_metrics() {
     )
     .unwrap()
     .total_seconds;
-    let islands = estimate(&machine, &plan_islands(&machine, &w, Variant::A).unwrap(), &w, &cfg)
-        .unwrap()
-        .total_seconds;
+    let islands = estimate(
+        &machine,
+        &plan_islands(&machine, &w, Variant::A).unwrap(),
+        &w,
+        &cfg,
+    )
+    .unwrap()
+    .total_seconds;
 
     // The paper's ordering on 8 sockets.
     assert!(islands < orig, "islands {islands} vs original {orig}");
     assert!(orig < fused, "original {orig} vs fused {fused} at P=8");
-    assert!(fused < orig_serial, "fused {fused} vs serial-init {orig_serial}");
+    assert!(
+        fused < orig_serial,
+        "fused {fused} vs serial-init {orig_serial}"
+    );
 
     // Metrics layer agrees with raw times.
     let g_islands = sustained_gflops(w.domain, w.steps, islands);
@@ -175,9 +180,14 @@ fn paper_smoke_reduced_scale() {
     )
     .unwrap()
     .total_seconds;
-    let islands = estimate(&machine, &plan_islands(&machine, &w, Variant::A).unwrap(), &w, &cfg)
-        .unwrap()
-        .total_seconds;
+    let islands = estimate(
+        &machine,
+        &plan_islands(&machine, &w, Variant::A).unwrap(),
+        &w,
+        &cfg,
+    )
+    .unwrap()
+    .total_seconds;
     let s_pr = fused / islands;
     let s_ov = orig / islands;
     assert!(islands < orig && islands < fused);

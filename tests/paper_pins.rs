@@ -15,9 +15,7 @@ use islands_of_cores::stencil::Region3;
 fn table2_variant_a_values_pinned() {
     let (g, _) = mpdata_graph();
     let d = Region3::of_extent(1024, 512, 64);
-    let pct = |n: usize| {
-        extra_elements(&g, &Partition::one_d(d, Variant::A, n).unwrap()).percent()
-    };
+    let pct = |n: usize| extra_elements(&g, &Partition::one_d(d, Variant::A, n).unwrap()).percent();
     assert!((pct(2) - 0.218_290_441_176_470_6).abs() < 1e-12);
     assert!((pct(7) - 1.309_742_647_058_823_6).abs() < 1e-12);
     assert!((pct(14) - 2.837_775_735_294_117_8).abs() < 1e-12);
@@ -49,11 +47,7 @@ fn table4_peaks_pinned() {
 #[test]
 fn cumulative_halo_span_pinned() {
     let (g, _) = mpdata_graph();
-    let total: i64 = g
-        .cumulative_halos()
-        .iter()
-        .map(|h| h.i_neg + h.i_pos)
-        .sum();
+    let total: i64 = g.cumulative_halos().iter().map(|h| h.i_neg + h.i_pos).sum();
     assert_eq!(total, 38);
 }
 
@@ -97,11 +91,20 @@ fn fig1_counts_pinned() {
     )
     .unwrap();
     let domain = Region3::of_extent(8, 1, 1);
-    let whole: usize = g.required_regions(domain, domain).iter().map(|r| r.cells()).sum();
+    let whole: usize = g
+        .required_regions(domain, domain)
+        .iter()
+        .map(|r| r.cells())
+        .sum();
     let split: usize = domain
         .split(Axis::I, 2)
         .into_iter()
-        .map(|h| g.required_regions(h, domain).iter().map(|r| r.cells()).sum::<usize>())
+        .map(|h| {
+            g.required_regions(h, domain)
+                .iter()
+                .map(|r| r.cells())
+                .sum::<usize>()
+        })
         .sum();
     assert_eq!(split - whole, 6, "Fig. 1(c)'s extra updates");
 }
