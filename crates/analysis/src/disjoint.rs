@@ -1,0 +1,303 @@
+//! Pass 2 — plan-time disjointness.
+//!
+//! Reconstructs, from a partition plus a team schedule, exactly the
+//! per-rank read/write regions the islands executor will touch —
+//! [`islands_plan`] mirrors `IslandsExecutor::step` region for region —
+//! and then proves the schedule race-free by region arithmetic alone:
+//!
+//! * within a team, every `(block, stage)` pair is one barrier-fenced
+//!   *epoch*; no rank's write region may intersect another rank's
+//!   read-or-write region of the same field inside an epoch;
+//! * across teams, the whole time step is one epoch (teams synchronize
+//!   only at the step join); no team's write to a *shared* field
+//!   (externals and outputs) may intersect any other team's access;
+//! * external fields are read-only everywhere;
+//! * every read of an island-private (intermediate) field must be
+//!   covered by same-team writes from strictly earlier epochs.
+//!
+//! The checks are sound for [`Boundary::Open`] problems — the only kind
+//! the islands executor accepts — because open-boundary reads clamp
+//! into the halo-expanded boxes recorded here.
+
+use crate::diag::{Diagnostic, DiagnosticCode};
+use mpdata::MpdataProblem;
+use stencil_engine::{Axis, BlockPlanner, FieldRole, PlanBlocksError, Region3};
+
+/// One planned access of one rank inside an epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedAccess {
+    /// Field index (into [`SchedulePlan::field_names`]).
+    pub field: usize,
+    /// The region touched.
+    pub region: Region3,
+    /// Write (`true`) or read (`false`).
+    pub write: bool,
+}
+
+/// One barrier-fenced unit of a team's schedule: all ranks run their
+/// accesses concurrently, then meet at the team barrier.
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    /// Human-readable position, e.g. `block 2 / stage upd-1`.
+    pub label: String,
+    /// Accesses per rank (index = rank).
+    pub per_rank: Vec<Vec<PlannedAccess>>,
+}
+
+/// The full schedule of one team (island) for one time step.
+#[derive(Clone, Debug)]
+pub struct TeamPlan {
+    /// Epochs in execution order.
+    pub epochs: Vec<Epoch>,
+}
+
+/// Everything the disjointness checker needs about one planned step.
+/// All fields are public so tests and `stencil-lint --mutant …` can
+/// seed broken schedules.
+#[derive(Clone, Debug)]
+pub struct SchedulePlan {
+    /// The global domain.
+    pub domain: Region3,
+    /// Field names, indexed by the `field` of [`PlannedAccess`].
+    pub field_names: Vec<String>,
+    /// Per field: visible to all teams (externals and final outputs)
+    /// rather than island-private scratch.
+    pub shared: Vec<bool>,
+    /// Per field: external input, never legally written in-step.
+    pub external: Vec<bool>,
+    /// One plan per team, in team order.
+    pub teams: Vec<TeamPlan>,
+}
+
+/// Builds the [`SchedulePlan`] the islands executor would run: one part
+/// per team (empty parts allowed — surplus islands idle), `team_sizes`
+/// ranks per team splitting every stage sweep along `split_axis`
+/// (`TeamSpec::team_sizes` provides this shape), wavefront blocks under
+/// `cache_bytes`.
+///
+/// # Errors
+///
+/// Returns [`PlanBlocksError`] when a part's blocks cannot fit the
+/// cache budget — the same error `IslandsExecutor::step` would surface.
+///
+/// # Panics
+///
+/// Panics if `parts` and `team_sizes` disagree in length or the problem
+/// is not open-boundary (the islands executor rejects it too).
+pub fn islands_plan(
+    problem: &MpdataProblem,
+    domain: Region3,
+    parts: &[Region3],
+    team_sizes: &[usize],
+    split_axis: Axis,
+    cache_bytes: usize,
+) -> Result<SchedulePlan, PlanBlocksError> {
+    assert_eq!(parts.len(), team_sizes.len(), "one part per team");
+    assert_eq!(
+        problem.boundary(),
+        mpdata::Boundary::Open,
+        "the islands schedule is only defined for open boundaries"
+    );
+    let graph = problem.graph();
+    let fields = graph.fields();
+    let field_names: Vec<String> = (0..fields.len())
+        .map(|n| fields.name(stencil_engine::FieldId(n as u32)).to_string())
+        .collect();
+    let shared: Vec<bool> = (0..fields.len())
+        .map(|n| fields.role(stencil_engine::FieldId(n as u32)) != FieldRole::Intermediate)
+        .collect();
+    let external: Vec<bool> = (0..fields.len())
+        .map(|n| fields.role(stencil_engine::FieldId(n as u32)) == FieldRole::External)
+        .collect();
+
+    let mut teams = Vec::with_capacity(parts.len());
+    for (&part, &size) in parts.iter().zip(team_sizes) {
+        let mut epochs = Vec::new();
+        if !part.is_empty() {
+            let blocking = BlockPlanner::new(cache_bytes).plan_wavefront(graph, part, domain)?;
+            for (b, block) in blocking.blocks.iter().enumerate() {
+                for st in graph.stages() {
+                    let region = block.stage_regions[st.id.index()];
+                    let mut per_rank = Vec::with_capacity(size);
+                    for rank in 0..size {
+                        let mine = mpdata::rank_slice(region, split_axis, rank, size);
+                        let mut acc = Vec::new();
+                        if !mine.is_empty() {
+                            for &o in &st.outputs {
+                                acc.push(PlannedAccess {
+                                    field: o.index(),
+                                    region: mine,
+                                    write: true,
+                                });
+                            }
+                            for (f, pat) in &st.inputs {
+                                acc.push(PlannedAccess {
+                                    field: f.index(),
+                                    region: mine.expand(pat.halo()).intersect(domain),
+                                    write: false,
+                                });
+                            }
+                        }
+                        per_rank.push(acc);
+                    }
+                    epochs.push(Epoch {
+                        label: format!("block {b} / stage {}", st.name),
+                        per_rank,
+                    });
+                }
+            }
+        }
+        teams.push(TeamPlan { epochs });
+    }
+    Ok(SchedulePlan {
+        domain,
+        field_names,
+        shared,
+        external,
+        teams,
+    })
+}
+
+/// Proves (or refutes) the plan race-free. Returns all violations, in
+/// deterministic order; an empty vector is the proof.
+pub fn check_disjointness(plan: &SchedulePlan) -> Vec<Diagnostic> {
+    let mut found = Vec::new();
+    let fname = |f: usize| plan.field_names[f].clone();
+
+    // Rule 1: externals are read-only, anywhere, by anyone.
+    for (t, team) in plan.teams.iter().enumerate() {
+        for ep in &team.epochs {
+            for (rank, accs) in ep.per_rank.iter().enumerate() {
+                for a in accs {
+                    if a.write && plan.external[a.field] {
+                        found.push(Diagnostic {
+                            code: DiagnosticCode::ExternalWrite,
+                            site: format!("team {t} rank {rank} / {}", ep.label),
+                            field: fname(a.field),
+                            detail: format!("schedule writes external field over {:?}", a.region),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Rule 2: intra-team, per epoch — a rank's write region must not
+    // intersect any other rank's read-or-write region of the field.
+    for (t, team) in plan.teams.iter().enumerate() {
+        for ep in &team.epochs {
+            for (ra, accs_a) in ep.per_rank.iter().enumerate() {
+                for (rb, accs_b) in ep.per_rank.iter().enumerate() {
+                    if ra == rb {
+                        continue;
+                    }
+                    for wa in accs_a.iter().filter(|a| a.write) {
+                        for ab in accs_b.iter().filter(|b| b.field == wa.field) {
+                            // Write–read pairs are reported once (from
+                            // the writer); write–write pairs once per
+                            // unordered pair.
+                            if (ab.write && ra > rb) || !wa.region.overlaps(ab.region) {
+                                continue;
+                            }
+                            found.push(Diagnostic {
+                                code: DiagnosticCode::IntraTeamOverlap,
+                                site: format!("team {t} / {}", ep.label),
+                                field: fname(wa.field),
+                                detail: format!(
+                                    "rank {ra} writes {:?} while rank {rb} {} {:?}",
+                                    wa.region,
+                                    if ab.write { "writes" } else { "reads" },
+                                    ab.region
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Rule 3: cross-team, whole step — writes to shared fields must not
+    // intersect any other team's access to them.
+    let step_accesses = |team: &TeamPlan| -> Vec<PlannedAccess> {
+        team.epochs
+            .iter()
+            .flat_map(|ep| ep.per_rank.iter().flatten().cloned())
+            .collect()
+    };
+    for ta in 0..plan.teams.len() {
+        let accs_a = step_accesses(&plan.teams[ta]);
+        for tb in 0..plan.teams.len() {
+            if ta == tb {
+                continue;
+            }
+            let accs_b = step_accesses(&plan.teams[tb]);
+            for wa in accs_a.iter().filter(|a| a.write && plan.shared[a.field]) {
+                for ab in accs_b.iter().filter(|b| b.field == wa.field) {
+                    if (ab.write && ta > tb) || !wa.region.overlaps(ab.region) {
+                        continue;
+                    }
+                    found.push(Diagnostic {
+                        code: DiagnosticCode::CrossTeamOverlap,
+                        site: format!("teams {ta}+{tb}"),
+                        field: fname(wa.field),
+                        detail: format!(
+                            "team {ta} writes {:?} while team {tb} {} {:?} with no \
+                             intra-step synchronization between teams",
+                            wa.region,
+                            if ab.write { "writes" } else { "reads" },
+                            ab.region
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 4: coverage — island-private reads must resolve to cells the
+    // same team wrote in a strictly earlier epoch.
+    for (t, team) in plan.teams.iter().enumerate() {
+        let mut written: Vec<(usize, Region3)> = Vec::new();
+        for ep in &team.epochs {
+            for (rank, accs) in ep.per_rank.iter().enumerate() {
+                for rd in accs.iter().filter(|a| !a.write) {
+                    if plan.shared[rd.field] {
+                        continue; // pre-existing inputs / the output
+                    }
+                    let mut remaining = vec![rd.region];
+                    for (_, wr) in written.iter().filter(|(wf, _)| *wf == rd.field) {
+                        remaining = remaining
+                            .into_iter()
+                            .flat_map(|r| r.subtract(*wr))
+                            .collect();
+                        if remaining.is_empty() {
+                            break;
+                        }
+                    }
+                    if let Some(gap) = remaining.first() {
+                        found.push(Diagnostic {
+                            code: DiagnosticCode::UncoveredRead,
+                            site: format!("team {t} rank {rank} / {}", ep.label),
+                            field: fname(rd.field),
+                            detail: format!(
+                                "reads {:?} but no earlier epoch of this team wrote {:?}",
+                                rd.region, gap
+                            ),
+                        });
+                    }
+                }
+            }
+            // Merge this epoch's writes only after its reads were
+            // checked: same-epoch write→read has no fence between them.
+            for accs in &ep.per_rank {
+                for wr in accs.iter().filter(|a| a.write) {
+                    written.push((wr.field, wr.region));
+                }
+            }
+        }
+    }
+
+    found.sort();
+    found.dedup();
+    found
+}

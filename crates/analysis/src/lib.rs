@@ -1,0 +1,46 @@
+//! # islands-analysis
+//!
+//! Machine-checked access contracts for the islands-of-cores
+//! reproduction. The stage graph's declared [`StencilPattern`]s are the
+//! single source of truth three subsystems trust — the backward
+//! requirement analysis, the block planner and the overlap accounting —
+//! so this crate *proves* the two assumptions everything rests on,
+//! instead of asserting them by convention:
+//!
+//! 1. **Pattern conformance** ([`check_problem`] / [`check_graph`]):
+//!    every kernel reads exactly the offsets its stage declares and
+//!    writes exactly the requested cells of its declared outputs,
+//!    observed through the debug-only access recorder of
+//!    [`stencil_engine::trace`].
+//! 2. **Plan-time disjointness** ([`islands_plan`] /
+//!    [`check_disjointness`]): for any partition and team schedule, no
+//!    rank's write region intersects another rank's read-or-write
+//!    region of the same field within a synchronization epoch, and all
+//!    island-private reads are covered by earlier same-team writes.
+//!
+//! The `stencil-lint` binary wires both passes into CI:
+//!
+//! ```text
+//! cargo run -p islands-analysis --bin stencil-lint
+//! ```
+//!
+//! exits non-zero on any diagnostic (and, via `--mutant …`, proves it
+//! *would* catch seeded declaration and schedule bugs).
+//!
+//! [`StencilPattern`]: stencil_engine::StencilPattern
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conformance;
+mod diag;
+mod disjoint;
+
+pub use conformance::{
+    check_graph, check_problem, with_offset_removed, ConformanceReport, KernelPath,
+    TraceUnavailable,
+};
+pub use diag::{Diagnostic, DiagnosticCode};
+pub use disjoint::{
+    check_disjointness, islands_plan, Epoch, PlannedAccess, SchedulePlan, TeamPlan,
+};

@@ -1,0 +1,193 @@
+//! Regression pins: the linter must *fail* on seeded bugs.
+//!
+//! Each test feeds a known-bad declaration or schedule to the analyzer
+//! and asserts the specific diagnostic code comes back — so a future
+//! refactor cannot silently lobotomize a check.
+
+use islands_analysis::{
+    check_disjointness, check_graph, islands_plan, with_offset_removed, DiagnosticCode, KernelPath,
+    PlannedAccess,
+};
+use mpdata::MpdataProblem;
+use stencil_engine::{trace, Axis, Offset3, Range1, Region3, StageGraph, StencilPattern};
+
+fn domain() -> Region3 {
+    Region3::new(Range1::new(2, 7), Range1::new(-1, 3), Range1::new(3, 6))
+}
+
+const CACHE: usize = 64 * 1024;
+
+#[test]
+fn dropped_offset_is_an_undeclared_read() {
+    if !trace::is_enabled() {
+        return;
+    }
+    let problem = MpdataProblem::standard();
+    let mutated = with_offset_removed(
+        problem.graph(),
+        0,
+        0,
+        Offset3 {
+            di: -1,
+            dj: 0,
+            dk: 0,
+        },
+    );
+    for path in [KernelPath::Dispatch, KernelPath::Scalar] {
+        let rep = check_graph(
+            &mutated,
+            problem.kinds(),
+            problem.boundary(),
+            domain(),
+            path,
+        )
+        .unwrap();
+        assert!(
+            rep.diagnostics
+                .iter()
+                .any(|d| d.code == DiagnosticCode::UndeclaredRead
+                    && d.site == "flux_i"
+                    && d.field == "x"
+                    && d.detail.contains("(-1, 0, 0)")),
+            "expected the undeclared (-1,0,0) read of x, got: {:?}",
+            rep.diagnostics
+        );
+    }
+}
+
+/// Widens one declared pattern with an offset the kernel never reads.
+fn with_offset_added(
+    graph: &StageGraph,
+    stage: usize,
+    slot: usize,
+    o: (i64, i64, i64),
+) -> StageGraph {
+    let mut stages = graph.stages().to_vec();
+    let (_, pat) = &mut stages[stage].inputs[slot];
+    let mut offsets: Vec<(i64, i64, i64)> =
+        pat.offsets().iter().map(|p| (p.di, p.dj, p.dk)).collect();
+    offsets.push(o);
+    *pat = StencilPattern::from_offsets(offsets);
+    StageGraph::build(graph.fields().clone(), stages).unwrap()
+}
+
+#[test]
+fn padded_pattern_is_an_overdeclared_offset() {
+    if !trace::is_enabled() {
+        return;
+    }
+    let problem = MpdataProblem::standard();
+    // Stage 0 reads the Courant field u1 pointwise; declare a phantom
+    // (0, 0, -1) dependency on it.
+    let mutated = with_offset_added(problem.graph(), 0, 1, (0, 0, -1));
+    let rep = check_graph(
+        &mutated,
+        problem.kinds(),
+        problem.boundary(),
+        domain(),
+        KernelPath::Dispatch,
+    )
+    .unwrap();
+    assert!(
+        rep.diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::OverdeclaredOffset
+                && d.site == "flux_i"
+                && d.detail.contains("(0, 0, -1)")),
+        "expected the phantom (0,0,-1) offset, got: {:?}",
+        rep.diagnostics
+    );
+}
+
+#[test]
+fn overlapping_parts_are_a_cross_team_overlap() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let halves = d.split(Axis::I, 2);
+    let grown = halves[1].with_range(Axis::I, Range1::new(halves[1].i.lo - 1, halves[1].i.hi));
+    let plan = islands_plan(&problem, d, &[halves[0], grown], &[2, 2], Axis::J, CACHE).unwrap();
+    let found = check_disjointness(&plan);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::CrossTeamOverlap && f.field == "xout"),
+        "expected a cross-team xout overlap, got: {found:?}"
+    );
+}
+
+#[test]
+fn widened_rank_slices_are_an_intra_team_overlap() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let split = Axis::J;
+    let mut plan = islands_plan(&problem, d, &parts, &[2, 2], split, CACHE).unwrap();
+    for team in &mut plan.teams {
+        for ep in &mut team.epochs {
+            if let Some(rank0) = ep.per_rank.first_mut() {
+                for acc in rank0.iter_mut().filter(|a| a.write) {
+                    let r = acc.region.range(split);
+                    let hi = (r.hi + 1).min(d.range(split).hi);
+                    acc.region = acc.region.with_range(split, Range1::new(r.lo, hi));
+                }
+            }
+        }
+    }
+    let found = check_disjointness(&plan);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::IntraTeamOverlap),
+        "expected an intra-team overlap, got: {found:?}"
+    );
+}
+
+#[test]
+fn writing_an_external_is_flagged() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let mut plan = islands_plan(&problem, d, &parts, &[1, 1], Axis::J, CACHE).unwrap();
+    let x = plan.field_names.iter().position(|n| n == "x").unwrap();
+    assert!(plan.external[x]);
+    plan.teams[0].epochs[0].per_rank[0].push(PlannedAccess {
+        field: x,
+        region: parts[0],
+        write: true,
+    });
+    let found = check_disjointness(&plan);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::ExternalWrite && f.field == "x"),
+        "expected an external-write, got: {found:?}"
+    );
+}
+
+#[test]
+fn deleting_a_producer_epoch_is_an_uncovered_read() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let mut plan = islands_plan(&problem, d, &parts, &[2, 2], Axis::J, CACHE).unwrap();
+    // Drop team 0's very first epoch (block 0, stage flux_i, the f1
+    // producer): the low-order update's read of f1 is now uncovered.
+    assert!(plan.teams[0].epochs[0].label.contains("flux_i"));
+    plan.teams[0].epochs.remove(0);
+    let found = check_disjointness(&plan);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::UncoveredRead && f.field == "f1"),
+        "expected an uncovered read of f1, got: {found:?}"
+    );
+}
+
+#[test]
+fn clean_schedule_stays_clean_as_a_control() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let plan = islands_plan(&problem, d, &parts, &[2, 2], Axis::J, CACHE).unwrap();
+    assert_eq!(check_disjointness(&plan), vec![]);
+}

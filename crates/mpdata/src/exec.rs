@@ -4,11 +4,15 @@ use crate::fields::MpdataFields;
 use crate::graph::{ExternalIds, StageKind};
 use crate::kernels::{apply_kind, Boundary};
 use stencil_engine::{Array3, Axis, FieldId, Region3, StageDef};
-use work_scheduler::DisjointCell;
+use work_scheduler::{AccessTracker, DisjointCell};
 
 /// The share of `region` that rank `rank` of `size` computes, cutting
 /// along `axis` (empty when the region is thinner than the team).
-pub(crate) fn rank_slice(region: Region3, axis: Axis, rank: usize, size: usize) -> Region3 {
+///
+/// Public so that plan-time analyses (the `islands-analysis`
+/// disjointness checker) can reproduce the executors' work split
+/// bit-for-bit instead of re-deriving it.
+pub fn rank_slice(region: Region3, axis: Axis, rank: usize, size: usize) -> Region3 {
     region.split(axis, size)[rank]
 }
 
@@ -87,13 +91,116 @@ impl<'a> SerialStore<'a> {
     }
 }
 
+/// One active region claim in the debug overlap guard.
+#[cfg(debug_assertions)]
+#[derive(Clone, Debug)]
+struct Claim {
+    token: u64,
+    field: FieldId,
+    region: Region3,
+    write: bool,
+    label: String,
+}
+
+/// The per-store collection of field buffers, each in a [`DisjointCell`]
+/// so team ranks can write disjoint regions concurrently.
+///
+/// Debug builds additionally keep a *claim table*: every
+/// [`ParStore::apply`] registers the regions it is about to write (its
+/// outputs over the rank slice) and read (its non-external inputs over
+/// the halo-expanded slice) before touching the buffers, and a write
+/// claim that overlaps any concurrent claim of the same field panics
+/// with both stage names. The table is compiled out of release builds.
+pub(crate) struct FieldCells {
+    cells: Vec<DisjointCell<Option<Array3>>>,
+    #[cfg(debug_assertions)]
+    claims: std::sync::Mutex<(u64, Vec<Claim>)>,
+}
+
+impl FieldCells {
+    fn new(field_count: usize) -> Self {
+        FieldCells {
+            cells: (0..field_count).map(|_| DisjointCell::new(None)).collect(),
+            #[cfg(debug_assertions)]
+            claims: std::sync::Mutex::new((0, Vec::new())),
+        }
+    }
+
+    fn cell(&self, f: FieldId) -> &DisjointCell<Option<Array3>> {
+        &self.cells[f.index()]
+    }
+
+    fn cell_mut(&mut self, f: FieldId) -> &mut DisjointCell<Option<Array3>> {
+        &mut self.cells[f.index()]
+    }
+
+    /// Registers the `(field, region, is_write)` triples and returns an
+    /// RAII guard that retires them. Panics (debug builds only) when a
+    /// write claim overlaps a concurrent read-or-write claim of the same
+    /// field: two such accesses are only sound when a barrier or join
+    /// separates them, and a live claim proves there was none.
+    #[cfg(debug_assertions)]
+    fn claim(&self, wanted: &[(FieldId, Region3, bool)], label: &str) -> ClaimGuard<'_> {
+        // A panicking claimant poisons the mutex; recover the table so
+        // sibling workers report the overlap instead of the poison.
+        let mut table = self.claims.lock().unwrap_or_else(|e| e.into_inner());
+        let (next, active) = &mut *table;
+        for &(field, region, write) in wanted {
+            for c in active.iter() {
+                if c.field == field && (write || c.write) && c.region.overlaps(region) {
+                    panic!(
+                        "field access overlap: `{label}` {} field #{} over {:?} while \
+                         `{}` holds a {} over {:?} — a barrier or join must separate them",
+                        if write { "writes" } else { "reads" },
+                        field.index(),
+                        region,
+                        c.label,
+                        if c.write { "write" } else { "read" },
+                        c.region,
+                    );
+                }
+            }
+        }
+        let base = *next;
+        for (n, &(field, region, write)) in wanted.iter().enumerate() {
+            active.push(Claim {
+                token: base + n as u64,
+                field,
+                region,
+                write,
+                label: label.to_string(),
+            });
+        }
+        *next += wanted.len() as u64;
+        ClaimGuard {
+            cells: self,
+            tokens: base..*next,
+        }
+    }
+}
+
+/// RAII token for one batch of claims (see [`FieldCells::claim`]).
+#[cfg(debug_assertions)]
+pub(crate) struct ClaimGuard<'a> {
+    cells: &'a FieldCells,
+    tokens: std::ops::Range<u64>,
+}
+
+#[cfg(debug_assertions)]
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        let mut table = self.cells.claims.lock().unwrap_or_else(|e| e.into_inner());
+        table.1.retain(|c| !self.tokens.contains(&c.token));
+    }
+}
+
 /// Parallel storage: every non-external field buffer sits in a
-/// [`DisjointCell`] so team ranks can write disjoint regions
-/// concurrently.
+/// [`DisjointCell`] (grouped in [`FieldCells`]) so team ranks can write
+/// disjoint regions concurrently.
 pub(crate) struct ParStore<'a> {
     fields: &'a MpdataFields,
     ids: ExternalIds,
-    cells: Vec<DisjointCell<Option<Array3>>>,
+    cells: FieldCells,
 }
 
 impl<'a> ParStore<'a> {
@@ -101,18 +208,19 @@ impl<'a> ParStore<'a> {
         ParStore {
             fields,
             ids,
-            cells: (0..field_count).map(|_| DisjointCell::new(None)).collect(),
+            cells: FieldCells::new(field_count),
         }
     }
 
     /// Installs a zeroed buffer for `f` (single-threaded setup phase).
     pub(crate) fn alloc(&mut self, f: FieldId, region: Region3) {
-        *self.cells[f.index()].get_mut_exclusive() = Some(Array3::zeros(region));
+        *self.cells.cell_mut(f).get_mut_exclusive() = Some(Array3::zeros(region));
     }
 
     /// Removes the buffer for `f` (single-threaded teardown phase).
     pub(crate) fn take(&mut self, f: FieldId) -> Array3 {
-        self.cells[f.index()]
+        self.cells
+            .cell_mut(f)
             .get_mut_exclusive()
             .take()
             .expect("buffer present")
@@ -153,6 +261,33 @@ impl<'a> ParStore<'a> {
                 None
             }
         };
+        // Debug overlap guard: claim the regions this call touches
+        // (outputs written over `region`, store-held inputs read over the
+        // halo-expanded slice — periodic wraps are under-claimed, which
+        // only weakens, never falsifies, the check) and track the cells.
+        #[cfg(debug_assertions)]
+        let _claims =
+            {
+                let wanted: Vec<(FieldId, Region3, bool)> =
+                    stage
+                        .outputs
+                        .iter()
+                        .map(|&f| (f, region, true))
+                        .chain(stage.inputs.iter().filter(|(f, _)| ext(*f).is_none()).map(
+                            |(f, pat)| (*f, region.expand(pat.halo()).intersect(domain), false),
+                        ))
+                        .collect();
+                self.cells.claim(&wanted, &stage.name)
+            };
+        let mut trackers: Vec<AccessTracker<'_, Option<Array3>>> = Vec::new();
+        for (f, _) in &stage.inputs {
+            if ext(*f).is_none() {
+                trackers.push(self.cells.cell(*f).track_read());
+            }
+        }
+        for &f in &stage.outputs {
+            trackers.push(self.cells.cell(f).track_write());
+        }
         let ins: Vec<&Array3> = stage
             .inputs
             .iter()
@@ -161,7 +296,7 @@ impl<'a> ParStore<'a> {
                     // SAFETY: inputs of a stage are never written during
                     // that stage (the graph is SSA and validated), and
                     // prior writes are fenced by a barrier/join.
-                    unsafe { self.cells[f.index()].get_ref() }
+                    unsafe { self.cells.cell(*f).get_ref() }
                         .as_ref()
                         .expect("buffer present")
                 })
@@ -170,16 +305,17 @@ impl<'a> ParStore<'a> {
         let mut outs: Vec<&mut Array3> = stage
             .outputs
             .iter()
-            .map(|f| {
+            .map(|&f| {
                 // SAFETY: concurrent callers write disjoint regions (see
                 // the contract above), and no caller reads an output of
                 // the stage it is executing.
-                unsafe { self.cells[f.index()].get_mut() }
+                unsafe { self.cells.cell(f).get_mut() }
                     .as_mut()
                     .expect("buffer present")
             })
             .collect();
         apply_kind(kind, domain, bc, &ins, &mut outs, region);
+        drop(trackers);
     }
 
     /// Copies `region` of `f` out of the store (shared access only —
@@ -190,8 +326,11 @@ impl<'a> ParStore<'a> {
     /// No concurrent writer may overlap `region` of `f`; callers
     /// separate extraction and mutation phases with joins.
     pub(crate) fn extract(&self, f: FieldId, region: Region3) -> Array3 {
+        #[cfg(debug_assertions)]
+        let _claim = self.cells.claim(&[(f, region, false)], "extract");
+        let _tracker = self.cells.cell(f).track_read();
         // SAFETY: see the contract above.
-        let src = unsafe { self.cells[f.index()].get_ref() }
+        let src = unsafe { self.cells.cell(f).get_ref() }
             .as_ref()
             .expect("buffer present");
         let mut out = Array3::zeros(region);
@@ -201,7 +340,9 @@ impl<'a> ParStore<'a> {
 
     /// Copies `piece` into `f`'s buffer (exclusive access).
     pub(crate) fn blit(&mut self, f: FieldId, piece: &Array3) {
-        let dst = self.cells[f.index()]
+        let dst = self
+            .cells
+            .cell_mut(f)
             .get_mut_exclusive()
             .as_mut()
             .expect("buffer present");
@@ -242,19 +383,36 @@ impl<'a> ParStore<'a> {
                 None
             }
         };
+        #[cfg(debug_assertions)]
+        let _claims = {
+            let wanted: Vec<(FieldId, Region3, bool)> = stage
+                .inputs
+                .iter()
+                .filter(|(f, _)| ext(*f).is_none())
+                .map(|(f, pat)| (*f, region.expand(pat.halo()).intersect(domain), false))
+                .collect();
+            self.cells.claim(&wanted, &stage.name)
+        };
+        let mut trackers: Vec<AccessTracker<'_, Option<Array3>>> = Vec::new();
+        for (f, _) in &stage.inputs {
+            if ext(*f).is_none() {
+                trackers.push(self.cells.cell(*f).track_read());
+            }
+        }
         let ins: Vec<&Array3> = stage
             .inputs
             .iter()
             .map(|(f, _)| {
                 ext(*f).unwrap_or_else(|| {
                     // SAFETY: see `apply`.
-                    unsafe { self.cells[f.index()].get_ref() }
+                    unsafe { self.cells.cell(*f).get_ref() }
                         .as_ref()
                         .expect("buffer present")
                 })
             })
             .collect();
         apply_kind(kind, domain, bc, &ins, &mut [out], region);
+        drop(trackers);
     }
 }
 
@@ -327,6 +485,44 @@ mod tests {
         );
         let par = ps.take(f1);
         assert_eq!(par.max_abs_diff(&serial), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn claims_allow_disjoint_writes_and_shared_reads() {
+        let cells = FieldCells::new(2);
+        let f = FieldId(0);
+        let d = Region3::of_extent(6, 4, 4);
+        let left = Region3::new(Range1::new(0, 3), d.j, d.k);
+        let right = Region3::new(Range1::new(3, 6), d.j, d.k);
+        let _a = cells.claim(&[(f, left, true)], "rank0");
+        let _b = cells.claim(&[(f, right, true)], "rank1");
+        let g = FieldId(1);
+        let _c = cells.claim(&[(g, left, false)], "reader0");
+        let _d = cells.claim(&[(g, left, false)], "reader1");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn dropped_claims_are_retired() {
+        let cells = FieldCells::new(1);
+        let f = FieldId(0);
+        let r = Region3::of_extent(4, 4, 4);
+        {
+            let _a = cells.claim(&[(f, r, true)], "stage-a");
+        }
+        let _b = cells.claim(&[(f, r, true)], "stage-b");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "field access overlap")]
+    fn overlapping_write_and_read_claims_panic() {
+        let cells = FieldCells::new(1);
+        let f = FieldId(0);
+        let r = Region3::of_extent(4, 4, 4);
+        let _a = cells.claim(&[(f, r, false)], "reader");
+        let _b = cells.claim(&[(f, r, true)], "writer");
     }
 
     #[test]

@@ -187,6 +187,8 @@ impl<'p> IslandsExecutor<'p> {
             // persistent (cross-block, wavefront) scratch allocation;
             // the team barrier publishes both to the other ranks.
             if ctx.rank == 0 {
+                // Debug-only overlap guard; drops before the barrier.
+                let _track = stores[ctx.team].track_write();
                 // SAFETY: only rank 0 touches the slot before the
                 // barrier below.
                 let slot = unsafe { stores[ctx.team].get_mut() };
@@ -216,6 +218,8 @@ impl<'p> IslandsExecutor<'p> {
                         // output. Blocks of different islands are
                         // disjoint on output, ranks split disjointly.
                         if !mine.is_empty() {
+                            let _wt = out.track_write();
+                            let _rt = stores[ctx.team].track_read();
                             // SAFETY: all concurrent writers cover
                             // mutually disjoint regions.
                             let out_arr = unsafe { out.get_mut() };
@@ -232,6 +236,7 @@ impl<'p> IslandsExecutor<'p> {
                             );
                         }
                     } else {
+                        let _rt = stores[ctx.team].track_read();
                         // SAFETY: ranks of this team write disjoint
                         // regions of the island-private scratch.
                         let store = unsafe { stores[ctx.team].get_ref() }

@@ -50,6 +50,7 @@ mod reference;
 
 pub use diagnostics::{error_norms, CflViolation, ErrorNorms};
 pub use exchange::ExchangeExecutor;
+pub use exec::rank_slice;
 pub use fields::{gaussian_pulse, random_fields, rotating_cone, MpdataFields, EPS};
 pub use fused::{FusedExecutor, DEFAULT_CACHE_BYTES};
 pub use graph::{

@@ -48,5 +48,5 @@ pub use affinity::{AffinityMap, LogicalCpu};
 pub use barrier::SenseBarrier;
 pub use dynamic::ChunkQueue;
 pub use pool::{WorkerCtx, WorkerPool};
-pub use share::DisjointCell;
+pub use share::{AccessTracker, DisjointCell};
 pub use team::{BuildTeamsError, TeamCtx, TeamSpec};

@@ -7,8 +7,19 @@
 //! mutability. [`DisjointCell`] is the minimal such cell: it hands out
 //! `&mut T` through an `unsafe` method whose contract is *caller-proved
 //! disjointness in time or space*.
+//!
+//! Debug builds additionally offer *borrow tracking*: callers announce
+//! each access through [`DisjointCell::track_read`] /
+//! [`DisjointCell::track_write`], and a reader observed concurrently
+//! with a writer panics loudly. The counters are compiled out of
+//! release builds, so tracking costs nothing where performance matters.
+//! (Write–write conflicts are intentionally *not* flagged here — many
+//! concurrent writers over disjoint regions are the cell's purpose; the
+//! region-level claim table in the `mpdata` executors checks those.)
 
 use std::cell::UnsafeCell;
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A `Sync` cell granting unsynchronized mutable access.
 ///
@@ -22,6 +33,7 @@ use std::cell::UnsafeCell;
 /// let pool = WorkerPool::new(4);
 /// let cell = DisjointCell::new(vec![0_u64; 4]);
 /// pool.broadcast(|ctx| {
+///     let _t = cell.track_write(); // debug-only overlap guard
 ///     // SAFETY: each worker writes only index `ctx.worker`.
 ///     let v = unsafe { cell.get_mut() };
 ///     v[ctx.worker] = ctx.worker as u64 + 1;
@@ -29,7 +41,13 @@ use std::cell::UnsafeCell;
 /// assert_eq!(cell.into_inner(), vec![1, 2, 3, 4]);
 /// ```
 #[derive(Debug)]
-pub struct DisjointCell<T>(UnsafeCell<T>);
+pub struct DisjointCell<T> {
+    value: UnsafeCell<T>,
+    #[cfg(debug_assertions)]
+    readers: AtomicU32,
+    #[cfg(debug_assertions)]
+    writers: AtomicU32,
+}
 
 // SAFETY: `DisjointCell` only adds the *capability* for shared mutation;
 // every dereference goes through the `unsafe` methods below, whose
@@ -40,12 +58,18 @@ unsafe impl<T: Send> Sync for DisjointCell<T> {}
 impl<T> DisjointCell<T> {
     /// Wraps a value.
     pub fn new(value: T) -> Self {
-        DisjointCell(UnsafeCell::new(value))
+        DisjointCell {
+            value: UnsafeCell::new(value),
+            #[cfg(debug_assertions)]
+            readers: AtomicU32::new(0),
+            #[cfg(debug_assertions)]
+            writers: AtomicU32::new(0),
+        }
     }
 
     /// Unwraps the value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner()
+        self.value.into_inner()
     }
 
     /// Returns a mutable reference without synchronization.
@@ -59,7 +83,7 @@ impl<T> DisjointCell<T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self) -> &mut T {
         // SAFETY: upheld by the caller per this method's contract.
-        unsafe { &mut *self.0.get() }
+        unsafe { &mut *self.value.get() }
     }
 
     /// Returns a shared reference without synchronization.
@@ -70,12 +94,90 @@ impl<T> DisjointCell<T> {
     /// data read through this reference (disjointness or a barrier).
     pub unsafe fn get_ref(&self) -> &T {
         // SAFETY: upheld by the caller per this method's contract.
-        unsafe { &*self.0.get() }
+        unsafe { &*self.value.get() }
     }
 
     /// Mutable access through an exclusive borrow — always safe.
     pub fn get_mut_exclusive(&mut self) -> &mut T {
-        self.0.get_mut()
+        self.value.get_mut()
+    }
+
+    /// Announces a read of this cell for the debug overlap guard. Hold
+    /// the returned tracker for as long as the reference from
+    /// [`DisjointCell::get_ref`] lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if a writer is currently tracked: a
+    /// concurrent read–write pair can never be disjoint "in time", so
+    /// the caller's safety argument is broken.
+    #[inline]
+    pub fn track_read(&self) -> AccessTracker<'_, T> {
+        #[cfg(debug_assertions)]
+        {
+            self.readers.fetch_add(1, Ordering::SeqCst);
+            assert!(
+                self.writers.load(Ordering::SeqCst) == 0,
+                "DisjointCell overlap: read tracked while a writer is active \
+                 (a barrier or join must separate them)"
+            );
+        }
+        AccessTracker {
+            cell: self,
+            write: false,
+        }
+    }
+
+    /// Announces a write to this cell for the debug overlap guard. Hold
+    /// the returned tracker for as long as the reference from
+    /// [`DisjointCell::get_mut`] lives. Multiple concurrent writers are
+    /// allowed — disjoint-region writes are the cell's purpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if a reader is currently tracked.
+    #[inline]
+    pub fn track_write(&self) -> AccessTracker<'_, T> {
+        #[cfg(debug_assertions)]
+        {
+            self.writers.fetch_add(1, Ordering::SeqCst);
+            assert!(
+                self.readers.load(Ordering::SeqCst) == 0,
+                "DisjointCell overlap: write tracked while a reader is active \
+                 (a barrier or join must separate them)"
+            );
+        }
+        AccessTracker {
+            cell: self,
+            write: true,
+        }
+    }
+}
+
+/// RAII token for one tracked access to a [`DisjointCell`] (see
+/// [`DisjointCell::track_read`]). Dropping it retires the access. In
+/// release builds the counters do not exist and this is inert.
+#[derive(Debug)]
+pub struct AccessTracker<'a, T> {
+    cell: &'a DisjointCell<T>,
+    write: bool,
+}
+
+impl<T> Drop for AccessTracker<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            let ctr = if self.write {
+                &self.cell.writers
+            } else {
+                &self.cell.readers
+            };
+            ctr.fetch_sub(1, Ordering::SeqCst);
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (self.cell, self.write);
+        }
     }
 }
 
@@ -90,6 +192,7 @@ mod tests {
         let n = 64;
         let cell = DisjointCell::new(vec![0_usize; n * 8]);
         pool.broadcast(|ctx| {
+            let _t = cell.track_write();
             // SAFETY: worker w writes slice [w*n, (w+1)*n).
             let v = unsafe { cell.get_mut() };
             for x in &mut v[ctx.worker * n..(ctx.worker + 1) * n] {
@@ -114,11 +217,49 @@ mod tests {
         let pool = WorkerPool::new(2);
         let cell = DisjointCell::new([0_u8; 2]);
         pool.broadcast(|ctx| {
+            let _t = cell.track_write();
             // SAFETY: disjoint indices.
             let arr = unsafe { cell.get_mut() };
             arr[ctx.worker] = 9;
         });
+        let _t = cell.track_read();
         // SAFETY: broadcast completion is a happens-before edge.
         assert_eq!(unsafe { *cell.get_ref() }, [9, 9]);
+    }
+
+    #[test]
+    fn concurrent_reads_are_fine() {
+        let cell = DisjointCell::new(1_u8);
+        let _a = cell.track_read();
+        let _b = cell.track_read();
+    }
+
+    #[test]
+    fn sequential_read_then_write_is_fine() {
+        let cell = DisjointCell::new(1_u8);
+        {
+            let _r = cell.track_read();
+        }
+        let _w = cell.track_write();
+        drop(_w);
+        let _r2 = cell.track_read();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "DisjointCell overlap")]
+    fn read_during_write_panics() {
+        let cell = DisjointCell::new(0_u32);
+        let _w = cell.track_write();
+        let _r = cell.track_read();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "DisjointCell overlap")]
+    fn write_during_read_panics() {
+        let cell = DisjointCell::new(0_u32);
+        let _r = cell.track_read();
+        let _w = cell.track_write();
     }
 }

@@ -110,6 +110,14 @@ impl TeamSpec {
         self.members.iter().map(Vec::len).sum()
     }
 
+    /// Sizes of all teams, in team order — the schedule *shape* that
+    /// plan-time analyses (e.g. the `islands-analysis` disjointness
+    /// checker) consume to reproduce how each team splits its stage
+    /// sweeps among ranks.
+    pub fn team_sizes(&self) -> Vec<usize> {
+        self.members.iter().map(Vec::len).collect()
+    }
+
     /// The `(team, rank)` of `worker`, if it belongs to any team.
     pub fn placement(&self, worker: usize) -> Option<(usize, usize)> {
         for (t, team) in self.members.iter().enumerate() {
@@ -206,8 +214,15 @@ mod tests {
         assert_eq!(s.members(0), &[0, 1, 2, 3]);
         assert_eq!(s.members(1), &[4, 5, 6, 7]);
         assert_eq!(s.worker_count(), 8);
+        assert_eq!(s.team_sizes(), vec![4, 4]);
         assert_eq!(s.placement(5), Some((1, 1)));
         assert_eq!(s.placement(9), None);
+    }
+
+    #[test]
+    fn team_sizes_follow_member_lists() {
+        let s = TeamSpec::new(vec![vec![0], vec![1, 2, 3], vec![4, 5]]).unwrap();
+        assert_eq!(s.team_sizes(), vec![1, 3, 2]);
     }
 
     #[test]

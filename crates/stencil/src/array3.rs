@@ -111,15 +111,27 @@ impl Array3 {
             + (k - self.region.k.lo)) as usize
     }
 
+    /// The key under which debug access tracing logs this array (see
+    /// [`crate::trace`]).
+    #[cfg(debug_assertions)]
+    #[inline(always)]
+    fn trace_key(&self) -> crate::trace::ArrayKey {
+        self.data.as_ptr() as crate::trace::ArrayKey
+    }
+
     /// Reads the element at global coordinates `(i, j, k)`.
     #[inline(always)]
     pub fn get(&self, i: i64, j: i64, k: i64) -> f64 {
+        #[cfg(debug_assertions)]
+        crate::trace::on_read(self.trace_key(), i, j, k);
         self.data[self.offset(i, j, k)]
     }
 
     /// Writes the element at global coordinates `(i, j, k)`.
     #[inline(always)]
     pub fn set(&mut self, i: i64, j: i64, k: i64, v: f64) {
+        #[cfg(debug_assertions)]
+        crate::trace::on_write(self.trace_key(), i, j, k);
         let o = self.offset(i, j, k);
         self.data[o] = v;
     }
@@ -209,6 +221,8 @@ impl Array3 {
     /// fully inside the array's region; `kr` must be non-empty.
     #[inline]
     pub fn row(&self, i: i64, j: i64, kr: crate::region::Range1) -> &[f64] {
+        #[cfg(debug_assertions)]
+        crate::trace::on_read_row(self.trace_key(), i, j, kr);
         let o = self.offset(i, j, kr.lo);
         &self.data[o..o + kr.len()]
     }
@@ -220,6 +234,8 @@ impl Array3 {
     /// Same conditions as [`Array3::row`].
     #[inline]
     pub fn row_mut(&mut self, i: i64, j: i64, kr: crate::region::Range1) -> &mut [f64] {
+        #[cfg(debug_assertions)]
+        crate::trace::on_write_row(self.trace_key(), i, j, kr);
         let o = self.offset(i, j, kr.lo);
         &mut self.data[o..o + kr.len()]
     }

@@ -54,6 +54,7 @@ mod pattern;
 mod region;
 pub mod rng;
 mod stage;
+pub mod trace;
 
 pub use array3::Array3;
 pub use block::{
