@@ -15,7 +15,10 @@
 //! * `overlap-partition` — two island parts overlap, so both teams
 //!   write the same output cells with no intra-step synchronization;
 //! * `overlap-ranks` — rank 0's write slices are widened past the team
-//!   split, overlapping rank 1 inside barrier-fenced epochs.
+//!   split, overlapping rank 1 inside barrier-fenced epochs;
+//! * `stale-output` — one island's writes to the shared output are
+//!   dropped, so its half of a reused output buffer would carry the
+//!   previous step's values.
 //!
 //! Exit codes: 0 clean, 1 diagnostics found, 2 tracing unavailable
 //! (release build — rebuild in debug).
@@ -52,7 +55,10 @@ fn run(args: &[String]) -> i32 {
         [] => None,
         [flag, name] if flag == "--mutant" => Some(name.as_str()),
         _ => {
-            eprintln!("usage: stencil-lint [--mutant drop-offset|overlap-partition|overlap-ranks]");
+            eprintln!(
+                "usage: stencil-lint \
+                 [--mutant drop-offset|overlap-partition|overlap-ranks|stale-output]"
+            );
             return 2;
         }
     };
@@ -61,6 +67,7 @@ fn run(args: &[String]) -> i32 {
         Some("drop-offset") => mutant_drop_offset(),
         Some("overlap-partition") => mutant_overlap_partition(),
         Some("overlap-ranks") => mutant_overlap_ranks(),
+        Some("stale-output") => mutant_stale_output(),
         Some(other) => {
             eprintln!("stencil-lint: unknown mutant `{other}`");
             return 2;
@@ -222,6 +229,26 @@ fn mutant_overlap_ranks() -> Vec<Diagnostic> {
                     acc.region = acc.region.with_range(split_axis, Range1::new(r.lo, hi));
                 }
             }
+        }
+    }
+    check_disjointness(&plan)
+}
+
+fn mutant_stale_output() -> Vec<Diagnostic> {
+    let problem = MpdataProblem::standard();
+    let domain = Region3::of_extent(16, 12, 6);
+    let parts = domain.split(Axis::I, 2);
+    let mut plan = islands_plan(&problem, domain, &parts, &[2, 2], Axis::J, CACHE_BYTES)
+        .expect("lint domain fits the cache budget");
+    // Drop the second island's writes to the shared output: its half of
+    // the domain is never produced this step, which a reused output
+    // buffer (the persistent-plan path) turns into last step's data.
+    let out = (0..plan.field_names.len())
+        .find(|&f| plan.shared[f] && !plan.external[f])
+        .expect("the graph has an output field");
+    for ep in &mut plan.teams[1].epochs {
+        for accs in &mut ep.per_rank {
+            accs.retain(|a| !(a.write && a.field == out));
         }
     }
     check_disjointness(&plan)

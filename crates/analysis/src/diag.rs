@@ -27,6 +27,10 @@ pub enum DiagnosticCode {
     /// A team reads an island-private cell no earlier epoch of the same
     /// team has written.
     UncoveredRead,
+    /// A domain cell of a shared output field no team ever writes: with
+    /// reused (persistent-plan) output buffers it would leak the
+    /// previous step's value.
+    UncoveredOutput,
 }
 
 impl fmt::Display for DiagnosticCode {
@@ -41,6 +45,7 @@ impl fmt::Display for DiagnosticCode {
             DiagnosticCode::CrossTeamOverlap => "cross-team-overlap",
             DiagnosticCode::ExternalWrite => "external-write",
             DiagnosticCode::UncoveredRead => "uncovered-read",
+            DiagnosticCode::UncoveredOutput => "uncovered-output",
         };
         f.write_str(s)
     }

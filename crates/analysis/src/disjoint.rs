@@ -13,7 +13,13 @@
 //!   (externals and outputs) may intersect any other team's access;
 //! * external fields are read-only everywhere;
 //! * every read of an island-private (intermediate) field must be
-//!   covered by same-team writes from strictly earlier epochs.
+//!   covered by same-team writes from strictly earlier epochs;
+//! * the union of all teams' writes to each shared output field must
+//!   cover the whole domain — the executors keep output buffers alive
+//!   across steps (the persistent-plan path re-claims scratch and
+//!   output per step instead of reallocating), so an unwritten output
+//!   cell is not merely uninitialized, it silently carries the
+//!   previous step's value.
 //!
 //! The checks are sound for [`Boundary::Open`] problems — the only kind
 //! the islands executor accepts — because open-boundary reads clamp
@@ -293,6 +299,44 @@ pub fn check_disjointness(plan: &SchedulePlan) -> Vec<Diagnostic> {
                 for wr in accs.iter().filter(|a| a.write) {
                     written.push((wr.field, wr.region));
                 }
+            }
+        }
+    }
+
+    // Rule 5: output coverage — every domain cell of each shared,
+    // non-external field must be written by some team. Output buffers
+    // persist across steps, so a coverage gap is stale data, not zeros.
+    if !plan.domain.is_empty() {
+        for f in 0..plan.field_names.len() {
+            if !plan.shared[f] || plan.external[f] {
+                continue;
+            }
+            let mut remaining = vec![plan.domain];
+            'cover: for team in &plan.teams {
+                for ep in &team.epochs {
+                    for accs in &ep.per_rank {
+                        for wr in accs.iter().filter(|a| a.write && a.field == f) {
+                            remaining = remaining
+                                .into_iter()
+                                .flat_map(|r| r.subtract(wr.region))
+                                .collect();
+                            if remaining.is_empty() {
+                                break 'cover;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(gap) = remaining.first() {
+                found.push(Diagnostic {
+                    code: DiagnosticCode::UncoveredOutput,
+                    site: "whole step".to_string(),
+                    field: fname(f),
+                    detail: format!(
+                        "no team writes {gap:?}; a reused output buffer would hand \
+                         those cells the previous step's values"
+                    ),
+                });
             }
         }
     }

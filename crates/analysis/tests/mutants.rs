@@ -184,6 +184,40 @@ fn deleting_a_producer_epoch_is_an_uncovered_read() {
 }
 
 #[test]
+fn dropping_an_islands_output_writes_is_an_uncovered_output() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let mut plan = islands_plan(&problem, d, &parts, &[2, 2], Axis::J, CACHE).unwrap();
+    // Team 1 never writes xout: with the persistent-plan executors the
+    // output buffer is reused across steps, so its half would silently
+    // keep the previous step's values.
+    let out = plan.field_names.iter().position(|n| n == "xout").unwrap();
+    for ep in &mut plan.teams[1].epochs {
+        for accs in &mut ep.per_rank {
+            accs.retain(|a| !(a.write && a.field == out));
+        }
+    }
+    let found = check_disjointness(&plan);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::UncoveredOutput && f.field == "xout"),
+        "expected an uncovered output over team 1's half, got: {found:?}"
+    );
+    // The gap must name team 1's (upper-i) half, not team 0's.
+    let gap = found
+        .iter()
+        .find(|f| f.code == DiagnosticCode::UncoveredOutput)
+        .unwrap();
+    assert!(
+        gap.detail.contains("[8, 16)"),
+        "gap should cover i = [8, 16), got: {}",
+        gap.detail
+    );
+}
+
+#[test]
 fn clean_schedule_stays_clean_as_a_control() {
     let problem = MpdataProblem::standard();
     let d = Region3::of_extent(16, 12, 6);

@@ -1,0 +1,73 @@
+//! First-step versus steady-state step cost of the threaded executors.
+//!
+//! The persistent-plan layer makes `IslandsExecutor`/`FusedExecutor`
+//! compute their execution plan (partition, per-island blocking, epoch
+//! tables, scratch stores) once and replay it allocation-free on every
+//! further step. This bench measures both sides of that trade through
+//! the same `run` entry point:
+//!
+//! * `*_first/P` — a fresh executor per iteration running one step, so
+//!   every measurement pays plan construction plus the step;
+//! * `*_steady/P` — a warmed executor running a multi-step batch,
+//!   reported per step: the marginal cost of steps 2..N, where the plan
+//!   is replayed from cache with zero heap allocations.
+//!
+//! `--quick` shrinks the domain and drops the oversubscribed P = 14
+//! point for CI smoke runs; `--json <path>` writes the artifact that
+//! `bench-check` validates (steady must beat first).
+
+use islands_bench::microbench::Harness;
+use mpdata::{gaussian_pulse, FusedExecutor, IslandsExecutor, MpdataFields};
+use stencil_engine::{Axis, Region3};
+use work_scheduler::{TeamSpec, WorkerPool};
+
+/// Small enough to split every island into several wavefront blocks on
+/// both bench domains.
+const CACHE_BYTES: usize = 1 << 20;
+
+/// Steps per steady-state batch (one pool dispatch, `STEADY_STEPS`
+/// plan replays).
+const STEADY_STEPS: u64 = 8;
+
+fn main() {
+    let mut h = Harness::from_env();
+    let (domain, island_counts): (Region3, &[usize]) = if h.quick() {
+        (Region3::of_extent(60, 30, 16), &[1, 4])
+    } else {
+        (Region3::of_extent(120, 60, 32), &[1, 4, 14])
+    };
+    let fields = gaussian_pulse(domain, (0.2, 0.1, 0.05));
+
+    let mut g = h.group("steady_state");
+    g.sample_size(7);
+    for &p in island_counts {
+        let pool = WorkerPool::new(p);
+        let spec = TeamSpec::even(p, p); // one single-core island per P
+
+        let mut f: MpdataFields = fields.clone();
+        g.bench_param("islands_first", p, || {
+            let fresh = IslandsExecutor::new(&pool, spec.clone(), Axis::I).cache_bytes(CACHE_BYTES);
+            fresh.run(&mut f, 1).unwrap();
+        });
+        let warmed = IslandsExecutor::new(&pool, spec.clone(), Axis::I).cache_bytes(CACHE_BYTES);
+        let mut f = fields.clone();
+        warmed.run(&mut f, 1).unwrap(); // build the plan outside the timing
+        g.bench_per_unit(&format!("islands_steady/{p}"), STEADY_STEPS, || {
+            warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+        });
+
+        let mut f = fields.clone();
+        g.bench_param("fused_first", p, || {
+            let fresh = FusedExecutor::new(&pool).cache_bytes(CACHE_BYTES);
+            fresh.run(&mut f, 1).unwrap();
+        });
+        let warmed = FusedExecutor::new(&pool).cache_bytes(CACHE_BYTES);
+        let mut f = fields.clone();
+        warmed.run(&mut f, 1).unwrap();
+        g.bench_per_unit(&format!("fused_steady/{p}"), STEADY_STEPS, || {
+            warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+        });
+    }
+    g.finish();
+    h.finish();
+}

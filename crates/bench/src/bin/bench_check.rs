@@ -1,0 +1,139 @@
+//! `bench-check` — validates a microbench `--json` artifact in CI.
+//!
+//! Usage: `bench-check <path>`. Exits non-zero when
+//!
+//! * the file is not well-formed JSON or not an array of complete
+//!   `{group, label, min_ns, median_ns, max_ns, iters}` records with
+//!   `min ≤ median ≤ max` and positive `iters`, or
+//! * any `steady_state` group pairs a `*_first/P` label with its
+//!   `*_steady/P` partner where the steady median fails to beat the
+//!   first-step median — the whole point of the persistent-plan layer
+//!   is that replaying a cached plan is cheaper than building one.
+
+use islands_bench::json::{self, Json};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: bench-check <bench.json>");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-check: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-check: {path}: {e}");
+            return 1;
+        }
+    };
+    match check(&doc) {
+        Ok(summary) => {
+            println!("bench-check: {path}: {summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("bench-check: {path}: {e}");
+            1
+        }
+    }
+}
+
+/// One validated record (only the fields the checks need).
+struct Rec {
+    group: String,
+    label: String,
+    median_ns: f64,
+}
+
+fn field_f64(obj: &Json, key: &str, n: usize) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("record {n}: missing numeric `{key}`"))
+}
+
+fn check(doc: &Json) -> Result<String, String> {
+    let arr = doc
+        .as_array()
+        .ok_or("top-level value must be an array of records")?;
+    if arr.is_empty() {
+        return Err("no benchmark records in artifact".into());
+    }
+    let mut recs = Vec::with_capacity(arr.len());
+    for (n, item) in arr.iter().enumerate() {
+        let group = item
+            .get("group")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record {n}: missing string `group`"))?;
+        let label = item
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record {n}: missing string `label`"))?;
+        let min = field_f64(item, "min_ns", n)?;
+        let median = field_f64(item, "median_ns", n)?;
+        let max = field_f64(item, "max_ns", n)?;
+        let iters = field_f64(item, "iters", n)?;
+        if !(min > 0.0 && min <= median && median <= max) {
+            return Err(format!(
+                "record {n} ({group}/{label}): expected 0 < min ≤ median ≤ max, \
+                 got {min}/{median}/{max}"
+            ));
+        }
+        if iters < 1.0 || iters.fract() != 0.0 {
+            return Err(format!(
+                "record {n} ({group}/{label}): `iters` must be a positive integer, got {iters}"
+            ));
+        }
+        recs.push(Rec {
+            group: group.to_string(),
+            label: label.to_string(),
+            median_ns: median,
+        });
+    }
+
+    // Steady-state pairing: every `X_first/P` must have an `X_steady/P`
+    // partner that is strictly faster.
+    let mut pairs = 0;
+    for first in recs.iter().filter(|r| r.group == "steady_state") {
+        let Some(rest) = first.label.strip_prefix("islands_first/") else {
+            continue;
+        };
+        pairs += check_pair(&recs, first, &format!("islands_steady/{rest}"))?;
+    }
+    for first in recs.iter().filter(|r| r.group == "steady_state") {
+        let Some(rest) = first.label.strip_prefix("fused_first/") else {
+            continue;
+        };
+        pairs += check_pair(&recs, first, &format!("fused_steady/{rest}"))?;
+    }
+    if recs.iter().any(|r| r.group == "steady_state") && pairs == 0 {
+        return Err("steady_state group present but no first/steady pairs found".into());
+    }
+    Ok(format!(
+        "{} record(s) well-formed, {pairs} steady/first pair(s) ordered",
+        recs.len()
+    ))
+}
+
+fn check_pair(recs: &[Rec], first: &Rec, steady_label: &str) -> Result<usize, String> {
+    let steady = recs
+        .iter()
+        .find(|r| r.group == "steady_state" && r.label == steady_label)
+        .ok_or_else(|| format!("`{}` has no `{steady_label}` partner", first.label))?;
+    if steady.median_ns >= first.median_ns {
+        return Err(format!(
+            "steady step is not faster than the first step: `{}` median {} ns \
+             vs `{}` median {} ns",
+            steady_label, steady.median_ns, first.label, first.median_ns
+        ));
+    }
+    Ok(1)
+}

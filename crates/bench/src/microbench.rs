@@ -16,9 +16,33 @@
 //!
 //! A single positional command-line argument (as in
 //! `cargo bench --bench kernels -- fused`) filters benchmarks by
-//! substring of `group/label`.
+//! substring of `group/label`. Two flags extend that:
+//!
+//! * `--json <path>` — besides the human-readable report, write every
+//!   result as a JSON array of `{group, label, min_ns, median_ns,
+//!   max_ns, iters}` objects to `path` (the `bench-check` binary
+//!   validates such artifacts in CI);
+//! * `--quick` — benches that call [`Harness::quick`] shrink their
+//!   configurations for smoke runs.
 
 use std::time::{Duration, Instant};
+
+/// One finished measurement, as serialized by `--json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Group name (the [`Harness::group`] argument).
+    pub group: String,
+    /// Label within the group (including any `bench_param` parameter).
+    pub label: String,
+    /// Fastest per-iteration time over all samples, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Slowest per-iteration time, nanoseconds.
+    pub max_ns: f64,
+    /// Total timed iterations (samples × calibrated batch).
+    pub iters: u64,
+}
 
 /// Minimum duration of one timed sample, before the `criterion`
 /// feature's multiplier.
@@ -36,20 +60,49 @@ fn effort_multiplier() -> u64 {
 #[derive(Debug)]
 pub struct Harness {
     filter: Option<String>,
+    json_path: Option<String>,
+    quick: bool,
+    records: Vec<Record>,
     ran: usize,
     skipped: usize,
 }
 
 impl Harness {
-    /// Builds a harness from `std::env::args` (first non-flag argument
-    /// becomes the substring filter; flags cargo may pass are ignored).
+    /// Builds a harness from `std::env::args`: `--json <path>` and
+    /// `--quick` are consumed, the first remaining non-flag argument
+    /// becomes the substring filter, and other flags cargo may pass are
+    /// ignored.
     pub fn from_env() -> Self {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let mut filter = None;
+        let mut json_path = None;
+        let mut quick = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }));
+            } else if a == "--quick" {
+                quick = true;
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
         Harness {
             filter,
+            json_path,
+            quick,
+            records: Vec::new(),
             ran: 0,
             skipped: 0,
         }
+    }
+
+    /// True when `--quick` was passed: benches should shrink their
+    /// configurations to smoke-test size.
+    pub fn quick(&self) -> bool {
+        self.quick
     }
 
     /// Starts a named group of benchmarks.
@@ -61,13 +114,62 @@ impl Harness {
         }
     }
 
-    /// Prints the run summary. Call once at the end of `main`.
+    /// Prints the run summary and writes the `--json` artifact (if one
+    /// was requested). Call once at the end of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the JSON artifact cannot be written.
     pub fn finish(self) {
         println!(
             "\n{} benchmark(s) run, {} filtered out",
             self.ran, self.skipped
         );
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, render_json(&self.records))
+                .unwrap_or_else(|e| panic!("writing bench JSON to {path}: {e}"));
+            println!("wrote {} record(s) to {path}", self.records.len());
+        }
     }
+}
+
+/// Renders records as a JSON array (stable key order, one object per
+/// line) — the exact format `bench-check` parses back.
+pub fn render_json(records: &[Record]) -> String {
+    let mut s = String::from("[\n");
+    for (n, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"group\": {}, \"label\": {}, \"min_ns\": {:.1}, \
+             \"median_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
+            json_string(&r.group),
+            json_string(&r.label),
+            r.min_ns,
+            r.median_ns,
+            r.max_ns,
+            r.iters,
+            if n + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_string(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A named group of benchmarks sharing a sample count.
@@ -87,7 +189,20 @@ impl Group<'_> {
 
     /// Times `f`, reporting per-iteration statistics under
     /// `group/label`.
-    pub fn bench<F: FnMut()>(&mut self, label: &str, mut f: F) {
+    pub fn bench<F: FnMut()>(&mut self, label: &str, f: F) {
+        self.bench_per_unit(label, 1, f);
+    }
+
+    /// Like [`Group::bench`], but one call of `f` performs `units`
+    /// logical iterations (e.g. a multi-step `run`), so measured times
+    /// are divided by `units` before reporting — the honest per-step
+    /// cost of a batched operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn bench_per_unit<F: FnMut()>(&mut self, label: &str, units: u64, mut f: F) {
+        assert!(units > 0, "a call must cover at least one unit");
         let full = format!("{}/{}", self.name, label);
         if let Some(flt) = &self.harness.filter {
             if !full.contains(flt.as_str()) {
@@ -128,7 +243,7 @@ impl Group<'_> {
             for _ in 0..batch {
                 f();
             }
-            per_iter.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            per_iter.push(t.elapsed().as_nanos() as f64 / (batch * units) as f64);
         }
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let min = per_iter[0];
@@ -140,6 +255,14 @@ impl Group<'_> {
             fmt_ns(min),
             fmt_ns(max),
         );
+        self.harness.records.push(Record {
+            group: self.name.clone(),
+            label: label.to_string(),
+            min_ns: min,
+            median_ns: median,
+            max_ns: max,
+            iters: samples as u64 * batch * units,
+        });
         self.harness.ran += 1;
     }
 
@@ -178,13 +301,20 @@ mod tests {
         assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
     }
 
-    #[test]
-    fn bench_runs_and_counts() {
-        let mut h = Harness {
-            filter: None,
+    fn test_harness(filter: Option<String>) -> Harness {
+        Harness {
+            filter,
+            json_path: None,
+            quick: false,
+            records: Vec::new(),
             ran: 0,
             skipped: 0,
-        };
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut h = test_harness(None);
         let mut g = h.group("t");
         g.sample_size(3);
         let mut hits = 0_u64;
@@ -192,19 +322,77 @@ mod tests {
         g.finish();
         assert_eq!(h.ran, 1);
         assert!(hits > 0);
+        assert_eq!(h.records.len(), 1);
+        let r = &h.records[0];
+        assert_eq!((r.group.as_str(), r.label.as_str()), ("t", "noop"));
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.iters > 0);
     }
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut h = Harness {
-            filter: Some("nomatch".into()),
-            ran: 0,
-            skipped: 0,
-        };
+        let mut h = test_harness(Some("nomatch".into()));
         let mut g = h.group("t");
         g.bench("noop", || {});
         g.finish();
         assert_eq!(h.ran, 0);
         assert_eq!(h.skipped, 1);
+        assert!(h.records.is_empty());
+    }
+
+    #[test]
+    fn per_unit_divides_reported_times() {
+        let mut h = test_harness(None);
+        let mut g = h.group("t");
+        g.sample_size(3);
+        // One call covers 4 units of ~400 µs total: the per-unit median
+        // must come out near a quarter of the call, far below the whole.
+        g.bench_per_unit("batched", 4, || {
+            std::thread::sleep(Duration::from_micros(400));
+        });
+        g.finish();
+        let r = &h.records[0];
+        assert!(
+            r.median_ns < 400_000.0,
+            "per-unit time {} ns should be well below the whole call",
+            r.median_ns
+        );
+        assert_eq!(r.iters % 4, 0);
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_escaped() {
+        let records = vec![
+            Record {
+                group: "g".into(),
+                label: "plain/4".into(),
+                min_ns: 1.5,
+                median_ns: 2.5,
+                max_ns: 3.5,
+                iters: 60,
+            },
+            Record {
+                group: "g".into(),
+                label: "quo\"te\\back".into(),
+                min_ns: 10.0,
+                median_ns: 20.0,
+                max_ns: 30.0,
+                iters: 3,
+            },
+        ];
+        let s = render_json(&records);
+        let parsed = crate::json::parse(&s).expect("own output parses");
+        let arr = parsed.as_array().expect("top-level array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("label").and_then(|v| v.as_str()),
+            Some("plain/4")
+        );
+        assert_eq!(arr[0].get("median_ns").and_then(|v| v.as_f64()), Some(2.5));
+        assert_eq!(arr[0].get("iters").and_then(|v| v.as_f64()), Some(60.0));
+        assert_eq!(
+            arr[1].get("label").and_then(|v| v.as_str()),
+            Some("quo\"te\\back")
+        );
     }
 }

@@ -10,7 +10,7 @@
 //! both as real executors lets the test suite pin them against each
 //! other bitwise and lets the benches weigh their host-side costs.
 
-use crate::exec::{rank_slice, ParStore};
+use crate::exec::{rank_slice, ExtFields, ParStore};
 use crate::fields::MpdataFields;
 use crate::graph::MpdataProblem;
 use stencil_engine::{Array3, Axis, Halo3, Region3, StageGraph};
@@ -107,7 +107,8 @@ impl<'p> ExchangeExecutor<'p> {
             .collect();
 
         let out = DisjointCell::new(Array3::zeros(domain));
-        let stores: Vec<DisjointCell<Option<ParStore<'_>>>> =
+        let extf = ExtFields::new(fields);
+        let stores: Vec<DisjointCell<Option<ParStore>>> =
             (0..n_teams).map(|_| DisjointCell::new(None)).collect();
         let staging: Vec<DisjointCell<Vec<(stencil_engine::FieldId, Array3)>>> = (0..n_teams)
             .map(|_| DisjointCell::new(Vec::new()))
@@ -121,7 +122,7 @@ impl<'p> ExchangeExecutor<'p> {
                 // SAFETY: rank-0-only write, published by the run_teams
                 // join before any other phase reads it.
                 let slot = unsafe { stores[ctx.team].get_mut() };
-                let mut store = ParStore::new(graph.fields().len(), fields, self.problem.ext());
+                let mut store = ParStore::new(graph.fields().len(), self.problem.ext());
                 for st in graph.stages() {
                     for &o in &st.outputs {
                         if o != xout {
@@ -153,14 +154,14 @@ impl<'p> ExchangeExecutor<'p> {
                         let store = unsafe { stores[ctx.team].get_ref() }
                             .as_ref()
                             .expect("store");
-                        store.apply_into(st, kind, domain, bc, mine, out_arr);
+                        store.apply_into(st, kind, domain, bc, mine, out_arr, extf);
                     }
                 } else {
                     // SAFETY: disjoint regions across this team's ranks.
                     let store = unsafe { stores[ctx.team].get_ref() }
                         .as_ref()
                         .expect("store");
-                    store.apply(st, kind, domain, bc, mine);
+                    store.apply(st, kind, domain, bc, mine, extf);
                 }
             });
             if st.outputs == [xout] {

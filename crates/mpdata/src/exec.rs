@@ -4,7 +4,14 @@ use crate::fields::MpdataFields;
 use crate::graph::{ExternalIds, StageKind};
 use crate::kernels::{apply_kind, Boundary};
 use stencil_engine::{Array3, Axis, FieldId, Region3, StageDef};
-use work_scheduler::{AccessTracker, DisjointCell};
+use work_scheduler::{AccessTracker, DisjointCell, InlineVec};
+
+/// Upper bound on a stage's argument-list length (inputs plus outputs).
+/// The executors' hot loops assemble input/output reference lists in
+/// fixed-capacity [`InlineVec`]s of this size so the steady state never
+/// allocates; `graph.rs` pins the bound against both the iord = 2 and
+/// iord = 3 graphs.
+pub(crate) const MAX_STAGE_ARGS: usize = 16;
 
 /// The share of `region` that rank `rank` of `size` computes, cutting
 /// along `axis` (empty when the region is thinner than the team).
@@ -14,6 +21,48 @@ use work_scheduler::{AccessTracker, DisjointCell};
 /// bit-for-bit instead of re-deriving it.
 pub fn rank_slice(region: Region3, axis: Axis, rank: usize, size: usize) -> Region3 {
     region.split(axis, size)[rank]
+}
+
+/// Borrowed views of the five external input arrays, resolved once per
+/// call into the store instead of borrowing the whole field set for the
+/// store's lifetime — that borrow is what kept `ParStore` from living
+/// across steps (and across `run`'s buffer swaps).
+#[derive(Clone, Copy)]
+pub(crate) struct ExtFields<'a> {
+    pub x: &'a Array3,
+    pub u1: &'a Array3,
+    pub u2: &'a Array3,
+    pub u3: &'a Array3,
+    pub h: &'a Array3,
+}
+
+impl<'a> ExtFields<'a> {
+    pub(crate) fn new(fields: &'a MpdataFields) -> Self {
+        ExtFields {
+            x: &fields.x,
+            u1: &fields.u1,
+            u2: &fields.u2,
+            u3: &fields.u3,
+            h: &fields.h,
+        }
+    }
+
+    /// The external array behind `f`, or `None` for store-held fields.
+    fn get(&self, ids: &ExternalIds, f: FieldId) -> Option<&'a Array3> {
+        if f == ids.x {
+            Some(self.x)
+        } else if f == ids.u1 {
+            Some(self.u1)
+        } else if f == ids.u2 {
+            Some(self.u2)
+        } else if f == ids.u3 {
+            Some(self.u3)
+        } else if f == ids.h {
+            Some(self.h)
+        } else {
+            None
+        }
+    }
 }
 
 /// Serial storage: externals borrowed from the field set, intermediates
@@ -42,20 +91,7 @@ impl<'a> SerialStore<'a> {
     }
 
     fn external(&self, f: FieldId) -> Option<&'a Array3> {
-        let ids = &self.ids;
-        if f == ids.x {
-            Some(&self.fields.x)
-        } else if f == ids.u1 {
-            Some(&self.fields.u1)
-        } else if f == ids.u2 {
-            Some(&self.fields.u2)
-        } else if f == ids.u3 {
-            Some(&self.fields.u3)
-        } else if f == ids.h {
-            Some(&self.fields.h)
-        } else {
-            None
-        }
+        ExtFields::new(self.fields).get(&self.ids, f)
     }
 
     fn get(&self, f: FieldId) -> &Array3 {
@@ -110,7 +146,10 @@ struct Claim {
 /// outputs over the rank slice) and read (its non-external inputs over
 /// the halo-expanded slice) before touching the buffers, and a write
 /// claim that overlaps any concurrent claim of the same field panics
-/// with both stage names. The table is compiled out of release builds.
+/// with both stage names. Claims are retired when their guard drops, so
+/// a store reused across steps (the persistent-plan path) starts every
+/// epoch with a clean table — reuse never looks like a leaked claim.
+/// The table is compiled out of release builds.
 pub(crate) struct FieldCells {
     cells: Vec<DisjointCell<Option<Array3>>>,
     #[cfg(debug_assertions)]
@@ -197,16 +236,18 @@ impl Drop for ClaimGuard<'_> {
 /// Parallel storage: every non-external field buffer sits in a
 /// [`DisjointCell`] (grouped in [`FieldCells`]) so team ranks can write
 /// disjoint regions concurrently.
-pub(crate) struct ParStore<'a> {
-    fields: &'a MpdataFields,
+///
+/// The store owns no borrow of the field set — externals arrive as an
+/// [`ExtFields`] view per call — so one store can persist across time
+/// steps while `run` swaps its input/output arrays underneath.
+pub(crate) struct ParStore {
     ids: ExternalIds,
     cells: FieldCells,
 }
 
-impl<'a> ParStore<'a> {
-    pub(crate) fn new(field_count: usize, fields: &'a MpdataFields, ids: ExternalIds) -> Self {
+impl ParStore {
+    pub(crate) fn new(field_count: usize, ids: ExternalIds) -> Self {
         ParStore {
-            fields,
             ids,
             cells: FieldCells::new(field_count),
         }
@@ -226,7 +267,37 @@ impl<'a> ParStore<'a> {
             .expect("buffer present")
     }
 
-    /// Applies `stage` over `region` from one worker.
+    /// Zeroes `region` of `f` in place — the per-step refill for
+    /// persistent stores, covering exactly the cells a plan's coverage
+    /// analysis proves are read before they are written.
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// Concurrent callers must target disjoint `(f, region)` pairs, and
+    /// a barrier or join must separate this from any overlapping access
+    /// — the same contract as [`ParStore::apply`] writes.
+    pub(crate) fn zero_region(&self, f: FieldId, region: Region3) {
+        if region.is_empty() {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        let _claim = self.cells.claim(&[(f, region, true)], "zero-refill");
+        let _tracker = self.cells.cell(f).track_write();
+        // SAFETY: see the contract above.
+        let buf = unsafe { self.cells.cell(f).get_mut() }
+            .as_mut()
+            .expect("buffer present");
+        for i in region.i.lo..region.i.hi {
+            for j in region.j.lo..region.j.hi {
+                for v in buf.row_mut(i, j, region.k) {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Applies `stage` over `region` from one worker, resolving external
+    /// inputs through `ext`.
     ///
     /// # Safety contract (internal)
     ///
@@ -241,79 +312,64 @@ impl<'a> ParStore<'a> {
         domain: Region3,
         bc: Boundary,
         region: Region3,
+        ext: ExtFields<'_>,
     ) {
         if region.is_empty() {
             return;
         }
         let ids = &self.ids;
-        let ext = |f: FieldId| -> Option<&Array3> {
-            if f == ids.x {
-                Some(&self.fields.x)
-            } else if f == ids.u1 {
-                Some(&self.fields.u1)
-            } else if f == ids.u2 {
-                Some(&self.fields.u2)
-            } else if f == ids.u3 {
-                Some(&self.fields.u3)
-            } else if f == ids.h {
-                Some(&self.fields.h)
-            } else {
-                None
-            }
-        };
         // Debug overlap guard: claim the regions this call touches
         // (outputs written over `region`, store-held inputs read over the
         // halo-expanded slice — periodic wraps are under-claimed, which
         // only weakens, never falsifies, the check) and track the cells.
         #[cfg(debug_assertions)]
-        let _claims =
-            {
-                let wanted: Vec<(FieldId, Region3, bool)> =
+        let _claims = {
+            let wanted: Vec<(FieldId, Region3, bool)> = stage
+                .outputs
+                .iter()
+                .map(|&f| (f, region, true))
+                .chain(
                     stage
-                        .outputs
+                        .inputs
                         .iter()
-                        .map(|&f| (f, region, true))
-                        .chain(stage.inputs.iter().filter(|(f, _)| ext(*f).is_none()).map(
-                            |(f, pat)| (*f, region.expand(pat.halo()).intersect(domain), false),
-                        ))
-                        .collect();
-                self.cells.claim(&wanted, &stage.name)
-            };
-        let mut trackers: Vec<AccessTracker<'_, Option<Array3>>> = Vec::new();
+                        .filter(|(f, _)| ext.get(ids, *f).is_none())
+                        .map(|(f, pat)| (*f, region.expand(pat.halo()).intersect(domain), false)),
+                )
+                .collect();
+            self.cells.claim(&wanted, &stage.name)
+        };
+        let mut trackers: InlineVec<AccessTracker<'_, Option<Array3>>, MAX_STAGE_ARGS> =
+            InlineVec::new();
         for (f, _) in &stage.inputs {
-            if ext(*f).is_none() {
+            if ext.get(ids, *f).is_none() {
                 trackers.push(self.cells.cell(*f).track_read());
             }
         }
         for &f in &stage.outputs {
             trackers.push(self.cells.cell(f).track_write());
         }
-        let ins: Vec<&Array3> = stage
-            .inputs
-            .iter()
-            .map(|(f, _)| {
-                ext(*f).unwrap_or_else(|| {
-                    // SAFETY: inputs of a stage are never written during
-                    // that stage (the graph is SSA and validated), and
-                    // prior writes are fenced by a barrier/join.
-                    unsafe { self.cells.cell(*f).get_ref() }
-                        .as_ref()
-                        .expect("buffer present")
-                })
-            })
-            .collect();
-        let mut outs: Vec<&mut Array3> = stage
-            .outputs
-            .iter()
-            .map(|&f| {
-                // SAFETY: concurrent callers write disjoint regions (see
-                // the contract above), and no caller reads an output of
-                // the stage it is executing.
+        let mut ins: InlineVec<&Array3, MAX_STAGE_ARGS> = InlineVec::new();
+        for (f, _) in &stage.inputs {
+            ins.push(ext.get(ids, *f).unwrap_or_else(|| {
+                // SAFETY: inputs of a stage are never written during
+                // that stage (the graph is SSA and validated), and
+                // prior writes are fenced by a barrier/join.
+                unsafe { self.cells.cell(*f).get_ref() }
+                    .as_ref()
+                    .expect("buffer present")
+            }));
+        }
+        let mut outs: InlineVec<&mut Array3, MAX_STAGE_ARGS> = InlineVec::new();
+        for &f in &stage.outputs {
+            // SAFETY: concurrent callers write disjoint regions (see
+            // the contract above), and no caller reads an output of
+            // the stage it is executing.
+            outs.push(
                 unsafe { self.cells.cell(f).get_mut() }
                     .as_mut()
-                    .expect("buffer present")
-            })
-            .collect();
+                    .expect("buffer present"),
+            );
+        }
         apply_kind(kind, domain, bc, &ins, &mut outs, region);
         drop(trackers);
     }
@@ -354,6 +410,7 @@ impl<'a> ParStore<'a> {
     /// islands executor to write the final stage straight into the
     /// shared output array). Same disjointness contract as
     /// [`ParStore::apply`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn apply_into(
         &self,
         stage: &StageDef,
@@ -362,55 +419,39 @@ impl<'a> ParStore<'a> {
         bc: Boundary,
         region: Region3,
         out: &mut Array3,
+        ext: ExtFields<'_>,
     ) {
         if region.is_empty() {
             return;
         }
         assert_eq!(stage.outputs.len(), 1, "apply_into takes one output");
         let ids = &self.ids;
-        let ext = |f: FieldId| -> Option<&Array3> {
-            if f == ids.x {
-                Some(&self.fields.x)
-            } else if f == ids.u1 {
-                Some(&self.fields.u1)
-            } else if f == ids.u2 {
-                Some(&self.fields.u2)
-            } else if f == ids.u3 {
-                Some(&self.fields.u3)
-            } else if f == ids.h {
-                Some(&self.fields.h)
-            } else {
-                None
-            }
-        };
         #[cfg(debug_assertions)]
         let _claims = {
             let wanted: Vec<(FieldId, Region3, bool)> = stage
                 .inputs
                 .iter()
-                .filter(|(f, _)| ext(*f).is_none())
+                .filter(|(f, _)| ext.get(ids, *f).is_none())
                 .map(|(f, pat)| (*f, region.expand(pat.halo()).intersect(domain), false))
                 .collect();
             self.cells.claim(&wanted, &stage.name)
         };
-        let mut trackers: Vec<AccessTracker<'_, Option<Array3>>> = Vec::new();
+        let mut trackers: InlineVec<AccessTracker<'_, Option<Array3>>, MAX_STAGE_ARGS> =
+            InlineVec::new();
         for (f, _) in &stage.inputs {
-            if ext(*f).is_none() {
+            if ext.get(ids, *f).is_none() {
                 trackers.push(self.cells.cell(*f).track_read());
             }
         }
-        let ins: Vec<&Array3> = stage
-            .inputs
-            .iter()
-            .map(|(f, _)| {
-                ext(*f).unwrap_or_else(|| {
-                    // SAFETY: see `apply`.
-                    unsafe { self.cells.cell(*f).get_ref() }
-                        .as_ref()
-                        .expect("buffer present")
-                })
-            })
-            .collect();
+        let mut ins: InlineVec<&Array3, MAX_STAGE_ARGS> = InlineVec::new();
+        for (f, _) in &stage.inputs {
+            ins.push(ext.get(ids, *f).unwrap_or_else(|| {
+                // SAFETY: see `apply`.
+                unsafe { self.cells.cell(*f).get_ref() }
+                    .as_ref()
+                    .expect("buffer present")
+            }));
+        }
         apply_kind(kind, domain, bc, &ins, &mut [out], region);
         drop(trackers);
     }
@@ -465,7 +506,8 @@ mod tests {
         s.apply(&g.stages()[0], kind, d, Boundary::Open, d);
         let serial = s.take(f1);
 
-        let mut ps = ParStore::new(g.fields().len(), &f, p.ext());
+        let ext = ExtFields::new(&f);
+        let mut ps = ParStore::new(g.fields().len(), p.ext());
         ps.alloc(f1, d);
         // Two "workers", disjoint halves, sequential here (the pool tests
         // exercise true concurrency).
@@ -475,6 +517,7 @@ mod tests {
             d,
             Boundary::Open,
             Region3::new(Range1::new(0, 3), d.j, d.k),
+            ext,
         );
         ps.apply(
             &g.stages()[0],
@@ -482,9 +525,27 @@ mod tests {
             d,
             Boundary::Open,
             Region3::new(Range1::new(3, 6), d.j, d.k),
+            ext,
         );
-        let par = ps.take(f1);
+        let par = ps.extract(f1, d);
         assert_eq!(par.max_abs_diff(&serial), 0.0);
+    }
+
+    #[test]
+    fn zero_region_clears_exactly_the_region() {
+        let mut ps = ParStore::new(1, MpdataProblem::standard().ext());
+        let f = FieldId(0);
+        let d = Region3::of_extent(4, 4, 4);
+        *ps.cells.cell_mut(f).get_mut_exclusive() = Some(Array3::filled(d, 7.0));
+        let sub = Region3::new(Range1::new(1, 3), Range1::new(0, 4), Range1::new(2, 4));
+        ps.zero_region(f, sub);
+        let arr = ps.extract(f, d);
+        for (i, j, k, v) in arr.iter_indexed() {
+            let inside = sub.contains(i, j, k);
+            assert_eq!(v, if inside { 0.0 } else { 7.0 }, "at ({i},{j},{k})");
+        }
+        // Empty regions are a no-op, not a panic.
+        ps.zero_region(f, Region3::empty());
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! requirement analysis, recomputing a few boundary cells instead of
 //! keeping state between blocks.
 
-use crate::exec::{rank_slice, ParStore};
 use crate::fields::MpdataFields;
 use crate::graph::MpdataProblem;
-use stencil_engine::{Array3, Axis, BlockPlanner, PlanBlocksError, StageGraph};
-use work_scheduler::WorkerPool;
+use crate::plan::{plan_run, plan_step, PartitionKind, StepPlan};
+use std::sync::Mutex;
+use stencil_engine::{Array3, Axis, PlanBlocksError, StageGraph};
+use work_scheduler::{TeamSpec, WorkerPool};
 
 /// Default cache budget per block: the 16 MiB L3 of the paper's Xeon
 /// E5-4627v2.
@@ -46,6 +47,13 @@ pub struct FusedExecutor<'p> {
     problem: MpdataProblem,
     cache_bytes: usize,
     split_axis: Axis,
+    /// All workers as one team: the fused executor is the degenerate
+    /// single-island schedule, so it shares the islands' plan-cache and
+    /// buffer-reuse path verbatim.
+    team: TeamSpec,
+    /// Cached execution plan, rebuilt whenever its key (domain, cache
+    /// budget, split axis) stops matching.
+    plan: Mutex<Option<StepPlan>>,
 }
 
 impl<'p> FusedExecutor<'p> {
@@ -57,10 +65,12 @@ impl<'p> FusedExecutor<'p> {
     /// Creates the executor for an arbitrary MPDATA problem.
     pub fn with_problem(pool: &'p WorkerPool, problem: MpdataProblem) -> Self {
         FusedExecutor {
+            team: TeamSpec::even(pool.len(), 1),
             pool,
             problem,
             cache_bytes: DEFAULT_CACHE_BYTES,
             split_axis: Axis::J,
+            plan: Mutex::new(None),
         }
     }
 
@@ -88,44 +98,27 @@ impl<'p> FusedExecutor<'p> {
     ///
     /// Returns [`PlanBlocksError`] when no block fits the cache budget.
     pub fn step(&self, fields: &MpdataFields) -> Result<Array3, PlanBlocksError> {
+        self.check_boundary();
+        let mut slot = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+        plan_step(
+            self.pool,
+            &self.team,
+            &self.problem,
+            &mut slot,
+            &PartitionKind::Whole,
+            self.cache_bytes,
+            self.split_axis,
+            fields,
+        )
+    }
+
+    fn check_boundary(&self) {
         assert_eq!(
             self.problem.boundary(),
             crate::kernels::Boundary::Open,
             "the (3+1)D executor requires open boundaries: periodic wrap \
              dependencies cannot be expressed by box-shaped block regions"
         );
-        let domain = fields.domain();
-        let graph = self.problem.graph();
-        let blocking = BlockPlanner::new(self.cache_bytes).plan_wavefront(graph, domain, domain)?;
-        let mut store = ParStore::new(graph.fields().len(), fields, self.problem.ext());
-        // Wavefront blocks reuse each other's values, so the scratch
-        // buffers persist across blocks (in the real machine they stay
-        // in cache; here, correctness only needs them to stay
-        // allocated).
-        let hull = blocking.hull();
-        let xout = self.problem.xout();
-        for st in graph.stages() {
-            for &out in &st.outputs {
-                store.alloc(out, if out == xout { domain } else { hull });
-            }
-        }
-        let workers = self.pool.len();
-        for block in &blocking.blocks {
-            for st in graph.stages() {
-                let region = block.stage_regions[st.id.index()];
-                self.pool.broadcast(|ctx| {
-                    let mine = rank_slice(region, self.split_axis, ctx.worker, workers);
-                    store.apply(
-                        st,
-                        self.problem.kind(st.id),
-                        domain,
-                        self.problem.boundary(),
-                        mine,
-                    );
-                });
-            }
-        }
-        Ok(store.take(xout))
     }
 
     /// Advances `fields.x` by `steps` time steps.
@@ -134,10 +127,19 @@ impl<'p> FusedExecutor<'p> {
     ///
     /// Returns [`PlanBlocksError`] when no block fits the cache budget.
     pub fn run(&self, fields: &mut MpdataFields, steps: usize) -> Result<(), PlanBlocksError> {
-        for _ in 0..steps {
-            fields.x = self.step(fields)?;
-        }
-        Ok(())
+        self.check_boundary();
+        let mut slot = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+        plan_run(
+            self.pool,
+            &self.team,
+            &self.problem,
+            &mut slot,
+            &PartitionKind::Whole,
+            self.cache_bytes,
+            self.split_axis,
+            fields,
+            steps,
+        )
     }
 }
 
@@ -147,7 +149,7 @@ mod tests {
     use crate::fields::{gaussian_pulse, random_fields, rotating_cone};
     use crate::reference::ReferenceExecutor;
     use stencil_engine::rng::Xoshiro256pp;
-    use stencil_engine::Region3;
+    use stencil_engine::{BlockPlanner, Region3};
 
     #[test]
     fn matches_reference_bitwise_across_block_sizes() {

@@ -10,11 +10,12 @@
 //! synchronize only among their own cores (team barriers between
 //! stages); all islands meet once per step when the team run joins.
 
-use crate::exec::{rank_slice, ParStore};
 use crate::fields::MpdataFields;
 use crate::graph::MpdataProblem;
-use stencil_engine::{Array3, Axis, BlockPlanner, PlanBlocksError, Region3, StageGraph};
-use work_scheduler::{DisjointCell, TeamSpec, WorkerPool};
+use crate::plan::{plan_run, plan_step, PartitionKind, StepPlan};
+use std::sync::Mutex;
+use stencil_engine::{Array3, Axis, PlanBlocksError, Region3, StageGraph};
+use work_scheduler::{TeamSpec, WorkerPool};
 
 /// Parallel islands-of-cores MPDATA executor.
 ///
@@ -36,15 +37,6 @@ use work_scheduler::{DisjointCell, TeamSpec, WorkerPool};
 /// assert_eq!(islands.max_abs_diff(&reference), 0.0);
 /// # Ok::<(), stencil_engine::PlanBlocksError>(())
 /// ```
-/// How the domain is divided among islands.
-#[derive(Clone, Debug)]
-enum PartitionKind {
-    /// 1-D split along an axis (variant A = `I`, variant B = `J`).
-    Axis(Axis),
-    /// Explicit parts, one per team in order (e.g. 2-D island grids).
-    Explicit(Vec<Region3>),
-}
-
 /// Parallel islands-of-cores MPDATA executor (see the crate docs and
 /// the example above the struct's builder methods).
 #[derive(Debug)]
@@ -56,6 +48,9 @@ pub struct IslandsExecutor<'p> {
     partition: PartitionKind,
     /// Axis along which a team splits each stage sweep among its cores.
     split_axis: Axis,
+    /// Cached execution plan, rebuilt whenever its key (domain,
+    /// partition, cache budget, split axis) stops matching.
+    plan: Mutex<Option<StepPlan>>,
 }
 
 impl<'p> IslandsExecutor<'p> {
@@ -79,6 +74,7 @@ impl<'p> IslandsExecutor<'p> {
             cache_bytes: crate::fused::DEFAULT_CACHE_BYTES,
             partition: PartitionKind::Axis(partition_axis),
             split_axis: Axis::J,
+            plan: Mutex::new(None),
         }
     }
 
@@ -120,20 +116,7 @@ impl<'p> IslandsExecutor<'p> {
     /// Panics if an explicit partition does not disjointly cover
     /// `domain`.
     pub fn partition(&self, domain: Region3) -> Vec<Region3> {
-        match &self.partition {
-            PartitionKind::Axis(axis) => domain.split(*axis, self.teams.team_count()),
-            PartitionKind::Explicit(parts) => {
-                let covered: usize = parts.iter().map(|p| p.cells()).sum();
-                assert_eq!(covered, domain.cells(), "partition must cover the domain");
-                for (n, a) in parts.iter().enumerate() {
-                    assert!(domain.contains_region(*a), "part {n} outside domain");
-                    for b in &parts[n + 1..] {
-                        assert!(!a.overlaps(*b), "parts overlap");
-                    }
-                }
-                parts.clone()
-            }
-        }
+        self.partition.parts(domain, self.teams.team_count())
     }
 
     /// Performs one time step.
@@ -143,114 +126,27 @@ impl<'p> IslandsExecutor<'p> {
     /// Returns [`PlanBlocksError`] when an island's block does not fit
     /// the cache budget.
     pub fn step(&self, fields: &MpdataFields) -> Result<Array3, PlanBlocksError> {
+        self.check_boundary();
+        let mut slot = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+        plan_step(
+            self.pool,
+            &self.teams,
+            &self.problem,
+            &mut slot,
+            &self.partition,
+            self.cache_bytes,
+            self.split_axis,
+            fields,
+        )
+    }
+
+    fn check_boundary(&self) {
         assert_eq!(
             self.problem.boundary(),
             crate::kernels::Boundary::Open,
             "the islands executor requires open boundaries: periodic wrap \
              dependencies cannot be expressed by box-shaped island regions"
         );
-        let domain = fields.domain();
-        let parts = self.partition(domain);
-        // Plan every island up front so planning errors surface before
-        // any thread runs.
-        let plans: Vec<_> = parts
-            .iter()
-            .map(|&part| {
-                if part.is_empty() {
-                    // More islands than slabs along the partition axis:
-                    // the extra islands simply have no work.
-                    Ok(stencil_engine::Blocking {
-                        axis: Axis::I,
-                        depth: 1,
-                        blocks: Vec::new(),
-                    })
-                } else {
-                    BlockPlanner::new(self.cache_bytes).plan_wavefront(
-                        self.problem.graph(),
-                        part,
-                        domain,
-                    )
-                }
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-
-        // The shared output array; islands write disjoint parts of it.
-        let out = DisjointCell::new(Array3::zeros(domain));
-        // One private store per island (teams never share intermediates).
-        let stores: Vec<DisjointCell<Option<ParStore<'_>>>> = (0..self.teams.team_count())
-            .map(|_| DisjointCell::new(None))
-            .collect();
-
-        self.pool.run_teams(&self.teams, |ctx| {
-            let blocking = &plans[ctx.team];
-            // Rank 0 of each team owns the island store creation and the
-            // persistent (cross-block, wavefront) scratch allocation;
-            // the team barrier publishes both to the other ranks.
-            if ctx.rank == 0 {
-                // Debug-only overlap guard; drops before the barrier.
-                let _track = stores[ctx.team].track_write();
-                // SAFETY: only rank 0 touches the slot before the
-                // barrier below.
-                let slot = unsafe { stores[ctx.team].get_mut() };
-                let graph = self.problem.graph();
-                let mut store = ParStore::new(graph.fields().len(), fields, self.problem.ext());
-                let scratch = blocking.hull();
-                if !scratch.is_empty() {
-                    for st in graph.stages() {
-                        for &o in &st.outputs {
-                            if o != self.problem.xout() {
-                                store.alloc(o, scratch);
-                            }
-                        }
-                    }
-                }
-                *slot = Some(store);
-            }
-            ctx.team_barrier();
-            for b in 0..blocking.len() {
-                let block = &blocking.blocks[b];
-                for st in self.problem.graph().stages() {
-                    let region = block.stage_regions[st.id.index()];
-                    let mine = rank_slice(region, self.split_axis, ctx.rank, ctx.size);
-                    let kind = self.problem.kind(st.id);
-                    if st.outputs == [self.problem.xout()] {
-                        // Final stage: write straight into the shared
-                        // output. Blocks of different islands are
-                        // disjoint on output, ranks split disjointly.
-                        if !mine.is_empty() {
-                            let _wt = out.track_write();
-                            let _rt = stores[ctx.team].track_read();
-                            // SAFETY: all concurrent writers cover
-                            // mutually disjoint regions.
-                            let out_arr = unsafe { out.get_mut() };
-                            let store = unsafe { stores[ctx.team].get_ref() }
-                                .as_ref()
-                                .expect("store");
-                            store.apply_into(
-                                st,
-                                kind,
-                                domain,
-                                self.problem.boundary(),
-                                mine,
-                                out_arr,
-                            );
-                        }
-                    } else {
-                        let _rt = stores[ctx.team].track_read();
-                        // SAFETY: ranks of this team write disjoint
-                        // regions of the island-private scratch.
-                        let store = unsafe { stores[ctx.team].get_ref() }
-                            .as_ref()
-                            .expect("store");
-                        store.apply(st, kind, domain, self.problem.boundary(), mine);
-                    }
-                    // Intra-island synchronization only — this is the
-                    // whole point of the approach.
-                    ctx.team_barrier();
-                }
-            }
-        });
-        Ok(out.into_inner())
     }
 
     /// Advances `fields.x` by `steps` time steps.
@@ -260,10 +156,19 @@ impl<'p> IslandsExecutor<'p> {
     /// Returns [`PlanBlocksError`] when an island's block does not fit
     /// the cache budget.
     pub fn run(&self, fields: &mut MpdataFields, steps: usize) -> Result<(), PlanBlocksError> {
-        for _ in 0..steps {
-            fields.x = self.step(fields)?;
-        }
-        Ok(())
+        self.check_boundary();
+        let mut slot = self.plan.lock().unwrap_or_else(|e| e.into_inner());
+        plan_run(
+            self.pool,
+            &self.teams,
+            &self.problem,
+            &mut slot,
+            &self.partition,
+            self.cache_bytes,
+            self.split_axis,
+            fields,
+            steps,
+        )
     }
 }
 

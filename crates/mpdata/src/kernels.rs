@@ -82,9 +82,9 @@ pub fn apply_kind(
             let fast = region.intersect(safe);
             if !fast.is_empty() {
                 apply_fast(kind, inputs, outputs, fast);
-                for shell in region.subtract(fast) {
+                region.subtract_each(fast, |shell| {
                     apply_kind_scalar(kind, domain, bc, inputs, outputs, shell);
-                }
+                });
                 return;
             }
         }

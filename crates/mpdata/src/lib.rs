@@ -46,6 +46,7 @@ mod islands;
 mod kernels;
 mod kernels_fast;
 mod original;
+mod plan;
 mod reference;
 
 pub use diagnostics::{error_norms, CflViolation, ErrorNorms};

@@ -7,7 +7,7 @@
 //! memory) but, with parallel first-touch initialization, reasonably
 //! scalable on NUMA machines.
 
-use crate::exec::{rank_slice, ParStore};
+use crate::exec::{rank_slice, ExtFields, ParStore};
 use crate::fields::MpdataFields;
 use crate::graph::MpdataProblem;
 use stencil_engine::{Array3, Axis};
@@ -62,7 +62,8 @@ impl<'p> OriginalExecutor<'p> {
     pub fn step(&self, fields: &MpdataFields) -> Array3 {
         let domain = fields.domain();
         let graph = self.problem.graph();
-        let mut store = ParStore::new(graph.fields().len(), fields, self.problem.ext());
+        let ext = ExtFields::new(fields);
+        let mut store = ParStore::new(graph.fields().len(), self.problem.ext());
         for st in graph.stages() {
             for &out in &st.outputs {
                 store.alloc(out, domain);
@@ -80,6 +81,7 @@ impl<'p> OriginalExecutor<'p> {
                     domain,
                     self.problem.boundary(),
                     mine,
+                    ext,
                 );
             });
         }

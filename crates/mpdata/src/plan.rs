@@ -1,0 +1,492 @@
+//! Persistent execution plans: plan once, replay every step.
+//!
+//! `IslandsExecutor::step` used to re-partition the domain, re-run the
+//! wavefront block planner per island, re-create (and zero-fill) every
+//! scratch store, and allocate a fresh full-domain output array on
+//! *every* time step. Once blocking amortizes memory traffic, that
+//! churn — plus per-stage dispatch — dominates the per-sweep cost. A
+//! [`StepPlan`] hoists all of it out of the loop:
+//!
+//! * the partition, per-island blocking, stage→region tables and rank
+//!   slices are computed once and keyed by [`PlanKey`] — any change of
+//!   domain, partition, cache budget or split axis rebuilds the plan;
+//! * the island [`ParStore`]s persist across steps. Instead of
+//!   re-zeroing whole scratches, the builder runs the same coverage
+//!   analysis as the `islands-analysis` `uncovered-read` rule and
+//!   records exactly the cells each team reads before writing; the
+//!   replay re-zeroes only those (none, for the real MPDATA graphs);
+//! * `run` ping-pongs two persistent full-domain arrays (`cur`/`out`)
+//!   by pointer swap under the once-per-step global barrier, instead of
+//!   allocating `Array3::zeros(domain)` and copying back per step.
+//!
+//! Replay is bit-identical to the allocate-per-step path: covered
+//! scratch reads see the same in-step values, uncovered reads see
+//! zeros either way, and the output cells not covered by final-stage
+//! writes (`out_gaps` — empty for any covering partition) are re-zeroed
+//! at swap time.
+
+use crate::exec::{rank_slice, ExtFields, ParStore};
+use crate::graph::{MpdataProblem, StageKind};
+use crate::kernels::Boundary;
+use std::fmt;
+use stencil_engine::{
+    Array3, Axis, BlockPlanner, FieldId, FieldRole, PlanBlocksError, Region3, StageGraph,
+};
+use work_scheduler::{DisjointCell, TeamCtx, TeamSpec, WorkerPool};
+
+/// How the domain is divided among islands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum PartitionKind {
+    /// 1-D split along an axis (variant A = `I`, variant B = `J`).
+    Axis(Axis),
+    /// Explicit parts, one per team in order (e.g. 2-D island grids).
+    Explicit(Vec<Region3>),
+    /// The whole domain as a single part (the fused (3+1)D executor:
+    /// one team spanning every worker).
+    Whole,
+}
+
+impl PartitionKind {
+    /// The island partition of `domain`: one part per team.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit partition does not disjointly cover
+    /// `domain` or disagrees with `team_count`.
+    pub(crate) fn parts(&self, domain: Region3, team_count: usize) -> Vec<Region3> {
+        match self {
+            PartitionKind::Axis(axis) => domain.split(*axis, team_count),
+            PartitionKind::Whole => {
+                assert_eq!(team_count, 1, "Whole partition is single-team");
+                vec![domain]
+            }
+            PartitionKind::Explicit(parts) => {
+                assert_eq!(parts.len(), team_count, "one part per team required");
+                let covered: usize = parts.iter().map(|p| p.cells()).sum();
+                assert_eq!(covered, domain.cells(), "partition must cover the domain");
+                for (n, a) in parts.iter().enumerate() {
+                    assert!(domain.contains_region(*a), "part {n} outside domain");
+                    for b in &parts[n + 1..] {
+                        assert!(!a.overlaps(*b), "parts overlap");
+                    }
+                }
+                parts.clone()
+            }
+        }
+    }
+}
+
+/// Everything a cached [`StepPlan`] depends on. A `step`/`run` call
+/// whose inputs no longer match the cached key rebuilds the plan; the
+/// comparison itself ([`PlanKey::matches`]) is allocation-free so cache
+/// hits cost a few field compares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct PlanKey {
+    domain: Region3,
+    partition: PartitionKind,
+    cache_bytes: usize,
+    split_axis: Axis,
+}
+
+impl PlanKey {
+    fn matches(
+        &self,
+        domain: Region3,
+        partition: &PartitionKind,
+        cache_bytes: usize,
+        split_axis: Axis,
+    ) -> bool {
+        self.domain == domain
+            && self.cache_bytes == cache_bytes
+            && self.split_axis == split_axis
+            && &self.partition == partition
+    }
+}
+
+/// One barrier-fenced unit of a team's replay: one stage of one block,
+/// with every rank's slice precomputed (so the hot loop never calls the
+/// allocating `Region3::split`).
+struct EpochPlan {
+    /// Index into `graph.stages()`.
+    stage: usize,
+    /// The stage's kernel.
+    kind: StageKind,
+    /// Final stage: written straight into the shared output buffer.
+    is_final: bool,
+    /// Slice per rank (empty regions for idle ranks).
+    per_rank: Vec<Region3>,
+}
+
+/// One team's replay schedule.
+struct TeamPlan {
+    epochs: Vec<EpochPlan>,
+    /// Scratch regions this team reads before writing them in a step —
+    /// the cells the per-step refill must re-zero so reuse stays
+    /// bit-identical to freshly zeroed stores. Empty for the real
+    /// MPDATA graphs (the `uncovered-read` analysis proves coverage).
+    must_zero: Vec<(FieldId, Region3)>,
+}
+
+/// A fully materialized, reusable execution plan for one time step.
+///
+/// Owns the per-island scratch stores and the two ping-pong domain
+/// buffers, so steps 2..N of `run` allocate nothing at all.
+pub(crate) struct StepPlan {
+    key: PlanKey,
+    teams: Vec<TeamPlan>,
+    stores: Vec<ParStore>,
+    /// Domain cells no final-stage write covers (empty for covering
+    /// partitions); re-zeroed in the output buffer at swap time.
+    out_gaps: Vec<Region3>,
+    /// `run`'s current-input buffer (`x` of the step being computed).
+    cur: DisjointCell<Array3>,
+    /// The shared output buffer all teams write disjoint parts of.
+    ///
+    /// Invariant between steps: cells in `out_gaps` are zero.
+    out: DisjointCell<Array3>,
+}
+
+impl fmt::Debug for StepPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StepPlan")
+            .field("key", &self.key)
+            .field("teams", &self.teams.len())
+            .field(
+                "epochs",
+                &self.teams.iter().map(|t| t.epochs.len()).sum::<usize>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// Removes `cut` from every region of `from`.
+fn subtract_all(from: Vec<Region3>, cut: Region3) -> Vec<Region3> {
+    from.into_iter().flat_map(|r| r.subtract(cut)).collect()
+}
+
+/// The scratch cells a team reads before any same-step write covers
+/// them — mirror of the analyzer's `uncovered-read` rule, restricted to
+/// intermediate fields (externals are inputs; the output is written,
+/// never read). Regions are clamped to `hull`, the extent of the
+/// team's scratch buffers.
+fn uncovered_reads(
+    graph: &StageGraph,
+    epochs: &[EpochPlan],
+    hull: Region3,
+    domain: Region3,
+) -> Vec<(FieldId, Region3)> {
+    let mut written: Vec<(FieldId, Region3)> = Vec::new();
+    let mut gaps: Vec<(FieldId, Region3)> = Vec::new();
+    for ep in epochs {
+        let st = &graph.stages()[ep.stage];
+        for &mine in &ep.per_rank {
+            if mine.is_empty() {
+                continue;
+            }
+            for (f, pat) in &st.inputs {
+                if graph.fields().role(*f) != FieldRole::Intermediate {
+                    continue;
+                }
+                let read = mine.expand(pat.halo()).intersect(domain).intersect(hull);
+                let mut remaining = vec![read];
+                for (wf, wr) in &written {
+                    if wf == f {
+                        remaining = subtract_all(remaining, *wr);
+                        if remaining.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                gaps.extend(remaining.into_iter().map(|g| (*f, g)));
+            }
+        }
+        // Merge writes only after the epoch's reads: a same-epoch
+        // write→read pair has no fence between them, so it cannot
+        // provide coverage (matching the analyzer).
+        if !ep.is_final {
+            for &mine in &ep.per_rank {
+                if !mine.is_empty() {
+                    for &o in &st.outputs {
+                        written.push((o, mine));
+                    }
+                }
+            }
+        }
+    }
+    gaps
+}
+
+impl StepPlan {
+    /// Builds the plan for `key`: partition, per-island blocking, epoch
+    /// tables with precomputed rank slices, persistent stores, and the
+    /// refill/coverage facts. This is the only allocating phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanBlocksError`] when an island's block does not fit
+    /// the cache budget.
+    fn build(
+        problem: &MpdataProblem,
+        spec: &TeamSpec,
+        key: PlanKey,
+    ) -> Result<Self, PlanBlocksError> {
+        let domain = key.domain;
+        let parts = key.partition.parts(domain, spec.team_count());
+        let graph = problem.graph();
+        let xout = problem.xout();
+        let mut teams = Vec::with_capacity(parts.len());
+        let mut stores = Vec::with_capacity(parts.len());
+        let mut out_gaps = vec![domain];
+        for (t, &part) in parts.iter().enumerate() {
+            let size = spec.members(t).len();
+            let mut store = ParStore::new(graph.fields().len(), problem.ext());
+            let mut epochs = Vec::new();
+            let mut hull = Region3::empty();
+            if !part.is_empty() {
+                let blocking =
+                    BlockPlanner::new(key.cache_bytes).plan_wavefront(graph, part, domain)?;
+                hull = blocking.hull();
+                if !hull.is_empty() {
+                    for st in graph.stages() {
+                        for &o in &st.outputs {
+                            if o != xout {
+                                store.alloc(o, hull);
+                            }
+                        }
+                    }
+                }
+                for block in &blocking.blocks {
+                    for (s, st) in graph.stages().iter().enumerate() {
+                        let region = block.stage_regions[st.id.index()];
+                        let is_final = st.outputs == [xout];
+                        if is_final {
+                            out_gaps = subtract_all(out_gaps, region);
+                        }
+                        epochs.push(EpochPlan {
+                            stage: s,
+                            kind: problem.kind(st.id),
+                            is_final,
+                            per_rank: (0..size)
+                                .map(|r| rank_slice(region, key.split_axis, r, size))
+                                .collect(),
+                        });
+                    }
+                }
+            }
+            let must_zero = uncovered_reads(graph, &epochs, hull, domain);
+            teams.push(TeamPlan { epochs, must_zero });
+            stores.push(store);
+        }
+        Ok(StepPlan {
+            key,
+            teams,
+            stores,
+            out_gaps,
+            cur: DisjointCell::new(Array3::zeros(domain)),
+            out: DisjointCell::new(Array3::zeros(domain)),
+        })
+    }
+
+    /// Replays one time step for the calling worker's team: per-step
+    /// scratch refill (rank 0, only when the coverage analysis demands
+    /// it), then every `(block, stage)` epoch fenced by the team
+    /// barrier. Allocation-free in release builds.
+    fn replay(
+        &self,
+        ctx: &TeamCtx,
+        ext: ExtFields<'_>,
+        domain: Region3,
+        bc: Boundary,
+        graph: &StageGraph,
+    ) {
+        let team = &self.teams[ctx.team];
+        let store = &self.stores[ctx.team];
+        if !team.must_zero.is_empty() {
+            if ctx.rank == 0 {
+                for &(f, r) in &team.must_zero {
+                    store.zero_region(f, r);
+                }
+            }
+            // Publish the refill to the other ranks.
+            ctx.team_barrier();
+        }
+        for ep in &team.epochs {
+            let st = &graph.stages()[ep.stage];
+            let mine = ep.per_rank[ctx.rank];
+            if ep.is_final {
+                // Final stage: write straight into the shared output.
+                // Blocks of different islands are disjoint on output,
+                // ranks split disjointly.
+                if !mine.is_empty() {
+                    let _wt = self.out.track_write();
+                    // SAFETY: all concurrent writers cover mutually
+                    // disjoint regions.
+                    let out_arr = unsafe { self.out.get_mut() };
+                    store.apply_into(st, ep.kind, domain, bc, mine, out_arr, ext);
+                }
+            } else {
+                store.apply(st, ep.kind, domain, bc, mine, ext);
+            }
+            // Intra-island synchronization only — this is the whole
+            // point of the approach.
+            ctx.team_barrier();
+        }
+    }
+}
+
+/// Returns the cached plan when `(domain, partition, cache_bytes,
+/// split_axis)` still match its key, else rebuilds it (dropping the
+/// stale plan first). A planning failure leaves the slot empty.
+fn ensure_plan<'s>(
+    slot: &'s mut Option<StepPlan>,
+    problem: &MpdataProblem,
+    spec: &TeamSpec,
+    domain: Region3,
+    partition: &PartitionKind,
+    cache_bytes: usize,
+    split_axis: Axis,
+) -> Result<&'s mut StepPlan, PlanBlocksError> {
+    let hit = slot
+        .as_ref()
+        .is_some_and(|p| p.key.matches(domain, partition, cache_bytes, split_axis));
+    if !hit {
+        *slot = None;
+        let key = PlanKey {
+            domain,
+            partition: partition.clone(),
+            cache_bytes,
+            split_axis,
+        };
+        *slot = Some(StepPlan::build(problem, spec, key)?);
+    }
+    Ok(slot.as_mut().expect("just ensured"))
+}
+
+/// Zeroes `region` of `arr` in place.
+fn zero_region_of(arr: &mut Array3, region: Region3) {
+    for i in region.i.lo..region.i.hi {
+        for j in region.j.lo..region.j.hi {
+            for v in arr.row_mut(i, j, region.k) {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// One time step through the plan cache: ensure the plan, lend it a
+/// fresh zeroed output buffer, replay, and hand the buffer back. The
+/// persistent `out` buffer (and its gap invariant) is untouched, so
+/// `step` and `run` calls interleave freely.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_step(
+    pool: &WorkerPool,
+    spec: &TeamSpec,
+    problem: &MpdataProblem,
+    slot: &mut Option<StepPlan>,
+    partition: &PartitionKind,
+    cache_bytes: usize,
+    split_axis: Axis,
+    fields: &crate::fields::MpdataFields,
+) -> Result<Array3, PlanBlocksError> {
+    let domain = fields.domain();
+    let plan = ensure_plan(
+        slot,
+        problem,
+        spec,
+        domain,
+        partition,
+        cache_bytes,
+        split_axis,
+    )?;
+    let mut result = Array3::zeros(domain);
+    std::mem::swap(plan.out.get_mut_exclusive(), &mut result);
+    let ext = ExtFields::new(fields);
+    let graph = problem.graph();
+    let bc = problem.boundary();
+    let plan: &StepPlan = plan;
+    pool.run_teams(spec, |ctx| plan.replay(&ctx, ext, domain, bc, graph));
+    // `result` currently holds the plan's persistent buffer; swap the
+    // freshly written output out and the persistent buffer back in.
+    let plan = slot.as_mut().expect("ensured above");
+    std::mem::swap(plan.out.get_mut_exclusive(), &mut result);
+    Ok(result)
+}
+
+/// Advances `fields.x` by `steps` steps inside a *single* `run_teams`
+/// dispatch: every step is one replay, one global barrier, one
+/// leader-side `cur`/`out` pointer swap, and one more global barrier —
+/// the paper's once-per-step global synchronization, with zero heap
+/// allocations from the second step on (and none at all on a plan-cache
+/// hit, beyond the pool dispatch itself).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_run(
+    pool: &WorkerPool,
+    spec: &TeamSpec,
+    problem: &MpdataProblem,
+    slot: &mut Option<StepPlan>,
+    partition: &PartitionKind,
+    cache_bytes: usize,
+    split_axis: Axis,
+    fields: &mut crate::fields::MpdataFields,
+    steps: usize,
+) -> Result<(), PlanBlocksError> {
+    if steps == 0 {
+        return Ok(());
+    }
+    let domain = fields.domain();
+    let plan = ensure_plan(
+        slot,
+        problem,
+        spec,
+        domain,
+        partition,
+        cache_bytes,
+        split_axis,
+    )?;
+    // Lend `fields.x` to the plan's current-input slot; the plan's old
+    // buffer parks in `fields.x` until the swap back below.
+    std::mem::swap(&mut fields.x, plan.cur.get_mut_exclusive());
+    let (u1, u2, u3, h) = (&fields.u1, &fields.u2, &fields.u3, &fields.h);
+    let graph = problem.graph();
+    let bc = problem.boundary();
+    let plan: &StepPlan = plan;
+    pool.run_teams(spec, |ctx| {
+        for _ in 0..steps {
+            {
+                let _xr = plan.cur.track_read();
+                let ext = ExtFields {
+                    // SAFETY: between the surrounding global barriers
+                    // `cur` is only read; the leader's swap below is
+                    // fenced off by both barriers.
+                    x: unsafe { plan.cur.get_ref() },
+                    u1,
+                    u2,
+                    u3,
+                    h,
+                };
+                plan.replay(&ctx, ext, domain, bc, graph);
+            }
+            // All teams done writing `out` / reading `cur`.
+            if ctx.global_barrier() {
+                let _wc = plan.cur.track_write();
+                let _wo = plan.out.track_write();
+                // SAFETY: every other worker is parked between the two
+                // global barriers; the serial worker has exclusive
+                // access to both buffers.
+                unsafe { std::mem::swap(plan.cur.get_mut(), plan.out.get_mut()) };
+                // The next step's output buffer is the old input: its
+                // gap cells (never written by final stages) carry stale
+                // values and must read as zero, like a fresh buffer.
+                let out_arr = unsafe { plan.out.get_mut() };
+                for &g in &plan.out_gaps {
+                    zero_region_of(out_arr, g);
+                }
+            }
+            // Publish the swap before the next step reads `cur`.
+            ctx.global_barrier();
+        }
+    });
+    let plan = slot.as_mut().expect("ensured above");
+    std::mem::swap(&mut fields.x, plan.cur.get_mut_exclusive());
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Zero-allocation steady state: after the first step has built the
+//! execution plan, every further step of [`IslandsExecutor::run`] must
+//! replay it without touching the heap.
+//!
+//! The pin works by installing a counting [`GlobalAlloc`] wrapper for
+//! this test binary and comparing the allocation counts of a warmed
+//! `run(1)` against a warmed `run(STEPS)`: both perform exactly one
+//! pool dispatch, so any difference is per-step allocation. The strict
+//! comparison only runs in release builds — debug builds intentionally
+//! allocate access-tracker claim labels on every stage apply.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mpdata::{gaussian_pulse, IslandsExecutor};
+use stencil_engine::{Axis, Region3};
+use work_scheduler::{TeamSpec, WorkerPool};
+
+/// Counts every allocating entry point; `dealloc` is free so the count
+/// is monotone and race-free to sample.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+// Single test function: the libtest harness runs `#[test]`s on
+// concurrent threads, so splitting the phases across tests would let
+// their allocations pollute each other's counts.
+#[test]
+fn steady_state_steps_do_not_allocate() {
+    // Seeded regression first: the counter must observe deliberate
+    // allocations, or the zero pin below would pass vacuously.
+    let before = allocs();
+    for _ in 0..50 {
+        std::hint::black_box(vec![0u8; 64]);
+    }
+    assert!(
+        allocs() - before >= 50,
+        "counting allocator missed seeded per-iteration allocations"
+    );
+
+    let pool = WorkerPool::new(4);
+    let domain = Region3::of_extent(24, 12, 8);
+    let exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).cache_bytes(64 * 1024);
+    let mut fields = gaussian_pulse(domain, (0.2, 0.1, 0.0));
+
+    // Cold call: building the plan (blocking, scratch stores, ping-pong
+    // buffers) must hit the heap.
+    let before = allocs();
+    exec.run(&mut fields, 1).unwrap();
+    let cold = allocs() - before;
+    assert!(cold > 0, "cold run should build its plan on the heap");
+
+    // One more warm-up so lazily initialized runtime paths (channel
+    // blocks, thread locals) are settled before measuring.
+    exec.run(&mut fields, 2).unwrap();
+
+    let before = allocs();
+    exec.run(&mut fields, 1).unwrap();
+    let one = allocs() - before;
+
+    const STEPS: usize = 51;
+    let before = allocs();
+    exec.run(&mut fields, STEPS).unwrap();
+    let many = allocs() - before;
+
+    // Both calls perform exactly one pool dispatch, so the extra
+    // `STEPS - 1` steps of the second call must add nothing. A slack of
+    // 4 absorbs channel block recycling in the dispatch itself; any
+    // per-step allocation would add at least `STEPS - 1` ≫ 4.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        many <= one + 4,
+        "steps 2..{STEPS} of a warmed run allocated: run({STEPS}) made {many} \
+         allocations vs {one} for run(1)"
+    );
+    #[cfg(debug_assertions)]
+    let _ = (one, many); // debug builds allocate claim labels per stage
+}

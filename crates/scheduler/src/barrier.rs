@@ -2,11 +2,30 @@
 //!
 //! The islands executor needs many small, cheap, *reusable* barriers: one
 //! per work team (used 17 times per block) plus one global barrier per
-//! time step. A centralized sense-reversing barrier with bounded spinning
-//! followed by yielding serves both; unlike `std::sync::Barrier` it hands
-//! out a *serial* flag and is trivially shareable through `Arc`.
+//! time step. A centralized sense-reversing barrier serves both; unlike
+//! `std::sync::Barrier` it hands out a *serial* flag and is trivially
+//! shareable through `Arc`.
+//!
+//! # Waiting protocol
+//!
+//! Team barriers fire `stages × blocks` times per time step, so arrival
+//! skew is usually tiny and a short spin wins; but when the machine is
+//! oversubscribed (more workers than cores) a spinning waiter steals the
+//! very CPU the straggler needs. `wait` therefore escalates in three
+//! bounded phases: busy-spin ([`SPIN_ROUNDS`]), `yield_now`
+//! ([`YIELD_ROUNDS`]), then parking on a `Condvar`. The park path uses
+//! a `sleepers` counter so episodes that never park pay no mutex
+//! traffic: the releaser only touches the lock when someone is (or is
+//! about to be) asleep.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Busy-spin iterations before a waiter starts yielding.
+const SPIN_ROUNDS: u32 = 256;
+
+/// `yield_now` iterations before a waiter parks on the condvar.
+const YIELD_ROUNDS: u32 = 64;
 
 /// A reusable sense-reversing barrier for a fixed set of participants.
 ///
@@ -29,6 +48,11 @@ pub struct SenseBarrier {
     parties: usize,
     count: AtomicUsize,
     sense: AtomicBool,
+    /// Waiters parked (or committed to parking) on `cv`. Nonzero tells
+    /// the releaser it must take `lock` and notify.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
 }
 
 impl SenseBarrier {
@@ -43,6 +67,9 @@ impl SenseBarrier {
             parties,
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
         }
     }
 
@@ -54,25 +81,49 @@ impl SenseBarrier {
     /// Blocks until all `parties` threads have called `wait` for the
     /// current episode. Returns `true` for exactly one participant (the
     /// last to arrive), mirroring `std::sync::Barrier`'s leader flag.
+    ///
+    /// Waiters spin briefly, then yield, then park (see the module
+    /// docs); none of the phases allocates.
     pub fn wait(&self) -> bool {
-        let my_sense = !self.sense.load(Ordering::Acquire);
+        let my_sense = !self.sense.load(Ordering::SeqCst);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
             // Last arrival: reset the counter and flip the sense, which
-            // releases everyone spinning below.
+            // releases everyone waiting below.
             self.count.store(0, Ordering::Release);
-            self.sense.store(my_sense, Ordering::Release);
+            self.sense.store(my_sense, Ordering::SeqCst);
+            // SC total order makes the sleepers check sound: a waiter
+            // increments `sleepers` *before* re-reading `sense`. If we
+            // read 0 here, that increment is ordered after this load, so
+            // the waiter's subsequent sense read is ordered after our
+            // store above and it never parks. If we read nonzero, we
+            // acquire the lock — serializing with the waiter, who either
+            // sees the flipped sense under the lock or is already inside
+            // `cv.wait` — and the notify cannot be lost.
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+                self.cv.notify_all();
+            }
             true
         } else {
-            let mut spins = 0_u32;
-            while self.sense.load(Ordering::Acquire) != my_sense {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
+            for _ in 0..SPIN_ROUNDS {
+                if self.sense.load(Ordering::SeqCst) == my_sense {
+                    return false;
                 }
+                std::hint::spin_loop();
             }
+            for _ in 0..YIELD_ROUNDS {
+                if self.sense.load(Ordering::SeqCst) == my_sense {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+            let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            while self.sense.load(Ordering::SeqCst) != my_sense {
+                g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
             false
         }
     }
@@ -123,6 +174,74 @@ mod tests {
         }
         // Exactly one serial thread per first-wait episode.
         assert_eq!(serials.load(Ordering::SeqCst), episodes);
+    }
+
+    #[test]
+    fn parked_waiters_survive_slow_release() {
+        // Force the park path: one straggler arrives long after the
+        // others have exhausted their spin and yield budgets. The
+        // episode must still complete (no lost wakeup) and repeat.
+        let n = 3;
+        let b = Arc::new(SenseBarrier::new(n));
+        let mut handles = Vec::new();
+        for w in 0..n - 1 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    b.wait();
+                }
+                w
+            }));
+        }
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            b.wait();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn parked_waiter_burns_no_cpu() {
+        // A waiter that outlives its spin/yield budget must sleep on the
+        // condvar, not churn `yield_now`. Measure the waiter's thread
+        // CPU time across a 150 ms straggler window.
+        fn thread_cpu_ns() -> u64 {
+            let mut ts = std::mem::MaybeUninit::<libc_timespec>::uninit();
+            #[repr(C)]
+            #[allow(non_camel_case_types)]
+            struct libc_timespec {
+                tv_sec: i64,
+                tv_nsec: i64,
+            }
+            extern "C" {
+                fn clock_gettime(clk_id: i32, tp: *mut libc_timespec) -> i32;
+            }
+            const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+            let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, ts.as_mut_ptr()) };
+            assert_eq!(rc, 0);
+            let ts = unsafe { ts.assume_init() };
+            ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+        }
+        let b = Arc::new(SenseBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            let before = thread_cpu_ns();
+            b2.wait();
+            thread_cpu_ns() - before
+        });
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        b.wait();
+        let spent = waiter.join().unwrap();
+        // Spinning/yielding for 150 ms would burn roughly that much CPU;
+        // a parked thread costs microseconds. Generous slack for the
+        // bounded spin phase and scheduler noise.
+        assert!(
+            spent < 50_000_000,
+            "parked waiter burned {spent} ns of CPU while waiting"
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! A fixed-capacity vector on the stack.
+//!
+//! The executors' hot loops assemble tiny per-stage argument lists — a
+//! handful of input array references, output references, and debug
+//! trackers — once per `(block, stage, rank)`. Heap-backed `Vec`s there
+//! are the difference between an allocation-free steady state and
+//! thousands of `malloc`/`free` pairs per time step. [`InlineVec`]
+//! stores up to `N` elements inline and panics on overflow, which is
+//! the right trade for capacities chosen from a static bound (the
+//! widest MPDATA stage has seven inputs; the executors size `N` with
+//! headroom and a test pins the bound).
+
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A vector of at most `N` elements stored inline (no heap allocation).
+///
+/// Dereferences to `[T]`, so iteration and slice passing work as with
+/// `Vec`. Pushing beyond `N` panics — capacity is a static planning
+/// decision, not a runtime condition to recover from.
+///
+/// # Examples
+///
+/// ```
+/// use work_scheduler::InlineVec;
+/// let mut v: InlineVec<u32, 4> = InlineVec::new();
+/// v.push(7);
+/// v.push(9);
+/// assert_eq!(&v[..], &[7, 9]);
+/// v.clear();
+/// assert!(v.is_empty());
+/// ```
+pub struct InlineVec<T, const N: usize> {
+    buf: [MaybeUninit<T>; N],
+    len: usize,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        InlineVec {
+            buf: [const { MaybeUninit::uninit() }; N],
+            len: 0,
+        }
+    }
+
+    /// Number of initialized elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector already holds `N` elements.
+    pub fn push(&mut self, value: T) {
+        assert!(
+            self.len < N,
+            "InlineVec capacity {N} exceeded — raise the static bound"
+        );
+        self.buf[self.len].write(value);
+        self.len += 1;
+    }
+
+    /// Drops all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        // Move `len` to 0 first so a panicking destructor cannot lead a
+        // later drop to touch already-dropped slots.
+        let n = self.len;
+        self.len = 0;
+        for slot in &mut self.buf[..n] {
+            // SAFETY: the first `n` slots were initialized by `push` and
+            // are dropped exactly once here (len is already 0).
+            unsafe { slot.assume_init_drop() };
+        }
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        // SAFETY: the first `len` slots are initialized; MaybeUninit<T>
+        // has the same layout as T.
+        unsafe { &*(std::ptr::from_ref(&self.buf[..self.len]) as *const [T]) }
+    }
+}
+
+impl<T, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as in `deref`.
+        unsafe { &mut *(std::ptr::from_mut(&mut self.buf[..self.len]) as *mut [T]) }
+    }
+}
+
+impl<T, const N: usize> Drop for InlineVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn push_and_slice() {
+        let mut v: InlineVec<i32, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(&v[..], &[1, 2, 3]);
+        v[1] = 9;
+        assert_eq!(v.iter().sum::<i32>(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn overflow_panics() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(0);
+        v.push(0);
+        v.push(0);
+    }
+
+    #[test]
+    fn drops_exactly_initialized_prefix() {
+        let tok = Rc::new(());
+        {
+            let mut v: InlineVec<Rc<()>, 4> = InlineVec::new();
+            v.push(Rc::clone(&tok));
+            v.push(Rc::clone(&tok));
+            assert_eq!(Rc::strong_count(&tok), 3);
+            v.clear();
+            assert_eq!(Rc::strong_count(&tok), 1);
+            v.push(Rc::clone(&tok));
+        }
+        assert_eq!(Rc::strong_count(&tok), 1);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let v: InlineVec<String, 1> = InlineVec::default();
+        assert!(v.is_empty());
+    }
+}

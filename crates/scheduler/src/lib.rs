@@ -32,14 +32,15 @@
 //! ```
 
 #![warn(missing_docs)]
-// `unsafe` is confined to two well-documented primitives: the scoped
-// lifetime erasure in `WorkerPool::broadcast` and the aliasing contract
-// of `DisjointCell`.
+// `unsafe` is confined to three well-documented primitives: the scoped
+// lifetime erasure in `WorkerPool::broadcast`, the aliasing contract of
+// `DisjointCell`, and the initialized-prefix invariant of `InlineVec`.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod affinity;
 mod barrier;
 mod dynamic;
+mod inline_vec;
 mod pool;
 mod share;
 mod team;
@@ -47,6 +48,7 @@ mod team;
 pub use affinity::{AffinityMap, LogicalCpu};
 pub use barrier::SenseBarrier;
 pub use dynamic::ChunkQueue;
+pub use inline_vec::InlineVec;
 pub use pool::{WorkerCtx, WorkerPool};
 pub use share::{AccessTracker, DisjointCell};
 pub use team::{BuildTeamsError, TeamCtx, TeamSpec};

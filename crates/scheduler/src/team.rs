@@ -141,6 +141,7 @@ pub struct TeamCtx {
     /// Team size.
     pub size: usize,
     barrier: Arc<SenseBarrier>,
+    global: Arc<SenseBarrier>,
 }
 
 impl TeamCtx {
@@ -148,6 +149,15 @@ impl TeamCtx {
     /// Returns the serial flag (exactly one member sees `true`).
     pub fn team_barrier(&self) -> bool {
         self.barrier.wait()
+    }
+
+    /// Global barrier across *all* teams of this `run_teams` call — the
+    /// once-per-time-step synchronization of the islands-of-cores
+    /// approach, available *inside* the closure so multi-step loops need
+    /// not pay a full pool dispatch per step. Returns the serial flag
+    /// (exactly one participant, in exactly one team, sees `true`).
+    pub fn global_barrier(&self) -> bool {
+        self.global.wait()
     }
 }
 
@@ -188,6 +198,7 @@ impl WorkerPool {
         let barriers: Vec<Arc<SenseBarrier>> = (0..spec.team_count())
             .map(|t| Arc::new(SenseBarrier::new(spec.members(t).len())))
             .collect();
+        let global = Arc::new(SenseBarrier::new(spec.worker_count()));
         self.broadcast(|wctx| {
             if let Some((team, rank)) = spec.placement(wctx.worker) {
                 f(TeamCtx {
@@ -196,6 +207,7 @@ impl WorkerPool {
                     rank,
                     size: spec.members(team).len(),
                     barrier: Arc::clone(&barriers[team]),
+                    global: Arc::clone(&global),
                 });
             }
         });
@@ -275,6 +287,33 @@ mod tests {
             }
         });
         assert_eq!(serials.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn global_barrier_spans_all_teams() {
+        // Two teams of two run a "step loop": every participant bumps a
+        // counter, then crosses the global barrier; afterwards each must
+        // observe all four increments of that step — a per-team barrier
+        // could not provide that edge.
+        let pool = WorkerPool::new(4);
+        let spec = TeamSpec::even(4, 2);
+        let counter = AtomicUsize::new(0);
+        let serials = AtomicUsize::new(0);
+        let steps = 50;
+        pool.run_teams(&spec, |ctx| {
+            for s in 0..steps {
+                counter.fetch_add(1, Ordering::SeqCst);
+                if ctx.global_barrier() {
+                    serials.fetch_add(1, Ordering::SeqCst);
+                }
+                let c = counter.load(Ordering::SeqCst);
+                assert!(c >= 4 * (s + 1), "step {s}: saw {c}");
+                ctx.global_barrier();
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4 * steps);
+        // Exactly one serial participant per step, across all teams.
+        assert_eq!(serials.load(Ordering::SeqCst), steps);
     }
 
     #[test]
