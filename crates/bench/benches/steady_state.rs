@@ -12,14 +12,36 @@
 //!   reported per step: the marginal cost of steps 2..N, where the plan
 //!   is replayed from cache with zero heap allocations.
 //!
+//! After the timed samples of each `*_steady/P` row, one extra
+//! *untimed* batch runs under the `islands-trace` recorder to attach a
+//! kernel / barrier / swap phase breakdown to the row (tracing never
+//! overlaps a timed sample, so the medians stay clean). `bench-check
+//! --phases` validates those fields and gates on the steady/first
+//! ratio.
+//!
 //! `--quick` shrinks the domain and drops the oversubscribed P = 14
 //! point for CI smoke runs; `--json <path>` writes the artifact that
 //! `bench-check` validates (steady must beat first).
 
-use islands_bench::microbench::Harness;
+use islands_bench::microbench::{Harness, Phases};
 use mpdata::{gaussian_pulse, FusedExecutor, IslandsExecutor, MpdataFields};
 use stencil_engine::{Axis, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
+
+/// Replays `steps` steps of `run` under the trace recorder and folds
+/// the per-island totals into worker-summed nanoseconds per step.
+fn traced_phases(steps: u64, run: impl FnOnce()) -> Phases {
+    let session = islands_trace::Session::start();
+    run();
+    let drained = session.finish();
+    let totals = islands_trace::metrics::RunMetrics::aggregate(&drained).totals();
+    let per_step = |ns: u64| ns as f64 / steps as f64;
+    Phases {
+        kernel_ns: per_step(totals.iter().map(|m| m.kernel_ns).sum()),
+        barrier_ns: per_step(totals.iter().map(|m| m.barrier_wait_ns()).sum()),
+        swap_ns: per_step(totals.iter().map(|m| m.swap_ns).sum()),
+    }
+}
 
 /// Small enough to split every island into several wavefront blocks on
 /// both bench domains.
@@ -52,9 +74,16 @@ fn main() {
         let warmed = IslandsExecutor::new(&pool, spec.clone(), Axis::I).cache_bytes(CACHE_BYTES);
         let mut f = fields.clone();
         warmed.run(&mut f, 1).unwrap(); // build the plan outside the timing
-        g.bench_per_unit(&format!("islands_steady/{p}"), STEADY_STEPS, || {
+        let steady = format!("islands_steady/{p}");
+        g.bench_per_unit(&steady, STEADY_STEPS, || {
             warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
         });
+        if g.benched(&steady) {
+            let phases = traced_phases(STEADY_STEPS, || {
+                warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+            });
+            g.attach_phases(&steady, phases);
+        }
 
         let mut f = fields.clone();
         g.bench_param("fused_first", p, || {
@@ -64,9 +93,16 @@ fn main() {
         let warmed = FusedExecutor::new(&pool).cache_bytes(CACHE_BYTES);
         let mut f = fields.clone();
         warmed.run(&mut f, 1).unwrap();
-        g.bench_per_unit(&format!("fused_steady/{p}"), STEADY_STEPS, || {
+        let steady = format!("fused_steady/{p}");
+        g.bench_per_unit(&steady, STEADY_STEPS, || {
             warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
         });
+        if g.benched(&steady) {
+            let phases = traced_phases(STEADY_STEPS, || {
+                warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+            });
+            g.attach_phases(&steady, phases);
+        }
     }
     g.finish();
     h.finish();

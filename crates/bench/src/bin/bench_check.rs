@@ -1,14 +1,24 @@
-//! `bench-check` — validates a microbench `--json` artifact in CI.
+//! `bench-check` — validates benchmark and trace artifacts in CI.
 //!
-//! Usage: `bench-check <path>`. Exits non-zero when
+//! Usage: `bench-check [<bench.json>] [--phases] [--max-steady-ratio R]
+//! [--chrome <trace.json>]`. Exits non-zero when
 //!
-//! * the file is not well-formed JSON or not an array of complete
+//! * the bench file is not well-formed JSON or not an array of complete
 //!   `{group, label, min_ns, median_ns, max_ns, iters}` records with
 //!   `min ≤ median ≤ max` and positive `iters`, or
 //! * any `steady_state` group pairs a `*_first/P` label with its
 //!   `*_steady/P` partner where the steady median fails to beat the
 //!   first-step median — the whole point of the persistent-plan layer
-//!   is that replaying a cached plan is cheaper than building one.
+//!   is that replaying a cached plan is cheaper than building one, or
+//! * `--phases` is given and a `*_steady/P` row lacks the
+//!   `kernel_ns` / `barrier_ns` / `swap_ns` phase breakdown (or its
+//!   kernel time is not positive), or
+//! * the steady/first median ratio of any pair exceeds
+//!   `--max-steady-ratio R` (`--phases` alone implies the default cap
+//!   0.95 — committed artifacts sit at ≤ 0.83, so a cap breach flags a
+//!   regression of the replay path, not noise), or
+//! * `--chrome <trace.json>` names a file the in-repo Chrome
+//!   trace-event validator rejects.
 
 use islands_bench::json::{self, Json};
 
@@ -16,35 +26,104 @@ fn main() {
     std::process::exit(run());
 }
 
-fn run() -> i32 {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: bench-check <bench.json>");
-        return 2;
+struct Opts {
+    bench_path: Option<String>,
+    chrome_path: Option<String>,
+    phases: bool,
+    max_steady_ratio: Option<f64>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        bench_path: None,
+        chrome_path: None,
+        phases: false,
+        max_steady_ratio: None,
     };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("bench-check: cannot read {path}: {e}");
-            return 1;
-        }
-    };
-    let doc = match json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("bench-check: {path}: {e}");
-            return 1;
-        }
-    };
-    match check(&doc) {
-        Ok(summary) => {
-            println!("bench-check: {path}: {summary}");
-            0
-        }
-        Err(e) => {
-            eprintln!("bench-check: {path}: {e}");
-            1
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--phases" => o.phases = true,
+            "--max-steady-ratio" => {
+                let v = args.next().ok_or("--max-steady-ratio needs a value")?;
+                let r: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-steady-ratio {v:?}: {e}"))?;
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(format!("--max-steady-ratio must be positive, got {v}"));
+                }
+                o.max_steady_ratio = Some(r);
+            }
+            "--chrome" => o.chrome_path = Some(args.next().ok_or("--chrome needs a path")?),
+            other if !other.starts_with('-') && o.bench_path.is_none() => {
+                o.bench_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    if o.phases && o.max_steady_ratio.is_none() {
+        o.max_steady_ratio = Some(0.95);
+    }
+    if o.bench_path.is_none() && o.chrome_path.is_none() {
+        return Err("usage: bench-check [<bench.json>] [--phases] \
+                    [--max-steady-ratio R] [--chrome <trace.json>]"
+            .into());
+    }
+    Ok(o)
+}
+
+fn run() -> i32 {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench-check: {e}");
+            return 2;
+        }
+    };
+    if let Some(path) = &o.bench_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-check: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        let doc = match json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("bench-check: {path}: {e}");
+                return 1;
+            }
+        };
+        match check(&doc, &o) {
+            Ok(summary) => println!("bench-check: {path}: {summary}"),
+            Err(e) => {
+                eprintln!("bench-check: {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(path) = &o.chrome_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-check: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        match islands_trace::chrome::validate(&text) {
+            Ok(s) => println!(
+                "bench-check: {path}: {} complete event(s) across {} process(es) valid",
+                s.complete_events,
+                s.pids.len()
+            ),
+            Err(e) => {
+                eprintln!("bench-check: {path}: invalid Chrome trace: {e}");
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 /// One validated record (only the fields the checks need).
@@ -52,6 +131,7 @@ struct Rec {
     group: String,
     label: String,
     median_ns: f64,
+    phases: Option<(f64, f64, f64)>,
 }
 
 fn field_f64(obj: &Json, key: &str, n: usize) -> Result<f64, String> {
@@ -60,7 +140,7 @@ fn field_f64(obj: &Json, key: &str, n: usize) -> Result<f64, String> {
         .ok_or_else(|| format!("record {n}: missing numeric `{key}`"))
 }
 
-fn check(doc: &Json) -> Result<String, String> {
+fn check(doc: &Json, o: &Opts) -> Result<String, String> {
     let arr = doc
         .as_array()
         .ok_or("top-level value must be an array of records")?;
@@ -92,38 +172,81 @@ fn check(doc: &Json) -> Result<String, String> {
                 "record {n} ({group}/{label}): `iters` must be a positive integer, got {iters}"
             ));
         }
+        let phases = match item.get("kernel_ns") {
+            Some(_) => Some((
+                field_f64(item, "kernel_ns", n)?,
+                field_f64(item, "barrier_ns", n)?,
+                field_f64(item, "swap_ns", n)?,
+            )),
+            None => None,
+        };
         recs.push(Rec {
             group: group.to_string(),
             label: label.to_string(),
             median_ns: median,
+            phases,
         });
     }
 
     // Steady-state pairing: every `X_first/P` must have an `X_steady/P`
-    // partner that is strictly faster.
+    // partner that is strictly faster (and under the ratio cap, when
+    // one is set).
     let mut pairs = 0;
     for first in recs.iter().filter(|r| r.group == "steady_state") {
         let Some(rest) = first.label.strip_prefix("islands_first/") else {
             continue;
         };
-        pairs += check_pair(&recs, first, &format!("islands_steady/{rest}"))?;
+        pairs += check_pair(&recs, first, &format!("islands_steady/{rest}"), o)?;
     }
     for first in recs.iter().filter(|r| r.group == "steady_state") {
         let Some(rest) = first.label.strip_prefix("fused_first/") else {
             continue;
         };
-        pairs += check_pair(&recs, first, &format!("fused_steady/{rest}"))?;
+        pairs += check_pair(&recs, first, &format!("fused_steady/{rest}"), o)?;
     }
     if recs.iter().any(|r| r.group == "steady_state") && pairs == 0 {
         return Err("steady_state group present but no first/steady pairs found".into());
     }
+
+    // Phase coverage: with --phases, every steady row must carry the
+    // breakdown and must have spent time in kernels.
+    let mut with_phases = 0;
+    if o.phases {
+        for r in recs
+            .iter()
+            .filter(|r| r.group == "steady_state" && r.label.contains("_steady/"))
+        {
+            let Some((kernel, barrier, swap)) = r.phases else {
+                return Err(format!(
+                    "`{}`: --phases requires kernel_ns/barrier_ns/swap_ns on steady rows",
+                    r.label
+                ));
+            };
+            if !(kernel > 0.0 && barrier >= 0.0 && swap >= 0.0) {
+                return Err(format!(
+                    "`{}`: implausible phase breakdown kernel {kernel} / \
+                     barrier {barrier} / swap {swap}",
+                    r.label
+                ));
+            }
+            with_phases += 1;
+        }
+        if with_phases == 0 {
+            return Err("--phases: no steady rows with a phase breakdown".into());
+        }
+    }
+    let phase_note = if o.phases {
+        format!(", {with_phases} phase breakdown(s) present")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{} record(s) well-formed, {pairs} steady/first pair(s) ordered",
+        "{} record(s) well-formed, {pairs} steady/first pair(s) ordered{phase_note}",
         recs.len()
     ))
 }
 
-fn check_pair(recs: &[Rec], first: &Rec, steady_label: &str) -> Result<usize, String> {
+fn check_pair(recs: &[Rec], first: &Rec, steady_label: &str, o: &Opts) -> Result<usize, String> {
     let steady = recs
         .iter()
         .find(|r| r.group == "steady_state" && r.label == steady_label)
@@ -134,6 +257,16 @@ fn check_pair(recs: &[Rec], first: &Rec, steady_label: &str) -> Result<usize, St
              vs `{}` median {} ns",
             steady_label, steady.median_ns, first.label, first.median_ns
         ));
+    }
+    if let Some(cap) = o.max_steady_ratio {
+        let ratio = steady.median_ns / first.median_ns;
+        if ratio > cap {
+            return Err(format!(
+                "steady/first ratio regressed: `{steady_label}` / `{}` = {ratio:.3} \
+                 exceeds the cap {cap} — plan replay is no longer pulling its weight",
+                first.label
+            ));
+        }
     }
     Ok(1)
 }

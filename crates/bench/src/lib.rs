@@ -12,7 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+pub use islands_trace::json;
+
 pub mod microbench;
 
 use islands_core::{

@@ -21,11 +21,29 @@
 //! * `--json <path>` — besides the human-readable report, write every
 //!   result as a JSON array of `{group, label, min_ns, median_ns,
 //!   max_ns, iters}` objects to `path` (the `bench-check` binary
-//!   validates such artifacts in CI);
+//!   validates such artifacts in CI). Rows with a phase breakdown
+//!   attached via [`Group::attach_phases`] additionally carry
+//!   `kernel_ns` / `barrier_ns` / `swap_ns`;
 //! * `--quick` — benches that call [`Harness::quick`] shrink their
 //!   configurations for smoke runs.
 
+use crate::json::Json;
 use std::time::{Duration, Instant};
+
+/// Phase breakdown of one benchmark iteration, measured by an untimed
+/// traced replay of the benched operation (see
+/// [`Group::attach_phases`]). All values are worker-summed nanoseconds
+/// per iteration — on a P-worker run an iteration can account up to
+/// P × its wall time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Phases {
+    /// Kernel (stencil sweep) time.
+    pub kernel_ns: f64,
+    /// Barrier wait (team + global, all of spin/yield/park).
+    pub barrier_ns: f64,
+    /// Serial buffer-swap and gap re-zero time.
+    pub swap_ns: f64,
+}
 
 /// One finished measurement, as serialized by `--json`.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +60,9 @@ pub struct Record {
     pub max_ns: f64,
     /// Total timed iterations (samples × calibrated batch).
     pub iters: u64,
+    /// Optional phase breakdown (kernel / barrier / swap), attached
+    /// after the timed samples by [`Group::attach_phases`].
+    pub phases: Option<Phases>,
 }
 
 /// Minimum duration of one timed sample, before the `criterion`
@@ -133,43 +154,41 @@ impl Harness {
     }
 }
 
-/// Renders records as a JSON array (stable key order, one object per
-/// line) — the exact format `bench-check` parses back.
+/// Renders records as a JSON array (stable key order) — the exact
+/// format `bench-check` parses back. Rows with an attached phase
+/// breakdown carry three extra members `kernel_ns` / `barrier_ns` /
+/// `swap_ns`. Goes through [`crate::json`]'s emitter, so a NaN or
+/// infinity in a record is an error here rather than an invalid
+/// artifact downstream.
+///
+/// # Panics
+///
+/// Panics when any record holds a non-finite number.
 pub fn render_json(records: &[Record]) -> String {
-    let mut s = String::from("[\n");
-    for (n, r) in records.iter().enumerate() {
-        s.push_str(&format!(
-            "  {{\"group\": {}, \"label\": {}, \"min_ns\": {:.1}, \
-             \"median_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}}}{}\n",
-            json_string(&r.group),
-            json_string(&r.label),
-            r.min_ns,
-            r.median_ns,
-            r.max_ns,
-            r.iters,
-            if n + 1 < records.len() { "," } else { "" },
-        ));
-    }
-    s.push_str("]\n");
+    let items: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            let mut m = vec![
+                ("group".to_string(), Json::Str(r.group.clone())),
+                ("label".to_string(), Json::Str(r.label.clone())),
+                ("min_ns".to_string(), Json::Num(r.min_ns)),
+                ("median_ns".to_string(), Json::Num(r.median_ns)),
+                ("max_ns".to_string(), Json::Num(r.max_ns)),
+                ("iters".to_string(), Json::Num(r.iters as f64)),
+            ];
+            if let Some(p) = r.phases {
+                m.push(("kernel_ns".to_string(), Json::Num(p.kernel_ns)));
+                m.push(("barrier_ns".to_string(), Json::Num(p.barrier_ns)));
+                m.push(("swap_ns".to_string(), Json::Num(p.swap_ns)));
+            }
+            Json::Object(m)
+        })
+        .collect();
+    let mut s = Json::Array(items)
+        .render()
+        .unwrap_or_else(|e| panic!("bench record holds a non-finite number: {e}"));
+    s.push('\n');
     s
-}
-
-fn json_string(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len() + 2);
-    out.push('"');
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// A named group of benchmarks sharing a sample count.
@@ -262,8 +281,36 @@ impl Group<'_> {
             median_ns: median,
             max_ns: max,
             iters: samples as u64 * batch * units,
+            phases: None,
         });
         self.harness.ran += 1;
+    }
+
+    /// True when `label` in this group survived the filter and was
+    /// benched — callers can skip the extra traced replay otherwise.
+    pub fn benched(&self, label: &str) -> bool {
+        let name = self.name.as_str();
+        self.harness
+            .records
+            .iter()
+            .any(|r| r.group == name && r.label == label)
+    }
+
+    /// Attaches a phase breakdown to the already-benched `label` of
+    /// this group (measured separately, e.g. by replaying the benched
+    /// operation once under the `islands-trace` recorder — tracing
+    /// never runs during the timed samples). A no-op when the label
+    /// was filtered out or never benched.
+    pub fn attach_phases(&mut self, label: &str, phases: Phases) {
+        let name = self.name.as_str();
+        if let Some(r) = self
+            .harness
+            .records
+            .iter_mut()
+            .find(|r| r.group == name && r.label == label)
+        {
+            r.phases = Some(phases);
+        }
     }
 
     /// Criterion-style alias: benchmark `f` with a parameter shown in
@@ -370,6 +417,7 @@ mod tests {
                 median_ns: 2.5,
                 max_ns: 3.5,
                 iters: 60,
+                phases: None,
             },
             Record {
                 group: "g".into(),
@@ -378,6 +426,11 @@ mod tests {
                 median_ns: 20.0,
                 max_ns: 30.0,
                 iters: 3,
+                phases: Some(Phases {
+                    kernel_ns: 15.5,
+                    barrier_ns: 3.0,
+                    swap_ns: 0.5,
+                }),
             },
         ];
         let s = render_json(&records);
@@ -390,9 +443,63 @@ mod tests {
         );
         assert_eq!(arr[0].get("median_ns").and_then(|v| v.as_f64()), Some(2.5));
         assert_eq!(arr[0].get("iters").and_then(|v| v.as_f64()), Some(60.0));
+        assert!(arr[0].get("kernel_ns").is_none());
         assert_eq!(
             arr[1].get("label").and_then(|v| v.as_str()),
             Some("quo\"te\\back")
         );
+        assert_eq!(arr[1].get("kernel_ns").and_then(|v| v.as_f64()), Some(15.5));
+        assert_eq!(arr[1].get("barrier_ns").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(arr[1].get("swap_ns").and_then(|v| v.as_f64()), Some(0.5));
+    }
+
+    #[test]
+    fn attach_phases_marks_only_the_named_record() {
+        let mut h = test_harness(None);
+        let mut g = h.group("t");
+        g.sample_size(3);
+        g.bench("a", || {});
+        g.bench("b", || {});
+        g.attach_phases(
+            "b",
+            Phases {
+                kernel_ns: 1.0,
+                barrier_ns: 2.0,
+                swap_ns: 3.0,
+            },
+        );
+        g.attach_phases(
+            "absent",
+            Phases {
+                kernel_ns: 9.0,
+                barrier_ns: 9.0,
+                swap_ns: 9.0,
+            },
+        );
+        g.finish();
+        assert_eq!(h.records[0].phases, None);
+        assert_eq!(
+            h.records[1].phases,
+            Some(Phases {
+                kernel_ns: 1.0,
+                barrier_ns: 2.0,
+                swap_ns: 3.0,
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn render_rejects_non_finite_medians() {
+        let records = vec![Record {
+            group: "g".into(),
+            label: "bad".into(),
+            min_ns: 1.0,
+            median_ns: f64::NAN,
+            max_ns: 3.0,
+            iters: 1,
+            phases: None,
+        }];
+        render_json(&records);
     }
 }

@@ -50,7 +50,7 @@ mod partition;
 mod planner;
 
 pub use mapping::{IslandLayout, IslandSpec};
-pub use overlap::{extra_elements, ExtraElements};
+pub use overlap::{extra_elements, per_island_extra, ExtraElements};
 pub use partition::{BuildPartitionError, Partition, Variant};
 pub use planner::{
     estimate, plan_fused, plan_islands, plan_islands_exchange, plan_islands_partitioned,

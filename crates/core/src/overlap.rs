@@ -52,6 +52,36 @@ pub fn extra_elements(graph: &StageGraph, partition: &Partition) -> ExtraElement
     }
 }
 
+/// Extra element updates of each island separately, in partition
+/// order: island `i`'s enlarged schedule minus its share of the
+/// no-redundancy schedule (`Σ_s |part_i ∩ stage-s region over the
+/// domain|`). Sums to [`ExtraElements::extra_updates`] because the
+/// parts partition the domain, and — since the wavefront block
+/// planner's per-stage regions disjointly tile the enlarged schedule —
+/// equals the redundant-cell counts a traced islands run reports per
+/// island (pinned by `crates/analysis/tests/observability.rs`).
+///
+/// # Panics
+///
+/// Panics if the partition's domain is empty.
+pub fn per_island_extra(graph: &StageGraph, partition: &Partition) -> Vec<usize> {
+    let domain = partition.domain();
+    assert!(!domain.is_empty(), "empty domain");
+    let base_regions = graph.required_regions(domain, domain);
+    partition
+        .parts()
+        .iter()
+        .map(|&part| {
+            let enlarged = schedule_updates(graph, part, domain);
+            let share: usize = base_regions
+                .iter()
+                .map(|&r| part.intersect(r).cells())
+                .sum();
+            enlarged - share
+        })
+        .collect()
+}
+
 /// Updates of the enlarged schedule computing `target` within `domain`.
 fn schedule_updates(graph: &StageGraph, target: Region3, domain: Region3) -> usize {
     if target.is_empty() {
@@ -131,6 +161,38 @@ mod tests {
             (per_cut_2 - per_cut_5).abs() / per_cut_2 < 0.05,
             "per-cut extra not constant: {per_cut_2} vs {per_cut_5}"
         );
+    }
+
+    #[test]
+    fn per_island_extra_sums_to_total_extra() {
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(60, 24, 8);
+        for (variant, n) in [
+            (Variant::A, 1),
+            (Variant::A, 3),
+            (Variant::A, 4),
+            (Variant::B, 2),
+        ] {
+            let p = Partition::one_d(d, variant, n).unwrap();
+            let per = per_island_extra(&g, &p);
+            assert_eq!(per.len(), n);
+            let total = extra_elements(&g, &p).extra_updates();
+            assert_eq!(per.iter().sum::<usize>(), total, "{variant:?} × {n}");
+        }
+        // Single island: nothing is redundant.
+        let p1 = Partition::one_d(d, Variant::A, 1).unwrap();
+        assert_eq!(per_island_extra(&g, &p1), vec![0]);
+    }
+
+    #[test]
+    fn interior_islands_pay_more_than_boundary_islands() {
+        // Interior slabs have two cut faces, boundary slabs one — so
+        // the ends of a 1-D partition recompute less.
+        let (g, _) = mpdata_graph();
+        let d = Region3::of_extent(96, 24, 8);
+        let per = per_island_extra(&g, &Partition::one_d(d, Variant::A, 4).unwrap());
+        assert!(per[1] > per[0], "{per:?}");
+        assert!(per[2] > per[3], "{per:?}");
     }
 
     #[test]

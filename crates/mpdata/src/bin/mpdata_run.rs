@@ -4,6 +4,7 @@
 //! mpdata-run [--domain NI,NJ,NK] [--steps N] [--strategy reference|original|fused|islands|exchange]
 //!            [--workers W] [--islands P] [--iord N] [--boundary open|periodic]
 //!            [--problem gaussian|cone|random] [--cache BYTES] [--verify]
+//!            [--trace OUT.json] [--metrics]
 //! ```
 //!
 //! Example: advect a rotating cone for 50 steps on 2 islands × 2 cores
@@ -13,6 +14,13 @@
 //! cargo run --release -p mpdata --bin mpdata-run -- \
 //!     --problem cone --steps 50 --strategy islands --workers 4 --islands 2 --verify
 //! ```
+//!
+//! `--trace out.json` records the timed run with the `islands-trace`
+//! recorder and writes a Chrome trace-event file (open in
+//! `chrome://tracing` or Perfetto); `--metrics` prints the per-island
+//! phase breakdown (kernel / barrier / swap time, redundant cells).
+//! Both only affect the timed run — the `--verify` reference pass is
+//! never traced.
 
 use mpdata::{
     gaussian_pulse, random_fields, rotating_cone, Boundary, FusedExecutor, IslandsExecutor,
@@ -36,6 +44,8 @@ struct Args {
     problem: String,
     cache: usize,
     verify: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 impl Default for Args {
@@ -51,6 +61,8 @@ impl Default for Args {
             problem: "gaussian".into(),
             cache: 1 << 20,
             verify: false,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -90,11 +102,14 @@ fn parse_args() -> Result<Args, String> {
             "--problem" => a.problem = val()?,
             "--cache" => a.cache = val()?.parse().map_err(|e| format!("bad --cache: {e}"))?,
             "--verify" => a.verify = true,
+            "--trace" => a.trace = Some(val()?),
+            "--metrics" => a.metrics = true,
             "--help" | "-h" => {
                 println!(
                     "mpdata-run --domain NI,NJ,NK --steps N --strategy reference|original|fused|islands|exchange\n\
                      \x20          --workers W --islands P --iord N --boundary open|periodic\n\
-                     \x20          --problem gaussian|cone|random --cache BYTES --verify"
+                     \x20          --problem gaussian|cone|random --cache BYTES --verify\n\
+                     \x20          --trace OUT.json --metrics"
                 );
                 std::process::exit(0);
             }
@@ -157,6 +172,14 @@ fn main() -> ExitCode {
     });
 
     let pool = WorkerPool::new(a.workers);
+    let tracing = a.trace.is_some() || a.metrics;
+    let session = tracing.then(|| {
+        // Room for every event of the run: ~2 spans per (step, stage,
+        // block) per worker, with generous slack so long runs do not
+        // wrap the rings.
+        islands_trace::set_ring_capacity((a.steps * 512).clamp(1 << 16, 1 << 21));
+        islands_trace::Session::start()
+    });
     let t0 = Instant::now();
     let run = match a.strategy.as_str() {
         "reference" => {
@@ -197,6 +220,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let elapsed = t0.elapsed();
+    let drained = session.map(islands_trace::Session::finish);
 
     println!(
         "strategy={} domain={}x{}x{} steps={} workers={} islands={} iord={} boundary={:?}",
@@ -227,6 +251,33 @@ fn main() -> ExitCode {
         if diff != 0.0 {
             eprintln!("error: strategy diverged from the reference");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(drained) = drained {
+        if a.metrics {
+            let metrics = islands_trace::metrics::RunMetrics::aggregate(&drained);
+            print!("{}", metrics.render());
+        }
+        if let Some(path) = &a.trace {
+            let graph = problem().graph().clone();
+            let names: Vec<&str> = graph.stages().iter().map(|st| st.name.as_str()).collect();
+            let text = islands_trace::chrome::export(&drained, &names);
+            // Self-check the artifact with the in-repo validator before
+            // writing it, so a broken trace fails loudly here rather
+            // than in a viewer.
+            if let Err(e) = islands_trace::chrome::validate(&text) {
+                eprintln!("error: generated trace failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "trace        : {} events ({} dropped) -> {path}",
+                drained.events.len(),
+                drained.dropped
+            );
         }
     }
     ExitCode::SUCCESS

@@ -77,6 +77,12 @@ impl<'p> ExchangeExecutor<'p> {
     /// Panics for periodic problems (wrap-around halo exchange is not
     /// implemented) and propagates worker panics.
     pub fn step(&self, fields: &MpdataFields) -> Array3 {
+        self.step_traced(fields, 0)
+    }
+
+    /// [`ExchangeExecutor::step`] with an explicit step index for trace
+    /// tagging (used by [`ExchangeExecutor::run`]).
+    fn step_traced(&self, fields: &MpdataFields, step_no: u32) -> Array3 {
         assert_eq!(
             self.problem.boundary(),
             crate::kernels::Boundary::Open,
@@ -138,7 +144,7 @@ impl<'p> ExchangeExecutor<'p> {
         // barrier), then exchange, join again. The joins between
         // broadcasts provide the machine-wide synchronization scenario 1
         // requires.
-        for st in graph.stages() {
+        for (s, st) in graph.stages().iter().enumerate() {
             let kind = self.problem.kind(st.id);
             // B1: every island computes exactly its own cells.
             self.pool.run_teams(&self.teams, |ctx| {
@@ -146,7 +152,14 @@ impl<'p> ExchangeExecutor<'p> {
                 if part.is_empty() {
                     return;
                 }
+                islands_trace::set_island_rank(ctx.team as u32, ctx.rank as u32);
+                islands_trace::set_step(step_no);
                 let mine = rank_slice(part, self.split_axis, ctx.rank, ctx.size);
+                let t0 = if mine.is_empty() {
+                    None
+                } else {
+                    islands_trace::now()
+                };
                 if st.outputs == [xout] {
                     if !mine.is_empty() {
                         // SAFETY: disjoint regions across all writers.
@@ -163,6 +176,17 @@ impl<'p> ExchangeExecutor<'p> {
                         .expect("store");
                     store.apply(st, kind, domain, bc, mine, extf);
                 }
+                if let Some(t0) = t0 {
+                    // Scenario 1 computes no halo cells: redundant = 0.
+                    islands_trace::record(
+                        islands_trace::SpanKind::Kernel,
+                        t0,
+                        islands_trace::now_ns(),
+                        s.min(usize::from(u16::MAX)) as u16,
+                        0,
+                        [mine.cells() as u64, 0, 0],
+                    );
+                }
             });
             if st.outputs == [xout] {
                 continue; // the final output needs no halo exchange
@@ -175,6 +199,9 @@ impl<'p> ExchangeExecutor<'p> {
                 if ctx.rank != 0 || parts[ctx.team].is_empty() {
                     return;
                 }
+                islands_trace::set_island_rank(ctx.team as u32, ctx.rank as u32);
+                islands_trace::set_step(step_no);
+                let t0 = islands_trace::now();
                 let my_scratch = scratch_regions[ctx.team];
                 let mut pieces: Vec<(stencil_engine::FieldId, Array3)> = Vec::new();
                 for (other, &other_part) in parts.iter().enumerate() {
@@ -194,6 +221,16 @@ impl<'p> ExchangeExecutor<'p> {
                 }
                 // SAFETY: each island writes only its own staging slot.
                 *unsafe { staging[ctx.team].get_mut() } = pieces;
+                if let Some(t0) = t0 {
+                    islands_trace::record(
+                        islands_trace::SpanKind::Exchange,
+                        t0,
+                        islands_trace::now_ns(),
+                        s.min(usize::from(u16::MAX)) as u16,
+                        0,
+                        [0; 3],
+                    );
+                }
             });
             // B2b: every island writes its staged planes into its own
             // margins (exclusive access to its own store).
@@ -201,6 +238,9 @@ impl<'p> ExchangeExecutor<'p> {
                 if ctx.rank != 0 || parts[ctx.team].is_empty() {
                     return;
                 }
+                islands_trace::set_island_rank(ctx.team as u32, ctx.rank as u32);
+                islands_trace::set_step(step_no);
+                let t0 = islands_trace::now();
                 // SAFETY: own-slot access, fenced by the joins around
                 // this phase.
                 let pieces = std::mem::take(unsafe { staging[ctx.team].get_mut() });
@@ -210,6 +250,16 @@ impl<'p> ExchangeExecutor<'p> {
                 for (f, piece) in &pieces {
                     store.blit(*f, piece);
                 }
+                if let Some(t0) = t0 {
+                    islands_trace::record(
+                        islands_trace::SpanKind::Exchange,
+                        t0,
+                        islands_trace::now_ns(),
+                        s.min(usize::from(u16::MAX)) as u16,
+                        0,
+                        [0; 3],
+                    );
+                }
             });
         }
         out.into_inner()
@@ -217,8 +267,8 @@ impl<'p> ExchangeExecutor<'p> {
 
     /// Advances `fields.x` by `steps` time steps.
     pub fn run(&self, fields: &mut MpdataFields, steps: usize) {
-        for _ in 0..steps {
-            fields.x = self.step(fields);
+        for step in 0..steps {
+            fields.x = self.step_traced(fields, step as u32);
         }
     }
 }

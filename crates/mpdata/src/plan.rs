@@ -113,8 +113,15 @@ struct EpochPlan {
     kind: StageKind,
     /// Final stage: written straight into the shared output buffer.
     is_final: bool,
+    /// Block index within the island's wavefront blocking (trace tag).
+    block: u16,
     /// Slice per rank (empty regions for idle ranks).
     per_rank: Vec<Region3>,
+    /// Per rank: cells of the slice lying outside `part ∩
+    /// region_s(domain)` — the redundant halo recomputation this
+    /// epoch performs, precomputed so traced kernels can report it
+    /// without any plan-time math on the hot path.
+    per_rank_extra: Vec<u64>,
 }
 
 /// One team's replay schedule.
@@ -234,6 +241,10 @@ impl StepPlan {
         let parts = key.partition.parts(domain, spec.team_count());
         let graph = problem.graph();
         let xout = problem.xout();
+        // Per-stage regions a zero-overlap schedule would compute —
+        // the baseline against which each epoch's redundant halo
+        // recomputation is measured (indexed by `StageId::index`).
+        let base_regions = graph.required_regions(domain, domain);
         let mut teams = Vec::with_capacity(parts.len());
         let mut stores = Vec::with_capacity(parts.len());
         let mut out_gaps = vec![domain];
@@ -255,20 +266,28 @@ impl StepPlan {
                         }
                     }
                 }
-                for block in &blocking.blocks {
+                for (b, block) in blocking.blocks.iter().enumerate() {
                     for (s, st) in graph.stages().iter().enumerate() {
                         let region = block.stage_regions[st.id.index()];
                         let is_final = st.outputs == [xout];
                         if is_final {
                             out_gaps = subtract_all(out_gaps, region);
                         }
+                        let per_rank: Vec<Region3> = (0..size)
+                            .map(|r| rank_slice(region, key.split_axis, r, size))
+                            .collect();
+                        let needed = part.intersect(base_regions[st.id.index()]);
+                        let per_rank_extra = per_rank
+                            .iter()
+                            .map(|&mine| (mine.cells() - mine.intersect(needed).cells()) as u64)
+                            .collect();
                         epochs.push(EpochPlan {
                             stage: s,
                             kind: problem.kind(st.id),
                             is_final,
-                            per_rank: (0..size)
-                                .map(|r| rank_slice(region, key.split_axis, r, size))
-                                .collect(),
+                            block: b.min(usize::from(u16::MAX)) as u16,
+                            per_rank,
+                            per_rank_extra,
                         });
                     }
                 }
@@ -290,7 +309,9 @@ impl StepPlan {
     /// Replays one time step for the calling worker's team: per-step
     /// scratch refill (rank 0, only when the coverage analysis demands
     /// it), then every `(block, stage)` epoch fenced by the team
-    /// barrier. Allocation-free in release builds.
+    /// barrier. Allocation-free in release builds — including with
+    /// tracing compiled in but disabled, where every instrumentation
+    /// site below reduces to one relaxed load and a branch.
     fn replay(
         &self,
         ctx: &TeamCtx,
@@ -298,13 +319,27 @@ impl StepPlan {
         domain: Region3,
         bc: Boundary,
         graph: &StageGraph,
+        step: u32,
     ) {
+        islands_trace::set_island_rank(ctx.team as u32, ctx.rank as u32);
+        islands_trace::set_step(step);
         let team = &self.teams[ctx.team];
         let store = &self.stores[ctx.team];
         if !team.must_zero.is_empty() {
             if ctx.rank == 0 {
+                let t0 = islands_trace::now();
                 for &(f, r) in &team.must_zero {
                     store.zero_region(f, r);
+                }
+                if let Some(t0) = t0 {
+                    islands_trace::record(
+                        islands_trace::SpanKind::Refill,
+                        t0,
+                        islands_trace::now_ns(),
+                        0,
+                        0,
+                        [0; 3],
+                    );
                 }
             }
             // Publish the refill to the other ranks.
@@ -313,6 +348,11 @@ impl StepPlan {
         for ep in &team.epochs {
             let st = &graph.stages()[ep.stage];
             let mine = ep.per_rank[ctx.rank];
+            let t0 = if mine.is_empty() {
+                None
+            } else {
+                islands_trace::now()
+            };
             if ep.is_final {
                 // Final stage: write straight into the shared output.
                 // Blocks of different islands are disjoint on output,
@@ -326,6 +366,16 @@ impl StepPlan {
                 }
             } else {
                 store.apply(st, ep.kind, domain, bc, mine, ext);
+            }
+            if let Some(t0) = t0 {
+                islands_trace::record(
+                    islands_trace::SpanKind::Kernel,
+                    t0,
+                    islands_trace::now_ns(),
+                    ep.stage.min(usize::from(u16::MAX)) as u16,
+                    ep.block,
+                    [mine.cells() as u64, ep.per_rank_extra[ctx.rank], 0],
+                );
             }
             // Intra-island synchronization only — this is the whole
             // point of the approach.
@@ -404,7 +454,7 @@ pub(crate) fn plan_step(
     let graph = problem.graph();
     let bc = problem.boundary();
     let plan: &StepPlan = plan;
-    pool.run_teams(spec, |ctx| plan.replay(&ctx, ext, domain, bc, graph));
+    pool.run_teams(spec, |ctx| plan.replay(&ctx, ext, domain, bc, graph, 0));
     // `result` currently holds the plan's persistent buffer; swap the
     // freshly written output out and the persistent buffer back in.
     let plan = slot.as_mut().expect("ensured above");
@@ -451,7 +501,7 @@ pub(crate) fn plan_run(
     let bc = problem.boundary();
     let plan: &StepPlan = plan;
     pool.run_teams(spec, |ctx| {
-        for _ in 0..steps {
+        for step in 0..steps {
             {
                 let _xr = plan.cur.track_read();
                 let ext = ExtFields {
@@ -464,10 +514,11 @@ pub(crate) fn plan_run(
                     u3,
                     h,
                 };
-                plan.replay(&ctx, ext, domain, bc, graph);
+                plan.replay(&ctx, ext, domain, bc, graph, step as u32);
             }
             // All teams done writing `out` / reading `cur`.
             if ctx.global_barrier() {
+                let t0 = islands_trace::now();
                 let _wc = plan.cur.track_write();
                 let _wo = plan.out.track_write();
                 // SAFETY: every other worker is parked between the two
@@ -480,6 +531,16 @@ pub(crate) fn plan_run(
                 let out_arr = unsafe { plan.out.get_mut() };
                 for &g in &plan.out_gaps {
                     zero_region_of(out_arr, g);
+                }
+                if let Some(t0) = t0 {
+                    islands_trace::record(
+                        islands_trace::SpanKind::Swap,
+                        t0,
+                        islands_trace::now_ns(),
+                        0,
+                        0,
+                        [0; 3],
+                    );
                 }
             }
             // Publish the swap before the next step reads `cur`.

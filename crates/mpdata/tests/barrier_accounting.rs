@@ -1,0 +1,88 @@
+//! Barrier-wait accounting under deliberate load imbalance.
+//!
+//! Gives island 0 a sliver of the domain and island 1 the rest: the
+//! idle island must show far more global-barrier wait than the loaded
+//! one, and every barrier span's spin/yield/park phases must sum to
+//! its duration exactly (the recorder timestamps only at phase
+//! boundaries, so the invariant is bit-exact, not approximate).
+
+use islands_trace::SpanKind;
+use mpdata::{gaussian_pulse, IslandsExecutor, MpdataProblem};
+use stencil_engine::{Axis, Range1, Region3};
+use work_scheduler::{TeamSpec, WorkerPool};
+
+#[test]
+fn imbalanced_partition_charges_wait_to_the_idle_island() {
+    let d = Region3::of_extent(60, 16, 8);
+    // Island 0 updates 4 of 60 planes; island 1 carries the rest.
+    let cut = 4;
+    let j = Range1::new(0, 16);
+    let k = Range1::new(0, 8);
+    let parts = vec![
+        Region3::new(Range1::new(0, cut), j, k),
+        Region3::new(Range1::new(cut, 60), j, k),
+    ];
+    let pool = WorkerPool::new(4);
+    let exec = IslandsExecutor::with_problem(
+        &pool,
+        TeamSpec::even(4, 2),
+        Axis::I,
+        MpdataProblem::with_iord(2),
+    )
+    .with_partition(parts);
+    let mut fields = gaussian_pulse(d, (0.3, 0.0, 0.0));
+
+    let session = islands_trace::Session::start();
+    exec.run(&mut fields, 3).unwrap();
+    let drained = session.finish();
+    assert_eq!(drained.dropped, 0, "ring buffers wrapped");
+
+    // Exact per-event phase accounting.
+    let mut barrier_events = 0_usize;
+    for t in &drained.events {
+        if matches!(t.ev.kind, SpanKind::TeamBarrier | SpanKind::GlobalBarrier) {
+            barrier_events += 1;
+            assert_eq!(
+                t.ev.aux.iter().sum::<u64>(),
+                t.ev.dur_ns,
+                "spin {} + yield {} + park {} must equal dur {}",
+                t.ev.aux[0],
+                t.ev.aux[1],
+                t.ev.aux[2],
+                t.ev.dur_ns
+            );
+        }
+    }
+    assert!(barrier_events > 0, "no barrier spans recorded");
+
+    let totals = islands_trace::metrics::RunMetrics::aggregate(&drained).totals();
+    let islands: Vec<_> = totals
+        .iter()
+        .filter(|m| m.island != islands_trace::NO_ISLAND)
+        .collect();
+    assert_eq!(islands.len(), 2);
+    let (idle, loaded) = (islands[0], islands[1]);
+
+    // The aggregate preserves the invariant: all barrier wait is
+    // attributed to exactly one of spin / yield / park.
+    for m in &islands {
+        assert_eq!(
+            m.spin_ns + m.yield_ns + m.park_ns,
+            m.barrier_wait_ns(),
+            "island {}: phase split diverges from total wait",
+            m.island
+        );
+    }
+
+    // The sliver island finishes each step long before the loaded one
+    // and burns the difference at the global barrier. 2× is a loose
+    // floor — the work ratio is 14:1 — chosen to stay robust on an
+    // oversubscribed single-core CI machine.
+    assert!(
+        idle.global_barrier_ns > 2 * loaded.global_barrier_ns,
+        "idle island waited {} ns, loaded island {} ns",
+        idle.global_barrier_ns,
+        loaded.global_barrier_ns
+    );
+    assert!(idle.kernel_ns < loaded.kernel_ns);
+}

@@ -18,6 +18,7 @@
 //! traffic: the releaser only touches the lock when someone is (or is
 //! about to be) asleep.
 
+use islands_trace::SpanKind;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -26,6 +27,26 @@ const SPIN_ROUNDS: u32 = 256;
 
 /// `yield_now` iterations before a waiter parks on the condvar.
 const YIELD_ROUNDS: u32 = 64;
+
+/// What a barrier synchronizes — tags its wait-time trace events so
+/// the metrics can separate intra-island from once-per-step waits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BarrierScope {
+    /// Synchronizes the ranks of one team (island) between stages.
+    #[default]
+    Team,
+    /// Synchronizes all teams once per time step.
+    Global,
+}
+
+impl BarrierScope {
+    fn span_kind(self) -> SpanKind {
+        match self {
+            BarrierScope::Team => SpanKind::TeamBarrier,
+            BarrierScope::Global => SpanKind::GlobalBarrier,
+        }
+    }
+}
 
 /// A reusable sense-reversing barrier for a fixed set of participants.
 ///
@@ -46,6 +67,7 @@ const YIELD_ROUNDS: u32 = 64;
 #[derive(Debug)]
 pub struct SenseBarrier {
     parties: usize,
+    scope: BarrierScope,
     count: AtomicUsize,
     sense: AtomicBool,
     /// Waiters parked (or committed to parking) on `cv`. Nonzero tells
@@ -56,15 +78,25 @@ pub struct SenseBarrier {
 }
 
 impl SenseBarrier {
-    /// Creates a barrier for `parties` participants.
+    /// Creates a team-scoped barrier for `parties` participants.
     ///
     /// # Panics
     ///
     /// Panics if `parties == 0`.
     pub fn new(parties: usize) -> Self {
+        Self::scoped(parties, BarrierScope::Team)
+    }
+
+    /// Creates a barrier whose wait-time trace events carry `scope`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn scoped(parties: usize, scope: BarrierScope) -> Self {
         assert!(parties > 0, "a barrier needs at least one participant");
         SenseBarrier {
             parties,
+            scope,
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
@@ -78,32 +110,35 @@ impl SenseBarrier {
         self.parties
     }
 
+    /// The scope this barrier's trace events are tagged with.
+    pub fn scope(&self) -> BarrierScope {
+        self.scope
+    }
+
     /// Blocks until all `parties` threads have called `wait` for the
     /// current episode. Returns `true` for exactly one participant (the
     /// last to arrive), mirroring `std::sync::Barrier`'s leader flag.
     ///
     /// Waiters spin briefly, then yield, then park (see the module
-    /// docs); none of the phases allocates.
+    /// docs); none of the phases allocates. When a trace session is
+    /// recording, each wait emits one span whose `aux` splits the wait
+    /// into exact spin/yield/park nanoseconds; with tracing off the
+    /// only extra cost is one relaxed load and a branch.
     pub fn wait(&self) -> bool {
+        if islands_trace::is_enabled() {
+            self.wait_traced()
+        } else {
+            self.wait_plain()
+        }
+    }
+
+    /// The untraced wait: this is the exact pre-instrumentation code
+    /// path, kept clock-free so the disabled mode measures nothing.
+    fn wait_plain(&self) -> bool {
         let my_sense = !self.sense.load(Ordering::SeqCst);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
-            // Last arrival: reset the counter and flip the sense, which
-            // releases everyone waiting below.
-            self.count.store(0, Ordering::Release);
-            self.sense.store(my_sense, Ordering::SeqCst);
-            // SC total order makes the sleepers check sound: a waiter
-            // increments `sleepers` *before* re-reading `sense`. If we
-            // read 0 here, that increment is ordered after this load, so
-            // the waiter's subsequent sense read is ordered after our
-            // store above and it never parks. If we read nonzero, we
-            // acquire the lock — serializing with the waiter, who either
-            // sees the flipped sense under the lock or is already inside
-            // `cv.wait` — and the notify cannot be lost.
-            if self.sleepers.load(Ordering::SeqCst) > 0 {
-                let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-                self.cv.notify_all();
-            }
+            self.release(my_sense);
             true
         } else {
             for _ in 0..SPIN_ROUNDS {
@@ -118,14 +153,85 @@ impl SenseBarrier {
                 }
                 std::thread::yield_now();
             }
-            let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-            self.sleepers.fetch_add(1, Ordering::SeqCst);
-            while self.sense.load(Ordering::SeqCst) != my_sense {
-                g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
-            }
-            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            self.park(my_sense);
             false
         }
+    }
+
+    /// The traced wait: identical protocol, with timestamps taken at
+    /// the phase boundaries so `spin + yield + park` equals the span
+    /// duration *exactly* (each phase ends where the next begins).
+    fn wait_traced(&self) -> bool {
+        let kind = self.scope.span_kind();
+        let t0 = islands_trace::now_ns();
+        let my_sense = !self.sense.load(Ordering::SeqCst);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            self.release(my_sense);
+            // The serial participant never waits: a zero-length marker
+            // keeps the episode visible without skewing wait totals.
+            islands_trace::record(kind, t0, t0, 0, 0, [0; 3]);
+            true
+        } else {
+            let mut released = false;
+            for _ in 0..SPIN_ROUNDS {
+                if self.sense.load(Ordering::SeqCst) == my_sense {
+                    released = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            let t1 = islands_trace::now_ns();
+            let mut t2 = t1;
+            if !released {
+                for _ in 0..YIELD_ROUNDS {
+                    if self.sense.load(Ordering::SeqCst) == my_sense {
+                        released = true;
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                t2 = islands_trace::now_ns();
+            }
+            let t3 = if released {
+                t2
+            } else {
+                self.park(my_sense);
+                islands_trace::now_ns()
+            };
+            islands_trace::record(kind, t0, t3, 0, 0, [t1 - t0, t2 - t1, t3 - t2]);
+            false
+        }
+    }
+
+    /// Last-arrival release: reset the counter and flip the sense,
+    /// which releases everyone waiting.
+    fn release(&self, my_sense: bool) {
+        self.count.store(0, Ordering::Release);
+        self.sense.store(my_sense, Ordering::SeqCst);
+        // SC total order makes the sleepers check sound: a waiter
+        // increments `sleepers` *before* re-reading `sense`. If we
+        // read 0 here, that increment is ordered after this load, so
+        // the waiter's subsequent sense read is ordered after our
+        // store above and it never parks. If we read nonzero, we
+        // acquire the lock — serializing with the waiter, who either
+        // sees the flipped sense under the lock or is already inside
+        // `cv.wait` — and the notify cannot be lost.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Condvar park for a waiter that exhausted its spin and yield
+    /// budgets.
+    fn park(&self, my_sense: bool) {
+        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while self.sense.load(Ordering::SeqCst) != my_sense {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -248,5 +354,58 @@ mod tests {
     #[should_panic]
     fn zero_parties_panics() {
         let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn traced_wait_phases_sum_exactly_and_park_dominates() {
+        // One straggler forces the waiter through spin -> yield -> park;
+        // the recorded span must split the wait into phases that sum to
+        // the duration *exactly*, with park dominating a 40 ms wait.
+        // Events are tagged island 77 so concurrent tests in this
+        // binary (whose barriers also record while the session is
+        // live) cannot pollute the assertions.
+        let session = islands_trace::Session::start();
+        let b = Arc::new(SenseBarrier::scoped(2, BarrierScope::Global));
+        assert_eq!(b.scope(), BarrierScope::Global);
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            islands_trace::set_island_rank(77, 0);
+            b2.wait()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        islands_trace::set_island_rank(77, 1);
+        let serial = b.wait();
+        let waiter_serial = waiter.join().unwrap();
+        let drained = session.finish();
+        assert!(serial ^ waiter_serial, "exactly one serial participant");
+        let events: Vec<_> = drained
+            .events
+            .iter()
+            .filter(|t| t.ev.island == 77)
+            .collect();
+        assert_eq!(events.len(), 2, "one span per participant");
+        for t in &events {
+            assert_eq!(t.ev.kind, islands_trace::SpanKind::GlobalBarrier);
+            assert_eq!(
+                t.ev.aux.iter().sum::<u64>(),
+                t.ev.dur_ns,
+                "spin+yield+park must sum to the wait"
+            );
+        }
+        // The serial (last) arrival records a zero-length marker.
+        assert!(events.iter().any(|t| t.ev.dur_ns == 0));
+        // The early arrival waited ~40 ms, overwhelmingly parked.
+        let w = events
+            .iter()
+            .find(|t| t.ev.dur_ns > 0)
+            .expect("waiter span");
+        assert!(w.ev.dur_ns >= 20_000_000, "waited {} ns", w.ev.dur_ns);
+        assert!(
+            w.ev.aux[2] > w.ev.aux[0] + w.ev.aux[1],
+            "park {} must dominate spin {} + yield {}",
+            w.ev.aux[2],
+            w.ev.aux[0],
+            w.ev.aux[1]
+        );
     }
 }

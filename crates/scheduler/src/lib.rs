@@ -46,7 +46,7 @@ mod share;
 mod team;
 
 pub use affinity::{AffinityMap, LogicalCpu};
-pub use barrier::SenseBarrier;
+pub use barrier::{BarrierScope, SenseBarrier};
 pub use dynamic::ChunkQueue;
 pub use inline_vec::InlineVec;
 pub use pool::{WorkerCtx, WorkerPool};

@@ -217,6 +217,9 @@ impl WorkerPool {
     where
         F: Fn(WorkerCtx) + Sync,
     {
+        // Span over the whole dispatch, recorded on the caller thread
+        // (island NO_ISLAND unless the caller tagged itself).
+        let t0 = islands_trace::now();
         let latch = Arc::new(Latch::new(self.len()));
         let f_ref: &(dyn Fn(WorkerCtx) + Sync) = &f;
         // SAFETY: the tasks sent below are joined before this function
@@ -258,6 +261,16 @@ impl WorkerPool {
             }
         }
         let payload = latch.wait();
+        if let Some(t0) = t0 {
+            islands_trace::record(
+                islands_trace::SpanKind::Dispatch,
+                t0,
+                islands_trace::now_ns(),
+                0,
+                0,
+                [self.len() as u64, 0, 0],
+            );
+        }
         assert!(!dead_worker, "pool worker exited prematurely");
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);

@@ -7,7 +7,7 @@
 //! describes the grouping; [`WorkerPool::run_teams`] executes a closure
 //! with a [`TeamCtx`] exposing the team-local barrier.
 
-use crate::barrier::SenseBarrier;
+use crate::barrier::{BarrierScope, SenseBarrier};
 use crate::pool::{WorkerCtx, WorkerPool};
 use std::error::Error;
 use std::fmt;
@@ -196,9 +196,17 @@ impl WorkerPool {
             }
         }
         let barriers: Vec<Arc<SenseBarrier>> = (0..spec.team_count())
-            .map(|t| Arc::new(SenseBarrier::new(spec.members(t).len())))
+            .map(|t| {
+                Arc::new(SenseBarrier::scoped(
+                    spec.members(t).len(),
+                    BarrierScope::Team,
+                ))
+            })
             .collect();
-        let global = Arc::new(SenseBarrier::new(spec.worker_count()));
+        let global = Arc::new(SenseBarrier::scoped(
+            spec.worker_count(),
+            BarrierScope::Global,
+        ));
         self.broadcast(|wctx| {
             if let Some((team, rank)) = spec.placement(wctx.worker) {
                 f(TeamCtx {

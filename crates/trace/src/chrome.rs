@@ -1,0 +1,279 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto) plus an
+//! in-repo validator for round-trip checks.
+//!
+//! # Schema
+//!
+//! One JSON object `{"traceEvents": [...]}`. Every recorded span
+//! becomes one complete event (`"ph": "X"`):
+//!
+//! * `pid` — island + 1 (Chrome groups rows by process); events
+//!   recorded outside any island ([`NO_ISLAND`], e.g. pool dispatch)
+//!   use `pid` 0. Process-name metadata events label each pid.
+//! * `tid` — the recording thread's registration index.
+//! * `ts` / `dur` — microseconds (fractional), from the session epoch.
+//! * `name` — the stage name for kernel spans (caller-provided table,
+//!   falling back to `stage<N>`), the [`SpanKind::category`] otherwise.
+//! * `cat` — [`SpanKind::category`].
+//! * `args` — step/stage/block/rank plus kind-specific payload:
+//!   `cells`/`redundant` on kernels, `spin_ns`/`yield_ns`/`park_ns` on
+//!   barriers.
+
+use crate::json::{parse, Json};
+use crate::{Drained, SpanKind, NO_ISLAND};
+use std::collections::BTreeMap;
+
+/// Renders a drained session as a Chrome trace-event JSON document.
+///
+/// `stage_names[i]` labels kernel spans of stage `i`; out-of-range
+/// stages fall back to `stage<N>`.
+pub fn export(drained: &Drained, stage_names: &[&str]) -> String {
+    let mut events = Vec::with_capacity(drained.events.len() + 8);
+    // Process-name metadata rows, one per pid in use.
+    let mut pids: Vec<u32> = drained.events.iter().map(|t| pid_of(t.ev.island)).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in pids {
+        let label = if pid == 0 {
+            "driver".to_string()
+        } else {
+            format!("island {}", pid - 1)
+        };
+        events.push(Json::Object(vec![
+            ("name".into(), Json::Str("process_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::Num(f64::from(pid))),
+            ("tid".into(), Json::Num(0.0)),
+            (
+                "args".into(),
+                Json::Object(vec![("name".into(), Json::Str(label))]),
+            ),
+        ]));
+    }
+    for t in &drained.events {
+        let ev = &t.ev;
+        let name = match ev.kind {
+            SpanKind::Kernel => stage_names
+                .get(usize::from(ev.stage))
+                .map_or_else(|| format!("stage{}", ev.stage), |s| (*s).to_string()),
+            kind => kind.category().to_string(),
+        };
+        let mut args = vec![
+            ("step".into(), Json::Num(f64::from(ev.step))),
+            ("rank".into(), Json::Num(f64::from(ev.rank))),
+        ];
+        match ev.kind {
+            SpanKind::Kernel => {
+                args.push(("stage".into(), Json::Num(f64::from(ev.stage))));
+                args.push(("block".into(), Json::Num(f64::from(ev.block))));
+                args.push(("cells".into(), Json::Num(ev.aux[0] as f64)));
+                args.push(("redundant".into(), Json::Num(ev.aux[1] as f64)));
+            }
+            SpanKind::TeamBarrier | SpanKind::GlobalBarrier => {
+                args.push(("spin_ns".into(), Json::Num(ev.aux[0] as f64)));
+                args.push(("yield_ns".into(), Json::Num(ev.aux[1] as f64)));
+                args.push(("park_ns".into(), Json::Num(ev.aux[2] as f64)));
+            }
+            SpanKind::Dispatch => {
+                args.push(("workers".into(), Json::Num(ev.aux[0] as f64)));
+            }
+            _ => {}
+        }
+        events.push(Json::Object(vec![
+            ("name".into(), Json::Str(name)),
+            ("cat".into(), Json::Str(ev.kind.category().into())),
+            ("ph".into(), Json::Str("X".into())),
+            ("ts".into(), Json::Num(ev.start_ns as f64 / 1000.0)),
+            ("dur".into(), Json::Num(ev.dur_ns as f64 / 1000.0)),
+            ("pid".into(), Json::Num(f64::from(pid_of(ev.island)))),
+            ("tid".into(), Json::Num(f64::from(t.thread))),
+            ("args".into(), Json::Object(args)),
+        ]));
+    }
+    Json::Object(vec![("traceEvents".into(), Json::Array(events))])
+        .render()
+        .expect("trace events contain only finite numbers")
+}
+
+fn pid_of(island: u32) -> u32 {
+    if island == NO_ISLAND {
+        0
+    } else {
+        island + 1
+    }
+}
+
+/// What a validated trace contains, per category.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChromeSummary {
+    /// Complete (`"X"`) events seen.
+    pub complete_events: usize,
+    /// `(category, (count, total µs))`, sorted by category.
+    pub per_category: BTreeMap<String, (usize, f64)>,
+    /// Distinct pids with complete events (i.e. islands + driver).
+    pub pids: Vec<u32>,
+}
+
+impl ChromeSummary {
+    /// Total duration (µs) of one category, 0.0 if absent.
+    pub fn category_us(&self, cat: &str) -> f64 {
+        self.per_category.get(cat).map_or(0.0, |(_, us)| *us)
+    }
+}
+
+/// Parses and structurally validates a Chrome trace-event document
+/// produced by [`export`] (or any compatible writer).
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation: not an
+/// object, missing/empty `traceEvents`, an event that is not an
+/// object, a missing/mistyped field, a non-finite or negative
+/// timestamp/duration, or a non-integral pid/tid.
+pub fn validate(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents` member")?
+        .as_array()
+        .ok_or("`traceEvents` is not an array")?;
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".into());
+    }
+    let mut summary = ChromeSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: bad `{field}`");
+        if !matches!(ev, Json::Object(_)) {
+            return Err(format!("event {i}: not an object"));
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        let pid = int_field(ev, "pid").ok_or_else(|| ctx("pid"))?;
+        int_field(ev, "tid").ok_or_else(|| ctx("tid"))?;
+        match ph {
+            "M" => continue, // metadata rows carry no ts/dur
+            "X" => {}
+            other => return Err(format!("event {i} ({name}): unsupported ph {other:?}")),
+        }
+        let ts = finite_field(ev, "ts").ok_or_else(|| ctx("ts"))?;
+        let dur = finite_field(ev, "dur").ok_or_else(|| ctx("dur"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i} ({name}): negative ts/dur"));
+        }
+        let cat = ev
+            .get("cat")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        summary.complete_events += 1;
+        let entry = summary.per_category.entry(cat).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += dur;
+        if !summary.pids.contains(&(pid as u32)) {
+            summary.pids.push(pid as u32);
+        }
+    }
+    if summary.complete_events == 0 {
+        return Err("trace has metadata but no complete events".into());
+    }
+    summary.pids.sort_unstable();
+    Ok(summary)
+}
+
+fn finite_field(ev: &Json, key: &str) -> Option<f64> {
+    ev.get(key).and_then(Json::as_f64).filter(|x| x.is_finite())
+}
+
+fn int_field(ev: &Json, key: &str) -> Option<u64> {
+    finite_field(ev, key)
+        .filter(|x| *x >= 0.0 && x.trunc() == *x)
+        .map(|x| x as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, TaggedEvent};
+
+    fn drained() -> Drained {
+        let mk = |kind, start, dur, island, stage, aux| TaggedEvent {
+            thread: 0,
+            ev: Event {
+                kind,
+                start_ns: start,
+                dur_ns: dur,
+                aux,
+                island,
+                rank: 0,
+                step: 0,
+                stage,
+                block: 1,
+            },
+        };
+        Drained {
+            events: vec![
+                mk(SpanKind::Dispatch, 0, 5000, NO_ISLAND, 0, [2, 0, 0]),
+                mk(SpanKind::Kernel, 100, 1500, 0, 1, [640, 64, 0]),
+                mk(SpanKind::TeamBarrier, 1600, 200, 0, 0, [150, 50, 0]),
+                mk(SpanKind::Kernel, 100, 1400, 1, 0, [640, 0, 0]),
+                mk(SpanKind::Swap, 1800, 300, 1, 0, [0; 3]),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_validate() {
+        let text = export(&drained(), &["upwind", "flux"]);
+        let summary = validate(&text).expect("export output must validate");
+        assert_eq!(summary.complete_events, 5);
+        assert_eq!(summary.pids, vec![0, 1, 2]);
+        assert_eq!(summary.per_category["kernel"].0, 2);
+        assert!((summary.category_us("kernel") - 2.9).abs() < 1e-9);
+        assert!((summary.category_us("swap") - 0.3).abs() < 1e-9);
+        // Stage names resolve through the table; stage 1 -> "flux".
+        assert!(text.contains("\"flux\""), "{text}");
+        assert!(text.contains("\"upwind\""), "{text}");
+        // Missing-table fallback.
+        let text2 = export(&drained(), &[]);
+        assert!(text2.contains("\"stage0\""), "{text2}");
+    }
+
+    #[test]
+    fn validate_rejects_structural_violations() {
+        for (bad, why) in [
+            ("[]", "not an object"),
+            ("{}", "missing traceEvents"),
+            (r#"{"traceEvents": 3}"#, "not an array"),
+            (r#"{"traceEvents": []}"#, "empty"),
+            (r#"{"traceEvents": [7]}"#, "event not an object"),
+            (
+                r#"{"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1}]}"#,
+                "missing name",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "k", "ph": "X", "pid": 0, "tid": 0, "ts": -1, "dur": 1}]}"#,
+                "negative ts",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "k", "ph": "B", "pid": 0, "tid": 0, "ts": 0}]}"#,
+                "unsupported ph",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "k", "ph": "X", "pid": 1.5, "tid": 0, "ts": 0, "dur": 1}]}"#,
+                "fractional pid",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "m", "ph": "M", "pid": 0, "tid": 0}]}"#,
+                "metadata only",
+            ),
+        ] {
+            assert!(validate(bad).is_err(), "{why}: {bad}");
+        }
+    }
+}

@@ -1,10 +1,19 @@
-//! A minimal JSON reader for benchmark artifacts.
+//! Minimal JSON reader/writer shared by trace export and the bench
+//! artifacts.
 //!
 //! The hermetic build rules out `serde_json`; the only JSON this
-//! workspace ever parses back is what [`crate::microbench::render_json`]
-//! wrote, so a small recursive-descent parser covering the full JSON
-//! grammar (objects, arrays, strings with escapes, numbers, booleans,
-//! null) is all `bench-check` needs.
+//! workspace ever parses back is what it wrote itself (bench records,
+//! Chrome traces), so a small recursive-descent parser covering the
+//! full JSON grammar (objects, arrays, strings with escapes, numbers,
+//! booleans, null) plus a compact renderer is all that is needed.
+//!
+//! # Non-finite numbers
+//!
+//! JSON has no NaN or infinity. Both directions are explicit about it:
+//! [`render`] and [`render_f64`] return [`NonFiniteError`] instead of
+//! emitting the invalid tokens `NaN` / `inf`, and [`parse`] reports a
+//! dedicated message when the input contains the JavaScript spellings
+//! (`NaN`, `Infinity`) that lenient writers produce.
 
 use std::fmt;
 
@@ -57,6 +66,109 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders this value as one compact JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteError`] if any number in the tree is NaN or
+    /// infinite — JSON cannot represent them, and emitting `NaN` would
+    /// produce a document our own [`parse`] (rightly) rejects.
+    pub fn render(&self) -> Result<String, NonFiniteError> {
+        let mut out = String::new();
+        self.render_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn render_into(&self, out: &mut String) -> Result<(), NonFiniteError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&render_f64(*x)?),
+            Json::Str(s) => render_str(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out)?;
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A number that JSON cannot represent (NaN or ±infinity).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NonFiniteError {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot render {} as JSON: only finite numbers are representable",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
+
+/// Renders one number as a JSON token that round-trips through
+/// [`parse`]: integral values in `i64` range print without a fraction,
+/// everything else uses Rust's shortest round-trip representation.
+///
+/// # Errors
+///
+/// Returns [`NonFiniteError`] for NaN and ±infinity.
+pub fn render_f64(x: f64) -> Result<String, NonFiniteError> {
+    if !x.is_finite() {
+        return Err(NonFiniteError { value: x });
+    }
+    if x == x.trunc() && x.abs() < 9.0e15 {
+        // Exactly representable integers render without `.0` so bench
+        // artifacts keep their historical `"iters": 7` shape.
+        return Ok(format!("{}", x as i64));
+    }
+    // `{:?}` on f64 is the shortest string that parses back to the
+    // same bits — exactly the round-trip guarantee JSON needs.
+    Ok(format!("{x:?}"))
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure: byte offset plus message.
@@ -137,7 +249,23 @@ impl Parser<'_> {
         }
     }
 
+    /// Points at a non-finite spelling lenient writers emit?
+    fn at_non_finite(&self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        rest.starts_with(b"NaN")
+            || rest.starts_with(b"Infinity")
+            || rest.starts_with(b"-Infinity")
+            || rest.starts_with(b"inf")
+            || rest.starts_with(b"-inf")
+    }
+
     fn value(&mut self) -> Result<Json, ParseError> {
+        if self.at_non_finite() {
+            return Err(self.err(
+                "non-finite number (NaN/Infinity) is not valid JSON; \
+                 the writer must reject it before emitting",
+            ));
+        }
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
@@ -298,5 +426,65 @@ mod tests {
     fn empty_containers_parse() {
         assert_eq!(parse("[]").unwrap(), Json::Array(vec![]));
         assert_eq!(parse("{}").unwrap(), Json::Object(vec![]));
+    }
+
+    #[test]
+    fn non_finite_spellings_get_a_dedicated_error() {
+        for bad in ["NaN", "[1, NaN]", "{\"x\": Infinity}", "-Infinity", "inf"] {
+            let err = parse(bad).expect_err(bad);
+            assert!(
+                err.message.contains("non-finite"),
+                "{bad:?} -> {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn render_rejects_non_finite_numbers() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(render_f64(x).is_err(), "{x}");
+            let doc = Json::Array(vec![Json::Num(1.0), Json::Num(x)]);
+            let err = doc.render().expect_err("must reject");
+            assert!(err.to_string().contains("finite"), "{err}");
+        }
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -17.0,
+            1.5,
+            0.1,
+            1e300,
+            -2.5e-9,
+            123456789.125,
+            9.007199254740991e15,
+        ] {
+            let text = render_f64(x).unwrap();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back, x, "{x} rendered as {text}");
+        }
+        // Integral values keep the historical integer shape.
+        assert_eq!(render_f64(7.0).unwrap(), "7");
+        assert_eq!(render_f64(-3.0).unwrap(), "-3");
+        assert_eq!(render_f64(1.5).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn documents_round_trip() {
+        let doc = Json::Object(vec![
+            ("name".into(), Json::Str("a\"b\\c\nd\u{1}".into())),
+            (
+                "xs".into(),
+                Json::Array(vec![Json::Num(1.0), Json::Bool(false), Json::Null]),
+            ),
+            ("nested".into(), Json::Object(vec![])),
+        ]);
+        let text = doc.render().unwrap();
+        assert_eq!(parse(&text).unwrap(), doc);
     }
 }

@@ -1,0 +1,516 @@
+//! Zero-overhead runtime tracing for the islands-of-cores executors.
+//!
+//! The paper's argument is entirely about *where time goes* — kernel
+//! work vs. synchronization vs. redundant halo recomputation — so the
+//! executors need a recorder that can answer that question without
+//! perturbing the thing it measures. This crate provides one:
+//!
+//! * **Spans, not logs.** An [`Event`] is a closed interval on the
+//!   process-wide monotonic clock, tagged with the island / rank / step
+//!   / stage / block it belongs to and a [`SpanKind`] saying which phase
+//!   of the execution it covers. Barrier events carry their spin /
+//!   yield / park split in [`Event::aux`]; kernel events carry computed
+//!   and redundant cell counts.
+//! * **Per-thread ring buffers.** Each recording thread owns a
+//!   preallocated single-producer ring ([`set_ring_capacity`] slots).
+//!   Recording is a bump of a thread-local cursor plus one slot write —
+//!   no locks, no allocation, no cross-thread traffic on the hot path.
+//!   When a ring wraps, the oldest events are overwritten and counted
+//!   in [`Drained::dropped`] rather than silently lost.
+//! * **One-branch disabled path.** Everything is gated on a single
+//!   relaxed [`AtomicBool`]; with tracing off, an instrumentation site
+//!   costs one relaxed load and a predictable branch — no clock read,
+//!   no thread-local access, and crucially **zero allocations**, which
+//!   is what keeps the `mpdata` steady-state allocation pin green with
+//!   tracing compiled in.
+//!
+//! Collection is two-phase: a [`Session`] enables recording for one
+//! measured run, then [`Session::finish`] disables it and drains every
+//! ring into a time-sorted [`Drained`] event list. Aggregation
+//! ([`metrics`]) and Chrome trace-event export ([`chrome`]) are pure
+//! functions of that list.
+//!
+//! # Quiescence contract
+//!
+//! Rings are single-producer: only the owning thread writes. A drain
+//! must therefore happen while producers are quiescent — in practice,
+//! after the `WorkerPool` broadcast that did the traced work has
+//! returned (the pool's completion latch is the happens-before edge
+//! that makes every worker's writes visible to the drainer). `Session`
+//! encodes this: it disables recording *before* draining, and the
+//! executors only record inside broadcasts that are joined before
+//! `finish` is called.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+
+/// Island tag for events recorded outside any island (e.g. pool
+/// dispatch on the caller thread).
+pub const NO_ISLAND: u32 = u32::MAX;
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Which phase of the execution a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Stencil stage sweep over one (block, stage) epoch slice.
+    /// `aux = [computed_cells, redundant_cells, 0]`.
+    Kernel,
+    /// Wait at a team-scoped barrier. `aux = [spin_ns, yield_ns,
+    /// park_ns]`, which sum exactly to `dur_ns`.
+    TeamBarrier,
+    /// Wait at the once-per-step global barrier. Same `aux` contract
+    /// as [`SpanKind::TeamBarrier`].
+    GlobalBarrier,
+    /// Serial buffer swap + halo-gap re-zero between time steps.
+    Swap,
+    /// One-time refill/zero of plan scratch state before stepping.
+    Refill,
+    /// A whole pool broadcast, recorded on the caller thread
+    /// (island = [`NO_ISLAND`]). `aux = [workers, 0, 0]`.
+    Dispatch,
+    /// Halo extract / blit traffic in the exchange executor.
+    Exchange,
+}
+
+impl SpanKind {
+    /// Stable lowercase category name (used by the Chrome export).
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Kernel => "kernel",
+            SpanKind::TeamBarrier => "team_barrier",
+            SpanKind::GlobalBarrier => "global_barrier",
+            SpanKind::Swap => "swap",
+            SpanKind::Refill => "refill",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Exchange => "exchange",
+        }
+    }
+}
+
+/// One recorded span. 64 bytes, `Copy`, preallocated in rings.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Phase of execution this span covers.
+    pub kind: SpanKind,
+    /// Start, nanoseconds since the session clock epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Kind-specific payload (see [`SpanKind`] docs).
+    pub aux: [u64; 3],
+    /// Island (team) index, or [`NO_ISLAND`].
+    pub island: u32,
+    /// Rank within the island.
+    pub rank: u32,
+    /// Time step the span belongs to.
+    pub step: u32,
+    /// Stage id for kernel spans, 0 otherwise.
+    pub stage: u16,
+    /// Block index for kernel spans, 0 otherwise.
+    pub block: u16,
+}
+
+impl Event {
+    const ZERO: Event = Event {
+        kind: SpanKind::Kernel,
+        start_ns: 0,
+        dur_ns: 0,
+        aux: [0; 3],
+        island: 0,
+        rank: 0,
+        step: 0,
+        stage: 0,
+        block: 0,
+    };
+
+    /// End of the span, nanoseconds since the session clock epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// An event together with the dense id of the thread that recorded it.
+#[derive(Clone, Copy, Debug)]
+pub struct TaggedEvent {
+    /// Registration index of the recording thread (Chrome `tid`).
+    pub thread: u32,
+    /// The span.
+    pub ev: Event,
+}
+
+/// Everything one session recorded, time-sorted.
+#[derive(Clone, Debug, Default)]
+pub struct Drained {
+    /// All surviving events, sorted by `start_ns`.
+    pub events: Vec<TaggedEvent>,
+    /// Events overwritten by ring wrap-around before the drain.
+    pub dropped: u64,
+}
+
+// ---------------------------------------------------------------------
+// Recorder state
+// ---------------------------------------------------------------------
+
+/// The one global gate. Relaxed loads on the hot path; the `SeqCst`
+/// stores in `Session` bracket the run.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Bumped by [`clear`]; threads whose local ring belongs to an older
+/// generation re-register lazily on their next record.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Ring capacity applied to rings registered after the last change.
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAPACITY);
+
+/// Process-wide clock epoch; all `*_ns` values are offsets from this.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+/// A single-producer event ring. Only the owning thread writes slots;
+/// `snapshot` is called while producers are quiescent (see the module
+/// docs), which the completion-latch of the pool broadcast guarantees.
+struct Ring {
+    slots: Box<[Cell<Event>]>,
+    pushed: AtomicU64,
+    thread: u32,
+}
+
+// SAFETY: slots are written only by the owning thread (single
+// producer) and read by the drainer only after that thread's work has
+// been joined (quiescence contract above), so the `Cell`s are never
+// accessed concurrently.
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize, thread: u32) -> Ring {
+        Ring {
+            slots: vec![Cell::new(Event::ZERO); capacity.max(1)].into_boxed_slice(),
+            pushed: AtomicU64::new(0),
+            thread,
+        }
+    }
+
+    /// Owner-thread push: write the slot, then publish the new count.
+    fn push(&self, ev: Event) {
+        let n = self.pushed.load(Ordering::Relaxed);
+        self.slots[(n % self.slots.len() as u64) as usize].set(ev);
+        self.pushed.store(n + 1, Ordering::Release);
+    }
+
+    /// Surviving events in push order, plus the overwritten count.
+    fn snapshot(&self) -> (Vec<TaggedEvent>, u64) {
+        let pushed = self.pushed.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let kept = pushed.min(cap);
+        let dropped = pushed - kept;
+        let first = pushed - kept; // oldest surviving push index
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in first..pushed {
+            out.push(TaggedEvent {
+                thread: self.thread,
+                ev: self.slots[(i % cap) as usize].get(),
+            });
+        }
+        (out, dropped)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ThreadCtx {
+    island: u32,
+    rank: u32,
+    step: u32,
+}
+
+thread_local! {
+    static CTX: Cell<ThreadCtx> = const {
+        Cell::new(ThreadCtx { island: NO_ISLAND, rank: 0, step: 0 })
+    };
+    /// `(generation, ring)`; re-registered lazily when stale.
+    static LOCAL_RING: RefCell<Option<(u64, Arc<Ring>)>> = const { RefCell::new(None) };
+}
+
+/// Whether a session is currently recording. One relaxed load — this
+/// is the entire cost of an instrumentation site when tracing is off.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the session clock epoch. Reads the monotonic
+/// clock unconditionally — pair with [`now`] on hot paths.
+pub fn now_ns() -> u64 {
+    EPOCH
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// `Some(now_ns())` when recording, `None` otherwise. The idiomatic
+/// span-open: when this returns `None` the caller skips both the
+/// closing clock read and the record.
+#[inline]
+pub fn now() -> Option<u64> {
+    if is_enabled() {
+        Some(now_ns())
+    } else {
+        None
+    }
+}
+
+/// Tags subsequent events on this thread with an island and rank.
+/// No-op while disabled.
+pub fn set_island_rank(island: u32, rank: u32) {
+    if !is_enabled() {
+        return;
+    }
+    CTX.with(|c| {
+        let mut ctx = c.get();
+        ctx.island = island;
+        ctx.rank = rank;
+        c.set(ctx);
+    });
+}
+
+/// Tags subsequent events on this thread with a time step. No-op
+/// while disabled.
+pub fn set_step(step: u32) {
+    if !is_enabled() {
+        return;
+    }
+    CTX.with(|c| {
+        let mut ctx = c.get();
+        ctx.step = step;
+        c.set(ctx);
+    });
+}
+
+/// Records a closed span `[start_ns, end_ns]` with this thread's
+/// current island/rank/step tags. No-op while disabled (one relaxed
+/// load); saturates to a zero-length span if `end_ns < start_ns`.
+pub fn record(kind: SpanKind, start_ns: u64, end_ns: u64, stage: u16, block: u16, aux: [u64; 3]) {
+    if !is_enabled() {
+        return;
+    }
+    let ctx = CTX.with(Cell::get);
+    let ev = Event {
+        kind,
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        aux,
+        island: ctx.island,
+        rank: ctx.rank,
+        step: ctx.step,
+        stage,
+        block,
+    };
+    LOCAL_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let generation = GENERATION.load(Ordering::Acquire);
+        let stale = match slot.as_ref() {
+            Some((g, _)) => *g != generation,
+            None => true,
+        };
+        if stale {
+            let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            let ring = Arc::new(Ring::new(
+                RING_CAPACITY.load(Ordering::Relaxed),
+                registry.len() as u32,
+            ));
+            registry.push(Arc::clone(&ring));
+            *slot = Some((generation, ring));
+        }
+        slot.as_ref().expect("ring registered above").1.push(ev);
+    });
+}
+
+/// Sets the per-thread ring capacity (events) for rings registered
+/// from now on. Size for the run: a dropped-event count in the drain
+/// means the capacity was too small for the traced window.
+pub fn set_ring_capacity(capacity: usize) {
+    RING_CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// Discards all recorded events and detaches every thread's ring.
+pub fn clear() {
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    registry.clear();
+    GENERATION.fetch_add(1, Ordering::AcqRel);
+}
+
+/// Drains every registered ring into one time-sorted event list. Call
+/// only at producer quiescence (see the module docs).
+pub fn drain() -> Drained {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in registry.iter() {
+        let (mut evs, d) = ring.snapshot();
+        events.append(&mut evs);
+        dropped += d;
+    }
+    events.sort_by_key(|t| (t.ev.start_ns, t.thread));
+    Drained { events, dropped }
+}
+
+/// RAII guard for one traced run.
+///
+/// `start` takes a process-wide session lock (serializing concurrent
+/// traced tests in one binary), clears stale events and enables
+/// recording; [`Session::finish`] disables recording and drains.
+/// Dropping an unfinished session just disables recording.
+pub struct Session {
+    guard: Option<MutexGuard<'static, ()>>,
+}
+
+impl Session {
+    /// Begins recording. Blocks while another session is active.
+    pub fn start() -> Session {
+        let guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Initialize the epoch outside the measured window.
+        let _ = now_ns();
+        clear();
+        ENABLED.store(true, Ordering::SeqCst);
+        Session { guard: Some(guard) }
+    }
+
+    /// Stops recording and returns everything captured.
+    pub fn finish(mut self) -> Drained {
+        ENABLED.store(false, Ordering::SeqCst);
+        let drained = drain();
+        self.guard.take();
+        drained
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start: u64, end: u64) {
+        record(kind, start, end, 0, 0, [0; 3]);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        // No session: record/set_* must not register rings or events.
+        // (Runs under the session lock to avoid racing other tests.)
+        let guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert!(!is_enabled());
+        set_island_rank(3, 1);
+        set_step(9);
+        span(SpanKind::Kernel, 0, 10);
+        assert!(drain().events.is_empty());
+        drop(guard);
+    }
+
+    #[test]
+    fn session_captures_tagged_events_in_time_order() {
+        let s = Session::start();
+        set_island_rank(2, 1);
+        set_step(7);
+        record(SpanKind::Kernel, 50, 90, 4, 3, [1000, 40, 0]);
+        record(SpanKind::TeamBarrier, 10, 30, 0, 0, [20, 0, 0]);
+        let d = s.finish();
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.dropped, 0);
+        // Sorted by start time, not record order.
+        assert_eq!(d.events[0].ev.kind, SpanKind::TeamBarrier);
+        let k = &d.events[1].ev;
+        assert_eq!(
+            (k.island, k.rank, k.step, k.stage, k.block),
+            (2, 1, 7, 4, 3)
+        );
+        assert_eq!(k.aux, [1000, 40, 0]);
+        assert_eq!(k.dur_ns, 40);
+        assert_eq!(k.end_ns(), 90);
+        // After finish, recording is off again.
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn ring_wrap_counts_dropped_events() {
+        let s = Session::start();
+        set_ring_capacity(8);
+        // Force this thread onto a fresh (small) ring.
+        clear();
+        for i in 0..20 {
+            span(SpanKind::Swap, i, i + 1);
+        }
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+        let d = s.finish();
+        assert_eq!(d.events.len(), 8);
+        assert_eq!(d.dropped, 12);
+        // The survivors are the newest pushes.
+        assert_eq!(d.events.first().unwrap().ev.start_ns, 12);
+        assert_eq!(d.events.last().unwrap().ev.start_ns, 19);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let s1 = Session::start();
+        span(SpanKind::Refill, 1, 2);
+        assert_eq!(s1.finish().events.len(), 1);
+        let s2 = Session::start();
+        span(SpanKind::Refill, 3, 4);
+        span(SpanKind::Refill, 5, 6);
+        let d = s2.finish();
+        // Events from session 1 were cleared.
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].ev.start_ns, 3);
+    }
+
+    #[test]
+    fn events_from_many_threads_merge() {
+        let s = Session::start();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            handles.push(std::thread::spawn(move || {
+                set_island_rank(t as u32, 0);
+                for i in 0..10 {
+                    span(SpanKind::Kernel, t * 1000 + i, t * 1000 + i + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let d = s.finish();
+        assert_eq!(d.events.len(), 40);
+        // Threads got distinct registration ids.
+        let mut threads: Vec<u32> = d.events.iter().map(|t| t.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 4);
+        // Global ordering by start time holds across threads.
+        for w in d.events.windows(2) {
+            assert!(w[0].ev.start_ns <= w[1].ev.start_ns);
+        }
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

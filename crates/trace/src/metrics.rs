@@ -1,0 +1,416 @@
+//! Aggregation of drained trace events into per-step, per-island
+//! phase metrics.
+//!
+//! This is the report the paper's Table 1 / Figs. 4–6 style analysis
+//! needs: for every time step and island, how much worker time went to
+//! kernel sweeps, team vs. global barrier waiting (split into spin /
+//! yield / park), the serial buffer swap, and halo traffic — plus the
+//! computed and redundant cell counts that the static overlap analysis
+//! in `islands-core` predicts and `islands-analysis` cross-checks.
+
+use crate::{Drained, SpanKind, NO_ISLAND};
+
+/// Phase totals for one island within one time step (or across a whole
+/// run when produced by [`RunMetrics::totals`]). All `*_ns` fields are
+/// *summed worker time*: an island of 4 ranks each waiting 1 µs shows
+/// 4 µs of barrier time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IslandMetrics {
+    /// Island (team) index.
+    pub island: u32,
+    /// Distinct ranks that recorded events for this island.
+    pub workers: u32,
+    /// Kernel sweep time.
+    pub kernel_ns: u64,
+    /// Team-barrier wait time.
+    pub team_barrier_ns: u64,
+    /// Global-barrier wait time.
+    pub global_barrier_ns: u64,
+    /// Barrier wait spent busy-spinning (subset of the barrier times).
+    pub spin_ns: u64,
+    /// Barrier wait spent in `yield_now` (subset of the barrier times).
+    pub yield_ns: u64,
+    /// Barrier wait spent parked on a condvar (subset).
+    pub park_ns: u64,
+    /// Serial buffer swap + gap re-zero time.
+    pub swap_ns: u64,
+    /// Plan scratch refill/zero time.
+    pub refill_ns: u64,
+    /// Halo extract/blit time (exchange executor only).
+    pub exchange_ns: u64,
+    /// Cells computed by kernel sweeps.
+    pub computed_cells: u64,
+    /// Of those, cells outside the island's own partition — the
+    /// redundant halo recomputation the islands approach trades
+    /// against communication.
+    pub redundant_cells: u64,
+}
+
+impl IslandMetrics {
+    /// Total barrier wait (team + global).
+    pub fn barrier_wait_ns(&self) -> u64 {
+        self.team_barrier_ns + self.global_barrier_ns
+    }
+
+    /// Worker time accounted to *any* phase.
+    pub fn accounted_ns(&self) -> u64 {
+        self.kernel_ns + self.barrier_wait_ns() + self.swap_ns + self.refill_ns + self.exchange_ns
+    }
+
+    fn absorb(&mut self, kind: SpanKind, dur_ns: u64, aux: [u64; 3]) {
+        match kind {
+            SpanKind::Kernel => {
+                self.kernel_ns += dur_ns;
+                self.computed_cells += aux[0];
+                self.redundant_cells += aux[1];
+            }
+            SpanKind::TeamBarrier => {
+                self.team_barrier_ns += dur_ns;
+                self.spin_ns += aux[0];
+                self.yield_ns += aux[1];
+                self.park_ns += aux[2];
+            }
+            SpanKind::GlobalBarrier => {
+                self.global_barrier_ns += dur_ns;
+                self.spin_ns += aux[0];
+                self.yield_ns += aux[1];
+                self.park_ns += aux[2];
+            }
+            SpanKind::Swap => self.swap_ns += dur_ns,
+            SpanKind::Refill => self.refill_ns += dur_ns,
+            SpanKind::Exchange => self.exchange_ns += dur_ns,
+            SpanKind::Dispatch => {}
+        }
+    }
+
+    fn merge(&mut self, other: &IslandMetrics) {
+        self.workers = self.workers.max(other.workers);
+        self.kernel_ns += other.kernel_ns;
+        self.team_barrier_ns += other.team_barrier_ns;
+        self.global_barrier_ns += other.global_barrier_ns;
+        self.spin_ns += other.spin_ns;
+        self.yield_ns += other.yield_ns;
+        self.park_ns += other.park_ns;
+        self.swap_ns += other.swap_ns;
+        self.refill_ns += other.refill_ns;
+        self.exchange_ns += other.exchange_ns;
+        self.computed_cells += other.computed_cells;
+        self.redundant_cells += other.redundant_cells;
+    }
+}
+
+/// Phase breakdown of one time step across all islands.
+#[derive(Clone, Debug, Default)]
+pub struct StepMetrics {
+    /// Time step index.
+    pub step: u32,
+    /// Wall-clock span of the step: earliest start to latest end over
+    /// all non-dispatch events tagged with this step.
+    pub wall_ns: u64,
+    /// Per-island totals, sorted by island index.
+    pub islands: Vec<IslandMetrics>,
+}
+
+impl StepMetrics {
+    /// Kernel-time imbalance across islands: slowest / fastest island
+    /// kernel time. 1.0 means perfectly balanced; `None` with fewer
+    /// than two islands or a zero-kernel island.
+    pub fn imbalance(&self) -> Option<f64> {
+        let real: Vec<u64> = self
+            .islands
+            .iter()
+            .filter(|m| m.island != NO_ISLAND)
+            .map(|m| m.kernel_ns)
+            .collect();
+        if real.len() < 2 {
+            return None;
+        }
+        let max = *real.iter().max().expect("non-empty");
+        let min = *real.iter().min().expect("non-empty");
+        if min == 0 {
+            return None;
+        }
+        Some(max as f64 / min as f64)
+    }
+
+    /// Fraction of total worker wall time this step that the recorded
+    /// phases account for: `Σ accounted / (wall × Σ workers)`. Close
+    /// to 1.0 means the instrumentation explains the step.
+    pub fn accounted_fraction(&self) -> Option<f64> {
+        let workers: u64 = self
+            .islands
+            .iter()
+            .filter(|m| m.island != NO_ISLAND)
+            .map(|m| u64::from(m.workers))
+            .sum();
+        if self.wall_ns == 0 || workers == 0 {
+            return None;
+        }
+        let accounted: u64 = self
+            .islands
+            .iter()
+            .filter(|m| m.island != NO_ISLAND)
+            .map(IslandMetrics::accounted_ns)
+            .sum();
+        Some(accounted as f64 / (self.wall_ns as f64 * workers as f64))
+    }
+}
+
+/// A whole traced run, aggregated per step.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Per-step breakdowns, sorted by step index.
+    pub steps: Vec<StepMetrics>,
+    /// Events lost to ring wrap-around (nonzero means the capacity was
+    /// too small — see `set_ring_capacity`).
+    pub dropped: u64,
+}
+
+impl RunMetrics {
+    /// Aggregates a drained event list.
+    pub fn aggregate(drained: &Drained) -> RunMetrics {
+        let mut steps: Vec<StepMetrics> = Vec::new();
+        for t in &drained.events {
+            let ev = &t.ev;
+            if ev.kind == SpanKind::Dispatch {
+                continue;
+            }
+            let step = match steps.iter_mut().find(|s| s.step == ev.step) {
+                Some(s) => s,
+                None => {
+                    steps.push(StepMetrics {
+                        step: ev.step,
+                        wall_ns: 0,
+                        islands: Vec::new(),
+                    });
+                    steps.last_mut().expect("just pushed")
+                }
+            };
+            let island = match step.islands.iter_mut().find(|m| m.island == ev.island) {
+                Some(m) => m,
+                None => {
+                    step.islands.push(IslandMetrics {
+                        island: ev.island,
+                        ..IslandMetrics::default()
+                    });
+                    step.islands.last_mut().expect("just pushed")
+                }
+            };
+            island.workers = island.workers.max(ev.rank + 1);
+            island.absorb(ev.kind, ev.dur_ns, ev.aux);
+        }
+        // Wall span per step (second pass: bounds over non-dispatch
+        // events of that step).
+        for s in &mut steps {
+            let mut lo = u64::MAX;
+            let mut hi = 0;
+            for t in &drained.events {
+                if t.ev.kind == SpanKind::Dispatch || t.ev.step != s.step {
+                    continue;
+                }
+                lo = lo.min(t.ev.start_ns);
+                hi = hi.max(t.ev.end_ns());
+            }
+            s.wall_ns = hi.saturating_sub(if lo == u64::MAX { hi } else { lo });
+            s.islands.sort_by_key(|m| m.island);
+        }
+        steps.sort_by_key(|s| s.step);
+        RunMetrics {
+            steps,
+            dropped: drained.dropped,
+        }
+    }
+
+    /// Per-island totals across every step, sorted by island index.
+    pub fn totals(&self) -> Vec<IslandMetrics> {
+        let mut out: Vec<IslandMetrics> = Vec::new();
+        for step in &self.steps {
+            for m in &step.islands {
+                match out.iter_mut().find(|t| t.island == m.island) {
+                    Some(t) => t.merge(m),
+                    None => out.push(m.clone()),
+                }
+            }
+        }
+        out.sort_by_key(|m| m.island);
+        out
+    }
+
+    /// Sum of per-step wall spans.
+    pub fn wall_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Renders a human-readable per-island phase table (the `--metrics`
+    /// output of `mpdata-run`).
+    pub fn render(&self) -> String {
+        fn ms(ns: u64) -> f64 {
+            ns as f64 / 1e6
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "steps: {}   wall: {:.3} ms   dropped events: {}\n",
+            self.steps.len(),
+            ms(self.wall_ns()),
+            self.dropped
+        ));
+        out.push_str(
+            "island workers kernel_ms team_bar_ms glob_bar_ms  spin_ms yield_ms  park_ms  \
+             swap_ms refill_ms exch_ms      cells  redundant\n",
+        );
+        for m in self.totals() {
+            let island = if m.island == NO_ISLAND {
+                "  -".to_string()
+            } else {
+                format!("{:3}", m.island)
+            };
+            out.push_str(&format!(
+                "{island:>6} {:>7} {:>9.3} {:>11.3} {:>11.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} \
+                 {:>9.3} {:>7.3} {:>10} {:>10}\n",
+                m.workers,
+                ms(m.kernel_ns),
+                ms(m.team_barrier_ns),
+                ms(m.global_barrier_ns),
+                ms(m.spin_ns),
+                ms(m.yield_ns),
+                ms(m.park_ns),
+                ms(m.swap_ns),
+                ms(m.refill_ns),
+                ms(m.exchange_ns),
+                m.computed_cells,
+                m.redundant_cells,
+            ));
+        }
+        let fractions: Vec<String> = self
+            .steps
+            .iter()
+            .filter_map(|s| s.accounted_fraction())
+            .map(|f| format!("{f:.2}"))
+            .collect();
+        if !fractions.is_empty() {
+            out.push_str(&format!(
+                "per-step accounted fraction: [{}]\n",
+                fractions.join(", ")
+            ));
+        }
+        if let Some(im) = self
+            .steps
+            .iter()
+            .filter_map(StepMetrics::imbalance)
+            .next_back()
+        {
+            out.push_str(&format!("kernel imbalance (last step): {im:.3}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, TaggedEvent};
+
+    fn ev(
+        kind: SpanKind,
+        start: u64,
+        dur: u64,
+        island: u32,
+        rank: u32,
+        step: u32,
+        aux: [u64; 3],
+    ) -> TaggedEvent {
+        TaggedEvent {
+            thread: rank,
+            ev: Event {
+                kind,
+                start_ns: start,
+                dur_ns: dur,
+                aux,
+                island,
+                rank,
+                step,
+                stage: 0,
+                block: 0,
+            },
+        }
+    }
+
+    fn synthetic() -> Drained {
+        Drained {
+            events: vec![
+                // step 0, island 0, two ranks
+                ev(SpanKind::Kernel, 0, 100, 0, 0, 0, [1000, 50, 0]),
+                ev(SpanKind::Kernel, 0, 80, 0, 1, 0, [900, 40, 0]),
+                ev(SpanKind::TeamBarrier, 100, 20, 0, 0, 0, [20, 0, 0]),
+                ev(SpanKind::TeamBarrier, 80, 40, 0, 1, 0, [10, 20, 10]),
+                ev(SpanKind::GlobalBarrier, 120, 10, 0, 0, 0, [10, 0, 0]),
+                ev(SpanKind::Swap, 130, 15, 0, 0, 0, [0; 3]),
+                // step 0, island 1, one rank
+                ev(SpanKind::Kernel, 0, 50, 1, 0, 0, [400, 10, 0]),
+                // dispatch is excluded from walls and islands
+                ev(SpanKind::Dispatch, 0, 1000, NO_ISLAND, 0, 0, [3, 0, 0]),
+                // step 1, island 0
+                ev(SpanKind::Kernel, 200, 60, 0, 0, 1, [1000, 50, 0]),
+            ],
+            dropped: 2,
+        }
+    }
+
+    #[test]
+    fn aggregates_per_step_and_island() {
+        let m = RunMetrics::aggregate(&synthetic());
+        assert_eq!(m.dropped, 2);
+        assert_eq!(m.steps.len(), 2);
+        let s0 = &m.steps[0];
+        assert_eq!(s0.step, 0);
+        // Wall: events span 0..145 (dispatch excluded).
+        assert_eq!(s0.wall_ns, 145);
+        assert_eq!(s0.islands.len(), 2);
+        let i0 = &s0.islands[0];
+        assert_eq!(i0.island, 0);
+        assert_eq!(i0.workers, 2);
+        assert_eq!(i0.kernel_ns, 180);
+        assert_eq!(i0.team_barrier_ns, 60);
+        assert_eq!(i0.global_barrier_ns, 10);
+        assert_eq!((i0.spin_ns, i0.yield_ns, i0.park_ns), (40, 20, 10));
+        assert_eq!(i0.swap_ns, 15);
+        assert_eq!(i0.computed_cells, 1900);
+        assert_eq!(i0.redundant_cells, 90);
+        assert_eq!(i0.barrier_wait_ns(), 70);
+        assert_eq!(i0.accounted_ns(), 180 + 70 + 15);
+        let i1 = &s0.islands[1];
+        assert_eq!((i1.island, i1.workers, i1.kernel_ns), (1, 1, 50));
+    }
+
+    #[test]
+    fn totals_merge_steps() {
+        let m = RunMetrics::aggregate(&synthetic());
+        let totals = m.totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].kernel_ns, 240);
+        assert_eq!(totals[0].computed_cells, 2900);
+        assert_eq!(m.wall_ns(), 145 + 60);
+    }
+
+    #[test]
+    fn imbalance_and_accounted_fraction() {
+        let m = RunMetrics::aggregate(&synthetic());
+        let s0 = &m.steps[0];
+        // Island kernel times 180 vs 50.
+        let im = s0.imbalance().unwrap();
+        assert!((im - 180.0 / 50.0).abs() < 1e-12);
+        let f = s0.accounted_fraction().unwrap();
+        // accounted = 265 (island 0) + 50 (island 1); workers = 3.
+        assert!((f - 315.0 / (145.0 * 3.0)).abs() < 1e-12);
+        // Single-island step has no imbalance.
+        assert!(m.steps[1].imbalance().is_none());
+    }
+
+    #[test]
+    fn render_mentions_every_island() {
+        let m = RunMetrics::aggregate(&synthetic());
+        let text = m.render();
+        assert!(text.contains("dropped events: 2"), "{text}");
+        assert!(text.contains("kernel imbalance"), "{text}");
+    }
+}
