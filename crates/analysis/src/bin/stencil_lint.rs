@@ -18,18 +18,21 @@
 //!   split, overlapping rank 1 inside barrier-fenced epochs;
 //! * `stale-output` — one island's writes to the shared output are
 //!   dropped, so its half of a reused output buffer would carry the
-//!   previous step's values.
+//!   previous step's values;
+//! * `overlap-chunks` — under a self-scheduled plan, one dynamic
+//!   chunk's write region is widened into the next chunk's share, so
+//!   two concurrently claimable work units write the same cells.
 //!
 //! Exit codes: 0 clean, 1 diagnostics found, 2 tracing unavailable
 //! (release build — rebuild in debug).
 
 use islands_analysis::{
-    check_disjointness, check_graph, check_problem, islands_plan, with_offset_removed, Diagnostic,
-    KernelPath,
+    check_disjointness, check_graph, check_problem, islands_plan, islands_plan_dynamic,
+    with_offset_removed, Diagnostic, KernelPath,
 };
 use islands_core::Partition;
 use mpdata::{Boundary, MpdataProblem};
-use stencil_engine::{trace, Axis, Offset3, Range1, Region3};
+use stencil_engine::{balanced_cuts, trace, Axis, CostModel, Offset3, Range1, Region3};
 
 /// Cache budget used for all disjointness plans — small enough to force
 /// several wavefront blocks per island on the lint domains.
@@ -56,8 +59,8 @@ fn run(args: &[String]) -> i32 {
         [flag, name] if flag == "--mutant" => Some(name.as_str()),
         _ => {
             eprintln!(
-                "usage: stencil-lint \
-                 [--mutant drop-offset|overlap-partition|overlap-ranks|stale-output]"
+                "usage: stencil-lint [--mutant drop-offset|overlap-partition\
+                 |overlap-ranks|stale-output|overlap-chunks]"
             );
             return 2;
         }
@@ -68,6 +71,7 @@ fn run(args: &[String]) -> i32 {
         Some("overlap-partition") => mutant_overlap_partition(),
         Some("overlap-ranks") => mutant_overlap_ranks(),
         Some("stale-output") => mutant_stale_output(),
+        Some("overlap-chunks") => mutant_overlap_chunks(),
         Some(other) => {
             eprintln!("stencil-lint: unknown mutant `{other}`");
             return 2;
@@ -148,6 +152,28 @@ fn full_matrix() -> Vec<Diagnostic> {
         let grid = Partition::grid2d(domain, 2, 2).expect("non-zero");
         partitions.push((grid.description().to_string(), grid.parts().to_vec()));
 
+        // Non-uniform cuts from the cost model: slab widths differ, so
+        // any "equal shares" assumption in the planner would misalign.
+        let model = CostModel::from_graph(problem.graph());
+        let balanced = balanced_cuts(problem.graph(), domain, domain, Axis::I, 3, &model);
+        partitions.push(("balanced 1D A x 3".to_string(), balanced));
+
+        // Degenerate extremes: a 1-cell-wide island next to the rest of
+        // the domain, and more islands than there are I-slabs (the
+        // surplus parts are empty, as in the executor).
+        let ir = domain.range(Axis::I);
+        let sliver = vec![
+            domain.with_range(Axis::I, Range1::new(ir.lo, ir.lo + 1)),
+            domain.with_range(Axis::I, Range1::new(ir.lo + 1, ir.hi)),
+        ];
+        partitions.push(("1-cell sliver + remainder".to_string(), sliver));
+        let overcut = Partition::one_d(domain, islands_core::Variant::A, ir.len() + 3)
+            .expect("non-zero island count");
+        partitions.push((
+            format!("{} (P > nx)", overcut.description()),
+            overcut.parts().to_vec(),
+        ));
+
         for (desc, parts) in &partitions {
             for split_axis in [Axis::J, Axis::K] {
                 for shape in ["uniform-2", "mixed"] {
@@ -162,6 +188,28 @@ fn full_matrix() -> Vec<Diagnostic> {
                     println!(
                         "disjointness domain={:?} partition={desc} split={split_axis:?} \
                          teams={shape}: {} diagnostic(s)",
+                        domain,
+                        found.len()
+                    );
+                    all.extend(found);
+
+                    // Same schedule under dynamic self-scheduling: every
+                    // chunk becomes its own claimable slot, so chunk-level
+                    // disjointness proves safety for *any* claim order.
+                    let dyn_plan = islands_plan_dynamic(
+                        &problem,
+                        domain,
+                        parts,
+                        &sizes,
+                        split_axis,
+                        CACHE_BYTES,
+                        3,
+                    )
+                    .expect("lint domains fit the cache budget");
+                    let found = check_disjointness(&dyn_plan);
+                    println!(
+                        "disjointness domain={:?} partition={desc} split={split_axis:?} \
+                         teams={shape} schedule=dynamic(3): {} diagnostic(s)",
                         domain,
                         found.len()
                     );
@@ -224,6 +272,40 @@ fn mutant_overlap_ranks() -> Vec<Diagnostic> {
         for ep in &mut team.epochs {
             if let Some(rank0) = ep.per_rank.first_mut() {
                 for acc in rank0.iter_mut().filter(|a| a.write) {
+                    let r = acc.region.range(split_axis);
+                    let hi = (r.hi + 1).min(plan.domain.range(split_axis).hi);
+                    acc.region = acc.region.with_range(split_axis, Range1::new(r.lo, hi));
+                }
+            }
+        }
+    }
+    check_disjointness(&plan)
+}
+
+fn mutant_overlap_chunks() -> Vec<Diagnostic> {
+    let problem = MpdataProblem::standard();
+    let domain = Region3::of_extent(16, 12, 6);
+    let parts = domain.split(Axis::I, 2);
+    let split_axis = Axis::J;
+    // Two ranks × two chunks each: four claimable slots per epoch.
+    let mut plan = islands_plan_dynamic(
+        &problem,
+        domain,
+        &parts,
+        &[2, 2],
+        split_axis,
+        CACHE_BYTES,
+        2,
+    )
+    .expect("lint domain fits the cache budget");
+    // Widen the first chunk's writes one slab into the second chunk's
+    // share. Unlike `overlap-ranks` this overlap is between two units a
+    // *single* worker may claim back to back — still unsafe, because
+    // another worker can claim the second chunk concurrently.
+    for team in &mut plan.teams {
+        for ep in &mut team.epochs {
+            if let Some(chunk0) = ep.per_rank.first_mut() {
+                for acc in chunk0.iter_mut().filter(|a| a.write) {
                     let r = acc.region.range(split_axis);
                     let hi = (r.hi + 1).min(plan.domain.range(split_axis).hi);
                     acc.region = acc.region.with_range(split_axis, Range1::new(r.lo, hi));

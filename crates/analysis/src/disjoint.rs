@@ -98,6 +98,64 @@ pub fn islands_plan(
     split_axis: Axis,
     cache_bytes: usize,
 ) -> Result<SchedulePlan, PlanBlocksError> {
+    islands_plan_impl(
+        problem,
+        domain,
+        parts,
+        team_sizes,
+        split_axis,
+        cache_bytes,
+        None,
+    )
+}
+
+/// Like [`islands_plan`], but for the *self-scheduled* executor: each
+/// epoch is pre-split into `team_size × chunks_per_rank` chunks that
+/// ranks claim dynamically. The reconstruction models every chunk as
+/// its own schedule slot (`per_rank` index = chunk index) — sound
+/// because chunk-level disjointness implies disjointness under **any**
+/// assignment of chunks to claiming ranks, which is exactly the freedom
+/// dynamic claiming has; the epoch fencing (team barrier) is unchanged.
+///
+/// # Errors
+///
+/// Returns [`PlanBlocksError`] when a part's blocks cannot fit the
+/// cache budget.
+///
+/// # Panics
+///
+/// Panics like [`islands_plan`], and if `chunks_per_rank` is zero.
+pub fn islands_plan_dynamic(
+    problem: &MpdataProblem,
+    domain: Region3,
+    parts: &[Region3],
+    team_sizes: &[usize],
+    split_axis: Axis,
+    cache_bytes: usize,
+    chunks_per_rank: usize,
+) -> Result<SchedulePlan, PlanBlocksError> {
+    assert!(chunks_per_rank > 0, "need at least one chunk per rank");
+    islands_plan_impl(
+        problem,
+        domain,
+        parts,
+        team_sizes,
+        split_axis,
+        cache_bytes,
+        Some(chunks_per_rank),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn islands_plan_impl(
+    problem: &MpdataProblem,
+    domain: Region3,
+    parts: &[Region3],
+    team_sizes: &[usize],
+    split_axis: Axis,
+    cache_bytes: usize,
+    chunks_per_rank: Option<usize>,
+) -> Result<SchedulePlan, PlanBlocksError> {
     assert_eq!(parts.len(), team_sizes.len(), "one part per team");
     assert_eq!(
         problem.boundary(),
@@ -118,15 +176,24 @@ pub fn islands_plan(
 
     let mut teams = Vec::with_capacity(parts.len());
     for (&part, &size) in parts.iter().zip(team_sizes) {
+        // Dynamic self-scheduling pre-splits each epoch into
+        // `size × chunks_per_rank` chunks; a static schedule is the
+        // 1-chunk-per-rank special case (slot index = rank).
+        let slots = size * chunks_per_rank.unwrap_or(1);
+        let slot_word = if chunks_per_rank.is_some() {
+            " (dynamic chunks)"
+        } else {
+            ""
+        };
         let mut epochs = Vec::new();
         if !part.is_empty() {
             let blocking = BlockPlanner::new(cache_bytes).plan_wavefront(graph, part, domain)?;
             for (b, block) in blocking.blocks.iter().enumerate() {
                 for st in graph.stages() {
                     let region = block.stage_regions[st.id.index()];
-                    let mut per_rank = Vec::with_capacity(size);
-                    for rank in 0..size {
-                        let mine = mpdata::rank_slice(region, split_axis, rank, size);
+                    let mut per_rank = Vec::with_capacity(slots);
+                    for slot in 0..slots {
+                        let mine = mpdata::rank_slice(region, split_axis, slot, slots);
                         let mut acc = Vec::new();
                         if !mine.is_empty() {
                             for &o in &st.outputs {
@@ -147,7 +214,7 @@ pub fn islands_plan(
                         per_rank.push(acc);
                     }
                     epochs.push(Epoch {
-                        label: format!("block {b} / stage {}", st.name),
+                        label: format!("block {b} / stage {}{slot_word}", st.name),
                         per_rank,
                     });
                 }

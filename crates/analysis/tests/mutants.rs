@@ -5,8 +5,8 @@
 //! refactor cannot silently lobotomize a check.
 
 use islands_analysis::{
-    check_disjointness, check_graph, islands_plan, with_offset_removed, DiagnosticCode, KernelPath,
-    PlannedAccess,
+    check_disjointness, check_graph, islands_plan, islands_plan_dynamic, with_offset_removed,
+    DiagnosticCode, KernelPath, PlannedAccess,
 };
 use mpdata::MpdataProblem;
 use stencil_engine::{trace, Axis, Offset3, Range1, Region3, StageGraph, StencilPattern};
@@ -218,10 +218,54 @@ fn dropping_an_islands_output_writes_is_an_uncovered_output() {
 }
 
 #[test]
+fn widened_chunk_is_an_intra_team_overlap_naming_both_slots() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let split = Axis::J;
+    // Two ranks × two chunks: four claimable slots per epoch. Widen the
+    // first chunk's writes one slab into the second chunk's share — any
+    // claim order where different workers take slots 0 and 1 races.
+    let mut plan = islands_plan_dynamic(&problem, d, &parts, &[2, 2], split, CACHE, 2).unwrap();
+    for team in &mut plan.teams {
+        for ep in &mut team.epochs {
+            if let Some(chunk0) = ep.per_rank.first_mut() {
+                for acc in chunk0.iter_mut().filter(|a| a.write) {
+                    let r = acc.region.range(split);
+                    let hi = (r.hi + 1).min(d.range(split).hi);
+                    acc.region = acc.region.with_range(split, Range1::new(r.lo, hi));
+                }
+            }
+        }
+    }
+    let found = check_disjointness(&plan);
+    let hit = found
+        .iter()
+        .find(|f| f.code == DiagnosticCode::IntraTeamOverlap)
+        .unwrap_or_else(|| panic!("expected an intra-team chunk overlap, got: {found:?}"));
+    // The diagnostic must name both overlapping chunk slots and mark the
+    // epoch as dynamically scheduled.
+    assert!(
+        hit.site.contains("(dynamic chunks)"),
+        "site should mark the dynamic schedule, got: {}",
+        hit.site
+    );
+    assert!(
+        hit.detail.contains("rank 0 writes") && hit.detail.contains("rank 1 writes"),
+        "detail should name both chunk slots, got: {}",
+        hit.detail
+    );
+}
+
+#[test]
 fn clean_schedule_stays_clean_as_a_control() {
     let problem = MpdataProblem::standard();
     let d = Region3::of_extent(16, 12, 6);
     let parts = d.split(Axis::I, 2);
     let plan = islands_plan(&problem, d, &parts, &[2, 2], Axis::J, CACHE).unwrap();
     assert_eq!(check_disjointness(&plan), vec![]);
+    // The dynamic variant of the same schedule is clean too: chunk-level
+    // disjointness holds, so any claim order is safe.
+    let dyn_plan = islands_plan_dynamic(&problem, d, &parts, &[2, 2], Axis::J, CACHE, 3).unwrap();
+    assert_eq!(check_disjointness(&dyn_plan), vec![]);
 }

@@ -10,36 +10,158 @@
 //!   every measurement pays plan construction plus the step;
 //! * `*_steady/P` — a warmed executor running a multi-step batch,
 //!   reported per step: the marginal cost of steps 2..N, where the plan
-//!   is replayed from cache with zero heap allocations.
+//!   is replayed from cache with zero heap allocations;
+//! * `islands_dyn_*/4` — the same islands schedule with two 2-worker
+//!   teams and intra-island self-scheduling, exercising the dynamic
+//!   chunk-claiming replay path (full mode only — on the quick smoke
+//!   domain its plan-build amortization is inside scheduling noise).
 //!
 //! After the timed samples of each `*_steady/P` row, one extra
 //! *untimed* batch runs under the `islands-trace` recorder to attach a
-//! kernel / barrier / swap phase breakdown to the row (tracing never
-//! overlaps a timed sample, so the medians stay clean). `bench-check
-//! --phases` validates those fields and gates on the steady/first
-//! ratio.
+//! kernel / barrier / swap / imbalance phase breakdown to the row
+//! (tracing never overlaps a timed sample, so the medians stay clean).
+//! The imbalance field is derived from the deterministic per-island
+//! cell counts at the measured kernel rate — see [`traced_phases`].
+//! `bench-check --phases` validates those fields and gates on the
+//! steady/first ratio; `--max-barrier-share` gates on the
+//! imbalance-attributable share.
 //!
 //! `--quick` shrinks the domain and drops the oversubscribed P = 14
 //! point for CI smoke runs; `--json <path>` writes the artifact that
 //! `bench-check` validates (steady must beat first).
+//!
+//! `--balance=uniform|model|measured` picks how island cut positions
+//! are chosen (single token — a bare word would be read as the bench
+//! filter): `uniform` is the even axis split, `model` solves non-uniform
+//! cuts from the static cost model (the default, and what the committed
+//! artifact is generated with), `measured` first probes a few traced
+//! steps under the uniform cuts and feeds the observed per-island
+//! kernel rates back into the model before cutting.
 
 use islands_bench::microbench::{Harness, Phases};
-use mpdata::{gaussian_pulse, FusedExecutor, IslandsExecutor, MpdataFields};
-use stencil_engine::{Axis, Region3};
+use islands_trace::metrics::RunMetrics;
+use mpdata::{gaussian_pulse, FusedExecutor, IslandsExecutor, MpdataFields, MpdataProblem};
+use stencil_engine::{balanced_cuts, measured_plane_scale, Axis, CostModel, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
 
+/// How the bench chooses island cut positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Balance {
+    Uniform,
+    Model,
+    Measured,
+}
+
+fn balance_from_env() -> Balance {
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--balance=uniform" => return Balance::Uniform,
+            "--balance=model" => return Balance::Model,
+            "--balance=measured" => return Balance::Measured,
+            _ if a.starts_with("--balance") => {
+                eprintln!("unknown balance mode `{a}`; use --balance=uniform|model|measured");
+                std::process::exit(2);
+            }
+            _ => {}
+        }
+    }
+    Balance::Model
+}
+
 /// Replays `steps` steps of `run` under the trace recorder and folds
-/// the per-island totals into worker-summed nanoseconds per step.
+/// the per-island totals into worker-summed nanoseconds per step, plus
+/// the worker count and imbalance-attributable worker time.
+///
+/// The imbalance estimate is *work-based*, not span-based: per step,
+/// each island's computed cells are normalized per worker, the excess
+/// worker-cells below the slowest island are summed, and the total is
+/// converted to nanoseconds at the run's mean kernel rate. Wall-time
+/// spans would measure the same thing on dedicated cores, but on an
+/// oversubscribed host (14 single-thread islands on a 2-core runner)
+/// preemption noise in the spans swamps the partition signal; the cell
+/// counts are exact and deterministic for a given partition.
 fn traced_phases(steps: u64, run: impl FnOnce()) -> Phases {
     let session = islands_trace::Session::start();
     run();
     let drained = session.finish();
-    let totals = islands_trace::metrics::RunMetrics::aggregate(&drained).totals();
+    let metrics = RunMetrics::aggregate(&drained);
+    let totals = metrics.totals();
     let per_step = |ns: u64| ns as f64 / steps as f64;
+    let workers: u32 = totals
+        .iter()
+        .filter(|m| m.island != islands_trace::NO_ISLAND)
+        .map(|m| m.workers)
+        .sum();
+    let mut excess_cells = 0.0;
+    for step in &metrics.steps {
+        let pw: Vec<(f64, f64)> = step
+            .islands
+            .iter()
+            .filter(|m| m.island != islands_trace::NO_ISLAND && m.workers > 0)
+            .map(|m| {
+                let w = f64::from(m.workers);
+                (w, m.computed_cells as f64 / w)
+            })
+            .collect();
+        let max = pw.iter().fold(0.0f64, |a, &(_, c)| a.max(c));
+        excess_cells += pw.iter().map(|&(w, c)| w * (max - c)).sum::<f64>();
+    }
+    let total_cells: u64 = totals.iter().map(|m| m.computed_cells).sum();
+    let total_kernel: u64 = totals.iter().map(|m| m.kernel_ns).sum();
+    let rate = if total_cells > 0 {
+        total_kernel as f64 / total_cells as f64
+    } else {
+        0.0
+    };
     Phases {
+        workers: f64::from(workers),
         kernel_ns: per_step(totals.iter().map(|m| m.kernel_ns).sum()),
         barrier_ns: per_step(totals.iter().map(|m| m.barrier_wait_ns()).sum()),
         swap_ns: per_step(totals.iter().map(|m| m.swap_ns).sum()),
+        imbalance_ns: excess_cells * rate / steps as f64,
+    }
+}
+
+/// Island cut positions along I for `islands` teams under `balance`.
+///
+/// `measured` probes `PROBE_STEPS` traced steps with the uniform cuts
+/// and `workers_per_island` ranks per team, then re-cuts with the
+/// observed per-island kernel rates scaling the cost model's planes.
+fn island_parts(
+    balance: Balance,
+    pool: &WorkerPool,
+    domain: Region3,
+    islands: usize,
+    workers_per_island: usize,
+) -> Vec<Region3> {
+    let problem = MpdataProblem::standard();
+    let graph = problem.graph();
+    let uniform = domain.split(Axis::I, islands);
+    let model = CostModel::from_graph(graph);
+    match balance {
+        Balance::Uniform => uniform,
+        Balance::Model => balanced_cuts(graph, domain, domain, Axis::I, islands, &model),
+        Balance::Measured => {
+            const PROBE_STEPS: usize = 3;
+            let spec = TeamSpec::even(islands * workers_per_island, workers_per_island);
+            let probe = IslandsExecutor::new(pool, spec, Axis::I)
+                .cache_bytes(CACHE_BYTES)
+                .with_partition(uniform.clone());
+            let mut f = gaussian_pulse(domain, (0.2, 0.1, 0.05));
+            probe.run(&mut f, 1).unwrap(); // plan build outside the probe
+            let session = islands_trace::Session::start();
+            probe.run(&mut f, PROBE_STEPS).unwrap();
+            let totals = RunMetrics::aggregate(&session.finish()).totals();
+            let mut stats = vec![(0_u64, 0_u64); islands];
+            for m in &totals {
+                if m.island != islands_trace::NO_ISLAND {
+                    stats[m.island as usize] = (m.kernel_ns, m.computed_cells);
+                }
+            }
+            let scale = measured_plane_scale(&uniform, Axis::I, domain.range(Axis::I), &stats);
+            let model = model.with_plane_scale(scale);
+            balanced_cuts(graph, domain, domain, Axis::I, islands, &model)
+        }
     }
 }
 
@@ -52,12 +174,15 @@ const CACHE_BYTES: usize = 1 << 20;
 const STEADY_STEPS: u64 = 8;
 
 fn main() {
+    let balance = balance_from_env();
     let mut h = Harness::from_env();
-    let (domain, island_counts): (Region3, &[usize]) = if h.quick() {
+    let quick = h.quick();
+    let (domain, island_counts): (Region3, &[usize]) = if quick {
         (Region3::of_extent(60, 30, 16), &[1, 4])
     } else {
         (Region3::of_extent(120, 60, 32), &[1, 4, 14])
     };
+    println!("balance mode: {balance:?}");
     let fields = gaussian_pulse(domain, (0.2, 0.1, 0.05));
 
     let mut g = h.group("steady_state");
@@ -65,13 +190,18 @@ fn main() {
     for &p in island_counts {
         let pool = WorkerPool::new(p);
         let spec = TeamSpec::even(p, p); // one single-core island per P
+        let parts = island_parts(balance, &pool, domain, p, 1);
 
         let mut f: MpdataFields = fields.clone();
         g.bench_param("islands_first", p, || {
-            let fresh = IslandsExecutor::new(&pool, spec.clone(), Axis::I).cache_bytes(CACHE_BYTES);
+            let fresh = IslandsExecutor::new(&pool, spec.clone(), Axis::I)
+                .cache_bytes(CACHE_BYTES)
+                .with_partition(parts.clone());
             fresh.run(&mut f, 1).unwrap();
         });
-        let warmed = IslandsExecutor::new(&pool, spec.clone(), Axis::I).cache_bytes(CACHE_BYTES);
+        let warmed = IslandsExecutor::new(&pool, spec.clone(), Axis::I)
+            .cache_bytes(CACHE_BYTES)
+            .with_partition(parts.clone());
         let mut f = fields.clone();
         warmed.run(&mut f, 1).unwrap(); // build the plan outside the timing
         let steady = format!("islands_steady/{p}");
@@ -83,6 +213,42 @@ fn main() {
                 warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
             });
             g.attach_phases(&steady, phases);
+        }
+
+        // Dynamic self-scheduling point: two 2-worker islands, chunked
+        // epoch work units claimed from the per-island queues. Full
+        // mode only: on the quick smoke domain the plan-build
+        // amortization that the steady/first ordering gate checks is
+        // smaller than the dynamic path's claim-timing noise (the
+        // dynamic replay is smoke-covered by CI's balance-smoke step
+        // instead).
+        if p == 4 && !quick {
+            let dyn_spec = TeamSpec::even(4, 2);
+            let dyn_parts = island_parts(balance, &pool, domain, 2, 2);
+            let mut f = fields.clone();
+            g.bench_param("islands_dyn_first", p, || {
+                let fresh = IslandsExecutor::new(&pool, dyn_spec.clone(), Axis::I)
+                    .cache_bytes(CACHE_BYTES)
+                    .with_partition(dyn_parts.clone())
+                    .self_schedule(2);
+                fresh.run(&mut f, 1).unwrap();
+            });
+            let warmed = IslandsExecutor::new(&pool, dyn_spec.clone(), Axis::I)
+                .cache_bytes(CACHE_BYTES)
+                .with_partition(dyn_parts.clone())
+                .self_schedule(2);
+            let mut f = fields.clone();
+            warmed.run(&mut f, 1).unwrap();
+            let steady = format!("islands_dyn_steady/{p}");
+            g.bench_per_unit(&steady, STEADY_STEPS, || {
+                warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+            });
+            if g.benched(&steady) {
+                let phases = traced_phases(STEADY_STEPS, || {
+                    warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+                });
+                g.attach_phases(&steady, phases);
+            }
         }
 
         let mut f = fields.clone();

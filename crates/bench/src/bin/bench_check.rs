@@ -1,7 +1,8 @@
 //! `bench-check` — validates benchmark and trace artifacts in CI.
 //!
 //! Usage: `bench-check [<bench.json>] [--phases] [--max-steady-ratio R]
-//! [--chrome <trace.json>]`. Exits non-zero when
+//! [--max-barrier-share S] [--chrome <trace.json>]`. Exits non-zero
+//! when
 //!
 //! * the bench file is not well-formed JSON or not an array of complete
 //!   `{group, label, min_ns, median_ns, max_ns, iters}` records with
@@ -10,13 +11,24 @@
 //!   `*_steady/P` partner where the steady median fails to beat the
 //!   first-step median — the whole point of the persistent-plan layer
 //!   is that replaying a cached plan is cheaper than building one, or
-//! * `--phases` is given and a `*_steady/P` row lacks the
-//!   `kernel_ns` / `barrier_ns` / `swap_ns` phase breakdown (or its
-//!   kernel time is not positive), or
+//! * `--phases` is given and a `*_steady/P` row lacks the phase
+//!   breakdown (worker-summed `kernel_ns` / `barrier_ns` / `swap_ns`,
+//!   the `workers` count, the per-worker `*_pw_ns` values and
+//!   `imbalance_ns`), its kernel time is not positive, or a per-worker
+//!   value disagrees with its summed value over `workers`, or
 //! * the steady/first median ratio of any pair exceeds
 //!   `--max-steady-ratio R` (`--phases` alone implies the default cap
 //!   0.95 — committed artifacts sit at ≤ 0.83, so a cap breach flags a
 //!   regression of the replay path, not noise), or
+//! * `--max-barrier-share S` is given and any multi-worker islands
+//!   steady row spends more than `S` of its compute time on
+//!   inter-island imbalance: the gated quantity is
+//!   `imbalance_ns / (kernel_ns + imbalance_ns)`, the fraction of
+//!   kernel-plus-lost worker time attributable to unequal island
+//!   finish times. Raw barrier time is deliberately *not* gated — on
+//!   an oversubscribed host (more workers than cores) summed barrier
+//!   wait is dominated by the scheduler, approaching `(P−1)/P` of the
+//!   step regardless of how well the islands are balanced, or
 //! * `--chrome <trace.json>` names a file the in-repo Chrome
 //!   trace-event validator rejects.
 
@@ -31,6 +43,7 @@ struct Opts {
     chrome_path: Option<String>,
     phases: bool,
     max_steady_ratio: Option<f64>,
+    max_barrier_share: Option<f64>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -39,6 +52,7 @@ fn parse_opts() -> Result<Opts, String> {
         chrome_path: None,
         phases: false,
         max_steady_ratio: None,
+        max_barrier_share: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,6 +68,16 @@ fn parse_opts() -> Result<Opts, String> {
                 }
                 o.max_steady_ratio = Some(r);
             }
+            "--max-barrier-share" => {
+                let v = args.next().ok_or("--max-barrier-share needs a value")?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-barrier-share {v:?}: {e}"))?;
+                if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                    return Err(format!("--max-barrier-share must be in (0, 1], got {v}"));
+                }
+                o.max_barrier_share = Some(s);
+            }
             "--chrome" => o.chrome_path = Some(args.next().ok_or("--chrome needs a path")?),
             other if !other.starts_with('-') && o.bench_path.is_none() => {
                 o.bench_path = Some(other.to_string());
@@ -66,7 +90,8 @@ fn parse_opts() -> Result<Opts, String> {
     }
     if o.bench_path.is_none() && o.chrome_path.is_none() {
         return Err("usage: bench-check [<bench.json>] [--phases] \
-                    [--max-steady-ratio R] [--chrome <trace.json>]"
+                    [--max-steady-ratio R] [--max-barrier-share S] \
+                    [--chrome <trace.json>]"
             .into());
     }
     Ok(o)
@@ -126,18 +151,33 @@ fn run() -> i32 {
     0
 }
 
+/// Phase breakdown of one record, as read back from the artifact.
+struct PhaseRec {
+    kernel: f64,
+    barrier: f64,
+    swap: f64,
+    workers: f64,
+    imbalance: f64,
+}
+
 /// One validated record (only the fields the checks need).
 struct Rec {
     group: String,
     label: String,
     median_ns: f64,
-    phases: Option<(f64, f64, f64)>,
+    phases: Option<PhaseRec>,
 }
 
 fn field_f64(obj: &Json, key: &str, n: usize) -> Result<f64, String> {
     obj.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("record {n}: missing numeric `{key}`"))
+}
+
+/// Checks `summed / workers == pw` up to rounding.
+fn pw_consistent(summed: f64, workers: f64, pw: f64) -> bool {
+    let expect = summed / workers.max(1.0);
+    (expect - pw).abs() <= 1e-6 * expect.abs() + 1e-3
 }
 
 fn check(doc: &Json, o: &Opts) -> Result<String, String> {
@@ -173,11 +213,33 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
             ));
         }
         let phases = match item.get("kernel_ns") {
-            Some(_) => Some((
-                field_f64(item, "kernel_ns", n)?,
-                field_f64(item, "barrier_ns", n)?,
-                field_f64(item, "swap_ns", n)?,
-            )),
+            Some(_) => {
+                let p = PhaseRec {
+                    kernel: field_f64(item, "kernel_ns", n)?,
+                    barrier: field_f64(item, "barrier_ns", n)?,
+                    swap: field_f64(item, "swap_ns", n)?,
+                    workers: field_f64(item, "workers", n)?,
+                    imbalance: field_f64(item, "imbalance_ns", n)?,
+                };
+                // The per-worker values must be the summed values over
+                // `workers` — they are derived at render time, so a
+                // mismatch means a corrupted or hand-edited artifact.
+                for (key, summed) in [
+                    ("kernel_pw_ns", p.kernel),
+                    ("barrier_pw_ns", p.barrier),
+                    ("swap_pw_ns", p.swap),
+                ] {
+                    let pw = field_f64(item, key, n)?;
+                    if !pw_consistent(summed, p.workers, pw) {
+                        return Err(format!(
+                            "record {n} ({group}/{label}): `{key}` = {pw} disagrees with \
+                             its summed value {summed} over {} worker(s)",
+                            p.workers
+                        ));
+                    }
+                }
+                Some(p)
+            }
             None => None,
         };
         recs.push(Rec {
@@ -193,16 +255,15 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
     // one is set).
     let mut pairs = 0;
     for first in recs.iter().filter(|r| r.group == "steady_state") {
-        let Some(rest) = first.label.strip_prefix("islands_first/") else {
+        let Some(pos) = first.label.find("_first/") else {
             continue;
         };
-        pairs += check_pair(&recs, first, &format!("islands_steady/{rest}"), o)?;
-    }
-    for first in recs.iter().filter(|r| r.group == "steady_state") {
-        let Some(rest) = first.label.strip_prefix("fused_first/") else {
-            continue;
-        };
-        pairs += check_pair(&recs, first, &format!("fused_steady/{rest}"), o)?;
+        let steady_label = format!(
+            "{}_steady/{}",
+            &first.label[..pos],
+            &first.label[pos + "_first/".len()..]
+        );
+        pairs += check_pair(&recs, first, &steady_label, o)?;
     }
     if recs.iter().any(|r| r.group == "steady_state") && pairs == 0 {
         return Err("steady_state group present but no first/steady pairs found".into());
@@ -216,17 +277,22 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
             .iter()
             .filter(|r| r.group == "steady_state" && r.label.contains("_steady/"))
         {
-            let Some((kernel, barrier, swap)) = r.phases else {
+            let Some(p) = &r.phases else {
                 return Err(format!(
-                    "`{}`: --phases requires kernel_ns/barrier_ns/swap_ns on steady rows",
+                    "`{}`: --phases requires the phase breakdown on steady rows",
                     r.label
                 ));
             };
-            if !(kernel > 0.0 && barrier >= 0.0 && swap >= 0.0) {
+            if !(p.kernel > 0.0
+                && p.barrier >= 0.0
+                && p.swap >= 0.0
+                && p.workers >= 1.0
+                && p.imbalance >= 0.0)
+            {
                 return Err(format!(
-                    "`{}`: implausible phase breakdown kernel {kernel} / \
-                     barrier {barrier} / swap {swap}",
-                    r.label
+                    "`{}`: implausible phase breakdown kernel {} / barrier {} / \
+                     swap {} / workers {} / imbalance {}",
+                    r.label, p.kernel, p.barrier, p.swap, p.workers, p.imbalance
                 ));
             }
             with_phases += 1;
@@ -235,13 +301,53 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
             return Err("--phases: no steady rows with a phase breakdown".into());
         }
     }
+
+    // Imbalance gate: multi-worker islands steady rows must keep the
+    // imbalance-attributable share of compute time under the cap.
+    let mut gated = 0;
+    if let Some(cap) = o.max_barrier_share {
+        for r in recs.iter().filter(|r| {
+            r.group == "steady_state"
+                && r.label.starts_with("islands")
+                && r.label.contains("_steady/")
+        }) {
+            let Some(p) = &r.phases else {
+                return Err(format!(
+                    "`{}`: --max-barrier-share requires the phase breakdown",
+                    r.label
+                ));
+            };
+            if p.workers < 2.0 {
+                continue; // a single worker cannot be imbalanced
+            }
+            let share = p.imbalance / (p.kernel + p.imbalance).max(1.0);
+            if share > cap {
+                return Err(format!(
+                    "imbalance share too high: `{}` loses {share:.3} of its compute \
+                     time to unequal island finish times (cap {cap}) — the cost-model \
+                     cuts are no longer balancing the islands",
+                    r.label
+                ));
+            }
+            gated += 1;
+        }
+        if gated == 0 {
+            return Err("--max-barrier-share: no multi-worker islands steady rows to gate".into());
+        }
+    }
+
     let phase_note = if o.phases {
         format!(", {with_phases} phase breakdown(s) present")
     } else {
         String::new()
     };
+    let gate_note = if o.max_barrier_share.is_some() {
+        format!(", {gated} imbalance share(s) under the cap")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{} record(s) well-formed, {pairs} steady/first pair(s) ordered{phase_note}",
+        "{} record(s) well-formed, {pairs} steady/first pair(s) ordered{phase_note}{gate_note}",
         recs.len()
     ))
 }

@@ -22,8 +22,10 @@
 //!   result as a JSON array of `{group, label, min_ns, median_ns,
 //!   max_ns, iters}` objects to `path` (the `bench-check` binary
 //!   validates such artifacts in CI). Rows with a phase breakdown
-//!   attached via [`Group::attach_phases`] additionally carry
-//!   `kernel_ns` / `barrier_ns` / `swap_ns`;
+//!   attached via [`Group::attach_phases`] additionally carry the
+//!   worker-summed `kernel_ns` / `barrier_ns` / `swap_ns`, the worker
+//!   count, comparable-across-P `*_pw_ns` per-worker values and the
+//!   imbalance-attributable `imbalance_ns` (see [`Phases`]);
 //! * `--quick` — benches that call [`Harness::quick`] shrink their
 //!   configurations for smoke runs.
 
@@ -32,17 +34,39 @@ use std::time::{Duration, Instant};
 
 /// Phase breakdown of one benchmark iteration, measured by an untimed
 /// traced replay of the benched operation (see
-/// [`Group::attach_phases`]). All values are worker-summed nanoseconds
-/// per iteration — on a P-worker run an iteration can account up to
-/// P × its wall time.
+/// [`Group::attach_phases`]). The `*_ns` phase fields are
+/// *worker-summed* nanoseconds per iteration — on a P-worker run an
+/// iteration can account up to P × its wall time — so raw phase values
+/// are not comparable across different worker counts. The JSON artifact
+/// therefore also carries per-worker (`*_pw_ns = *_ns / workers`)
+/// values, which are on the wall-clock scale of `median_ns` and compare
+/// across P.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Phases {
+    /// Workers that contributed to the summed phase times.
+    pub workers: f64,
     /// Kernel (stencil sweep) time.
     pub kernel_ns: f64,
     /// Barrier wait (team + global, all of spin/yield/park).
     pub barrier_ns: f64,
     /// Serial buffer-swap and gap re-zero time.
     pub swap_ns: f64,
+    /// Worker time lost to inter-island imbalance per iteration:
+    /// `Σ_i workers_i × (max_pw − pw_i)` over islands, where `pw_i` is
+    /// island i's per-worker share of the step (kernel time on
+    /// dedicated cores; the steady-state bench derives it from the
+    /// deterministic per-island cell counts at the measured kernel
+    /// rate, so the value is preemption-noise-free on oversubscribed
+    /// hosts). Worker-summed, like the phase fields. On dedicated
+    /// cores this is the barrier wait attributable to imbalance rather
+    /// than oversubscription.
+    pub imbalance_ns: f64,
+}
+
+impl Phases {
+    fn per_worker(&self, summed: f64) -> f64 {
+        summed / self.workers.max(1.0)
+    }
 }
 
 /// One finished measurement, as serialized by `--json`.
@@ -156,8 +180,9 @@ impl Harness {
 
 /// Renders records as a JSON array (stable key order) — the exact
 /// format `bench-check` parses back. Rows with an attached phase
-/// breakdown carry three extra members `kernel_ns` / `barrier_ns` /
-/// `swap_ns`. Goes through [`crate::json`]'s emitter, so a NaN or
+/// breakdown carry the extra members described in [`Phases`]
+/// (worker-summed phases, `workers`, per-worker `*_pw_ns` values and
+/// `imbalance_ns`). Goes through [`crate::json`]'s emitter, so a NaN or
 /// infinity in a record is an error here rather than an invalid
 /// artifact downstream.
 ///
@@ -180,6 +205,17 @@ pub fn render_json(records: &[Record]) -> String {
                 m.push(("kernel_ns".to_string(), Json::Num(p.kernel_ns)));
                 m.push(("barrier_ns".to_string(), Json::Num(p.barrier_ns)));
                 m.push(("swap_ns".to_string(), Json::Num(p.swap_ns)));
+                m.push(("workers".to_string(), Json::Num(p.workers)));
+                m.push((
+                    "kernel_pw_ns".to_string(),
+                    Json::Num(p.per_worker(p.kernel_ns)),
+                ));
+                m.push((
+                    "barrier_pw_ns".to_string(),
+                    Json::Num(p.per_worker(p.barrier_ns)),
+                ));
+                m.push(("swap_pw_ns".to_string(), Json::Num(p.per_worker(p.swap_ns))));
+                m.push(("imbalance_ns".to_string(), Json::Num(p.imbalance_ns)));
             }
             Json::Object(m)
         })
@@ -427,9 +463,11 @@ mod tests {
                 max_ns: 30.0,
                 iters: 3,
                 phases: Some(Phases {
+                    workers: 2.0,
                     kernel_ns: 15.5,
                     barrier_ns: 3.0,
                     swap_ns: 0.5,
+                    imbalance_ns: 1.25,
                 }),
             },
         ];
@@ -451,6 +489,25 @@ mod tests {
         assert_eq!(arr[1].get("kernel_ns").and_then(|v| v.as_f64()), Some(15.5));
         assert_eq!(arr[1].get("barrier_ns").and_then(|v| v.as_f64()), Some(3.0));
         assert_eq!(arr[1].get("swap_ns").and_then(|v| v.as_f64()), Some(0.5));
+        // Per-worker values are the summed phases over `workers`, on the
+        // same wall-clock scale as median_ns.
+        assert_eq!(arr[1].get("workers").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(
+            arr[1].get("kernel_pw_ns").and_then(|v| v.as_f64()),
+            Some(7.75)
+        );
+        assert_eq!(
+            arr[1].get("barrier_pw_ns").and_then(|v| v.as_f64()),
+            Some(1.5)
+        );
+        assert_eq!(
+            arr[1].get("swap_pw_ns").and_then(|v| v.as_f64()),
+            Some(0.25)
+        );
+        assert_eq!(
+            arr[1].get("imbalance_ns").and_then(|v| v.as_f64()),
+            Some(1.25)
+        );
     }
 
     #[test]
@@ -460,32 +517,27 @@ mod tests {
         g.sample_size(3);
         g.bench("a", || {});
         g.bench("b", || {});
-        g.attach_phases(
-            "b",
-            Phases {
-                kernel_ns: 1.0,
-                barrier_ns: 2.0,
-                swap_ns: 3.0,
-            },
-        );
+        let attached = Phases {
+            workers: 4.0,
+            kernel_ns: 1.0,
+            barrier_ns: 2.0,
+            swap_ns: 3.0,
+            imbalance_ns: 0.5,
+        };
+        g.attach_phases("b", attached);
         g.attach_phases(
             "absent",
             Phases {
+                workers: 1.0,
                 kernel_ns: 9.0,
                 barrier_ns: 9.0,
                 swap_ns: 9.0,
+                imbalance_ns: 9.0,
             },
         );
         g.finish();
         assert_eq!(h.records[0].phases, None);
-        assert_eq!(
-            h.records[1].phases,
-            Some(Phases {
-                kernel_ns: 1.0,
-                barrier_ns: 2.0,
-                swap_ns: 3.0,
-            })
-        );
+        assert_eq!(h.records[1].phases, Some(attached));
     }
 
     #[test]

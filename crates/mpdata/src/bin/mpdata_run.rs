@@ -4,6 +4,7 @@
 //! mpdata-run [--domain NI,NJ,NK] [--steps N] [--strategy reference|original|fused|islands|exchange]
 //!            [--workers W] [--islands P] [--iord N] [--boundary open|periodic]
 //!            [--problem gaussian|cone|random] [--cache BYTES] [--verify]
+//!            [--balance uniform|model|measured] [--self-schedule N]
 //!            [--trace OUT.json] [--metrics]
 //! ```
 //!
@@ -18,9 +19,19 @@
 //! `--trace out.json` records the timed run with the `islands-trace`
 //! recorder and writes a Chrome trace-event file (open in
 //! `chrome://tracing` or Perfetto); `--metrics` prints the per-island
-//! phase breakdown (kernel / barrier / swap time, redundant cells).
-//! Both only affect the timed run — the `--verify` reference pass is
-//! never traced.
+//! phase breakdown (kernel / barrier / swap time, redundant cells,
+//! per-worker imbalance summary). Both only affect the timed run — the
+//! `--verify` reference pass is never traced.
+//!
+//! `--balance` (islands strategy only) picks the island cut positions:
+//! `uniform` splits the axis evenly, `model` solves non-uniform cuts
+//! that equalize the static cost model's per-island cost (interior plus
+//! redundant halo cells, stage-weighted), and `measured` first runs a
+//! few *untraced-output* probe steps on cloned fields under the uniform
+//! cuts, feeds the observed per-island kernel rates back into the
+//! model, and re-cuts. `--self-schedule N` splits each barrier-fenced
+//! epoch into N chunks per rank that the island's workers claim
+//! dynamically (islands and fused strategies).
 
 use mpdata::{
     gaussian_pulse, random_fields, rotating_cone, Boundary, FusedExecutor, IslandsExecutor,
@@ -29,7 +40,7 @@ use mpdata::{
 use std::process::ExitCode;
 use std::time::Instant;
 use stencil_engine::rng::Xoshiro256pp;
-use stencil_engine::{Axis, Region3};
+use stencil_engine::{balanced_cuts, measured_plane_scale, Axis, CostModel, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
 
 #[derive(Debug)]
@@ -44,6 +55,8 @@ struct Args {
     problem: String,
     cache: usize,
     verify: bool,
+    balance: String,
+    self_schedule: usize,
     trace: Option<String>,
     metrics: bool,
 }
@@ -61,6 +74,8 @@ impl Default for Args {
             problem: "gaussian".into(),
             cache: 1 << 20,
             verify: false,
+            balance: "uniform".into(),
+            self_schedule: 0,
             trace: None,
             metrics: false,
         }
@@ -102,6 +117,15 @@ fn parse_args() -> Result<Args, String> {
             "--problem" => a.problem = val()?,
             "--cache" => a.cache = val()?.parse().map_err(|e| format!("bad --cache: {e}"))?,
             "--verify" => a.verify = true,
+            "--balance" => a.balance = val()?,
+            "--self-schedule" => {
+                a.self_schedule = val()?
+                    .parse()
+                    .map_err(|e| format!("bad --self-schedule: {e}"))?;
+                if a.self_schedule == 0 {
+                    return Err("--self-schedule needs at least 1 chunk per rank".into());
+                }
+            }
             "--trace" => a.trace = Some(val()?),
             "--metrics" => a.metrics = true,
             "--help" | "-h" => {
@@ -109,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
                     "mpdata-run --domain NI,NJ,NK --steps N --strategy reference|original|fused|islands|exchange\n\
                      \x20          --workers W --islands P --iord N --boundary open|periodic\n\
                      \x20          --problem gaussian|cone|random --cache BYTES --verify\n\
+                     \x20          --balance uniform|model|measured --self-schedule N\n\
                      \x20          --trace OUT.json --metrics"
                 );
                 std::process::exit(0);
@@ -124,6 +149,18 @@ fn parse_args() -> Result<Args, String> {
             "--workers ({}) must be divisible by --islands ({})",
             a.workers, a.islands
         ));
+    }
+    if !matches!(a.balance.as_str(), "uniform" | "model" | "measured") {
+        return Err(format!(
+            "unknown --balance {:?}; use uniform|model|measured",
+            a.balance
+        ));
+    }
+    if a.balance != "uniform" && a.strategy != "islands" {
+        return Err("--balance model|measured only applies to --strategy islands".into());
+    }
+    if a.self_schedule > 0 && !matches!(a.strategy.as_str(), "islands" | "fused") {
+        return Err("--self-schedule only applies to --strategy islands|fused".into());
     }
     Ok(a)
 }
@@ -143,6 +180,59 @@ fn make_fields(a: &Args) -> MpdataFields {
             f
         }
     }
+}
+
+/// Solves the island cut positions for `--balance model|measured`.
+///
+/// `measured` runs a short traced probe on cloned fields under the
+/// uniform cuts and scales the cost model's per-plane weights by the
+/// observed per-island kernel rates before re-cutting.
+fn balanced_partition(
+    a: &Args,
+    pool: &WorkerPool,
+    domain: Region3,
+    mode: &str,
+    problem: impl Fn() -> MpdataProblem,
+) -> Result<Vec<Region3>, String> {
+    let prob = problem();
+    let graph = prob.graph();
+    let mut model = CostModel::from_graph(graph);
+    if mode == "measured" {
+        const PROBE_STEPS: usize = 3;
+        let uniform = domain.split(Axis::I, a.islands);
+        let probe = IslandsExecutor::with_problem(
+            pool,
+            TeamSpec::even(a.workers, a.islands),
+            Axis::I,
+            problem(),
+        )
+        .cache_bytes(a.cache)
+        .with_partition(uniform.clone());
+        let mut f = make_fields(a);
+        probe
+            .run(&mut f, 1)
+            .map_err(|e| format!("balance probe: {e}"))?; // plan build
+        let session = islands_trace::Session::start();
+        let run = probe.run(&mut f, PROBE_STEPS);
+        let totals = islands_trace::metrics::RunMetrics::aggregate(&session.finish()).totals();
+        run.map_err(|e| format!("balance probe: {e}"))?;
+        let mut stats = vec![(0_u64, 0_u64); a.islands];
+        for m in &totals {
+            if m.island != islands_trace::NO_ISLAND && (m.island as usize) < a.islands {
+                stats[m.island as usize] = (m.kernel_ns, m.computed_cells);
+            }
+        }
+        let scale = measured_plane_scale(&uniform, Axis::I, domain.range(Axis::I), &stats);
+        model = model.with_plane_scale(scale);
+    }
+    Ok(balanced_cuts(
+        graph,
+        domain,
+        domain,
+        Axis::I,
+        a.islands,
+        &model,
+    ))
 }
 
 fn main() -> ExitCode {
@@ -172,6 +262,23 @@ fn main() -> ExitCode {
     });
 
     let pool = WorkerPool::new(a.workers);
+    // Non-uniform island cuts are solved before the timed run (and
+    // before the trace session opens — the `measured` probe drives its
+    // own short session, which must finish first).
+    let balanced_parts = match a.balance.as_str() {
+        "uniform" => None,
+        mode => match balanced_partition(&a, &pool, fields.domain(), mode, problem) {
+            Ok(parts) => {
+                let widths: Vec<usize> = parts.iter().map(|p| p.range(Axis::I).len()).collect();
+                println!("balance      : {mode}, island widths {widths:?}");
+                Some(parts)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let tracing = a.trace.is_some() || a.metrics;
     let session = tracing.then(|| {
         // Room for every event of the run: ~2 spans per (step, stage,
@@ -190,19 +297,31 @@ fn main() -> ExitCode {
             OriginalExecutor::with_problem(&pool, problem()).run(&mut fields, a.steps);
             Ok(())
         }
-        "fused" => FusedExecutor::with_problem(&pool, problem())
-            .cache_bytes(a.cache)
-            .run(&mut fields, a.steps)
-            .map_err(|e| e.to_string()),
-        "islands" => IslandsExecutor::with_problem(
-            &pool,
-            TeamSpec::even(a.workers, a.islands),
-            Axis::I,
-            problem(),
-        )
-        .cache_bytes(a.cache)
-        .run(&mut fields, a.steps)
-        .map_err(|e| e.to_string()),
+        "fused" => {
+            let mut exec = FusedExecutor::with_problem(&pool, problem()).cache_bytes(a.cache);
+            if a.self_schedule > 0 {
+                exec = exec.schedule(mpdata::SchedulePolicy::Dynamic {
+                    chunks_per_rank: a.self_schedule,
+                });
+            }
+            exec.run(&mut fields, a.steps).map_err(|e| e.to_string())
+        }
+        "islands" => {
+            let mut exec = IslandsExecutor::with_problem(
+                &pool,
+                TeamSpec::even(a.workers, a.islands),
+                Axis::I,
+                problem(),
+            )
+            .cache_bytes(a.cache);
+            if let Some(parts) = balanced_parts {
+                exec = exec.with_partition(parts);
+            }
+            if a.self_schedule > 0 {
+                exec = exec.self_schedule(a.self_schedule);
+            }
+            exec.run(&mut fields, a.steps).map_err(|e| e.to_string())
+        }
         "exchange" => {
             mpdata::ExchangeExecutor::with_problem(
                 &pool,

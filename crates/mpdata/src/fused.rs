@@ -15,7 +15,7 @@
 
 use crate::fields::MpdataFields;
 use crate::graph::MpdataProblem;
-use crate::plan::{plan_run, plan_step, PartitionKind, StepPlan};
+use crate::plan::{plan_run, plan_step, PartitionKind, SchedulePolicy, StepPlan};
 use std::sync::Mutex;
 use stencil_engine::{Array3, Axis, PlanBlocksError, StageGraph};
 use work_scheduler::{TeamSpec, WorkerPool};
@@ -51,8 +51,10 @@ pub struct FusedExecutor<'p> {
     /// single-island schedule, so it shares the islands' plan-cache and
     /// buffer-reuse path verbatim.
     team: TeamSpec,
+    /// How epoch work units are handed to workers.
+    schedule: SchedulePolicy,
     /// Cached execution plan, rebuilt whenever its key (domain, cache
-    /// budget, split axis) stops matching.
+    /// budget, split axis, schedule) stops matching.
     plan: Mutex<Option<StepPlan>>,
 }
 
@@ -70,6 +72,7 @@ impl<'p> FusedExecutor<'p> {
             problem,
             cache_bytes: DEFAULT_CACHE_BYTES,
             split_axis: Axis::J,
+            schedule: SchedulePolicy::Static,
             plan: Mutex::new(None),
         }
     }
@@ -84,6 +87,13 @@ impl<'p> FusedExecutor<'p> {
     /// (default `J`: blocks are thin in `I`).
     pub fn split_axis(mut self, axis: Axis) -> Self {
         self.split_axis = axis;
+        self
+    }
+
+    /// Sets the schedule policy (static rank slices by default); see
+    /// [`SchedulePolicy::Dynamic`] for intra-team self-scheduling.
+    pub fn schedule(mut self, policy: SchedulePolicy) -> Self {
+        self.schedule = policy;
         self
     }
 
@@ -108,6 +118,7 @@ impl<'p> FusedExecutor<'p> {
             &PartitionKind::Whole,
             self.cache_bytes,
             self.split_axis,
+            self.schedule,
             fields,
         )
     }
@@ -137,6 +148,7 @@ impl<'p> FusedExecutor<'p> {
             &PartitionKind::Whole,
             self.cache_bytes,
             self.split_axis,
+            self.schedule,
             fields,
             steps,
         )
@@ -194,6 +206,21 @@ mod tests {
             .unwrap();
         ReferenceExecutor::new().run(&mut f2, 3);
         assert_eq!(f1.x.max_abs_diff(&f2.x), 0.0);
+    }
+
+    #[test]
+    fn self_schedule_matches_reference_bitwise() {
+        let d = Region3::of_extent(20, 7, 5);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let f = random_fields(&mut rng, d, 0.7);
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(3);
+        let got = FusedExecutor::new(&pool)
+            .cache_bytes(64 * 1024)
+            .schedule(SchedulePolicy::Dynamic { chunks_per_rank: 3 })
+            .step(&f)
+            .unwrap();
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::fields::MpdataFields;
 use crate::graph::MpdataProblem;
-use crate::plan::{plan_run, plan_step, PartitionKind, StepPlan};
+use crate::plan::{plan_run, plan_step, PartitionKind, SchedulePolicy, StepPlan};
 use std::sync::Mutex;
 use stencil_engine::{Array3, Axis, PlanBlocksError, Region3, StageGraph};
 use work_scheduler::{TeamSpec, WorkerPool};
@@ -48,8 +48,11 @@ pub struct IslandsExecutor<'p> {
     partition: PartitionKind,
     /// Axis along which a team splits each stage sweep among its cores.
     split_axis: Axis,
+    /// How epoch work units are handed to ranks (static slices or
+    /// self-scheduled chunks).
+    schedule: SchedulePolicy,
     /// Cached execution plan, rebuilt whenever its key (domain,
-    /// partition, cache budget, split axis) stops matching.
+    /// partition, cache budget, split axis, schedule) stops matching.
     plan: Mutex<Option<StepPlan>>,
 }
 
@@ -74,6 +77,7 @@ impl<'p> IslandsExecutor<'p> {
             cache_bytes: crate::fused::DEFAULT_CACHE_BYTES,
             partition: PartitionKind::Axis(partition_axis),
             split_axis: Axis::J,
+            schedule: SchedulePolicy::Static,
             plan: Mutex::new(None),
         }
     }
@@ -102,6 +106,22 @@ impl<'p> IslandsExecutor<'p> {
     pub fn split_axis(mut self, axis: Axis) -> Self {
         self.split_axis = axis;
         self
+    }
+
+    /// Sets the intra-island schedule policy (static rank slices by
+    /// default).
+    pub fn schedule(mut self, policy: SchedulePolicy) -> Self {
+        self.schedule = policy;
+        self
+    }
+
+    /// Shorthand for [`SchedulePolicy::Dynamic`]: every epoch is split
+    /// into `chunks_per_rank` chunks per rank, claimed from a
+    /// preallocated per-epoch queue. Bit-identical to the static
+    /// schedule — chunk boundaries, not claim order, determine every
+    /// written value.
+    pub fn self_schedule(self, chunks_per_rank: usize) -> Self {
+        self.schedule(SchedulePolicy::Dynamic { chunks_per_rank })
     }
 
     /// The stage graph.
@@ -136,6 +156,7 @@ impl<'p> IslandsExecutor<'p> {
             &self.partition,
             self.cache_bytes,
             self.split_axis,
+            self.schedule,
             fields,
         )
     }
@@ -166,6 +187,7 @@ impl<'p> IslandsExecutor<'p> {
             &self.partition,
             self.cache_bytes,
             self.split_axis,
+            self.schedule,
             fields,
             steps,
         )
@@ -273,6 +295,88 @@ mod tests {
         let _ = IslandsExecutor::new(&pool, TeamSpec::even(2, 2), Axis::I)
             .with_partition(vec![half, half]) // overlapping, not covering
             .step(&f);
+    }
+
+    #[test]
+    fn self_schedule_matches_reference_bitwise() {
+        // Dynamic claiming must not change a single bit: the chunk
+        // regions, not the claim order, determine every written value.
+        let d = Region3::of_extent(24, 9, 5);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let f = random_fields(&mut rng, d, 0.7);
+        let expect = ReferenceExecutor::new().step(&f);
+        for chunks in [1, 2, 4] {
+            let pool = WorkerPool::new(4);
+            let got = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+                .cache_bytes(64 * 1024)
+                .self_schedule(chunks)
+                .step(&f)
+                .unwrap();
+            assert_eq!(
+                got.max_abs_diff(&expect),
+                0.0,
+                "self_schedule({chunks}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn self_schedule_multi_step_matches_reference() {
+        let d = Region3::of_extent(20, 10, 4);
+        let mut f1 = rotating_cone(d, 0.25);
+        let mut f2 = f1.clone();
+        let pool = WorkerPool::new(4);
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(48 * 1024)
+            .self_schedule(3)
+            .run(&mut f1, 4)
+            .unwrap();
+        ReferenceExecutor::new().run(&mut f2, 4);
+        assert_eq!(f1.x.max_abs_diff(&f2.x), 0.0);
+    }
+
+    #[test]
+    fn balanced_nonuniform_partition_matches_reference() {
+        // Cost-model cuts produce unequal slab widths; any disjoint
+        // cover must stay bitwise exact, statically and dynamically.
+        let d = Region3::of_extent(30, 10, 4);
+        let f = gaussian_pulse(d, (0.2, 0.1, 0.0));
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(4);
+        let problem = MpdataProblem::standard();
+        let model = stencil_engine::CostModel::from_graph(problem.graph());
+        let parts = stencil_engine::balanced_cuts(problem.graph(), d, d, Axis::I, 4, &model);
+        let widths: Vec<usize> = parts.iter().map(|p| p.i.len()).collect();
+        assert!(
+            widths.iter().any(|&w| w != widths[0]),
+            "cuts unexpectedly uniform: {widths:?}"
+        );
+        for dynamic in [false, true] {
+            let exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 4), Axis::I)
+                .with_partition(parts.clone())
+                .cache_bytes(64 * 1024);
+            let exec = if dynamic { exec.self_schedule(2) } else { exec };
+            let got = exec.step(&f).unwrap();
+            assert_eq!(got.max_abs_diff(&expect), 0.0, "dynamic={dynamic} diverged");
+        }
+    }
+
+    #[test]
+    fn one_cell_wide_island_matches_reference() {
+        // Degenerate non-uniform partition: a single-plane island next
+        // to a fat one.
+        let d = Region3::of_extent(17, 8, 4);
+        let f = gaussian_pulse(d, (0.2, 0.0, 0.0));
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(2);
+        let thin = d.with_range(Axis::I, stencil_engine::Range1::new(0, 1));
+        let fat = d.with_range(Axis::I, stencil_engine::Range1::new(1, 17));
+        let got = IslandsExecutor::new(&pool, TeamSpec::even(2, 2), Axis::I)
+            .with_partition(vec![thin, fat])
+            .cache_bytes(64 * 1024)
+            .step(&f)
+            .unwrap();
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
     }
 
     #[test]

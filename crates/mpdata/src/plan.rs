@@ -7,9 +7,10 @@
 //! churn — plus per-stage dispatch — dominates the per-sweep cost. A
 //! [`StepPlan`] hoists all of it out of the loop:
 //!
-//! * the partition, per-island blocking, stage→region tables and rank
-//!   slices are computed once and keyed by [`PlanKey`] — any change of
-//!   domain, partition, cache budget or split axis rebuilds the plan;
+//! * the partition, per-island blocking, stage→region tables and
+//!   work-unit slices are computed once and keyed by [`PlanKey`] — any
+//!   change of domain, partition, cache budget, split axis or schedule
+//!   policy rebuilds the plan;
 //! * the island [`ParStore`]s persist across steps. Instead of
 //!   re-zeroing whole scratches, the builder runs the same coverage
 //!   analysis as the `islands-analysis` `uncovered-read` rule and
@@ -30,9 +31,40 @@ use crate::graph::{MpdataProblem, StageKind};
 use crate::kernels::Boundary;
 use std::fmt;
 use stencil_engine::{
-    Array3, Axis, BlockPlanner, FieldId, FieldRole, PlanBlocksError, Region3, StageGraph,
+    Array3, Axis, BlockPlanner, FieldId, FieldRole, PlanBlocksError, Region3, StageDef, StageGraph,
 };
-use work_scheduler::{DisjointCell, TeamCtx, TeamSpec, WorkerPool};
+use work_scheduler::{ChunkQueue, DisjointCell, TeamCtx, TeamSpec, WorkerPool};
+
+/// How each epoch's work units are assigned to the ranks of a team.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// One fixed slice per rank (the paper's schedule): zero scheduling
+    /// overhead, optimal for homogeneous stages.
+    #[default]
+    Static,
+    /// Intra-island self-scheduling: every epoch is pre-split into
+    /// `ranks × chunks_per_rank` slices and ranks claim them from a
+    /// per-epoch [`ChunkQueue`] until drained. The chunks are computed
+    /// at plan time and the queue reset is one atomic store, so the
+    /// steady-state replay stays allocation-free; epoch fencing is
+    /// unchanged, so plan-time disjointness still proves the schedule
+    /// for *any* claim order.
+    Dynamic {
+        /// Chunks per rank per epoch (clamped to at least 1). More
+        /// chunks → finer-grained stealing, more claim traffic.
+        chunks_per_rank: usize,
+    },
+}
+
+impl SchedulePolicy {
+    /// Work units per epoch for a team of `ranks`.
+    fn units_for(self, ranks: usize) -> usize {
+        match self {
+            SchedulePolicy::Static => ranks,
+            SchedulePolicy::Dynamic { chunks_per_rank } => ranks * chunks_per_rank.max(1),
+        }
+    }
+}
 
 /// How the domain is divided among islands.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,6 +118,7 @@ pub(crate) struct PlanKey {
     partition: PartitionKind,
     cache_bytes: usize,
     split_axis: Axis,
+    schedule: SchedulePolicy,
 }
 
 impl PlanKey {
@@ -95,17 +128,22 @@ impl PlanKey {
         partition: &PartitionKind,
         cache_bytes: usize,
         split_axis: Axis,
+        schedule: SchedulePolicy,
     ) -> bool {
         self.domain == domain
             && self.cache_bytes == cache_bytes
             && self.split_axis == split_axis
+            && self.schedule == schedule
             && &self.partition == partition
     }
 }
 
 /// One barrier-fenced unit of a team's replay: one stage of one block,
-/// with every rank's slice precomputed (so the hot loop never calls the
-/// allocating `Region3::split`).
+/// with every work-unit slice precomputed (so the hot loop never calls
+/// the allocating `Region3::split`). Under [`SchedulePolicy::Static`]
+/// there is exactly one unit per rank (unit index = rank); under
+/// [`SchedulePolicy::Dynamic`] there are `ranks × chunks_per_rank`
+/// units claimed from the epoch's [`ChunkQueue`].
 struct EpochPlan {
     /// Index into `graph.stages()`.
     stage: usize,
@@ -115,18 +153,23 @@ struct EpochPlan {
     is_final: bool,
     /// Block index within the island's wavefront blocking (trace tag).
     block: u16,
-    /// Slice per rank (empty regions for idle ranks).
-    per_rank: Vec<Region3>,
-    /// Per rank: cells of the slice lying outside `part ∩
+    /// Slice per work unit (empty regions for surplus units).
+    units: Vec<Region3>,
+    /// Per unit: cells of the slice lying outside `part ∩
     /// region_s(domain)` — the redundant halo recomputation this
     /// epoch performs, precomputed so traced kernels can report it
     /// without any plan-time math on the hot path.
-    per_rank_extra: Vec<u64>,
+    units_extra: Vec<u64>,
 }
 
 /// One team's replay schedule.
 struct TeamPlan {
     epochs: Vec<EpochPlan>,
+    /// One preallocated work queue per epoch (dynamic schedules only;
+    /// empty for static). Reset between steps by one relaxed store per
+    /// epoch, inside the serial sections the barriers already fence —
+    /// so self-scheduling adds no allocation to the steady state.
+    queues: Vec<ChunkQueue>,
     /// Scratch regions this team reads before writing them in a step —
     /// the cells the per-step refill must re-zero so reuse stays
     /// bit-identical to freshly zeroed stores. Empty for the real
@@ -186,7 +229,7 @@ fn uncovered_reads(
     let mut gaps: Vec<(FieldId, Region3)> = Vec::new();
     for ep in epochs {
         let st = &graph.stages()[ep.stage];
-        for &mine in &ep.per_rank {
+        for &mine in &ep.units {
             if mine.is_empty() {
                 continue;
             }
@@ -211,7 +254,7 @@ fn uncovered_reads(
         // write→read pair has no fence between them, so it cannot
         // provide coverage (matching the analyzer).
         if !ep.is_final {
-            for &mine in &ep.per_rank {
+            for &mine in &ep.units {
                 if !mine.is_empty() {
                     for &o in &st.outputs {
                         written.push((o, mine));
@@ -266,6 +309,7 @@ impl StepPlan {
                         }
                     }
                 }
+                let n_units = key.schedule.units_for(size);
                 for (b, block) in blocking.blocks.iter().enumerate() {
                     for (s, st) in graph.stages().iter().enumerate() {
                         let region = block.stage_regions[st.id.index()];
@@ -273,11 +317,11 @@ impl StepPlan {
                         if is_final {
                             out_gaps = subtract_all(out_gaps, region);
                         }
-                        let per_rank: Vec<Region3> = (0..size)
-                            .map(|r| rank_slice(region, key.split_axis, r, size))
+                        let units: Vec<Region3> = (0..n_units)
+                            .map(|u| rank_slice(region, key.split_axis, u, n_units))
                             .collect();
                         let needed = part.intersect(base_regions[st.id.index()]);
-                        let per_rank_extra = per_rank
+                        let units_extra = units
                             .iter()
                             .map(|&mine| (mine.cells() - mine.intersect(needed).cells()) as u64)
                             .collect();
@@ -286,14 +330,25 @@ impl StepPlan {
                             kind: problem.kind(st.id),
                             is_final,
                             block: b.min(usize::from(u16::MAX)) as u16,
-                            per_rank,
-                            per_rank_extra,
+                            units,
+                            units_extra,
                         });
                     }
                 }
             }
+            let queues = match key.schedule {
+                SchedulePolicy::Static => Vec::new(),
+                SchedulePolicy::Dynamic { .. } => epochs
+                    .iter()
+                    .map(|ep| ChunkQueue::new(ep.units.len()))
+                    .collect(),
+            };
             let must_zero = uncovered_reads(graph, &epochs, hull, domain);
-            teams.push(TeamPlan { epochs, must_zero });
+            teams.push(TeamPlan {
+                epochs,
+                queues,
+                must_zero,
+            });
             stores.push(store);
         }
         Ok(StepPlan {
@@ -345,48 +400,97 @@ impl StepPlan {
             // Publish the refill to the other ranks.
             ctx.team_barrier();
         }
-        for ep in &team.epochs {
-            let st = &graph.stages()[ep.stage];
-            let mine = ep.per_rank[ctx.rank];
-            let t0 = if mine.is_empty() {
-                None
-            } else {
-                islands_trace::now()
-            };
-            if ep.is_final {
-                // Final stage: write straight into the shared output.
-                // Blocks of different islands are disjoint on output,
-                // ranks split disjointly.
-                if !mine.is_empty() {
-                    let _wt = self.out.track_write();
-                    // SAFETY: all concurrent writers cover mutually
-                    // disjoint regions.
-                    let out_arr = unsafe { self.out.get_mut() };
-                    store.apply_into(st, ep.kind, domain, bc, mine, out_arr, ext);
+        match self.key.schedule {
+            SchedulePolicy::Static => {
+                for ep in &team.epochs {
+                    let st = &graph.stages()[ep.stage];
+                    // Static: unit index = rank, exactly one per epoch.
+                    self.run_unit(ep, st, store, ctx.rank, ext, domain, bc);
+                    // Intra-island synchronization only — this is the
+                    // whole point of the approach.
+                    ctx.team_barrier();
                 }
-            } else {
-                store.apply(st, ep.kind, domain, bc, mine, ext);
             }
-            if let Some(t0) = t0 {
-                islands_trace::record(
-                    islands_trace::SpanKind::Kernel,
-                    t0,
-                    islands_trace::now_ns(),
-                    ep.stage.min(usize::from(u16::MAX)) as u16,
-                    ep.block,
-                    [mine.cells() as u64, ep.per_rank_extra[ctx.rank], 0],
-                );
+            SchedulePolicy::Dynamic { .. } => {
+                for (ep, q) in team.epochs.iter().zip(&team.queues) {
+                    let st = &graph.stages()[ep.stage];
+                    // Self-schedule: claim precomputed chunks until the
+                    // epoch drains. Any claim order is race-free — the
+                    // chunks are pairwise disjoint and the epoch still
+                    // ends at the same team barrier.
+                    while let Some(u) = q.claim() {
+                        self.run_unit(ep, st, store, u, ext, domain, bc);
+                    }
+                    ctx.team_barrier();
+                }
             }
-            // Intra-island synchronization only — this is the whole
-            // point of the approach.
-            ctx.team_barrier();
+        }
+    }
+
+    /// Executes one work unit of one epoch: the kernel over the unit's
+    /// slice, routed to the scratch store or (for final stages) the
+    /// shared output, with the kernel trace span attached.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn run_unit(
+        &self,
+        ep: &EpochPlan,
+        st: &StageDef,
+        store: &ParStore,
+        unit: usize,
+        ext: ExtFields<'_>,
+        domain: Region3,
+        bc: Boundary,
+    ) {
+        let mine = ep.units[unit];
+        let t0 = if mine.is_empty() {
+            None
+        } else {
+            islands_trace::now()
+        };
+        if ep.is_final {
+            // Final stage: write straight into the shared output.
+            // Blocks of different islands are disjoint on output,
+            // units split disjointly.
+            if !mine.is_empty() {
+                let _wt = self.out.track_write();
+                // SAFETY: all concurrent writers cover mutually
+                // disjoint regions.
+                let out_arr = unsafe { self.out.get_mut() };
+                store.apply_into(st, ep.kind, domain, bc, mine, out_arr, ext);
+            }
+        } else {
+            store.apply(st, ep.kind, domain, bc, mine, ext);
+        }
+        if let Some(t0) = t0 {
+            islands_trace::record(
+                islands_trace::SpanKind::Kernel,
+                t0,
+                islands_trace::now_ns(),
+                ep.stage.min(usize::from(u16::MAX)) as u16,
+                ep.block,
+                [mine.cells() as u64, ep.units_extra[unit], 0],
+            );
+        }
+    }
+
+    /// Rewinds every dynamic epoch queue to full (one relaxed store
+    /// per epoch; no-op for static plans). Callers must hold exclusive
+    /// access or be in a barrier-fenced serial section.
+    fn reset_queues(&self) {
+        for team in &self.teams {
+            for q in &team.queues {
+                q.reset();
+            }
         }
     }
 }
 
 /// Returns the cached plan when `(domain, partition, cache_bytes,
-/// split_axis)` still match its key, else rebuilds it (dropping the
-/// stale plan first). A planning failure leaves the slot empty.
+/// split_axis, schedule)` still match its key, else rebuilds it
+/// (dropping the stale plan first). A planning failure leaves the slot
+/// empty.
+#[allow(clippy::too_many_arguments)]
 fn ensure_plan<'s>(
     slot: &'s mut Option<StepPlan>,
     problem: &MpdataProblem,
@@ -395,10 +499,12 @@ fn ensure_plan<'s>(
     partition: &PartitionKind,
     cache_bytes: usize,
     split_axis: Axis,
+    schedule: SchedulePolicy,
 ) -> Result<&'s mut StepPlan, PlanBlocksError> {
-    let hit = slot
-        .as_ref()
-        .is_some_and(|p| p.key.matches(domain, partition, cache_bytes, split_axis));
+    let hit = slot.as_ref().is_some_and(|p| {
+        p.key
+            .matches(domain, partition, cache_bytes, split_axis, schedule)
+    });
     if !hit {
         *slot = None;
         let key = PlanKey {
@@ -406,6 +512,7 @@ fn ensure_plan<'s>(
             partition: partition.clone(),
             cache_bytes,
             split_axis,
+            schedule,
         };
         *slot = Some(StepPlan::build(problem, spec, key)?);
     }
@@ -436,6 +543,7 @@ pub(crate) fn plan_step(
     partition: &PartitionKind,
     cache_bytes: usize,
     split_axis: Axis,
+    schedule: SchedulePolicy,
     fields: &crate::fields::MpdataFields,
 ) -> Result<Array3, PlanBlocksError> {
     let domain = fields.domain();
@@ -447,7 +555,10 @@ pub(crate) fn plan_step(
         partition,
         cache_bytes,
         split_axis,
+        schedule,
     )?;
+    // Rewind the self-scheduling queues before the dispatch sees them.
+    plan.reset_queues();
     let mut result = Array3::zeros(domain);
     std::mem::swap(plan.out.get_mut_exclusive(), &mut result);
     let ext = ExtFields::new(fields);
@@ -477,6 +588,7 @@ pub(crate) fn plan_run(
     partition: &PartitionKind,
     cache_bytes: usize,
     split_axis: Axis,
+    schedule: SchedulePolicy,
     fields: &mut crate::fields::MpdataFields,
     steps: usize,
 ) -> Result<(), PlanBlocksError> {
@@ -492,7 +604,9 @@ pub(crate) fn plan_run(
         partition,
         cache_bytes,
         split_axis,
+        schedule,
     )?;
+    plan.reset_queues();
     // Lend `fields.x` to the plan's current-input slot; the plan's old
     // buffer parks in `fields.x` until the swap back below.
     std::mem::swap(&mut fields.x, plan.cur.get_mut_exclusive());
@@ -532,6 +646,11 @@ pub(crate) fn plan_run(
                 for &g in &plan.out_gaps {
                     zero_region_of(out_arr, g);
                 }
+                // Refill the self-scheduling queues for the next step
+                // while every other worker is parked between the two
+                // global barriers (the release of the second barrier
+                // publishes the relaxed stores).
+                plan.reset_queues();
                 if let Some(t0) = t0 {
                     islands_trace::record(
                         islands_trace::SpanKind::Swap,

@@ -1,0 +1,76 @@
+//! Imbalance metrics pin: a deliberately skewed island partition must
+//! show up in [`RunMetrics::imbalance_summary`] as a per-worker kernel
+//! ratio well above 1 and a positive imbalance excess.
+//!
+//! Lives in its own integration-test binary because the trace session
+//! lock is process-wide and the timing assertions want the process to
+//! themselves.
+//!
+//! [`RunMetrics::imbalance_summary`]: islands_trace::metrics::RunMetrics::imbalance_summary
+
+use islands_trace::metrics::RunMetrics;
+use islands_trace::Session;
+use mpdata::{gaussian_pulse, IslandsExecutor};
+use stencil_engine::{Axis, Range1, Region3};
+use work_scheduler::{TeamSpec, WorkerPool};
+
+const STEPS: usize = 5;
+
+fn traced_run(exec: &IslandsExecutor, domain: Region3) -> RunMetrics {
+    let mut fields = gaussian_pulse(domain, (0.2, 0.1, 0.0));
+    // Warm the plan outside the session so only steady-state replay is
+    // measured.
+    exec.run(&mut fields, 1).unwrap();
+    let session = Session::start();
+    exec.run(&mut fields, STEPS).unwrap();
+    RunMetrics::aggregate(&session.finish())
+}
+
+#[test]
+fn skewed_partition_shows_up_in_the_imbalance_summary() {
+    let pool = WorkerPool::new(4);
+    let domain = Region3::of_extent(64, 32, 8);
+    // 56/8 split along I: island 0 computes ~7× the cells of island 1
+    // with the same team size, so its per-worker kernel time dominates.
+    let parts = vec![
+        domain.with_range(Axis::I, Range1::new(0, 56)),
+        domain.with_range(Axis::I, Range1::new(56, 64)),
+    ];
+    let exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+        .cache_bytes(256 * 1024)
+        .with_partition(parts);
+    let metrics = traced_run(&exec, domain);
+
+    // The cell skew itself is deterministic: check it before trusting
+    // any timing.
+    let totals = metrics.totals();
+    let cells: Vec<u64> = totals
+        .iter()
+        .filter(|m| m.island != islands_trace::NO_ISLAND)
+        .map(|m| m.computed_cells)
+        .collect();
+    assert_eq!(cells.len(), 2, "expected two active islands: {totals:?}");
+    assert!(
+        cells[0] > 4 * cells[1],
+        "island 0 should compute several times island 1's cells: {cells:?}"
+    );
+
+    let im = metrics
+        .imbalance_summary()
+        .expect("two active islands recorded kernels");
+    assert_eq!(im.steps, STEPS);
+    assert!(
+        im.max_pw_ns >= im.mean_pw_ns,
+        "max per-worker time below the mean: {im:?}"
+    );
+    // ~7× the work on one island leaves plenty of margin over timing
+    // noise, even oversubscribed.
+    assert!(
+        im.ratio > 1.3,
+        "skewed partition should show ratio well above 1: {im:?}"
+    );
+    assert!(
+        im.excess_ns > 0.0,
+        "skewed partition should lose worker time to imbalance: {im:?}"
+    );
+}

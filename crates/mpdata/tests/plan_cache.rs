@@ -83,6 +83,24 @@ fn partition_change_replans() {
 }
 
 #[test]
+fn schedule_policy_change_replans() {
+    // Toggling static ↔ self-scheduled on one executor must rebuild
+    // the plan (the epoch tables change from one slice per rank to
+    // chunked units); both must stay bit-identical to the reference.
+    let pool = WorkerPool::new(4);
+    let domain = Region3::of_extent(20, 12, 4);
+    let v = (0.2, 0.1, 0.0);
+    let f = gaussian_pulse(domain, v);
+    let expect = reference(domain, v);
+    let exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).cache_bytes(64 * 1024);
+    assert_eq!(exec.step(&f).unwrap().max_abs_diff(&expect), 0.0);
+    let exec = exec.self_schedule(4);
+    assert_eq!(exec.step(&f).unwrap().max_abs_diff(&expect), 0.0);
+    let exec = exec.schedule(mpdata::SchedulePolicy::Static);
+    assert_eq!(exec.step(&f).unwrap().max_abs_diff(&expect), 0.0);
+}
+
+#[test]
 fn empty_island_plan_is_not_reused_for_wider_domain() {
     // P > nx: on the narrow domain most islands own no slab (empty
     // parts, no scratch, no epochs). Widening the domain must rebuild

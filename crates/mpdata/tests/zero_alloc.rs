@@ -103,4 +103,34 @@ fn steady_state_steps_do_not_allocate() {
     );
     #[cfg(debug_assertions)]
     let _ = (one, many); // debug builds allocate claim labels per stage
+
+    // Same pin for the self-scheduled replay: the chunk queues are
+    // preallocated in the plan and the per-step reset is one relaxed
+    // store per epoch, so dynamic claiming must add no allocations
+    // either.
+    let dyn_exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+        .cache_bytes(64 * 1024)
+        .self_schedule(2);
+    let before = allocs();
+    dyn_exec.run(&mut fields, 1).unwrap();
+    let dyn_cold = allocs() - before;
+    assert!(dyn_cold > 0, "cold dynamic run should build its plan");
+    dyn_exec.run(&mut fields, 2).unwrap();
+
+    let before = allocs();
+    dyn_exec.run(&mut fields, 1).unwrap();
+    let dyn_one = allocs() - before;
+
+    let before = allocs();
+    dyn_exec.run(&mut fields, STEPS).unwrap();
+    let dyn_many = allocs() - before;
+
+    #[cfg(not(debug_assertions))]
+    assert!(
+        dyn_many <= dyn_one + 4,
+        "self-scheduled steps 2..{STEPS} allocated: run({STEPS}) made {dyn_many} \
+         allocations vs {dyn_one} for run(1)"
+    );
+    #[cfg(debug_assertions)]
+    let _ = (dyn_one, dyn_many);
 }

@@ -43,21 +43,40 @@ impl ChunkQueue {
     }
 
     /// Claims the next chunk index, or `None` when drained.
+    ///
+    /// Saturating: once the queue is drained, further claims observe
+    /// the drained state without bumping the counter, so the counter
+    /// overshoots `chunks` by at most the number of concurrent
+    /// claimants — repeated polling of a drained queue (the idle ranks
+    /// of a self-scheduled epoch) can never wrap it.
     pub fn claim(&self) -> Option<usize> {
+        if self.next.load(Ordering::Relaxed) >= self.chunks {
+            return None;
+        }
         let n = self.next.fetch_add(1, Ordering::Relaxed);
         (n < self.chunks).then_some(n)
     }
 
     /// Claims up to `batch` consecutive chunks, returning their range.
     /// Larger batches amortize the atomic per claim; `None` when
-    /// drained.
+    /// drained (saturating, like [`ChunkQueue::claim`]).
     pub fn claim_batch(&self, batch: usize) -> Option<std::ops::Range<usize>> {
         let batch = batch.max(1);
+        if self.next.load(Ordering::Relaxed) >= self.chunks {
+            return None;
+        }
         let start = self.next.fetch_add(batch, Ordering::Relaxed);
         if start >= self.chunks {
             return None;
         }
         Some(start..(start + batch).min(self.chunks))
+    }
+
+    /// Chunks not yet claimed (a racy snapshot under concurrency; exact
+    /// once claimants are quiescent, e.g. behind a barrier).
+    pub fn remaining(&self) -> usize {
+        self.chunks
+            .saturating_sub(self.next.load(Ordering::Relaxed))
     }
 
     /// Total chunks.
@@ -158,5 +177,74 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.claim(), None);
         assert_eq!(q.claim_batch(4), None);
+    }
+
+    #[test]
+    fn drained_counter_saturates() {
+        // Polling a drained queue must not keep bumping the counter:
+        // repeated idle-rank claims over many epochs would otherwise
+        // creep the counter toward wraparound.
+        let q = ChunkQueue::new(2);
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        for _ in 0..1000 {
+            assert_eq!(q.claim(), None);
+            assert_eq!(q.claim_batch(8), None);
+        }
+        assert_eq!(q.next.load(Ordering::Relaxed), 2, "counter kept growing");
+        assert_eq!(q.remaining(), 0);
+        q.reset();
+        assert_eq!(q.remaining(), 2);
+        assert_eq!(q.claim(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_reuse_across_epochs_is_exact() {
+        // The plan replay resets every epoch queue between barriers and
+        // drains it again; each epoch must see every chunk exactly once
+        // with no reallocation in between.
+        let pool = WorkerPool::new(4);
+        let queue = ChunkQueue::new(37);
+        for epoch in 0..50 {
+            let claimed = Mutex::new(vec![0u8; 37]);
+            pool.broadcast(|_| {
+                while let Some(c) = queue.claim() {
+                    claimed.lock().unwrap()[c] += 1;
+                }
+            });
+            let counts = claimed.lock().unwrap();
+            assert!(counts.iter().all(|&c| c == 1), "epoch {epoch}: {counts:?}");
+            assert_eq!(queue.remaining(), 0);
+            queue.reset();
+        }
+    }
+
+    #[test]
+    fn panic_in_claimant_propagates_through_broadcast() {
+        // A kernel panic inside a self-scheduled chunk must surface
+        // from `WorkerPool::broadcast`, not hang the team — and the
+        // pool must stay usable for the next dispatch.
+        let pool = WorkerPool::new(4);
+        let queue = ChunkQueue::new(64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|_| {
+                while let Some(c) = queue.claim() {
+                    assert!(c != 13, "chunk 13 is poisoned");
+                }
+            });
+        }));
+        assert!(result.is_err(), "claimant panic was swallowed");
+        queue.reset();
+        let drained = std::sync::atomic::AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            while let Some(_c) = queue.claim() {
+                drained.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(
+            drained.load(Ordering::Relaxed),
+            64,
+            "pool unusable after panic"
+        );
     }
 }

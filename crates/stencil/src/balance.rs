@@ -1,0 +1,490 @@
+//! Cost-model-driven load balancing: non-uniform cut positions.
+//!
+//! Uniform partitioning equalizes *width*, but the islands-of-cores
+//! schedule does not cost the same per plane: interior islands
+//! recompute halo cells on both cut faces while edge islands pay for
+//! one, and the stages of a heterogeneous graph differ in per-cell
+//! work. This module prices a candidate island slice by the *enlarged*
+//! per-stage regions the backward requirement analysis assigns it —
+//! interior cells plus redundant halo cells, weighted by per-stage
+//! coefficients — and solves for cut positions that equalize modeled
+//! cost instead of width.
+//!
+//! The solver is exact for contiguous 1-D cuts: [`balanced_cuts`]
+//! minimizes the maximum island cost by binary-searching a cost cap and
+//! greedily carving the longest prefix that fits under it. Island cost
+//! is monotone in slice width (the required regions of a larger target
+//! contain those of a smaller one), so the greedy carve is optimal for
+//! each cap and the bisection converges to the min-max partition. A
+//! final slack-spreading pass re-carves under the bisected cap so each
+//! island's cost sits near the mean rather than the cap — the greedy
+//! carve alone would dump all slack into a starved tail island.
+
+use crate::graph::StageGraph;
+use crate::region::{Axis, Range1, Region3};
+
+/// Per-stage (and optionally per-plane) cost coefficients for
+/// [`island_cost`].
+///
+/// The modeled cost of an island is
+///
+/// ```text
+/// Σ_stages coeff_s · Σ_{planes p of region_s} scale_p · cells_in_plane
+/// ```
+///
+/// where `region_s` is the stage's *enlarged* region from
+/// [`StageGraph::required_regions`] — so redundant halo recomputation
+/// is priced automatically — and `scale_p` is an optional per-plane
+/// multiplier along the cut axis (all `1.0` when absent).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    per_stage: Vec<f64>,
+    plane_scale: Vec<f64>,
+}
+
+impl CostModel {
+    /// Every stage costs the same per cell: balance on cell counts
+    /// (interior + redundant halo) alone.
+    pub fn uniform(stages: usize) -> Self {
+        CostModel {
+            per_stage: vec![1.0; stages],
+            plane_scale: Vec::new(),
+        }
+    }
+
+    /// Per-stage coefficients from the graph's declared
+    /// `flops_per_cell` (clamped to at least `1.0` so zero-flop stages
+    /// still cost their memory traffic).
+    pub fn from_graph(graph: &StageGraph) -> Self {
+        CostModel {
+            per_stage: graph
+                .stages()
+                .iter()
+                .map(|s| s.flops_per_cell.max(1.0))
+                .collect(),
+            plane_scale: Vec::new(),
+        }
+    }
+
+    /// Attaches a per-plane multiplier profile along the cut axis:
+    /// `scale[p]` scales every cell whose cut-axis coordinate is
+    /// `domain.range(axis).lo + p`. Planes beyond the profile keep
+    /// scale `1.0`. This is how measured per-island kernel rates feed
+    /// back into a second cut ([`measured_plane_scale`]).
+    #[must_use]
+    pub fn with_plane_scale(mut self, scale: Vec<f64>) -> Self {
+        self.plane_scale = scale;
+        self
+    }
+
+    /// The per-stage coefficient vector.
+    pub fn per_stage(&self) -> &[f64] {
+        &self.per_stage
+    }
+
+    fn stage_coeff(&self, s: usize) -> f64 {
+        self.per_stage.get(s).copied().unwrap_or(1.0)
+    }
+
+    fn plane(&self, idx: usize) -> f64 {
+        self.plane_scale.get(idx).copied().unwrap_or(1.0)
+    }
+}
+
+/// Modeled cost of one island computing `part` of `domain` under the
+/// enlarged-schedule semantics: each stage is priced over its region
+/// from [`StageGraph::required_regions`], so interior cells and
+/// redundant halo cells are both counted. `axis` anchors the per-plane
+/// profile of `model` (irrelevant when the profile is empty).
+pub fn island_cost(
+    graph: &StageGraph,
+    part: Region3,
+    domain: Region3,
+    axis: Axis,
+    model: &CostModel,
+) -> f64 {
+    if part.is_empty() {
+        return 0.0;
+    }
+    let regions = graph.required_regions(part, domain);
+    let origin = domain.range(axis).lo;
+    let mut total = 0.0;
+    for (s, r) in regions.iter().enumerate() {
+        if r.is_empty() {
+            continue;
+        }
+        let coeff = model.stage_coeff(s);
+        if model.plane_scale.is_empty() {
+            total += coeff * r.cells() as f64;
+        } else {
+            let range = r.range(axis);
+            let per_plane = (r.cells() / range.len()) as f64;
+            for p in range.lo..range.hi {
+                total += coeff * per_plane * model.plane((p - origin) as usize);
+            }
+        }
+    }
+    total
+}
+
+/// Cuts `within` along `axis` into `islands` contiguous parts whose
+/// maximum modeled cost ([`island_cost`]) is minimal. Degenerate cases
+/// mirror [`Region3::split`]: fewer planes than islands gives one
+/// plane each and empty trailing parts; a single island gets
+/// everything.
+///
+/// The returned parts tile `within` exactly (empty parts sit at
+/// `within`'s high edge), so they are valid executor partitions.
+///
+/// # Panics
+///
+/// Panics if `islands` is zero.
+pub fn balanced_cuts(
+    graph: &StageGraph,
+    within: Region3,
+    domain: Region3,
+    axis: Axis,
+    islands: usize,
+    model: &CostModel,
+) -> Vec<Region3> {
+    assert!(islands > 0, "need at least one island");
+    let range = within.range(axis);
+    if islands == 1 || range.len() <= islands {
+        return within.split(axis, islands);
+    }
+    let cost =
+        |lo: i64, hi: i64| island_cost(graph, slab(within, axis, lo, hi), domain, axis, model);
+
+    // Feasibility carve: greedily give each island the longest prefix
+    // with cost ≤ cap (always at least one plane — below the minimal
+    // feasible cap that overshoots and the carve runs out of islands).
+    let carve = |cap: f64| -> Option<Vec<Region3>> {
+        let mut parts = Vec::with_capacity(islands);
+        let mut lo = range.lo;
+        for _ in 0..islands {
+            if lo >= range.hi {
+                parts.push(slab(within, axis, range.hi, range.hi));
+                continue;
+            }
+            let mut hi = lo + 1;
+            while hi < range.hi && cost(lo, hi + 1) <= cap {
+                hi += 1;
+            }
+            if cost(lo, hi) > cap {
+                return None;
+            }
+            parts.push(slab(within, axis, lo, hi));
+            lo = hi;
+        }
+        (lo == range.hi).then_some(parts)
+    };
+
+    // Slack-spreading carve: the greedy feasibility carve front-loads
+    // all slack into the last island (120 planes / 14 islands becomes
+    // thirteen 9-plane islands and a starved 3-plane tail — same max
+    // cost, far worse mean utilization). Under a *fixed* cap, instead
+    // give each island the width whose cost lands nearest `target`,
+    // so island costs cluster around the mean rather than the cap.
+    // Every slice still respects the cap, so the min-max objective is
+    // preserved; the greedy carve stays the fallback if quantization
+    // ever pushes the tail over the cap.
+    let spread = |total: f64, cap: f64| -> Option<Vec<Region3>> {
+        let mut parts = Vec::with_capacity(islands);
+        let mut lo = range.lo;
+        let mut remaining = total;
+        for left in (1..=islands).rev() {
+            if lo >= range.hi {
+                parts.push(slab(within, axis, range.hi, range.hi));
+                continue;
+            }
+            // Leave at least one plane for each island still to come.
+            // The target is recomputed from the cost still to be placed
+            // so per-island rounding self-corrects instead of drifting.
+            let headroom = range.hi - (left as i64 - 1);
+            let target = (remaining / left as f64).max(0.0);
+            let mut hi = lo + 1;
+            while hi < headroom && cost(lo, hi) < target && cost(lo, hi + 1) <= cap {
+                hi += 1;
+            }
+            // Plane quantization: `hi` is the first width at or above
+            // the target. Round to whichever side lands closer, or the
+            // overshoot compounds island by island and re-creates the
+            // front-loaded carve.
+            if hi > lo + 1 && cost(lo, hi) - target > target - cost(lo, hi - 1) {
+                hi -= 1;
+            }
+            if left == 1 {
+                hi = range.hi;
+            }
+            let c = cost(lo, hi);
+            if c > cap {
+                return None;
+            }
+            parts.push(slab(within, axis, lo, hi));
+            remaining -= c;
+            lo = hi;
+        }
+        (lo == range.hi).then_some(parts)
+    };
+
+    // Min-max bisection on the cost cap. The whole-region cost is
+    // always feasible (island 0 takes everything), so `best` is set.
+    let mut lo_cap = 0.0;
+    let mut hi_cap = cost(range.lo, range.hi).max(1.0);
+    let mut best = carve(hi_cap).expect("whole-region cap is feasible");
+    for _ in 0..48 {
+        let mid = 0.5 * (lo_cap + hi_cap);
+        match carve(mid) {
+            Some(parts) => {
+                best = parts;
+                hi_cap = mid;
+            }
+            None => lo_cap = mid,
+        }
+    }
+
+    // The spread target is the mean *island* cost — the hull cost of
+    // the whole region underestimates it badly because every cut adds
+    // two faces of redundant halo, so derive it from the carve in hand
+    // (any full carve works: the face count, and hence the total, is
+    // nearly the same for every non-degenerate carve). Iterate a few
+    // times in case rebalancing shifts the total; candidates compete on
+    // the sum of squared costs — with the max pinned by the bisection
+    // and the total near-invariant, lower sum-of-squares means lower
+    // variance, i.e. the even carve beats the starved-tail one.
+    let island_sum = |parts: &[Region3]| -> f64 {
+        parts
+            .iter()
+            .map(|&p| island_cost(graph, p, domain, axis, model))
+            .sum()
+    };
+    let sumsq = |parts: &[Region3]| -> f64 {
+        parts
+            .iter()
+            .map(|&p| {
+                let c = island_cost(graph, p, domain, axis, model);
+                c * c
+            })
+            .sum()
+    };
+    for _ in 0..3 {
+        match spread(island_sum(&best), hi_cap) {
+            Some(parts) if sumsq(&parts) < sumsq(&best) - 1e-9 => best = parts,
+            _ => break,
+        }
+    }
+    best
+}
+
+/// Derives a per-plane cost profile along `axis` from measured
+/// per-island kernel statistics: `stats[i] = (kernel_ns,
+/// computed_cells)` for `parts[i]`. Each island's planes get the
+/// island's per-cell rate normalized so the cell-weighted mean rate is
+/// `1.0`; islands without measurements keep scale `1.0`. Feed the
+/// result into [`CostModel::with_plane_scale`] to re-cut from measured
+/// imbalance.
+///
+/// # Panics
+///
+/// Panics if `parts` and `stats` disagree in length.
+pub fn measured_plane_scale(
+    parts: &[Region3],
+    axis: Axis,
+    extent: Range1,
+    stats: &[(u64, u64)],
+) -> Vec<f64> {
+    assert_eq!(parts.len(), stats.len(), "one stat per part");
+    let rates: Vec<Option<f64>> = stats
+        .iter()
+        .map(|&(ns, cells)| (cells > 0).then(|| ns as f64 / cells as f64))
+        .collect();
+    let (mut ns_sum, mut cell_sum) = (0.0, 0.0);
+    for &(ns, cells) in stats {
+        if cells > 0 {
+            ns_sum += ns as f64;
+            cell_sum += cells as f64;
+        }
+    }
+    let mut scale = vec![1.0; extent.len()];
+    if cell_sum == 0.0 || ns_sum == 0.0 {
+        return scale;
+    }
+    let mean_rate = ns_sum / cell_sum;
+    for (part, rate) in parts.iter().zip(&rates) {
+        let Some(rate) = rate else { continue };
+        let r = part.range(axis).intersect(extent);
+        for p in r.lo..r.hi {
+            scale[(p - extent.lo) as usize] = rate / mean_rate;
+        }
+    }
+    scale
+}
+
+/// `within` restricted to `[lo, hi)` along `axis`.
+fn slab(within: Region3, axis: Axis, lo: i64, hi: i64) -> Region3 {
+    within.with_range(axis, Range1::new(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{FieldRole, FieldTable};
+    use crate::pattern::StencilPattern;
+    use crate::stage::{StageDef, StageId};
+
+    /// A two-stage chain with an i-halo: mid = f(x±1), out = f(mid±1).
+    /// Interior islands recompute two halo faces, edges one.
+    fn chain_graph() -> StageGraph {
+        let mut fields = FieldTable::new();
+        let x = fields.add("x", FieldRole::External);
+        let mid = fields.add("mid", FieldRole::Intermediate);
+        let out = fields.add("out", FieldRole::Output);
+        let stages = vec![
+            StageDef {
+                id: StageId(0),
+                name: "mid".into(),
+                outputs: vec![mid],
+                inputs: vec![(x, StencilPattern::from_offsets([(-1, 0, 0), (1, 0, 0)]))],
+                flops_per_cell: 2.0,
+            },
+            StageDef {
+                id: StageId(1),
+                name: "out".into(),
+                outputs: vec![out],
+                inputs: vec![(mid, StencilPattern::from_offsets([(-1, 0, 0), (1, 0, 0)]))],
+                flops_per_cell: 6.0,
+            },
+        ];
+        StageGraph::build(fields, stages).unwrap()
+    }
+
+    fn max_cost(graph: &StageGraph, parts: &[Region3], domain: Region3, m: &CostModel) -> f64 {
+        parts
+            .iter()
+            .map(|&p| island_cost(graph, p, domain, Axis::I, m))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn island_cost_counts_redundant_halo() {
+        let g = chain_graph();
+        let d = Region3::of_extent(40, 8, 4);
+        let m = CostModel::uniform(g.stage_count());
+        let parts = d.split(Axis::I, 4);
+        // Interior slabs need one extra mid-plane per cut face for the
+        // out stage, edges only one face → strictly higher cost.
+        let edge = island_cost(&g, parts[0], d, Axis::I, &m);
+        let interior = island_cost(&g, parts[1], d, Axis::I, &m);
+        assert!(interior > edge, "interior {interior} ≤ edge {edge}");
+        // Whole domain costs exactly Σ stage cells (no redundancy).
+        let whole = island_cost(&g, d, d, Axis::I, &m);
+        assert_eq!(whole, (2 * d.cells()) as f64);
+    }
+
+    #[test]
+    fn balanced_cuts_tile_and_reduce_max_cost() {
+        let g = chain_graph();
+        let d = Region3::of_extent(96, 8, 4);
+        let m = CostModel::from_graph(&g);
+        for n in [2, 3, 4, 7] {
+            let cuts = balanced_cuts(&g, d, d, Axis::I, n, &m);
+            assert_eq!(cuts.len(), n);
+            // Contiguous exact tiling.
+            let mut lo = d.i.lo;
+            for c in &cuts {
+                assert_eq!(c.range(Axis::I).lo, lo);
+                lo = c.range(Axis::I).hi;
+                assert_eq!(c.j, d.j);
+                assert_eq!(c.k, d.k);
+            }
+            assert_eq!(lo, d.i.hi);
+            let uniform = d.split(Axis::I, n);
+            assert!(
+                max_cost(&g, &cuts, d, &m) <= max_cost(&g, &uniform, d, &m) + 1e-9,
+                "balanced cuts cost more than uniform at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_plane_scale_shifts_the_cut() {
+        let g = chain_graph();
+        let d = Region3::of_extent(64, 8, 4);
+        // The low half of the domain is 3× as expensive per cell: the
+        // balanced cut must give the first island fewer planes.
+        let mut scale = vec![1.0; 64];
+        for s in scale.iter_mut().take(32) {
+            *s = 3.0;
+        }
+        let m = CostModel::uniform(g.stage_count()).with_plane_scale(scale);
+        let cuts = balanced_cuts(&g, d, d, Axis::I, 2, &m);
+        let w0 = cuts[0].range(Axis::I).len();
+        let w1 = cuts[1].range(Axis::I).len();
+        assert!(w0 < w1, "expensive half not shrunk: {w0} vs {w1}");
+        let c0 = island_cost(&g, cuts[0], d, Axis::I, &m);
+        let c1 = island_cost(&g, cuts[1], d, Axis::I, &m);
+        let ratio = c0.max(c1) / c0.min(c1);
+        assert!(ratio < 1.2, "costs not equalized: {c0} vs {c1}");
+    }
+
+    #[test]
+    fn slack_is_spread_instead_of_front_loaded() {
+        let g = chain_graph();
+        let d = Region3::of_extent(120, 8, 4);
+        let m = CostModel::from_graph(&g);
+        let cuts = balanced_cuts(&g, d, d, Axis::I, 14, &m);
+        let widths: Vec<i64> = cuts.iter().map(|c| c.range(Axis::I).len() as i64).collect();
+        // 120 = 8·9 + 6·8: a pure greedy carve under the min-max cap
+        // yields thirteen 9-plane islands and a starved 3-plane tail;
+        // the spreading pass must keep every island within one plane of
+        // the rest (the cost model is near-uniform per plane here).
+        let (min_w, max_w) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+        assert!(max_w - min_w <= 1, "slack not spread: widths {widths:?}");
+        assert_eq!(widths.iter().sum::<i64>(), 120);
+        // And spreading must not raise the min-max objective above the
+        // unavoidable 9-plane-interior bound.
+        let interior9 = island_cost(
+            &g,
+            slab(d, Axis::I, d.i.lo + 9, d.i.lo + 18),
+            d,
+            Axis::I,
+            &m,
+        );
+        assert!(max_cost(&g, &cuts, d, &m) <= interior9 + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_more_islands_than_planes() {
+        let g = chain_graph();
+        let d = Region3::of_extent(3, 8, 4);
+        let m = CostModel::uniform(g.stage_count());
+        let cuts = balanced_cuts(&g, d, d, Axis::I, 5, &m);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!(cuts, d.split(Axis::I, 5));
+        assert!(cuts[3].is_empty() && cuts[4].is_empty());
+    }
+
+    #[test]
+    fn single_island_takes_everything() {
+        let g = chain_graph();
+        let d = Region3::of_extent(24, 8, 4);
+        let m = CostModel::from_graph(&g);
+        assert_eq!(balanced_cuts(&g, d, d, Axis::I, 1, &m), vec![d]);
+    }
+
+    #[test]
+    fn measured_plane_scale_normalizes_rates() {
+        let d = Region3::of_extent(10, 2, 2);
+        let parts = d.split(Axis::I, 2);
+        // Island 0 measured 3× the per-cell rate of island 1 (equal
+        // cells → mean rate is the average of the two).
+        let stats = [(300u64, 100u64), (100, 100)];
+        let scale = measured_plane_scale(&parts, Axis::I, d.i, &stats);
+        assert_eq!(scale.len(), 10);
+        assert!((scale[0] - 1.5).abs() < 1e-12, "{scale:?}");
+        assert!((scale[9] - 0.5).abs() < 1e-12, "{scale:?}");
+        // Unmeasured islands keep scale 1.
+        let scale = measured_plane_scale(&parts, Axis::I, d.i, &[(300, 100), (0, 0)]);
+        assert!((scale[9] - 1.0).abs() < 1e-12, "{scale:?}");
+    }
+}

@@ -156,6 +156,32 @@ impl StepMetrics {
     }
 }
 
+/// Per-worker-normalized kernel imbalance across islands, averaged over
+/// the steps of a run.
+///
+/// `*_pw_ns` values are *per-worker* nanoseconds — an island's summed
+/// kernel time divided by its worker count — so islands of different
+/// team sizes compare on one scale. `excess_ns` is back in *summed
+/// worker* nanoseconds: the worker time per step that faster islands
+/// spend waiting at the step's barriers because the slowest island is
+/// still computing. On dedicated cores it equals the barrier wait
+/// attributable to imbalance (as opposed to oversubscription).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ImbalanceSummary {
+    /// Steps that had at least one island with recorded workers.
+    pub steps: usize,
+    /// Mean over steps of the slowest island's per-worker kernel time.
+    pub max_pw_ns: f64,
+    /// Mean over steps of the worker-weighted mean per-worker kernel
+    /// time across islands.
+    pub mean_pw_ns: f64,
+    /// `max_pw_ns / mean_pw_ns` — 1.0 is perfectly balanced.
+    pub ratio: f64,
+    /// Mean over steps of `Σ_i workers_i × (max_pw − pw_i)`: summed
+    /// worker time lost to imbalance per step.
+    pub excess_ns: f64,
+}
+
 /// A whole traced run, aggregated per step.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -241,6 +267,55 @@ impl RunMetrics {
         self.steps.iter().map(|s| s.wall_ns).sum()
     }
 
+    /// Per-worker kernel imbalance across islands, averaged over steps;
+    /// `None` when no step recorded an island with workers. Ignores the
+    /// [`NO_ISLAND`] bucket.
+    pub fn imbalance_summary(&self) -> Option<ImbalanceSummary> {
+        let mut steps = 0usize;
+        let mut max_sum = 0.0;
+        let mut mean_sum = 0.0;
+        let mut excess_sum = 0.0;
+        for s in &self.steps {
+            // (workers, per-worker kernel time) for every real island.
+            let real: Vec<(f64, f64)> = s
+                .islands
+                .iter()
+                .filter(|m| m.island != NO_ISLAND && m.workers > 0)
+                .map(|m| {
+                    let w = f64::from(m.workers);
+                    (w, m.kernel_ns as f64 / w)
+                })
+                .collect();
+            if real.is_empty() {
+                continue;
+            }
+            let max_pw = real.iter().map(|&(_, pw)| pw).fold(0.0, f64::max);
+            let workers: f64 = real.iter().map(|&(w, _)| w).sum();
+            let kernel: f64 = real.iter().map(|&(w, pw)| w * pw).sum();
+            steps += 1;
+            max_sum += max_pw;
+            mean_sum += kernel / workers;
+            excess_sum += real.iter().map(|&(w, pw)| w * (max_pw - pw)).sum::<f64>();
+        }
+        if steps == 0 {
+            return None;
+        }
+        let n = steps as f64;
+        let max_pw_ns = max_sum / n;
+        let mean_pw_ns = mean_sum / n;
+        Some(ImbalanceSummary {
+            steps,
+            max_pw_ns,
+            mean_pw_ns,
+            ratio: if mean_pw_ns > 0.0 {
+                max_pw_ns / mean_pw_ns
+            } else {
+                1.0
+            },
+            excess_ns: excess_sum / n,
+        })
+    }
+
     /// Renders a human-readable per-island phase table (the `--metrics`
     /// output of `mpdata-run`).
     pub fn render(&self) -> String {
@@ -300,6 +375,16 @@ impl RunMetrics {
             .next_back()
         {
             out.push_str(&format!("kernel imbalance (last step): {im:.3}\n"));
+        }
+        if let Some(im) = self.imbalance_summary() {
+            out.push_str(&format!(
+                "per-worker kernel per step: max {:.3} ms  mean {:.3} ms  ratio {:.3}  \
+                 imbalance excess {:.3} ms/step\n",
+                im.max_pw_ns / 1e6,
+                im.mean_pw_ns / 1e6,
+                im.ratio,
+                im.excess_ns / 1e6,
+            ));
         }
         out
     }
@@ -412,5 +497,41 @@ mod tests {
         let text = m.render();
         assert!(text.contains("dropped events: 2"), "{text}");
         assert!(text.contains("kernel imbalance"), "{text}");
+        assert!(text.contains("imbalance excess"), "{text}");
+    }
+
+    #[test]
+    fn imbalance_summary_normalizes_per_worker() {
+        let m = RunMetrics::aggregate(&synthetic());
+        let im = m.imbalance_summary().unwrap();
+        assert_eq!(im.steps, 2);
+        // Step 0: island 0 has 2 workers × 180 ns summed → 90 ns per
+        // worker; island 1 has 1 worker × 50 ns → 50 ns. max = 90,
+        // mean = 230 / 3, excess = 1 × (90 − 50) = 40.
+        // Step 1: single island (60 ns, 1 worker): max = mean = 60,
+        // excess = 0.
+        let max0 = 90.0;
+        let mean0 = 230.0 / 3.0;
+        assert!((im.max_pw_ns - (max0 + 60.0) / 2.0).abs() < 1e-9, "{im:?}");
+        assert!(
+            (im.mean_pw_ns - (mean0 + 60.0) / 2.0).abs() < 1e-9,
+            "{im:?}"
+        );
+        assert!((im.excess_ns - 20.0).abs() < 1e-9, "{im:?}");
+        assert!(im.ratio > 1.0, "{im:?}");
+
+        // A perfectly balanced run reports ratio 1.0, excess 0.
+        let balanced = Drained {
+            events: vec![
+                ev(SpanKind::Kernel, 0, 100, 0, 0, 0, [0; 3]),
+                ev(SpanKind::Kernel, 0, 100, 1, 0, 0, [0; 3]),
+            ],
+            dropped: 0,
+        };
+        let im = RunMetrics::aggregate(&balanced)
+            .imbalance_summary()
+            .unwrap();
+        assert_eq!(im.ratio, 1.0);
+        assert_eq!(im.excess_ns, 0.0);
     }
 }
