@@ -21,14 +21,18 @@
 //!   previous step's values;
 //! * `overlap-chunks` — under a self-scheduled plan, one dynamic
 //!   chunk's write region is widened into the next chunk's share, so
-//!   two concurrently claimable work units write the same cells.
+//!   two concurrently claimable work units write the same cells;
+//! * `fused-overlap-step2` — in a temporally blocked (k = 3) plan, rank
+//!   0's write slices of the *second* fused step are widened past the
+//!   team split, so the fused epoch table races where the unfused one
+//!   would not.
 //!
 //! Exit codes: 0 clean, 1 diagnostics found, 2 tracing unavailable
 //! (release build — rebuild in debug).
 
 use islands_analysis::{
     check_disjointness, check_graph, check_problem, islands_plan, islands_plan_dynamic,
-    with_offset_removed, Diagnostic, KernelPath,
+    islands_plan_fused, with_offset_removed, Diagnostic, KernelPath,
 };
 use islands_core::Partition;
 use mpdata::{Boundary, MpdataProblem};
@@ -60,7 +64,7 @@ fn run(args: &[String]) -> i32 {
         _ => {
             eprintln!(
                 "usage: stencil-lint [--mutant drop-offset|overlap-partition\
-                 |overlap-ranks|stale-output|overlap-chunks]"
+                 |overlap-ranks|stale-output|overlap-chunks|fused-overlap-step2]"
             );
             return 2;
         }
@@ -72,6 +76,7 @@ fn run(args: &[String]) -> i32 {
         Some("overlap-ranks") => mutant_overlap_ranks(),
         Some("stale-output") => mutant_stale_output(),
         Some("overlap-chunks") => mutant_overlap_chunks(),
+        Some("fused-overlap-step2") => mutant_fused_overlap_step2(),
         Some(other) => {
             eprintln!("stencil-lint: unknown mutant `{other}`");
             return 2;
@@ -214,6 +219,35 @@ fn full_matrix() -> Vec<Diagnostic> {
                         found.len()
                     );
                     all.extend(found);
+
+                    // Temporally blocked schedules: prove the k-step
+                    // fused epoch tables — including the x-slot
+                    // hand-offs between fused steps — for the same
+                    // partitions. One (axis, shape) combination per
+                    // partition keeps the matrix affordable.
+                    if split_axis == Axis::J && shape == "uniform-2" {
+                        for fuse in [2, 3] {
+                            let fused_plan = islands_plan_fused(
+                                &problem,
+                                domain,
+                                parts,
+                                &sizes,
+                                split_axis,
+                                CACHE_BYTES,
+                                fuse,
+                            )
+                            .expect("lint domains fit the cache budget");
+                            let found = check_disjointness(&fused_plan);
+                            println!(
+                                "disjointness domain={:?} partition={desc} \
+                                 split={split_axis:?} teams={shape} fuse={fuse}: \
+                                 {} diagnostic(s)",
+                                domain,
+                                found.len()
+                            );
+                            all.extend(found);
+                        }
+                    }
                 }
             }
         }
@@ -306,6 +340,41 @@ fn mutant_overlap_chunks() -> Vec<Diagnostic> {
         for ep in &mut team.epochs {
             if let Some(chunk0) = ep.per_rank.first_mut() {
                 for acc in chunk0.iter_mut().filter(|a| a.write) {
+                    let r = acc.region.range(split_axis);
+                    let hi = (r.hi + 1).min(plan.domain.range(split_axis).hi);
+                    acc.region = acc.region.with_range(split_axis, Range1::new(r.lo, hi));
+                }
+            }
+        }
+    }
+    check_disjointness(&plan)
+}
+
+fn mutant_fused_overlap_step2() -> Vec<Diagnostic> {
+    let problem = MpdataProblem::standard();
+    let domain = Region3::of_extent(16, 12, 6);
+    let parts = domain.split(Axis::I, 2);
+    let split_axis = Axis::J;
+    let mut plan = islands_plan_fused(
+        &problem,
+        domain,
+        &parts,
+        &[2, 2],
+        split_axis,
+        CACHE_BYTES,
+        3,
+    )
+    .expect("lint domain fits the cache budget");
+    // Widen rank 0's writes one slab past the split boundary — but only
+    // in the *second* fused step's epochs, so a checker that collapses
+    // the fused table to its first (or last) step would miss the race.
+    for team in &mut plan.teams {
+        for ep in &mut team.epochs {
+            if !ep.label.starts_with("step 1 /") {
+                continue;
+            }
+            if let Some(rank0) = ep.per_rank.first_mut() {
+                for acc in rank0.iter_mut().filter(|a| a.write) {
                     let r = acc.region.range(split_axis);
                     let hi = (r.hi + 1).min(plan.domain.range(split_axis).hi);
                     acc.region = acc.region.with_range(split_axis, Range1::new(r.lo, hi));

@@ -106,6 +106,58 @@ pub fn islands_plan(
         split_axis,
         cache_bytes,
         None,
+        1,
+    )
+}
+
+/// Like [`islands_plan`], but for a *temporally blocked* executor that
+/// fuses `fuse_steps` whole time steps into one replay epoch. The
+/// reconstruction mirrors the fused `StepPlan`: fused step `k-1`
+/// computes each team's own part; every earlier step's target is
+/// enlarged backwards by one cumulative stencil halo
+/// ([`stencil_engine::StageGraph::external_read_regions`] on the
+/// advected field), and the advected field ping-pongs between two
+/// *team-private* pseudo-fields `x@slot0`/`x@slot1` (fused step
+/// `s < k-1` writes slot `s % 2`; fused step `s > 0` reads slot
+/// `(s-1) % 2` instead of the shared input). Because the slots are
+/// modelled island-private and non-external, the unchanged
+/// [`check_disjointness`] rules prove the fusion:
+///
+/// * rule 4 (coverage) demands every slot read be covered by earlier
+///   same-team slot writes — i.e. that each step's halo enlargement is
+///   wide enough for the next step's reads;
+/// * rules 2–3 prove no same-epoch or cross-team overlap anywhere in
+///   the fused step table, including the slot hand-offs;
+/// * rule 5 still demands the *last* fused step's shared-output writes
+///   tile the domain.
+///
+/// # Errors
+///
+/// Returns [`PlanBlocksError`] when a fused step's blocks cannot fit
+/// the cache budget.
+///
+/// # Panics
+///
+/// Panics like [`islands_plan`], and if `fuse_steps` is zero.
+pub fn islands_plan_fused(
+    problem: &MpdataProblem,
+    domain: Region3,
+    parts: &[Region3],
+    team_sizes: &[usize],
+    split_axis: Axis,
+    cache_bytes: usize,
+    fuse_steps: usize,
+) -> Result<SchedulePlan, PlanBlocksError> {
+    assert!(fuse_steps > 0, "need at least one fused step");
+    islands_plan_impl(
+        problem,
+        domain,
+        parts,
+        team_sizes,
+        split_axis,
+        cache_bytes,
+        None,
+        fuse_steps,
     )
 }
 
@@ -143,6 +195,7 @@ pub fn islands_plan_dynamic(
         split_axis,
         cache_bytes,
         Some(chunks_per_rank),
+        1,
     )
 }
 
@@ -155,6 +208,7 @@ fn islands_plan_impl(
     split_axis: Axis,
     cache_bytes: usize,
     chunks_per_rank: Option<usize>,
+    fuse_steps: usize,
 ) -> Result<SchedulePlan, PlanBlocksError> {
     assert_eq!(parts.len(), team_sizes.len(), "one part per team");
     assert_eq!(
@@ -162,17 +216,32 @@ fn islands_plan_impl(
         mpdata::Boundary::Open,
         "the islands schedule is only defined for open boundaries"
     );
+    let k = fuse_steps.max(1);
     let graph = problem.graph();
     let fields = graph.fields();
-    let field_names: Vec<String> = (0..fields.len())
+    let xout = problem.xout();
+    let x_ext = problem.ext().x;
+    let mut field_names: Vec<String> = (0..fields.len())
         .map(|n| fields.name(stencil_engine::FieldId(n as u32)).to_string())
         .collect();
-    let shared: Vec<bool> = (0..fields.len())
+    let mut shared: Vec<bool> = (0..fields.len())
         .map(|n| fields.role(stencil_engine::FieldId(n as u32)) != FieldRole::Intermediate)
         .collect();
-    let external: Vec<bool> = (0..fields.len())
+    let mut external: Vec<bool> = (0..fields.len())
         .map(|n| fields.role(stencil_engine::FieldId(n as u32)) == FieldRole::External)
         .collect();
+    if k > 1 {
+        // The team-private ping-pong buffers the advected field moves
+        // through between fused steps. Island-private and non-external,
+        // so rule 2 forbids same-epoch slot races, rule 4 demands every
+        // slot read be covered by earlier same-team slot writes, and
+        // rules 3/5 correctly ignore them.
+        for slot in 0..2 {
+            field_names.push(format!("x@slot{slot}"));
+            shared.push(false);
+            external.push(false);
+        }
+    }
 
     let mut teams = Vec::with_capacity(parts.len());
     for (&part, &size) in parts.iter().zip(team_sizes) {
@@ -187,36 +256,73 @@ fn islands_plan_impl(
         };
         let mut epochs = Vec::new();
         if !part.is_empty() {
-            let blocking = BlockPlanner::new(cache_bytes).plan_wavefront(graph, part, domain)?;
-            for (b, block) in blocking.blocks.iter().enumerate() {
-                for st in graph.stages() {
-                    let region = block.stage_regions[st.id.index()];
-                    let mut per_rank = Vec::with_capacity(slots);
-                    for slot in 0..slots {
-                        let mine = mpdata::rank_slice(region, split_axis, slot, slots);
-                        let mut acc = Vec::new();
-                        if !mine.is_empty() {
-                            for &o in &st.outputs {
-                                acc.push(PlannedAccess {
-                                    field: o.index(),
-                                    region: mine,
-                                    write: true,
-                                });
+            // Fused-step targets, back to front: step k-1 computes the
+            // part itself, step s the hull of step s+1's advected-field
+            // reads (one cumulative stencil halo wider, clipped to the
+            // domain) — mirroring the fused `StepPlan` builder.
+            let mut step_parts = vec![part; k];
+            for ts in (0..k.saturating_sub(1)).rev() {
+                step_parts[ts] = graph
+                    .external_read_regions(step_parts[ts + 1], domain)
+                    .get(&x_ext)
+                    .copied()
+                    .unwrap_or_else(Region3::empty);
+            }
+            for (ts, &step_part) in step_parts.iter().enumerate() {
+                let step_word = if k > 1 {
+                    format!("step {ts} / ")
+                } else {
+                    String::new()
+                };
+                let blocking =
+                    BlockPlanner::new(cache_bytes).plan_wavefront(graph, step_part, domain)?;
+                for (b, block) in blocking.blocks.iter().enumerate() {
+                    for st in graph.stages() {
+                        let region = block.stage_regions[st.id.index()];
+                        let is_final = st.outputs == [xout];
+                        let mut per_rank = Vec::with_capacity(slots);
+                        for slot in 0..slots {
+                            let mine = mpdata::rank_slice(region, split_axis, slot, slots);
+                            let mut acc = Vec::new();
+                            if !mine.is_empty() {
+                                for &o in &st.outputs {
+                                    // Before the last fused step, the
+                                    // final stage writes the step's
+                                    // x slot, not the shared output.
+                                    let field = if is_final && ts + 1 < k {
+                                        fields.len() + ts % 2
+                                    } else {
+                                        o.index()
+                                    };
+                                    acc.push(PlannedAccess {
+                                        field,
+                                        region: mine,
+                                        write: true,
+                                    });
+                                }
+                                for (f, pat) in &st.inputs {
+                                    // After the first fused step, the
+                                    // advected input comes from the
+                                    // previous step's x slot.
+                                    let field = if *f == x_ext && ts > 0 {
+                                        fields.len() + (ts - 1) % 2
+                                    } else {
+                                        f.index()
+                                    };
+                                    acc.push(PlannedAccess {
+                                        field,
+                                        region: mine.expand(pat.halo()).intersect(domain),
+                                        write: false,
+                                    });
+                                }
                             }
-                            for (f, pat) in &st.inputs {
-                                acc.push(PlannedAccess {
-                                    field: f.index(),
-                                    region: mine.expand(pat.halo()).intersect(domain),
-                                    write: false,
-                                });
-                            }
+                            per_rank.push(acc);
                         }
-                        per_rank.push(acc);
+                        epochs.push(Epoch {
+                            label: format!("{step_word}block {b} / stage {}{slot_word}", st.name),
+                            per_rank,
+                        });
                     }
-                    epochs.push(Epoch {
-                        label: format!("block {b} / stage {}{slot_word}", st.name),
-                        per_rank,
-                    });
                 }
             }
         }

@@ -5,8 +5,8 @@
 //! refactor cannot silently lobotomize a check.
 
 use islands_analysis::{
-    check_disjointness, check_graph, islands_plan, islands_plan_dynamic, with_offset_removed,
-    DiagnosticCode, KernelPath, PlannedAccess,
+    check_disjointness, check_graph, islands_plan, islands_plan_dynamic, islands_plan_fused,
+    with_offset_removed, DiagnosticCode, KernelPath, PlannedAccess,
 };
 use mpdata::MpdataProblem;
 use stencil_engine::{trace, Axis, Offset3, Range1, Region3, StageGraph, StencilPattern};
@@ -268,4 +268,100 @@ fn clean_schedule_stays_clean_as_a_control() {
     // disjointness holds, so any claim order is safe.
     let dyn_plan = islands_plan_dynamic(&problem, d, &parts, &[2, 2], Axis::J, CACHE, 3).unwrap();
     assert_eq!(check_disjointness(&dyn_plan), vec![]);
+}
+
+#[test]
+fn widened_second_fused_step_is_an_intra_team_overlap() {
+    // The temporal-blocking mutant: rank 0's write slices of the
+    // *second* fused step (label prefix "step 1 /") are widened past
+    // the team split. A checker that only modelled the first or last
+    // fused step would miss this.
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let split = Axis::J;
+    let mut plan = islands_plan_fused(&problem, d, &parts, &[2, 2], split, CACHE, 3).unwrap();
+    for team in &mut plan.teams {
+        for ep in &mut team.epochs {
+            if !ep.label.starts_with("step 1 /") {
+                continue;
+            }
+            if let Some(rank0) = ep.per_rank.first_mut() {
+                for acc in rank0.iter_mut().filter(|a| a.write) {
+                    let r = acc.region.range(split);
+                    let hi = (r.hi + 1).min(d.range(split).hi);
+                    acc.region = acc.region.with_range(split, Range1::new(r.lo, hi));
+                }
+            }
+        }
+    }
+    let found = check_disjointness(&plan);
+    let hit = found
+        .iter()
+        .find(|f| f.code == DiagnosticCode::IntraTeamOverlap)
+        .unwrap_or_else(|| panic!("expected an intra-team overlap, got: {found:?}"));
+    assert!(
+        hit.site.contains("step 1 /"),
+        "overlap should sit in the second fused step, got: {}",
+        hit.site
+    );
+    // The widened final-stage write lands in an x slot, so the fused
+    // model must surface a slot-field overlap too.
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::IntraTeamOverlap && f.field.starts_with("x@slot")),
+        "expected an x-slot overlap among: {found:?}"
+    );
+}
+
+#[test]
+fn dropping_first_step_producers_is_an_uncovered_slot_read() {
+    // Delete every final-stage (x-slot) write of fused step 0: step 1's
+    // advected reads now resolve to a slot nobody produced. Rule 4 must
+    // name the slot pseudo-field — this is the machine proof that the
+    // halo widening of earlier fused steps is load-bearing.
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    let mut plan = islands_plan_fused(&problem, d, &parts, &[2, 2], Axis::J, CACHE, 2).unwrap();
+    let slot0 = plan
+        .field_names
+        .iter()
+        .position(|n| n == "x@slot0")
+        .expect("fused plans expose the slot pseudo-fields");
+    assert!(!plan.shared[slot0] && !plan.external[slot0]);
+    for team in &mut plan.teams {
+        for ep in &mut team.epochs {
+            for accs in &mut ep.per_rank {
+                accs.retain(|a| !(a.write && a.field == slot0));
+            }
+        }
+    }
+    let found = check_disjointness(&plan);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.code == DiagnosticCode::UncoveredRead && f.field == "x@slot0"),
+        "expected an uncovered x@slot0 read, got: {found:?}"
+    );
+}
+
+#[test]
+fn clean_fused_schedule_stays_clean_as_a_control() {
+    let problem = MpdataProblem::standard();
+    let d = Region3::of_extent(16, 12, 6);
+    let parts = d.split(Axis::I, 2);
+    for fuse in [2, 3, 4] {
+        let plan = islands_plan_fused(&problem, d, &parts, &[2, 2], Axis::J, CACHE, fuse).unwrap();
+        assert_eq!(check_disjointness(&plan), vec![], "fuse={fuse} not clean");
+    }
+    // fuse = 1 degenerates to the classic plan, labels included.
+    let fused1 = islands_plan_fused(&problem, d, &parts, &[2, 2], Axis::J, CACHE, 1).unwrap();
+    let plain = islands_plan(&problem, d, &parts, &[2, 2], Axis::J, CACHE).unwrap();
+    assert_eq!(fused1.field_names, plain.field_names);
+    assert_eq!(
+        fused1.teams[0].epochs[0].label,
+        plain.teams[0].epochs[0].label
+    );
 }

@@ -14,7 +14,11 @@
 //! * `islands_dyn_*/4` — the same islands schedule with two 2-worker
 //!   teams and intra-island self-scheduling, exercising the dynamic
 //!   chunk-claiming replay path (full mode only — on the quick smoke
-//!   domain its plan-build amortization is inside scheduling noise).
+//!   domain its plan-build amortization is inside scheduling noise);
+//! * `fuse{2,4}_*/4` — the P = 4 islands schedule replayed as k-step
+//!   fused epochs (temporal blocking), whose attached
+//!   `global_barriers` per-step crossing count falls ~k× below the
+//!   unfused `islands_steady/4` row.
 //!
 //! After the timed samples of each `*_steady/P` row, one extra
 //! *untimed* batch runs under the `islands-trace` recorder to attach a
@@ -113,12 +117,22 @@ fn traced_phases(steps: u64, run: impl FnOnce()) -> Phases {
     } else {
         0.0
     };
+    // Global barrier *crossings* per step per worker: every rank records
+    // one span per crossing, so dividing the event count by workers and
+    // steps gives the per-step count (2 for the unfused executors, 2/k
+    // under `--fuse-steps=k` temporal blocking).
+    let gb_events = drained
+        .events
+        .iter()
+        .filter(|t| t.ev.kind == islands_trace::SpanKind::GlobalBarrier)
+        .count() as f64;
     Phases {
         workers: f64::from(workers),
         kernel_ns: per_step(totals.iter().map(|m| m.kernel_ns).sum()),
         barrier_ns: per_step(totals.iter().map(|m| m.barrier_wait_ns()).sum()),
         swap_ns: per_step(totals.iter().map(|m| m.swap_ns).sum()),
         imbalance_ns: excess_cells * rate / steps as f64,
+        global_barriers: gb_events / f64::from(workers).max(1.0) / steps as f64,
     }
 }
 
@@ -248,6 +262,49 @@ fn main() {
                     warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
                 });
                 g.attach_phases(&steady, phases);
+            }
+        }
+
+        // Temporal-blocking points: the same islands schedule replayed
+        // as k-step fused epochs (`IslandsExecutor::fuse_steps`), so the
+        // global barrier pair is paid once per epoch instead of once per
+        // step. The attached `global_barriers` phase field is the
+        // per-step crossing count — it must fall ~k× from the unfused
+        // `islands_steady` row while the verify-checked numerics stay
+        // bit-identical. STEADY_STEPS is divisible by both depths, so no
+        // partial tail epoch distorts the steady rows.
+        if p == 4 {
+            for k in [2_usize, 4] {
+                let mut f = fields.clone();
+                // The first row runs one *full* k-step epoch (not a
+                // 1-step tail, which replays only the final unenlarged
+                // section): its per-step cost is then the same fused
+                // work the steady row replays, plus the amortized plan
+                // build — the pair gates build amortization, not the
+                // fused-vs-unfused step cost difference.
+                g.bench_per_unit(&format!("fuse{k}_first/{p}"), k as u64, || {
+                    let fresh = IslandsExecutor::new(&pool, spec.clone(), Axis::I)
+                        .cache_bytes(CACHE_BYTES)
+                        .with_partition(parts.clone())
+                        .fuse_steps(k);
+                    fresh.run(&mut f, k).unwrap();
+                });
+                let warmed = IslandsExecutor::new(&pool, spec.clone(), Axis::I)
+                    .cache_bytes(CACHE_BYTES)
+                    .with_partition(parts.clone())
+                    .fuse_steps(k);
+                let mut f = fields.clone();
+                warmed.run(&mut f, 1).unwrap();
+                let steady = format!("fuse{k}_steady/{p}");
+                g.bench_per_unit(&steady, STEADY_STEPS, || {
+                    warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+                });
+                if g.benched(&steady) {
+                    let phases = traced_phases(STEADY_STEPS, || {
+                        warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+                    });
+                    g.attach_phases(&steady, phases);
+                }
             }
         }
 

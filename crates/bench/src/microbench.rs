@@ -61,6 +61,11 @@ pub struct Phases {
     /// cores this is the barrier wait attributable to imbalance rather
     /// than oversubscription.
     pub imbalance_ns: f64,
+    /// Global barrier crossings per iteration (a count, not a time) —
+    /// per logical step when the bench uses `bench_per_unit`. Temporal
+    /// blocking (`--fuse-steps=k`) amortizes the global pair over k
+    /// steps, so this falls from 2 toward 2/k as k grows.
+    pub global_barriers: f64,
 }
 
 impl Phases {
@@ -92,6 +97,24 @@ pub struct Record {
 /// Minimum duration of one timed sample, before the `criterion`
 /// feature's multiplier.
 pub const MIN_SAMPLE_NANOS: u64 = 2_000_000;
+
+/// Upper bound on the calibrated batch size. No real benchmark body
+/// needs 2³⁴ iterations to fill [`MIN_SAMPLE_NANOS`]; hitting the cap
+/// means the body was optimized away or the clock is broken, and
+/// calibration reports that instead of saturating at `u64::MAX` and
+/// spinning forever.
+const MAX_BATCH: u64 = 1 << 34;
+
+/// One calibration step: the next batch size after `batch` iterations
+/// took `elapsed_ns` against a `min_ns` sample target, or `None` once
+/// growth would exceed [`MAX_BATCH`]. Grows by at least 2× per round
+/// and overshoots toward the target (clamped at 1024×) so calibration
+/// converges in a few rounds even for nanosecond-scale bodies.
+fn grow_batch(batch: u64, elapsed_ns: u64, min_ns: u64) -> Option<u64> {
+    let scale = (min_ns / elapsed_ns.max(1)).clamp(2, 1024);
+    let next = batch.saturating_mul(scale);
+    (next <= MAX_BATCH).then_some(next)
+}
 
 fn effort_multiplier() -> u64 {
     if cfg!(feature = "criterion") {
@@ -216,6 +239,7 @@ pub fn render_json(records: &[Record]) -> String {
                 ));
                 m.push(("swap_pw_ns".to_string(), Json::Num(p.per_worker(p.swap_ns))));
                 m.push(("imbalance_ns".to_string(), Json::Num(p.imbalance_ns)));
+                m.push(("global_barriers".to_string(), Json::Num(p.global_barriers)));
             }
             Json::Object(m)
         })
@@ -279,13 +303,18 @@ impl Group<'_> {
             if elapsed >= min_sample {
                 break;
             }
-            // At least double; overshoot toward the target to converge
-            // in a few rounds even for nanosecond-scale bodies.
-            let scale = (min_sample.as_nanos() as u64)
-                .checked_div(elapsed.as_nanos().max(1) as u64)
-                .unwrap_or(2)
-                .clamp(2, 1024);
-            batch = batch.saturating_mul(scale);
+            batch = grow_batch(
+                batch,
+                elapsed.as_nanos() as u64,
+                min_sample.as_nanos() as u64,
+            )
+            .unwrap_or_else(|| {
+                panic!(
+                    "calibrating {full}: {batch} iterations still finished in \
+                     {elapsed:?} (target {min_sample:?}); the benchmark body \
+                     appears to be optimized away or the clock is broken"
+                )
+            });
         }
 
         // Warmup batch, then timed samples.
@@ -468,6 +497,7 @@ mod tests {
                     barrier_ns: 3.0,
                     swap_ns: 0.5,
                     imbalance_ns: 1.25,
+                    global_barriers: 0.75,
                 }),
             },
         ];
@@ -508,6 +538,35 @@ mod tests {
             arr[1].get("imbalance_ns").and_then(|v| v.as_f64()),
             Some(1.25)
         );
+        assert_eq!(
+            arr[1].get("global_barriers").and_then(|v| v.as_f64()),
+            Some(0.75)
+        );
+    }
+
+    #[test]
+    fn batch_growth_is_capped_instead_of_pinning_at_max() {
+        // A zero-elapsed clock (body optimized away, broken timer) must
+        // walk up to the cap and then report None — the old
+        // `saturating_mul` pinned the batch at u64::MAX and the
+        // calibration loop span forever trying to run it.
+        let mut batch = 1_u64;
+        let mut rounds = 0;
+        while let Some(next) = grow_batch(batch, 0, MIN_SAMPLE_NANOS) {
+            assert!(next > batch, "growth stalled at {batch}");
+            assert!(next <= MAX_BATCH);
+            batch = next;
+            rounds += 1;
+            assert!(rounds < 64, "growth never reached the cap");
+        }
+        assert!(batch <= MAX_BATCH);
+        // Ordinary convergence is untouched: half the target doubles...
+        assert_eq!(
+            grow_batch(100, MIN_SAMPLE_NANOS / 2, MIN_SAMPLE_NANOS),
+            Some(200)
+        );
+        // ...and a near-instant batch jumps by the clamped 1024× max.
+        assert_eq!(grow_batch(1, 1, u64::MAX / 2), Some(1024));
     }
 
     #[test]
@@ -523,6 +582,7 @@ mod tests {
             barrier_ns: 2.0,
             swap_ns: 3.0,
             imbalance_ns: 0.5,
+            global_barriers: 2.0,
         };
         g.attach_phases("b", attached);
         g.attach_phases(
@@ -533,6 +593,7 @@ mod tests {
                 barrier_ns: 9.0,
                 swap_ns: 9.0,
                 imbalance_ns: 9.0,
+                global_barriers: 9.0,
             },
         );
         g.finish();

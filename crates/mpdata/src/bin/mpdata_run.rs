@@ -5,7 +5,7 @@
 //!            [--workers W] [--islands P] [--iord N] [--boundary open|periodic]
 //!            [--problem gaussian|cone|random] [--cache BYTES] [--verify]
 //!            [--balance uniform|model|measured] [--self-schedule N]
-//!            [--trace OUT.json] [--metrics]
+//!            [--fuse-steps K] [--trace OUT.json] [--metrics]
 //! ```
 //!
 //! Example: advect a rotating cone for 50 steps on 2 islands × 2 cores
@@ -31,7 +31,11 @@
 //! cuts, feeds the observed per-island kernel rates back into the
 //! model, and re-cuts. `--self-schedule N` splits each barrier-fenced
 //! epoch into N chunks per rank that the island's workers claim
-//! dynamically (islands and fused strategies).
+//! dynamically (islands and fused strategies). `--fuse-steps K` fuses
+//! K whole time steps into one replay epoch (temporal blocking):
+//! islands widen their halos by K cumulative stencil radii and pay the
+//! global-barrier pair once per K steps — still bit-identical under
+//! `--verify` (islands and fused strategies).
 
 use mpdata::{
     gaussian_pulse, random_fields, rotating_cone, Boundary, FusedExecutor, IslandsExecutor,
@@ -57,6 +61,7 @@ struct Args {
     verify: bool,
     balance: String,
     self_schedule: usize,
+    fuse_steps: usize,
     trace: Option<String>,
     metrics: bool,
 }
@@ -76,6 +81,7 @@ impl Default for Args {
             verify: false,
             balance: "uniform".into(),
             self_schedule: 0,
+            fuse_steps: 1,
             trace: None,
             metrics: false,
         }
@@ -126,6 +132,14 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--self-schedule needs at least 1 chunk per rank".into());
                 }
             }
+            "--fuse-steps" => {
+                a.fuse_steps = val()?
+                    .parse()
+                    .map_err(|e| format!("bad --fuse-steps: {e}"))?;
+                if a.fuse_steps == 0 {
+                    return Err("--fuse-steps needs at least 1".into());
+                }
+            }
             "--trace" => a.trace = Some(val()?),
             "--metrics" => a.metrics = true,
             "--help" | "-h" => {
@@ -134,7 +148,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20          --workers W --islands P --iord N --boundary open|periodic\n\
                      \x20          --problem gaussian|cone|random --cache BYTES --verify\n\
                      \x20          --balance uniform|model|measured --self-schedule N\n\
-                     \x20          --trace OUT.json --metrics"
+                     \x20          --fuse-steps K --trace OUT.json --metrics"
                 );
                 std::process::exit(0);
             }
@@ -161,6 +175,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if a.self_schedule > 0 && !matches!(a.strategy.as_str(), "islands" | "fused") {
         return Err("--self-schedule only applies to --strategy islands|fused".into());
+    }
+    if a.fuse_steps > 1 && !matches!(a.strategy.as_str(), "islands" | "fused") {
+        return Err("--fuse-steps only applies to --strategy islands|fused".into());
     }
     Ok(a)
 }
@@ -298,7 +315,9 @@ fn main() -> ExitCode {
             Ok(())
         }
         "fused" => {
-            let mut exec = FusedExecutor::with_problem(&pool, problem()).cache_bytes(a.cache);
+            let mut exec = FusedExecutor::with_problem(&pool, problem())
+                .cache_bytes(a.cache)
+                .fuse_steps(a.fuse_steps);
             if a.self_schedule > 0 {
                 exec = exec.schedule(mpdata::SchedulePolicy::Dynamic {
                     chunks_per_rank: a.self_schedule,
@@ -313,7 +332,8 @@ fn main() -> ExitCode {
                 Axis::I,
                 problem(),
             )
-            .cache_bytes(a.cache);
+            .cache_bytes(a.cache)
+            .fuse_steps(a.fuse_steps);
             if let Some(parts) = balanced_parts {
                 exec = exec.with_partition(parts);
             }

@@ -53,8 +53,10 @@ pub struct FusedExecutor<'p> {
     team: TeamSpec,
     /// How epoch work units are handed to workers.
     schedule: SchedulePolicy,
+    /// Time steps fused into one replay epoch (1 = per-step sync).
+    fuse_steps: usize,
     /// Cached execution plan, rebuilt whenever its key (domain, cache
-    /// budget, split axis, schedule) stops matching.
+    /// budget, split axis, schedule, fuse depth) stops matching.
     plan: Mutex<Option<StepPlan>>,
 }
 
@@ -73,6 +75,7 @@ impl<'p> FusedExecutor<'p> {
             cache_bytes: DEFAULT_CACHE_BYTES,
             split_axis: Axis::J,
             schedule: SchedulePolicy::Static,
+            fuse_steps: 1,
             plan: Mutex::new(None),
         }
     }
@@ -94,6 +97,15 @@ impl<'p> FusedExecutor<'p> {
     /// [`SchedulePolicy::Dynamic`] for intra-team self-scheduling.
     pub fn schedule(mut self, policy: SchedulePolicy) -> Self {
         self.schedule = policy;
+        self
+    }
+
+    /// Fuses `k` whole time steps into one replay epoch; see
+    /// [`crate::IslandsExecutor::fuse_steps`]. With a single team the
+    /// halo enlargement clips to the domain, so the win is purely the
+    /// k× fewer global barrier pairs in [`FusedExecutor::run`].
+    pub fn fuse_steps(mut self, k: usize) -> Self {
+        self.fuse_steps = k.max(1);
         self
     }
 
@@ -119,6 +131,7 @@ impl<'p> FusedExecutor<'p> {
             self.cache_bytes,
             self.split_axis,
             self.schedule,
+            self.fuse_steps,
             fields,
         )
     }
@@ -149,6 +162,7 @@ impl<'p> FusedExecutor<'p> {
             self.cache_bytes,
             self.split_axis,
             self.schedule,
+            self.fuse_steps,
             fields,
             steps,
         )
@@ -221,6 +235,23 @@ mod tests {
             .step(&f)
             .unwrap();
         assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn fused_epochs_match_reference_bitwise() {
+        let d = Region3::of_extent(16, 8, 4);
+        let mut expect = rotating_cone(d, 0.25);
+        ReferenceExecutor::new().run(&mut expect, 7);
+        for k in [2, 3] {
+            let mut f = rotating_cone(d, 0.25);
+            let pool = WorkerPool::new(4);
+            FusedExecutor::new(&pool)
+                .cache_bytes(48 * 1024)
+                .fuse_steps(k)
+                .run(&mut f, 7)
+                .unwrap();
+            assert_eq!(f.x.max_abs_diff(&expect.x), 0.0, "fuse_steps({k}) diverged");
+        }
     }
 
     #[test]

@@ -51,8 +51,12 @@ pub struct IslandsExecutor<'p> {
     /// How epoch work units are handed to ranks (static slices or
     /// self-scheduled chunks).
     schedule: SchedulePolicy,
+    /// Time steps fused into one replay epoch (temporal blocking; 1 =
+    /// classic per-step global synchronization).
+    fuse_steps: usize,
     /// Cached execution plan, rebuilt whenever its key (domain,
-    /// partition, cache budget, split axis, schedule) stops matching.
+    /// partition, cache budget, split axis, schedule, fuse depth)
+    /// stops matching.
     plan: Mutex<Option<StepPlan>>,
 }
 
@@ -78,6 +82,7 @@ impl<'p> IslandsExecutor<'p> {
             partition: PartitionKind::Axis(partition_axis),
             split_axis: Axis::J,
             schedule: SchedulePolicy::Static,
+            fuse_steps: 1,
             plan: Mutex::new(None),
         }
     }
@@ -124,6 +129,19 @@ impl<'p> IslandsExecutor<'p> {
         self.schedule(SchedulePolicy::Dynamic { chunks_per_rank })
     }
 
+    /// Fuses `k` whole time steps into one replay epoch (temporal
+    /// blocking): each island's per-step targets are enlarged backwards
+    /// by one cumulative stencil halo per fused step, intermediate
+    /// advected fields ping-pong through team-private buffers, and
+    /// [`IslandsExecutor::run`] pays the global-barrier pair once per
+    /// `k` steps instead of once per step. Bit-identical to `k = 1` for
+    /// any step count (a trailing partial epoch replays only its last
+    /// sections). Values below 1 are treated as 1.
+    pub fn fuse_steps(mut self, k: usize) -> Self {
+        self.fuse_steps = k.max(1);
+        self
+    }
+
     /// The stage graph.
     pub fn graph(&self) -> &StageGraph {
         self.problem.graph()
@@ -157,6 +175,7 @@ impl<'p> IslandsExecutor<'p> {
             self.cache_bytes,
             self.split_axis,
             self.schedule,
+            self.fuse_steps,
             fields,
         )
     }
@@ -188,6 +207,7 @@ impl<'p> IslandsExecutor<'p> {
             self.cache_bytes,
             self.split_axis,
             self.schedule,
+            self.fuse_steps,
             fields,
             steps,
         )
@@ -377,6 +397,117 @@ mod tests {
             .step(&f)
             .unwrap();
         assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn fused_epochs_match_reference_bitwise() {
+        // Temporal blocking must not change a single bit: every fused
+        // step computes the same kernels over (enlarged) regions, and
+        // region shape never enters the arithmetic of a cell.
+        let d = Region3::of_extent(20, 10, 4);
+        let mut expect = rotating_cone(d, 0.25);
+        ReferenceExecutor::new().run(&mut expect, 8);
+        for k in [2, 3, 4] {
+            let mut f = rotating_cone(d, 0.25);
+            let pool = WorkerPool::new(4);
+            IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+                .cache_bytes(48 * 1024)
+                .fuse_steps(k)
+                .run(&mut f, 8)
+                .unwrap();
+            assert_eq!(f.x.max_abs_diff(&expect.x), 0.0, "fuse_steps({k}) diverged");
+        }
+    }
+
+    #[test]
+    fn fused_remainder_steps_match_reference() {
+        // steps not divisible by k: the trailing partial epoch replays
+        // only the last sections of the table.
+        let d = Region3::of_extent(18, 9, 4);
+        let mut expect = rotating_cone(d, 0.2);
+        ReferenceExecutor::new().run(&mut expect, 7);
+        let mut f = rotating_cone(d, 0.2);
+        let pool = WorkerPool::new(4);
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(48 * 1024)
+            .fuse_steps(3)
+            .run(&mut f, 7)
+            .unwrap();
+        assert_eq!(f.x.max_abs_diff(&expect.x), 0.0);
+    }
+
+    #[test]
+    fn fused_single_step_matches_reference() {
+        // `step` on a fused plan replays the one-section tail — the
+        // unenlarged last fused step — so it must equal k = 1 exactly.
+        let d = Region3::of_extent(24, 9, 5);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let f = random_fields(&mut rng, d, 0.7);
+        let expect = ReferenceExecutor::new().step(&f);
+        let pool = WorkerPool::new(4);
+        let got = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(64 * 1024)
+            .fuse_steps(3)
+            .step(&f)
+            .unwrap();
+        assert_eq!(got.max_abs_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn fused_self_schedule_matches_reference() {
+        // Fusion × self-scheduling: chunk claim order stays irrelevant
+        // inside every fused step.
+        let d = Region3::of_extent(20, 10, 4);
+        let mut expect = rotating_cone(d, 0.25);
+        ReferenceExecutor::new().run(&mut expect, 6);
+        let mut f = rotating_cone(d, 0.25);
+        let pool = WorkerPool::new(4);
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(48 * 1024)
+            .self_schedule(3)
+            .fuse_steps(2)
+            .run(&mut f, 6)
+            .unwrap();
+        assert_eq!(f.x.max_abs_diff(&expect.x), 0.0);
+    }
+
+    #[test]
+    fn fused_explicit_partition_matches_reference() {
+        // Fusion over a 2×2 island grid: the backward halo enlargement
+        // is per-part, not per-axis.
+        let d = Region3::of_extent(16, 16, 4);
+        let mut expect = gaussian_pulse(d, (0.2, 0.2, 0.0));
+        ReferenceExecutor::new().run(&mut expect, 5);
+        let mut f = gaussian_pulse(d, (0.2, 0.2, 0.0));
+        let pool = WorkerPool::new(4);
+        let mut parts = Vec::new();
+        for half_i in d.split(Axis::I, 2) {
+            parts.extend(half_i.split(Axis::J, 2));
+        }
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 4), Axis::I)
+            .with_partition(parts)
+            .cache_bytes(64 * 1024)
+            .fuse_steps(2)
+            .run(&mut f, 5)
+            .unwrap();
+        assert_eq!(f.x.max_abs_diff(&expect.x), 0.0);
+    }
+
+    #[test]
+    fn fused_interleaves_with_unfused_runs() {
+        // Changing the fuse depth mid-flight must replan (PlanKey keys
+        // on k) and stay exact.
+        let d = Region3::of_extent(16, 8, 4);
+        let mut expect = rotating_cone(d, 0.2);
+        ReferenceExecutor::new().run(&mut expect, 6);
+        let mut f = rotating_cone(d, 0.2);
+        let pool = WorkerPool::new(4);
+        let exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+            .cache_bytes(48 * 1024)
+            .fuse_steps(3);
+        exec.run(&mut f, 3).unwrap();
+        exec.run(&mut f, 3).unwrap();
+        assert_eq!(f.x.max_abs_diff(&expect.x), 0.0);
     }
 
     #[test]

@@ -9,22 +9,44 @@
 //!
 //! * the partition, per-island blocking, stage→region tables and
 //!   work-unit slices are computed once and keyed by [`PlanKey`] — any
-//!   change of domain, partition, cache budget, split axis or schedule
-//!   policy rebuilds the plan;
+//!   change of domain, partition, cache budget, split axis, schedule
+//!   policy or fuse depth rebuilds the plan;
 //! * the island [`ParStore`]s persist across steps. Instead of
 //!   re-zeroing whole scratches, the builder runs the same coverage
 //!   analysis as the `islands-analysis` `uncovered-read` rule and
 //!   records exactly the cells each team reads before writing; the
 //!   replay re-zeroes only those (none, for the real MPDATA graphs);
 //! * `run` ping-pongs two persistent full-domain arrays (`cur`/`out`)
-//!   by pointer swap under the once-per-step global barrier, instead of
-//!   allocating `Array3::zeros(domain)` and copying back per step.
+//!   by pointer swap under the once-per-epoch global barrier, instead
+//!   of allocating `Array3::zeros(domain)` and copying back per step.
 //!
-//! Replay is bit-identical to the allocate-per-step path: covered
-//! scratch reads see the same in-step values, uncovered reads see
-//! zeros either way, and the output cells not covered by final-stage
-//! writes (`out_gaps` — empty for any covering partition) are re-zeroed
-//! at swap time.
+//! # Temporal blocking (`fuse_steps = k`)
+//!
+//! With `fuse_steps = k > 1` the plan fuses k whole time steps into one
+//! replay epoch, so `run` pays the global-barrier pair once per k steps
+//! instead of once per step. Each team's epoch table then holds k
+//! *fused-step* sections: the last section computes the island's own
+//! part of the final step; every earlier section's target is enlarged
+//! backwards by one cumulative stencil halo
+//! (`StageGraph::external_read_regions` on the advected field), so a
+//! team can compute step s+1 of its enlarged region entirely from its
+//! *own* step-s values — no other island's output is ever read between
+//! global barriers. Intermediate advected fields ping-pong through two
+//! team-private x-slot buffers (`TeamPlan::xslots`), sized to the first
+//! (widest) fused step; the last fused step writes the shared output
+//! exactly as before. A `run` whose step count is not a multiple of k
+//! replays a tail epoch made of the *last* `steps mod k` sections,
+//! which keeps every section's enlargement exactly right; `step` is the
+//! one-section tail, identical to an unfused plan.
+//!
+//! Replay is bit-identical to the allocate-per-step path for every k:
+//! the kernels are pointwise in their declared neighborhoods, so
+//! computing a cell inside an enlarged region produces the same bits as
+//! computing it as somebody's "own" cell; covered scratch reads see the
+//! same in-step values, uncovered reads see zeros either way (the
+//! refill runs before every fused step), and the output cells not
+//! covered by final-stage writes (`out_gaps` — empty for any covering
+//! partition) are re-zeroed at swap time.
 
 use crate::exec::{rank_slice, ExtFields, ParStore};
 use crate::graph::{MpdataProblem, StageKind};
@@ -119,9 +141,13 @@ pub(crate) struct PlanKey {
     cache_bytes: usize,
     split_axis: Axis,
     schedule: SchedulePolicy,
+    /// Fused time steps per replay epoch (≥ 1; 1 = classic per-step
+    /// synchronization). Keyed so flipping `--fuse-steps` replans.
+    fuse_steps: usize,
 }
 
 impl PlanKey {
+    #[allow(clippy::too_many_arguments)]
     fn matches(
         &self,
         domain: Region3,
@@ -129,11 +155,13 @@ impl PlanKey {
         cache_bytes: usize,
         split_axis: Axis,
         schedule: SchedulePolicy,
+        fuse_steps: usize,
     ) -> bool {
         self.domain == domain
             && self.cache_bytes == cache_bytes
             && self.split_axis == split_axis
             && self.schedule == schedule
+            && self.fuse_steps == fuse_steps.max(1)
             && &self.partition == partition
     }
 }
@@ -149,35 +177,52 @@ struct EpochPlan {
     stage: usize,
     /// The stage's kernel.
     kind: StageKind,
-    /// Final stage: written straight into the shared output buffer.
+    /// Final stage: written straight into the step's x output — the
+    /// shared output buffer for the last fused step, a team-private
+    /// x slot for earlier ones.
     is_final: bool,
+    /// Fused-step index within the plan's k-step table (0-based).
+    step: u16,
     /// Block index within the island's wavefront blocking (trace tag).
     block: u16,
     /// Slice per work unit (empty regions for surplus units).
     units: Vec<Region3>,
     /// Per unit: cells of the slice lying outside `part ∩
     /// region_s(domain)` — the redundant halo recomputation this
-    /// epoch performs, precomputed so traced kernels can report it
-    /// without any plan-time math on the hot path.
+    /// epoch performs (fused steps before the last one recompute a
+    /// whole widened halo band), precomputed so traced kernels can
+    /// report it without any plan-time math on the hot path.
     units_extra: Vec<u64>,
 }
 
 /// One team's replay schedule.
 struct TeamPlan {
     epochs: Vec<EpochPlan>,
+    /// Epoch index range per fused step: `epochs[step_bounds[s].0 ..
+    /// step_bounds[s].1]` are fused step `s`'s epochs (all `(0, 0)` for
+    /// empty islands).
+    step_bounds: Vec<(usize, usize)>,
     /// One preallocated work queue per epoch (dynamic schedules only;
     /// empty for static). Reset between steps by one relaxed store per
     /// epoch, inside the serial sections the barriers already fence —
     /// so self-scheduling adds no allocation to the steady state.
     queues: Vec<ChunkQueue>,
-    /// Scratch regions this team reads before writing them in a step —
-    /// the cells the per-step refill must re-zero so reuse stays
-    /// bit-identical to freshly zeroed stores. Empty for the real
-    /// MPDATA graphs (the `uncovered-read` analysis proves coverage).
+    /// Scratch regions this team reads before writing them in one fused
+    /// step — the cells the refill must re-zero *before every fused
+    /// step* so scratch reuse stays bit-identical to freshly zeroed
+    /// stores. Empty for the real MPDATA graphs (the `uncovered-read`
+    /// analysis proves per-step coverage).
     must_zero: Vec<(FieldId, Region3)>,
+    /// Team-private ping-pong buffers for the advected field between
+    /// fused steps (`None` when `fuse_steps == 1`): fused step `s < k-1`
+    /// writes slot `s % 2`, fused step `s > 0` reads slot `(s-1) % 2`.
+    /// Sized to the first (widest) fused step's target, which contains
+    /// every later step's writes and reads.
+    xslots: Option<[DisjointCell<Array3>; 2]>,
 }
 
-/// A fully materialized, reusable execution plan for one time step.
+/// A fully materialized, reusable execution plan for one time step (or,
+/// with `fuse_steps = k`, one k-step fused epoch).
 ///
 /// Owns the per-island scratch stores and the two ping-pong domain
 /// buffers, so steps 2..N of `run` allocate nothing at all.
@@ -266,10 +311,35 @@ fn uncovered_reads(
     gaps
 }
 
+/// The per-fused-step targets for one island: index `k-1` is the
+/// island's own `part`; each earlier step's target is the hull of the
+/// advected-field reads the next step's target requires (clipped to
+/// `domain`), i.e. one cumulative stencil halo wider per fused step.
+/// Monotone: `targets[s] ⊇ targets[s+1]`.
+pub(crate) fn fused_step_targets(
+    graph: &StageGraph,
+    x: FieldId,
+    part: Region3,
+    domain: Region3,
+    fuse_steps: usize,
+) -> Vec<Region3> {
+    let k = fuse_steps.max(1);
+    let mut targets = vec![part; k];
+    for ts in (0..k.saturating_sub(1)).rev() {
+        targets[ts] = graph
+            .external_read_regions(targets[ts + 1], domain)
+            .get(&x)
+            .copied()
+            .unwrap_or_else(Region3::empty);
+    }
+    targets
+}
+
 impl StepPlan {
-    /// Builds the plan for `key`: partition, per-island blocking, epoch
-    /// tables with precomputed rank slices, persistent stores, and the
-    /// refill/coverage facts. This is the only allocating phase.
+    /// Builds the plan for `key`: partition, per-island and
+    /// per-fused-step blocking, epoch tables with precomputed rank
+    /// slices, persistent stores, and the refill/coverage facts. This
+    /// is the only allocating phase.
     ///
     /// # Errors
     ///
@@ -281,12 +351,17 @@ impl StepPlan {
         key: PlanKey,
     ) -> Result<Self, PlanBlocksError> {
         let domain = key.domain;
+        let k = key.fuse_steps.max(1);
         let parts = key.partition.parts(domain, spec.team_count());
         let graph = problem.graph();
         let xout = problem.xout();
+        let x = problem.ext().x;
         // Per-stage regions a zero-overlap schedule would compute —
         // the baseline against which each epoch's redundant halo
         // recomputation is measured (indexed by `StageId::index`).
+        // Fused steps before the last one are measured against the
+        // same baseline: everything beyond `part ∩ region_s(domain)`
+        // is recomputation some island performs anyway.
         let base_regions = graph.required_regions(domain, domain);
         let mut teams = Vec::with_capacity(parts.len());
         let mut stores = Vec::with_capacity(parts.len());
@@ -295,11 +370,21 @@ impl StepPlan {
             let size = spec.members(t).len();
             let mut store = ParStore::new(graph.fields().len(), problem.ext());
             let mut epochs = Vec::new();
-            let mut hull = Region3::empty();
+            let mut step_bounds = vec![(0usize, 0usize); k];
+            let mut xslots = None;
             if !part.is_empty() {
-                let blocking =
-                    BlockPlanner::new(key.cache_bytes).plan_wavefront(graph, part, domain)?;
-                hull = blocking.hull();
+                let step_parts = fused_step_targets(graph, x, part, domain, k);
+                // One wavefront blocking per fused step; the scratch
+                // store spans the union of their hulls (steps reuse the
+                // same scratch, refilled before each fused step).
+                let mut blockings = Vec::with_capacity(k);
+                let mut hull = Region3::empty();
+                for &sp in &step_parts {
+                    let blocking =
+                        BlockPlanner::new(key.cache_bytes).plan_wavefront(graph, sp, domain)?;
+                    hull = hull.hull(blocking.hull());
+                    blockings.push(blocking);
+                }
                 if !hull.is_empty() {
                     for st in graph.stages() {
                         for &o in &st.outputs {
@@ -310,45 +395,79 @@ impl StepPlan {
                     }
                 }
                 let n_units = key.schedule.units_for(size);
-                for (b, block) in blocking.blocks.iter().enumerate() {
-                    for (s, st) in graph.stages().iter().enumerate() {
-                        let region = block.stage_regions[st.id.index()];
-                        let is_final = st.outputs == [xout];
-                        if is_final {
-                            out_gaps = subtract_all(out_gaps, region);
+                for (ts, blocking) in blockings.iter().enumerate() {
+                    let start = epochs.len();
+                    for (b, block) in blocking.blocks.iter().enumerate() {
+                        for (s, st) in graph.stages().iter().enumerate() {
+                            let region = block.stage_regions[st.id.index()];
+                            let is_final = st.outputs == [xout];
+                            // Only the last fused step writes the
+                            // shared output buffer.
+                            if is_final && ts + 1 == k {
+                                out_gaps = subtract_all(out_gaps, region);
+                            }
+                            let units: Vec<Region3> = (0..n_units)
+                                .map(|u| rank_slice(region, key.split_axis, u, n_units))
+                                .collect();
+                            let needed = part.intersect(base_regions[st.id.index()]);
+                            let units_extra = units
+                                .iter()
+                                .map(|&mine| (mine.cells() - mine.intersect(needed).cells()) as u64)
+                                .collect();
+                            epochs.push(EpochPlan {
+                                stage: s,
+                                kind: problem.kind(st.id),
+                                is_final,
+                                step: ts.min(usize::from(u16::MAX)) as u16,
+                                block: b.min(usize::from(u16::MAX)) as u16,
+                                units,
+                                units_extra,
+                            });
                         }
-                        let units: Vec<Region3> = (0..n_units)
-                            .map(|u| rank_slice(region, key.split_axis, u, n_units))
-                            .collect();
-                        let needed = part.intersect(base_regions[st.id.index()]);
-                        let units_extra = units
-                            .iter()
-                            .map(|&mine| (mine.cells() - mine.intersect(needed).cells()) as u64)
-                            .collect();
-                        epochs.push(EpochPlan {
-                            stage: s,
-                            kind: problem.kind(st.id),
-                            is_final,
-                            block: b.min(usize::from(u16::MAX)) as u16,
-                            units,
-                            units_extra,
-                        });
                     }
+                    step_bounds[ts] = (start, epochs.len());
                 }
+                // The refill reruns before *every* fused step, so the
+                // coverage analysis is per fused step (each step must
+                // cover its own scratch reads — stale values from the
+                // previous fused step are zeroed first, exactly like a
+                // fresh store).
+                let mut must_zero = Vec::new();
+                for &(lo, hi) in &step_bounds {
+                    must_zero.extend(uncovered_reads(graph, &epochs[lo..hi], hull, domain));
+                }
+                if k > 1 {
+                    // Ping-pong x buffers between fused steps, sized to
+                    // the widest (first) step: every later step writes
+                    // and reads inside it.
+                    xslots = Some([
+                        DisjointCell::new(Array3::zeros(step_parts[0])),
+                        DisjointCell::new(Array3::zeros(step_parts[0])),
+                    ]);
+                }
+                let queues = match key.schedule {
+                    SchedulePolicy::Static => Vec::new(),
+                    SchedulePolicy::Dynamic { .. } => epochs
+                        .iter()
+                        .map(|ep| ChunkQueue::new(ep.units.len()))
+                        .collect(),
+                };
+                teams.push(TeamPlan {
+                    epochs,
+                    step_bounds,
+                    queues,
+                    must_zero,
+                    xslots,
+                });
+            } else {
+                teams.push(TeamPlan {
+                    epochs,
+                    step_bounds,
+                    queues: Vec::new(),
+                    must_zero: Vec::new(),
+                    xslots,
+                });
             }
-            let queues = match key.schedule {
-                SchedulePolicy::Static => Vec::new(),
-                SchedulePolicy::Dynamic { .. } => epochs
-                    .iter()
-                    .map(|ep| ChunkQueue::new(ep.units.len()))
-                    .collect(),
-            };
-            let must_zero = uncovered_reads(graph, &epochs, hull, domain);
-            teams.push(TeamPlan {
-                epochs,
-                queues,
-                must_zero,
-            });
             stores.push(store);
         }
         Ok(StepPlan {
@@ -361,12 +480,30 @@ impl StepPlan {
         })
     }
 
-    /// Replays one time step for the calling worker's team: per-step
-    /// scratch refill (rank 0, only when the coverage analysis demands
-    /// it), then every `(block, stage)` epoch fenced by the team
-    /// barrier. Allocation-free in release builds — including with
-    /// tracing compiled in but disabled, where every instrumentation
-    /// site below reduces to one relaxed load and a branch.
+    /// The buffer an epoch's final stage writes: the shared output for
+    /// the last fused step, the step's team-private x slot otherwise.
+    fn final_dest<'a>(&'a self, team: &'a TeamPlan, ep: &EpochPlan) -> &'a DisjointCell<Array3> {
+        let ts = usize::from(ep.step);
+        if ts + 1 == self.key.fuse_steps.max(1) {
+            &self.out
+        } else {
+            &team.xslots.as_ref().expect("fused plans allocate x slots")[ts % 2]
+        }
+    }
+
+    /// Replays one fused epoch of `epoch_len ∈ 1..=k` time steps for
+    /// the calling worker's team — the *last* `epoch_len` fused-step
+    /// sections of the table, so a tail epoch keeps each section's halo
+    /// enlargement exact. Per fused step: scratch refill (rank 0, only
+    /// when the coverage analysis demands it), then every `(block,
+    /// stage)` epoch fenced by the team barrier; the team barrier
+    /// ending one fused step fences its x-slot writes from the next
+    /// step's reads. `base_step` numbers the trace spans, so per-step
+    /// attribution survives fusion. Allocation-free in release builds —
+    /// including with tracing compiled in but disabled, where every
+    /// instrumentation site below reduces to one relaxed load and a
+    /// branch.
+    #[allow(clippy::too_many_arguments)]
     fn replay(
         &self,
         ctx: &TeamCtx,
@@ -374,62 +511,91 @@ impl StepPlan {
         domain: Region3,
         bc: Boundary,
         graph: &StageGraph,
-        step: u32,
+        base_step: u32,
+        epoch_len: usize,
     ) {
         islands_trace::set_island_rank(ctx.team as u32, ctx.rank as u32);
-        islands_trace::set_step(step);
+        let k = self.key.fuse_steps.max(1);
+        debug_assert!((1..=k).contains(&epoch_len));
+        let first_ts = k - epoch_len;
         let team = &self.teams[ctx.team];
         let store = &self.stores[ctx.team];
-        if !team.must_zero.is_empty() {
-            if ctx.rank == 0 {
-                let t0 = islands_trace::now();
-                for &(f, r) in &team.must_zero {
-                    store.zero_region(f, r);
-                }
-                if let Some(t0) = t0 {
-                    islands_trace::record(
-                        islands_trace::SpanKind::Refill,
-                        t0,
-                        islands_trace::now_ns(),
-                        0,
-                        0,
-                        [0; 3],
-                    );
-                }
-            }
-            // Publish the refill to the other ranks.
-            ctx.team_barrier();
-        }
-        match self.key.schedule {
-            SchedulePolicy::Static => {
-                for ep in &team.epochs {
-                    let st = &graph.stages()[ep.stage];
-                    // Static: unit index = rank, exactly one per epoch.
-                    self.run_unit(ep, st, store, ctx.rank, ext, domain, bc);
-                    // Intra-island synchronization only — this is the
-                    // whole point of the approach.
-                    ctx.team_barrier();
-                }
-            }
-            SchedulePolicy::Dynamic { .. } => {
-                for (ep, q) in team.epochs.iter().zip(&team.queues) {
-                    let st = &graph.stages()[ep.stage];
-                    // Self-schedule: claim precomputed chunks until the
-                    // epoch drains. Any claim order is race-free — the
-                    // chunks are pairwise disjoint and the epoch still
-                    // ends at the same team barrier.
-                    while let Some(u) = q.claim() {
-                        self.run_unit(ep, st, store, u, ext, domain, bc);
+        for ts in first_ts..k {
+            islands_trace::set_step(base_step + (ts - first_ts) as u32);
+            if !team.must_zero.is_empty() {
+                if ctx.rank == 0 {
+                    let t0 = islands_trace::now();
+                    for &(f, r) in &team.must_zero {
+                        store.zero_region(f, r);
                     }
-                    ctx.team_barrier();
+                    if let Some(t0) = t0 {
+                        islands_trace::record(
+                            islands_trace::SpanKind::Refill,
+                            t0,
+                            islands_trace::now_ns(),
+                            0,
+                            0,
+                            [0; 3],
+                        );
+                    }
+                }
+                // Publish the refill to the other ranks.
+                ctx.team_barrier();
+            }
+            // The advected input of this fused step: the shared buffer
+            // for the epoch's first step, afterwards the team-private
+            // slot the previous fused step just produced.
+            let mut _slot_read = None;
+            let step_ext = if ts == first_ts {
+                ext
+            } else {
+                let slots = team.xslots.as_ref().expect("fused plans allocate x slots");
+                let slot = &slots[(ts - 1) % 2];
+                _slot_read = Some(slot.track_read());
+                ExtFields {
+                    // SAFETY: the team barrier ending fused step ts-1
+                    // fences its slot writes; within this step the slot
+                    // is only read (this step writes the *other* slot
+                    // or the shared output).
+                    x: unsafe { slot.get_ref() },
+                    ..ext
+                }
+            };
+            let (lo, hi) = team.step_bounds.get(ts).copied().unwrap_or((0, 0));
+            match self.key.schedule {
+                SchedulePolicy::Static => {
+                    for ep in &team.epochs[lo..hi] {
+                        let st = &graph.stages()[ep.stage];
+                        let dest = self.final_dest(team, ep);
+                        // Static: unit index = rank, exactly one per epoch.
+                        self.run_unit(ep, st, store, ctx.rank, step_ext, domain, bc, dest);
+                        // Intra-island synchronization only — this is the
+                        // whole point of the approach.
+                        ctx.team_barrier();
+                    }
+                }
+                SchedulePolicy::Dynamic { .. } => {
+                    for (ep, q) in team.epochs[lo..hi].iter().zip(&team.queues[lo..hi]) {
+                        let st = &graph.stages()[ep.stage];
+                        let dest = self.final_dest(team, ep);
+                        // Self-schedule: claim precomputed chunks until the
+                        // epoch drains. Any claim order is race-free — the
+                        // chunks are pairwise disjoint and the epoch still
+                        // ends at the same team barrier.
+                        while let Some(u) = q.claim() {
+                            self.run_unit(ep, st, store, u, step_ext, domain, bc, dest);
+                        }
+                        ctx.team_barrier();
+                    }
                 }
             }
         }
     }
 
     /// Executes one work unit of one epoch: the kernel over the unit's
-    /// slice, routed to the scratch store or (for final stages) the
-    /// shared output, with the kernel trace span attached.
+    /// slice, routed to the scratch store or (for final stages) `dest`
+    /// — the step's x output buffer — with the kernel trace span
+    /// attached.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     fn run_unit(
@@ -441,6 +607,7 @@ impl StepPlan {
         ext: ExtFields<'_>,
         domain: Region3,
         bc: Boundary,
+        dest: &DisjointCell<Array3>,
     ) {
         let mine = ep.units[unit];
         let t0 = if mine.is_empty() {
@@ -449,14 +616,15 @@ impl StepPlan {
             islands_trace::now()
         };
         if ep.is_final {
-            // Final stage: write straight into the shared output.
-            // Blocks of different islands are disjoint on output,
-            // units split disjointly.
+            // Final stage: write straight into the step's x output.
+            // Blocks of different islands are disjoint on the shared
+            // output, units split disjointly, and x slots are
+            // team-private.
             if !mine.is_empty() {
-                let _wt = self.out.track_write();
+                let _wt = dest.track_write();
                 // SAFETY: all concurrent writers cover mutually
                 // disjoint regions.
-                let out_arr = unsafe { self.out.get_mut() };
+                let out_arr = unsafe { dest.get_mut() };
                 store.apply_into(st, ep.kind, domain, bc, mine, out_arr, ext);
             }
         } else {
@@ -487,9 +655,9 @@ impl StepPlan {
 }
 
 /// Returns the cached plan when `(domain, partition, cache_bytes,
-/// split_axis, schedule)` still match its key, else rebuilds it
-/// (dropping the stale plan first). A planning failure leaves the slot
-/// empty.
+/// split_axis, schedule, fuse_steps)` still match its key, else
+/// rebuilds it (dropping the stale plan first). A planning failure
+/// leaves the slot empty.
 #[allow(clippy::too_many_arguments)]
 fn ensure_plan<'s>(
     slot: &'s mut Option<StepPlan>,
@@ -500,10 +668,17 @@ fn ensure_plan<'s>(
     cache_bytes: usize,
     split_axis: Axis,
     schedule: SchedulePolicy,
+    fuse_steps: usize,
 ) -> Result<&'s mut StepPlan, PlanBlocksError> {
     let hit = slot.as_ref().is_some_and(|p| {
-        p.key
-            .matches(domain, partition, cache_bytes, split_axis, schedule)
+        p.key.matches(
+            domain,
+            partition,
+            cache_bytes,
+            split_axis,
+            schedule,
+            fuse_steps,
+        )
     });
     if !hit {
         *slot = None;
@@ -513,6 +688,7 @@ fn ensure_plan<'s>(
             cache_bytes,
             split_axis,
             schedule,
+            fuse_steps: fuse_steps.max(1),
         };
         *slot = Some(StepPlan::build(problem, spec, key)?);
     }
@@ -533,7 +709,9 @@ fn zero_region_of(arr: &mut Array3, region: Region3) {
 /// One time step through the plan cache: ensure the plan, lend it a
 /// fresh zeroed output buffer, replay, and hand the buffer back. The
 /// persistent `out` buffer (and its gap invariant) is untouched, so
-/// `step` and `run` calls interleave freely.
+/// `step` and `run` calls interleave freely. On a fused plan this
+/// replays the one-section tail (the unenlarged last fused step), so a
+/// single `step` stays bit-identical for every fuse depth.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_step(
     pool: &WorkerPool,
@@ -544,6 +722,7 @@ pub(crate) fn plan_step(
     cache_bytes: usize,
     split_axis: Axis,
     schedule: SchedulePolicy,
+    fuse_steps: usize,
     fields: &crate::fields::MpdataFields,
 ) -> Result<Array3, PlanBlocksError> {
     let domain = fields.domain();
@@ -556,6 +735,7 @@ pub(crate) fn plan_step(
         cache_bytes,
         split_axis,
         schedule,
+        fuse_steps,
     )?;
     // Rewind the self-scheduling queues before the dispatch sees them.
     plan.reset_queues();
@@ -565,7 +745,7 @@ pub(crate) fn plan_step(
     let graph = problem.graph();
     let bc = problem.boundary();
     let plan: &StepPlan = plan;
-    pool.run_teams(spec, |ctx| plan.replay(&ctx, ext, domain, bc, graph, 0));
+    pool.run_teams(spec, |ctx| plan.replay(&ctx, ext, domain, bc, graph, 0, 1));
     // `result` currently holds the plan's persistent buffer; swap the
     // freshly written output out and the persistent buffer back in.
     let plan = slot.as_mut().expect("ensured above");
@@ -574,11 +754,12 @@ pub(crate) fn plan_step(
 }
 
 /// Advances `fields.x` by `steps` steps inside a *single* `run_teams`
-/// dispatch: every step is one replay, one global barrier, one
-/// leader-side `cur`/`out` pointer swap, and one more global barrier —
-/// the paper's once-per-step global synchronization, with zero heap
-/// allocations from the second step on (and none at all on a plan-cache
-/// hit, beyond the pool dispatch itself).
+/// dispatch: each fused epoch (k steps; the final epoch may be
+/// shorter) is one replay, one global barrier, one leader-side
+/// `cur`/`out` pointer swap, and one more global barrier — the paper's
+/// once-per-step global synchronization, now paid once per k steps,
+/// with zero heap allocations from the second step on (and none at all
+/// on a plan-cache hit, beyond the pool dispatch itself).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_run(
     pool: &WorkerPool,
@@ -589,6 +770,7 @@ pub(crate) fn plan_run(
     cache_bytes: usize,
     split_axis: Axis,
     schedule: SchedulePolicy,
+    fuse_steps: usize,
     fields: &mut crate::fields::MpdataFields,
     steps: usize,
 ) -> Result<(), PlanBlocksError> {
@@ -605,6 +787,7 @@ pub(crate) fn plan_run(
         cache_bytes,
         split_axis,
         schedule,
+        fuse_steps,
     )?;
     plan.reset_queues();
     // Lend `fields.x` to the plan's current-input slot; the plan's old
@@ -613,9 +796,14 @@ pub(crate) fn plan_run(
     let (u1, u2, u3, h) = (&fields.u1, &fields.u2, &fields.u3, &fields.h);
     let graph = problem.graph();
     let bc = problem.boundary();
+    let k = fuse_steps.max(1);
     let plan: &StepPlan = plan;
     pool.run_teams(spec, |ctx| {
-        for step in 0..steps {
+        let mut done = 0usize;
+        while done < steps {
+            // Every worker computes the same epoch lengths, so the
+            // global-barrier counts agree without coordination.
+            let epoch_len = k.min(steps - done);
             {
                 let _xr = plan.cur.track_read();
                 let ext = ExtFields {
@@ -628,7 +816,7 @@ pub(crate) fn plan_run(
                     u3,
                     h,
                 };
-                plan.replay(&ctx, ext, domain, bc, graph, step as u32);
+                plan.replay(&ctx, ext, domain, bc, graph, done as u32, epoch_len);
             }
             // All teams done writing `out` / reading `cur`.
             if ctx.global_barrier() {
@@ -639,14 +827,14 @@ pub(crate) fn plan_run(
                 // global barriers; the serial worker has exclusive
                 // access to both buffers.
                 unsafe { std::mem::swap(plan.cur.get_mut(), plan.out.get_mut()) };
-                // The next step's output buffer is the old input: its
+                // The next epoch's output buffer is the old input: its
                 // gap cells (never written by final stages) carry stale
                 // values and must read as zero, like a fresh buffer.
                 let out_arr = unsafe { plan.out.get_mut() };
                 for &g in &plan.out_gaps {
                     zero_region_of(out_arr, g);
                 }
-                // Refill the self-scheduling queues for the next step
+                // Refill the self-scheduling queues for the next epoch
                 // while every other worker is parked between the two
                 // global barriers (the release of the second barrier
                 // publishes the relaxed stores).
@@ -662,8 +850,9 @@ pub(crate) fn plan_run(
                     );
                 }
             }
-            // Publish the swap before the next step reads `cur`.
+            // Publish the swap before the next epoch reads `cur`.
             ctx.global_barrier();
+            done += epoch_len;
         }
     });
     let plan = slot.as_mut().expect("ensured above");

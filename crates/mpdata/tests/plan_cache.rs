@@ -101,6 +101,32 @@ fn schedule_policy_change_replans() {
 }
 
 #[test]
+fn fuse_depth_change_replans() {
+    // Changing the temporal-blocking depth rekeys the plan: the epoch
+    // tables gain per-step sections with enlarged rank slices and
+    // x-slot scratch, so replaying a k=1 table at k=3 (or vice versa)
+    // would compute garbage. Every depth must stay bit-identical to
+    // the reference, including back at k=1 on the same executor.
+    let pool = WorkerPool::new(4);
+    let domain = Region3::of_extent(20, 12, 4);
+    let v = (0.2, 0.1, 0.0);
+    let mut expect = gaussian_pulse(domain, v);
+    ReferenceExecutor::new().run(&mut expect, 6);
+    let mut exec =
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).cache_bytes(64 * 1024);
+    for k in [1_usize, 3, 1] {
+        exec = exec.fuse_steps(k);
+        let mut f = gaussian_pulse(domain, v);
+        exec.run(&mut f, 6).unwrap();
+        assert_eq!(
+            f.x.max_abs_diff(&expect.x),
+            0.0,
+            "stale plan at fuse depth {k}"
+        );
+    }
+}
+
+#[test]
 fn empty_island_plan_is_not_reused_for_wider_domain() {
     // P > nx: on the narrow domain most islands own no slab (empty
     // parts, no scratch, no epochs). Widening the domain must rebuild

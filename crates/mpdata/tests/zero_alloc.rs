@@ -133,4 +133,35 @@ fn steady_state_steps_do_not_allocate() {
     );
     #[cfg(debug_assertions)]
     let _ = (dyn_one, dyn_many);
+
+    // Same pin with temporal blocking: the k=3 fused replay swaps
+    // through the plan's preallocated x-slot ping-pong buffers and
+    // re-zeros per-step gap lists in place, so fused epochs must add no
+    // per-step (or per-epoch) allocations either. STEPS = 51 is a
+    // multiple of 3, so the long run is pure full epochs.
+    let fused_exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+        .cache_bytes(64 * 1024)
+        .fuse_steps(3);
+    let before = allocs();
+    fused_exec.run(&mut fields, 1).unwrap();
+    let fused_cold = allocs() - before;
+    assert!(fused_cold > 0, "cold fused run should build its plan");
+    fused_exec.run(&mut fields, 2).unwrap();
+
+    let before = allocs();
+    fused_exec.run(&mut fields, 1).unwrap();
+    let fused_one = allocs() - before;
+
+    let before = allocs();
+    fused_exec.run(&mut fields, STEPS).unwrap();
+    let fused_many = allocs() - before;
+
+    #[cfg(not(debug_assertions))]
+    assert!(
+        fused_many <= fused_one + 4,
+        "fused (k=3) steps 2..{STEPS} allocated: run({STEPS}) made {fused_many} \
+         allocations vs {fused_one} for run(1)"
+    );
+    #[cfg(debug_assertions)]
+    let _ = (fused_one, fused_many);
 }

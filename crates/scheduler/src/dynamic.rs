@@ -72,11 +72,28 @@ impl ChunkQueue {
         Some(start..(start + batch).min(self.chunks))
     }
 
-    /// Chunks not yet claimed (a racy snapshot under concurrency; exact
-    /// once claimants are quiescent, e.g. behind a barrier).
+    /// Chunks not yet claimed.
+    ///
+    /// # Ordering contract
+    ///
+    /// All counter traffic is `Relaxed`: claims, resets and this
+    /// snapshot order only against the epoch barriers the caller
+    /// provides, never against each other. Concretely:
+    ///
+    /// * **exact** when claimants are quiescent — at a barrier-fenced
+    ///   point after a drain (`0`) or after a fenced [`ChunkQueue::reset`]
+    ///   (`len()`);
+    /// * **a racy snapshot** while claims are in flight: it may lag
+    ///   behind claims already granted on other threads;
+    /// * **bounded either way**: the claim counter can overshoot
+    ///   `len()` (each drained-queue `claim` race bumps it once) and a
+    ///   concurrent `reset` can expose that overshoot mid-write, so
+    ///   the raw subtraction could briefly "exceed" the queue or wrap;
+    ///   the explicit clamp below pins every snapshot into
+    ///   `0..=len()`.
     pub fn remaining(&self) -> usize {
-        self.chunks
-            .saturating_sub(self.next.load(Ordering::Relaxed))
+        let claimed = self.next.load(Ordering::Relaxed).min(self.chunks);
+        self.chunks - claimed
     }
 
     /// Total chunks.
@@ -217,6 +234,53 @@ mod tests {
             assert_eq!(queue.remaining(), 0);
             queue.reset();
         }
+    }
+
+    #[test]
+    fn remaining_is_always_in_bounds_under_reset_claim_races() {
+        // Loom-style stress: three claimant workers hammer `claim`
+        // (overshooting the counter past `chunks` on every drained
+        // poll) while a fourth interleaves `reset` — and an observer
+        // samples `remaining` the whole time. Every sample must stay
+        // within 0..=len() even though the counter itself transiently
+        // exceeds `chunks` mid-reset.
+        use std::sync::atomic::AtomicBool;
+        let pool = WorkerPool::new(4);
+        let queue = ChunkQueue::new(16);
+        let stop = AtomicBool::new(false);
+        let violations = Mutex::new(Vec::new());
+        pool.broadcast(|ctx| match ctx.worker {
+            // Claimants: drain and poll the drained queue (overshoot).
+            0 | 1 => {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = queue.claim();
+                    let _ = queue.claim_batch(4);
+                }
+            }
+            // Resetter: rewind mid-flight, repeatedly.
+            2 => {
+                for _ in 0..20_000 {
+                    queue.reset();
+                }
+                stop.store(true, Ordering::Relaxed);
+            }
+            // Observer: every snapshot must be in bounds.
+            _ => {
+                while !stop.load(Ordering::Relaxed) {
+                    let r = queue.remaining();
+                    if r > queue.len() {
+                        violations.lock().unwrap().push(r);
+                    }
+                }
+            }
+        });
+        let v = violations.lock().unwrap();
+        assert!(v.is_empty(), "remaining() exceeded len(): {v:?}");
+        // Quiescent exactness: fenced reset → len(), drain → 0.
+        queue.reset();
+        assert_eq!(queue.remaining(), 16);
+        while queue.claim().is_some() {}
+        assert_eq!(queue.remaining(), 0);
     }
 
     #[test]

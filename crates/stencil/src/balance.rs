@@ -20,6 +20,7 @@
 //! island's cost sits near the mean rather than the cap — the greedy
 //! carve alone would dump all slack into a starved tail island.
 
+use crate::field::FieldId;
 use crate::graph::StageGraph;
 use crate::region::{Axis, Range1, Region3};
 
@@ -276,6 +277,65 @@ pub fn balanced_cuts(
     best
 }
 
+/// Picks the cost-minimizing temporal fuse depth for one island.
+///
+/// Fusing `k` time steps into one epoch amortizes one inter-island
+/// synchronization (`sync_cost`, in the same unit as [`island_cost`])
+/// over `k` steps, but each earlier fused step computes a target
+/// enlarged by one cumulative stencil halo — the compute chain
+/// `t_0 = part`, `t_{j+1} = ` hull of `t_j`'s reads of `stepped`
+/// ([`StageGraph::external_read_regions`], clipped to `domain`). The
+/// modeled per-step cost at depth `k` is
+///
+/// ```text
+/// ( Σ_{j<k} island_cost(t_j) + sync_cost ) / k
+/// ```
+///
+/// and `suggest_k` returns the minimizing `k ∈ 1..=max_k` (ties go to
+/// the smaller `k` — less redundant memory traffic the model does not
+/// price). The redundant-compute term grows monotonically with `k`
+/// while the amortized sync term shrinks as `1/k`, so small islands
+/// with expensive synchronization get large `k` and wide islands with
+/// cheap barriers stay at `k = 1`.
+///
+/// # Panics
+///
+/// Panics if `max_k` is zero.
+#[allow(clippy::too_many_arguments)] // mirrors island_cost's signature plus the sync trade
+pub fn suggest_k(
+    graph: &StageGraph,
+    stepped: FieldId,
+    part: Region3,
+    domain: Region3,
+    axis: Axis,
+    model: &CostModel,
+    sync_cost: f64,
+    max_k: usize,
+) -> usize {
+    assert!(max_k > 0, "need at least one candidate depth");
+    let mut target = part;
+    let mut compute_sum = 0.0;
+    let mut best = (1, f64::INFINITY);
+    for k in 1..=max_k {
+        compute_sum += island_cost(graph, target, domain, axis, model);
+        let per_step = (compute_sum + sync_cost) / k as f64;
+        if per_step < best.1 {
+            best = (k, per_step);
+        }
+        if k < max_k {
+            target = graph
+                .external_read_regions(target, domain)
+                .get(&stepped)
+                .copied()
+                .unwrap_or_else(Region3::empty);
+            if target.is_empty() {
+                break;
+            }
+        }
+    }
+    best.0
+}
+
 /// Derives a per-plane cost profile along `axis` from measured
 /// per-island kernel statistics: `stats[i] = (kernel_ns,
 /// computed_cells)` for `parts[i]`. Each island's planes get the
@@ -470,6 +530,55 @@ mod tests {
         let d = Region3::of_extent(24, 8, 4);
         let m = CostModel::from_graph(&g);
         assert_eq!(balanced_cuts(&g, d, d, Axis::I, 1, &m), vec![d]);
+    }
+
+    #[test]
+    fn suggest_k_stays_at_one_without_sync_cost() {
+        // With free synchronization there is nothing to amortize, and
+        // the redundant-compute chain is monotone in k: fusing can only
+        // cost more per step.
+        let g = chain_graph();
+        let d = Region3::of_extent(40, 8, 4);
+        let m = CostModel::uniform(g.stage_count());
+        let x = FieldId(0);
+        for part in d.split(Axis::I, 4) {
+            assert_eq!(suggest_k(&g, x, part, d, Axis::I, &m, 0.0, 8), 1);
+        }
+    }
+
+    #[test]
+    fn suggest_k_amortizes_expensive_sync() {
+        let g = chain_graph();
+        let d = Region3::of_extent(40, 8, 4);
+        let m = CostModel::uniform(g.stage_count());
+        let x = FieldId(0);
+        let part = d.split(Axis::I, 4)[1];
+        // A sync as expensive as computing the island several times
+        // over must push the fuse depth up...
+        let k = suggest_k(&g, x, part, d, Axis::I, &m, 1e6, 8);
+        assert!(k > 1, "expensive sync not amortized: k = {k}");
+        // ...and deeper fusing monotonically pays off more as the sync
+        // cost grows.
+        let k2 = suggest_k(&g, x, part, d, Axis::I, &m, 1e9, 8);
+        assert!(k2 >= k, "k not monotone in sync cost: {k2} < {k}");
+    }
+
+    #[test]
+    fn suggest_k_balances_halo_growth_against_sync() {
+        // An intermediate sync cost lands between the extremes: more
+        // than 1, less than max_k — i.e. the k-dependent halo growth
+        // is actually priced, not ignored.
+        let g = chain_graph();
+        let d = Region3::of_extent(24, 4, 2);
+        let m = CostModel::uniform(g.stage_count());
+        let x = FieldId(0);
+        let part = d.split(Axis::I, 4)[1];
+        let one_step = island_cost(&g, part, d, Axis::I, &m);
+        let k = suggest_k(&g, x, part, d, Axis::I, &m, 1.5 * one_step, 16);
+        assert!(
+            k > 1 && k < 16,
+            "sync of 1.5 island-steps should pick an interior depth, got {k}"
+        );
     }
 
     #[test]

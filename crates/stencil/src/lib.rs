@@ -58,7 +58,7 @@ mod stage;
 pub mod trace;
 
 pub use array3::Array3;
-pub use balance::{balanced_cuts, island_cost, measured_plane_scale, CostModel};
+pub use balance::{balanced_cuts, island_cost, measured_plane_scale, suggest_k, CostModel};
 pub use block::{
     fused_traffic_bytes, original_traffic_bytes, BlockPlan, BlockPlanner, Blocking,
     PlanBlocksError, BYTES_PER_CELL,

@@ -109,13 +109,26 @@ pub struct StepMetrics {
     pub wall_ns: u64,
     /// Per-island totals, sorted by island index.
     pub islands: Vec<IslandMetrics>,
+    /// Islands that recorded events elsewhere in the run but none at
+    /// all in this step (the [`NO_ISLAND`] bucket excluded). A silent
+    /// island usually means a trace-ring wrap or an executor skipping
+    /// an island; either way its worker time is invisible here, so the
+    /// step's ratio metrics would be silently deflated if they
+    /// pretended the island did not exist — [`StepMetrics::imbalance`]
+    /// and [`StepMetrics::accounted_fraction`] refuse (return `None`)
+    /// instead.
+    pub silent_islands: Vec<u32>,
 }
 
 impl StepMetrics {
     /// Kernel-time imbalance across islands: slowest / fastest island
     /// kernel time. 1.0 means perfectly balanced; `None` with fewer
-    /// than two islands or a zero-kernel island.
+    /// than two islands, a zero-kernel island, or any silent island
+    /// (its kernel time is unknown, not zero).
     pub fn imbalance(&self) -> Option<f64> {
+        if !self.silent_islands.is_empty() {
+            return None;
+        }
         let real: Vec<u64> = self
             .islands
             .iter()
@@ -135,8 +148,14 @@ impl StepMetrics {
 
     /// Fraction of total worker wall time this step that the recorded
     /// phases account for: `Σ accounted / (wall × Σ workers)`. Close
-    /// to 1.0 means the instrumentation explains the step.
+    /// to 1.0 means the instrumentation explains the step. `None` when
+    /// nothing was recorded — or when an island that exists elsewhere
+    /// in the run recorded nothing this step, which would deflate the
+    /// worker denominator and inflate the fraction.
     pub fn accounted_fraction(&self) -> Option<f64> {
+        if !self.silent_islands.is_empty() {
+            return None;
+        }
         let workers: u64 = self
             .islands
             .iter()
@@ -196,22 +215,31 @@ impl RunMetrics {
     /// Aggregates a drained event list.
     pub fn aggregate(drained: &Drained) -> RunMetrics {
         let mut steps: Vec<StepMetrics> = Vec::new();
+        // Per-step wall bounds (earliest start, latest end), aligned
+        // with `steps` by index and folded in the same pass — every
+        // step exists because at least one non-dispatch event carries
+        // its tag, so the bounds are always real, never a sentinel.
+        let mut bounds: Vec<(u64, u64)> = Vec::new();
         for t in &drained.events {
             let ev = &t.ev;
             if ev.kind == SpanKind::Dispatch {
                 continue;
             }
-            let step = match steps.iter_mut().find(|s| s.step == ev.step) {
-                Some(s) => s,
+            let idx = match steps.iter().position(|s| s.step == ev.step) {
+                Some(i) => i,
                 None => {
                     steps.push(StepMetrics {
                         step: ev.step,
-                        wall_ns: 0,
-                        islands: Vec::new(),
+                        ..StepMetrics::default()
                     });
-                    steps.last_mut().expect("just pushed")
+                    bounds.push((u64::MAX, 0));
+                    steps.len() - 1
                 }
             };
+            let (lo, hi) = &mut bounds[idx];
+            *lo = (*lo).min(ev.start_ns);
+            *hi = (*hi).max(ev.end_ns());
+            let step = &mut steps[idx];
             let island = match step.islands.iter_mut().find(|m| m.island == ev.island) {
                 Some(m) => m,
                 None => {
@@ -225,20 +253,24 @@ impl RunMetrics {
             island.workers = island.workers.max(ev.rank + 1);
             island.absorb(ev.kind, ev.dur_ns, ev.aux);
         }
-        // Wall span per step (second pass: bounds over non-dispatch
-        // events of that step).
-        for s in &mut steps {
-            let mut lo = u64::MAX;
-            let mut hi = 0;
-            for t in &drained.events {
-                if t.ev.kind == SpanKind::Dispatch || t.ev.step != s.step {
-                    continue;
-                }
-                lo = lo.min(t.ev.start_ns);
-                hi = hi.max(t.ev.end_ns());
-            }
-            s.wall_ns = hi.saturating_sub(if lo == u64::MAX { hi } else { lo });
+        // Every real island the run knows about: a step missing one of
+        // these recorded *no* events for it — flagged explicitly so the
+        // ratio metrics refuse instead of silently deflating.
+        let mut run_islands: Vec<u32> = steps
+            .iter()
+            .flat_map(|s| s.islands.iter().map(|m| m.island))
+            .filter(|&i| i != NO_ISLAND)
+            .collect();
+        run_islands.sort_unstable();
+        run_islands.dedup();
+        for (s, &(lo, hi)) in steps.iter_mut().zip(&bounds) {
+            s.wall_ns = hi - lo;
             s.islands.sort_by_key(|m| m.island);
+            s.silent_islands = run_islands
+                .iter()
+                .copied()
+                .filter(|&i| !s.islands.iter().any(|m| m.island == i))
+                .collect();
         }
         steps.sort_by_key(|s| s.step);
         RunMetrics {
@@ -366,6 +398,16 @@ impl RunMetrics {
             out.push_str(&format!(
                 "per-step accounted fraction: [{}]\n",
                 fractions.join(", ")
+            ));
+        }
+        let silent = self
+            .steps
+            .iter()
+            .filter(|s| !s.silent_islands.is_empty())
+            .count();
+        if silent > 0 {
+            out.push_str(&format!(
+                "steps with silent islands (ratio metrics suppressed): {silent}\n"
             ));
         }
         if let Some(im) = self
@@ -498,6 +540,52 @@ mod tests {
         assert!(text.contains("dropped events: 2"), "{text}");
         assert!(text.contains("kernel imbalance"), "{text}");
         assert!(text.contains("imbalance excess"), "{text}");
+    }
+
+    #[test]
+    fn silent_island_is_flagged_and_ratios_refuse() {
+        // Island 1 records events in step 0 but *nothing* in step 1
+        // (e.g. its worker's ring wrapped). The old sentinel path let
+        // step 1 pretend island 1 never existed, deflating the worker
+        // denominator of accounted_fraction and computing imbalance
+        // over the wrong island set.
+        let d = Drained {
+            events: vec![
+                ev(SpanKind::Kernel, 0, 100, 0, 0, 0, [100, 0, 0]),
+                ev(SpanKind::Kernel, 0, 90, 1, 0, 0, [90, 0, 0]),
+                ev(SpanKind::Kernel, 200, 80, 0, 0, 1, [100, 0, 0]),
+            ],
+            dropped: 0,
+        };
+        let m = RunMetrics::aggregate(&d);
+        let s0 = &m.steps[0];
+        assert!(s0.silent_islands.is_empty());
+        assert!(s0.imbalance().is_some());
+        assert!(s0.accounted_fraction().is_some());
+        let s1 = &m.steps[1];
+        assert_eq!(s1.silent_islands, vec![1]);
+        // The wall is still real — the recorded events span 200..280.
+        assert_eq!(s1.wall_ns, 80);
+        // But both ratios refuse: island 1's time is unknown, not zero.
+        assert!(s1.imbalance().is_none());
+        assert!(s1.accounted_fraction().is_none());
+        // And the rendered report calls the suppression out.
+        assert!(m.render().contains("silent islands"), "{}", m.render());
+    }
+
+    #[test]
+    fn single_worker_run_has_no_silent_islands() {
+        // A worker that records no events at all never appears in any
+        // step, so a clean single-island run must stay unflagged.
+        let d = Drained {
+            events: vec![ev(SpanKind::Kernel, 0, 100, 0, 0, 0, [0; 3])],
+            dropped: 0,
+        };
+        let m = RunMetrics::aggregate(&d);
+        assert_eq!(m.steps.len(), 1);
+        assert!(m.steps[0].silent_islands.is_empty());
+        assert_eq!(m.steps[0].wall_ns, 100);
+        assert!(m.steps[0].accounted_fraction().is_some());
     }
 
     #[test]
