@@ -1,0 +1,76 @@
+//! Vector clocks over a small fixed thread universe.
+//!
+//! Every modelled operation ticks the executing thread's component;
+//! synchronizing operations (acquire loads, mutex acquisitions) join
+//! clocks. `a <= b` (componentwise) is the happens-before test the
+//! memory model and the data-race detector are built on.
+
+/// Upper bound on model threads per execution. The checker targets the
+/// 2–4 thread protocol scenarios of the runtime; eight leaves headroom
+/// without making clocks heavy.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock. `Copy` on purpose: clocks are stamped
+/// onto every store in a location history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const ZERO: VClock = VClock([0; MAX_THREADS]);
+
+    /// Ticks `thread`'s component.
+    pub fn tick(&mut self, thread: usize) {
+        self.0[thread] += 1;
+    }
+
+    /// Componentwise maximum (clock join).
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Componentwise `self <= other`: everything this clock has seen,
+    /// `other` has seen too (happens-before or equal).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_precedes_everything() {
+        let mut c = VClock::ZERO;
+        c.tick(0);
+        assert!(VClock::ZERO.le(&c));
+        assert!(!c.le(&VClock::ZERO));
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::ZERO;
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::ZERO;
+        b.tick(1);
+        let mut j = a;
+        j.join(&b);
+        assert_eq!(j.0[0], 2);
+        assert_eq!(j.0[1], 1);
+        assert!(a.le(&j) && b.le(&j));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = VClock::ZERO;
+        a.tick(0);
+        let mut b = VClock::ZERO;
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+}

@@ -1,0 +1,729 @@
+//! Serialized execution of one interleaving.
+//!
+//! Model threads are real OS threads, but only one ever runs protocol
+//! code at a time: every shim operation is *submitted* to the
+//! orchestrator (the thread driving [`crate::Checker`]) and the thread
+//! parks until the orchestrator grants it. The orchestrator picks which
+//! pending operation executes next — that choice is the interleaving —
+//! and applies the operation's effect on the model memory
+//! ([`crate::mem`]) itself, so all model state is mutated
+//! single-threadedly under one lock.
+//!
+//! A thread therefore cycles `Running → AtOp → Granted → Running`;
+//! condvar waiters detour through `Sleeping → Relock`. Aborting an
+//! execution (a counterexample was found) wakes every parked thread
+//! with a [`ModelAbort`] panic that unwinds it out of the protocol
+//! code; shim operations invoked while unwinding (e.g. a mutex guard
+//! drop) bypass the model so the unwind cannot recurse.
+
+use crate::clock::VClock;
+use crate::mem::{is_acquire, is_release, visible_indices, Loc, LocState, Store};
+use crate::trace::TraceStep;
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to unwind model threads when an execution is
+/// aborted early; not a counterexample by itself.
+pub struct ModelAbort;
+
+/// One scheduling or value decision of the depth-first explorer. A
+/// counterexample's schedule is the sequence of these decisions, which
+/// replays the failing interleaving deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the pending operation of this thread.
+    Run(usize),
+    /// Spuriously wake this condvar-sleeping thread.
+    Spurious(usize),
+    /// Make the load being applied read from this store index of its
+    /// location's history (newest-first among the visible set).
+    ReadFrom(usize),
+}
+
+/// Dependence fingerprint of a pending operation, for sleep-set
+/// wake-ups: two operations commute unless they touch a common
+/// location with at least one write-like access, or are both `SeqCst`
+/// (whose single total order makes even disjoint-location pairs
+/// order-sensitive — the store-buffering pattern the barrier relies
+/// on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OpDesc {
+    /// Up to two touched locations as `(loc_id, write_like)`.
+    pub locs: [Option<(usize, bool)>; 2],
+    /// Whether the operation is `SeqCst`.
+    pub sc: bool,
+}
+
+impl OpDesc {
+    /// Whether two operations must be ordered (do not commute).
+    pub fn dependent(&self, other: &OpDesc) -> bool {
+        if self.sc && other.sc {
+            return true;
+        }
+        for a in self.locs.iter().flatten() {
+            for b in other.locs.iter().flatten() {
+                if a.0 == b.0 && (a.1 || b.1) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The operation a model thread submitted and parked on.
+#[derive(Debug)]
+pub(crate) struct OpReq {
+    /// Identity of the shim object (its address; stable per execution).
+    pub loc_key: usize,
+    /// Shim label for traces.
+    pub label: &'static str,
+    /// Initial value for lazy atomic registration.
+    pub init: u64,
+    pub kind: OpKind,
+}
+
+#[derive(Debug)]
+pub(crate) enum OpKind {
+    Load {
+        ord: Ordering,
+    },
+    Store {
+        val: u64,
+        ord: Ordering,
+    },
+    /// `fetch_add`/`fetch_sub` as a signed wrapping delta; returns the
+    /// previous value.
+    Rmw {
+        delta: i64,
+        ord: Ordering,
+    },
+    CellWrite,
+    CellRead,
+    MutexLock,
+    MutexUnlock,
+    CvWait {
+        mutex_key: usize,
+        mutex_label: &'static str,
+    },
+    CvNotify {
+        all: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Executing user code (or not yet submitted its first op).
+    Running,
+    /// Parked on a submitted operation.
+    AtOp,
+    /// Operation applied; result ready, thread about to resume.
+    Granted,
+    /// Inside a condvar wait, mutex released.
+    Sleeping,
+    /// Woken (notify or spurious); pending mutex re-acquisition.
+    Relock,
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct TState {
+    pub status: Status,
+    pub req: Option<OpReq>,
+    pub result: u64,
+    /// For `Sleeping`/`Relock`: the mutex to re-acquire and the cv
+    /// slept on (loc ids).
+    pub wait_mutex: usize,
+    pub wait_cv: usize,
+    pub panic_msg: Option<String>,
+}
+
+impl TState {
+    fn new() -> TState {
+        TState {
+            status: Status::Running,
+            req: None,
+            result: 0,
+            wait_mutex: usize::MAX,
+            wait_cv: usize::MAX,
+            panic_msg: None,
+        }
+    }
+}
+
+/// Why an execution stopped with a counterexample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread can make progress and none is condvar-sleeping.
+    Deadlock,
+    /// Sleeping threads can only proceed via a spurious wakeup: the
+    /// protocol lost a wakeup (or never sent one).
+    LostWakeup,
+    /// Unordered access pair on a non-atomic location (torn read).
+    DataRace,
+    /// A model thread panicked (failed assertion in protocol code).
+    Panic,
+    /// A post-quiescence property closure panicked.
+    PropertyFailed,
+    /// The execution exceeded the configured step bound.
+    DepthBound,
+}
+
+impl FailureKind {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::LostWakeup => "lost-wakeup",
+            FailureKind::DataRace => "data-race",
+            FailureKind::Panic => "panic",
+            FailureKind::PropertyFailed => "property-failed",
+            FailureKind::DepthBound => "depth-bound",
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+}
+
+/// All mutable execution state, guarded by [`Shared::inner`].
+pub(crate) struct Inner {
+    pub threads: Vec<TState>,
+    pub clocks: Vec<VClock>,
+    pub locs: Vec<Loc>,
+    loc_keys: Vec<usize>,
+    pub spurious_left: u32,
+    pub trace: Vec<TraceStep>,
+    pub steps: usize,
+    pub abort: bool,
+    pub failure: Option<Failure>,
+}
+
+pub(crate) struct Shared {
+    pub inner: Mutex<Inner>,
+    pub cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The active model execution of this thread, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Shared>, usize)> {
+    if std::thread::panicking() {
+        // Shim calls during unwinding (guard drops) bypass the model:
+        // submitting would park a thread that must keep unwinding.
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Shared>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    pub(crate) fn new(n_threads: usize, spurious_budget: u32) -> Shared {
+        Shared {
+            inner: Mutex::new(Inner {
+                threads: (0..n_threads).map(|_| TState::new()).collect(),
+                clocks: vec![VClock::ZERO; n_threads],
+                locs: Vec::new(),
+                loc_keys: Vec::new(),
+                spurious_left: spurious_budget,
+                trace: Vec::new(),
+                steps: 0,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Model-thread side: submit an operation and park until the
+    /// orchestrator applies it; returns the operation's result value.
+    pub(crate) fn submit(&self, tid: usize, req: OpReq) -> u64 {
+        let mut g = lock(self);
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
+        g.threads[tid].req = Some(req);
+        g.threads[tid].status = Status::AtOp;
+        self.cv.notify_all();
+        loop {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(ModelAbort);
+            }
+            if g.threads[tid].status == Status::Granted {
+                break;
+            }
+        }
+        g.threads[tid].status = Status::Running;
+        g.threads[tid].result
+    }
+
+    /// Orchestrator side: block until every thread is parked (at an
+    /// op, sleeping, pending relock, or finished). Returns the guard.
+    pub(crate) fn wait_quiescent(&self) -> std::sync::MutexGuard<'_, Inner> {
+        let mut g = lock(self);
+        loop {
+            let parked = g.threads.iter().all(|t| {
+                matches!(
+                    t.status,
+                    Status::AtOp | Status::Sleeping | Status::Relock | Status::Finished
+                )
+            });
+            if parked {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Orchestrator side: wake everything into a [`ModelAbort`] unwind.
+    pub(crate) fn abort(&self) {
+        let mut g = lock(self);
+        g.abort = true;
+        // Threads parked in `submit` observe the flag; threads still
+        // running user code hit it at their next shim operation.
+        self.cv.notify_all();
+    }
+}
+
+impl Inner {
+    /// Interns the location behind `key`, creating it with `mk` on
+    /// first sight.
+    pub(crate) fn loc_id(
+        &mut self,
+        key: usize,
+        label: &'static str,
+        mk: impl FnOnce() -> LocState,
+    ) -> usize {
+        if let Some(i) = self.loc_keys.iter().position(|&k| k == key) {
+            return i;
+        }
+        self.loc_keys.push(key);
+        self.locs.push(Loc { label, state: mk() });
+        self.locs.len() - 1
+    }
+
+    /// Registers the location a pending op touches (so dependence
+    /// fingerprints exist before the op runs) and returns its desc.
+    pub(crate) fn desc_of(&mut self, tid: usize) -> OpDesc {
+        let (key, label, init, kind_info) = {
+            let t = &self.threads[tid];
+            if t.status == Status::Relock || t.status == Status::Sleeping {
+                // Pending relock: behaves as a mutex acquisition, and is
+                // woken by notifies on the cv it slept on.
+                return OpDesc {
+                    locs: [Some((t.wait_mutex, true)), Some((t.wait_cv, true))],
+                    sc: false,
+                };
+            }
+            let req = t.req.as_ref().expect("AtOp thread has a request");
+            let info = match &req.kind {
+                OpKind::Load { ord } => (false, false, *ord, None),
+                OpKind::Store { ord, .. } | OpKind::Rmw { ord, .. } => (true, false, *ord, None),
+                OpKind::CellWrite => (true, false, Ordering::Relaxed, None),
+                OpKind::CellRead => (false, false, Ordering::Relaxed, None),
+                OpKind::MutexLock | OpKind::MutexUnlock => (true, true, Ordering::Relaxed, None),
+                OpKind::CvWait {
+                    mutex_key,
+                    mutex_label,
+                } => (
+                    true,
+                    false,
+                    Ordering::Relaxed,
+                    Some((*mutex_key, *mutex_label)),
+                ),
+                OpKind::CvNotify { .. } => (true, false, Ordering::Relaxed, None),
+            };
+            (req.loc_key, req.label, req.init, info)
+        };
+        let (write_like, _is_mutex, ord, extra_mutex) = kind_info;
+        let primary = self.loc_for_req(tid, key, label, init);
+        let second = extra_mutex.map(|(mk, ml)| (self.loc_id(mk, ml, LocState::new_mutex), true));
+        OpDesc {
+            locs: [Some((primary, write_like)), second],
+            sc: ord == Ordering::SeqCst,
+        }
+    }
+
+    fn loc_for_req(&mut self, tid: usize, key: usize, label: &'static str, init: u64) -> usize {
+        let kind = match &self.threads[tid].req.as_ref().expect("request").kind {
+            OpKind::Load { .. } | OpKind::Store { .. } | OpKind::Rmw { .. } => 0,
+            OpKind::CellWrite | OpKind::CellRead => 1,
+            OpKind::MutexLock | OpKind::MutexUnlock => 2,
+            OpKind::CvWait { .. } | OpKind::CvNotify { .. } => 3,
+        };
+        self.loc_id(key, label, || match kind {
+            0 => LocState::new_atomic(init),
+            1 => LocState::new_data(),
+            2 => LocState::new_mutex(),
+            _ => LocState::Condvar,
+        })
+    }
+
+    /// Whether the pending operation of `tid` can execute now.
+    pub(crate) fn op_enabled(&mut self, tid: usize) -> bool {
+        match self.threads[tid].status {
+            Status::AtOp => {
+                let (key, label, init) = {
+                    let req = self.threads[tid].req.as_ref().expect("request");
+                    (req.loc_key, req.label, req.init)
+                };
+                if matches!(
+                    self.threads[tid].req.as_ref().expect("request").kind,
+                    OpKind::MutexLock
+                ) {
+                    let loc = self.loc_for_req(tid, key, label, init);
+                    match &self.locs[loc].state {
+                        LocState::Mutex { owner, .. } => owner.is_none(),
+                        _ => true,
+                    }
+                } else {
+                    true
+                }
+            }
+            Status::Relock => {
+                let m = self.threads[tid].wait_mutex;
+                match &self.locs[m].state {
+                    LocState::Mutex { owner, .. } => owner.is_none(),
+                    _ => true,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure { kind, message });
+        }
+    }
+
+    fn push_trace(&mut self, step: TraceStep) {
+        self.trace.push(step);
+        self.steps += 1;
+    }
+
+    /// Applies the `Spurious(tid)` decision.
+    pub(crate) fn apply_spurious(&mut self, tid: usize) {
+        debug_assert_eq!(self.threads[tid].status, Status::Sleeping);
+        self.spurious_left -= 1;
+        self.threads[tid].status = Status::Relock;
+        let cv = self.threads[tid].wait_cv;
+        let label = self.locs[cv].label;
+        self.push_trace(TraceStep::new(tid, "spurious-wake", label));
+    }
+
+    /// Applies the pending operation of `tid`. For loads with several
+    /// visible stores, `read_from` picks one (as chosen by the
+    /// explorer); the caller obtains the candidate list from
+    /// [`Inner::load_alternatives`] first.
+    ///
+    /// Returns `true` when the thread was granted (its submit returns);
+    /// condvar waits leave the thread parked.
+    pub(crate) fn apply(&mut self, tid: usize, read_from: Option<usize>) -> bool {
+        if self.threads[tid].status == Status::Relock {
+            return self.apply_relock(tid);
+        }
+        let req = self.threads[tid]
+            .req
+            .take()
+            .expect("AtOp thread has a request");
+        let loc = {
+            self.threads[tid].req = Some(req);
+            let r = self.loc_for_req(
+                tid,
+                self.threads[tid].req.as_ref().expect("req").loc_key,
+                self.threads[tid].req.as_ref().expect("req").label,
+                self.threads[tid].req.as_ref().expect("req").init,
+            );
+            r
+        };
+        let req = self.threads[tid].req.take().expect("request");
+        let label = self.locs[loc].label;
+        self.clocks[tid].tick(tid);
+        let clock = self.clocks[tid];
+        match req.kind {
+            OpKind::Load { ord } => {
+                let stores_len = match &self.locs[loc].state {
+                    LocState::Atomic { stores, .. } => stores.len(),
+                    _ => unreachable!("load on non-atomic"),
+                };
+                let chosen = read_from.unwrap_or_else(|| {
+                    *self
+                        .load_visible(tid, loc, ord)
+                        .last()
+                        .expect("visible set is never empty")
+                });
+                let (val, msg) = match &self.locs[loc].state {
+                    LocState::Atomic { stores, .. } => (stores[chosen].val, stores[chosen].msg),
+                    _ => unreachable!(),
+                };
+                if is_acquire(ord) {
+                    if let Some(m) = msg {
+                        self.clocks[tid].join(&m);
+                    }
+                }
+                if let LocState::Atomic { seen, .. } = &mut self.locs[loc].state {
+                    seen[tid] = seen[tid].max(chosen);
+                }
+                let stale = chosen + 1 != stores_len;
+                self.push_trace(
+                    TraceStep::new(tid, "load", label)
+                        .ord(ord)
+                        .value(val)
+                        .stale(stale, chosen, stores_len),
+                );
+                self.grant(tid, val)
+            }
+            OpKind::Store { val, ord } => {
+                if let LocState::Atomic {
+                    stores,
+                    last_sc,
+                    seen,
+                } = &mut self.locs[loc].state
+                {
+                    stores.push(Store {
+                        val,
+                        hb: clock,
+                        msg: is_release(ord).then_some(clock),
+                        sc: ord == Ordering::SeqCst,
+                        by: tid,
+                    });
+                    let idx = stores.len() - 1;
+                    if ord == Ordering::SeqCst {
+                        *last_sc = Some(idx);
+                    }
+                    seen[tid] = idx;
+                }
+                self.push_trace(TraceStep::new(tid, "store", label).ord(ord).value(val));
+                self.grant(tid, 0)
+            }
+            OpKind::Rmw { delta, ord } => {
+                let (prev, prev_msg) = match &self.locs[loc].state {
+                    LocState::Atomic { stores, .. } => {
+                        let s = stores.last().expect("history nonempty");
+                        (s.val, s.msg)
+                    }
+                    _ => unreachable!("rmw on non-atomic"),
+                };
+                if is_acquire(ord) {
+                    if let Some(m) = prev_msg {
+                        self.clocks[tid].join(&m);
+                    }
+                }
+                let clock = self.clocks[tid];
+                let new = prev.wrapping_add_signed(delta);
+                if let LocState::Atomic {
+                    stores,
+                    last_sc,
+                    seen,
+                } = &mut self.locs[loc].state
+                {
+                    // Release-sequence continuation: the RMW's message
+                    // carries the message of the store it read even if
+                    // the RMW itself is not a release.
+                    let msg = match (is_release(ord).then_some(clock), prev_msg) {
+                        (Some(mut m), Some(p)) => {
+                            m.join(&p);
+                            Some(m)
+                        }
+                        (Some(m), None) => Some(m),
+                        (None, Some(p)) => Some(p),
+                        (None, None) => None,
+                    };
+                    stores.push(Store {
+                        val: new,
+                        hb: clock,
+                        msg,
+                        sc: ord == Ordering::SeqCst,
+                        by: tid,
+                    });
+                    let idx = stores.len() - 1;
+                    if ord == Ordering::SeqCst {
+                        *last_sc = Some(idx);
+                    }
+                    seen[tid] = idx;
+                }
+                let op = if delta >= 0 { "fetch_add" } else { "fetch_sub" };
+                self.push_trace(TraceStep::new(tid, op, label).ord(ord).value(new));
+                self.grant(tid, prev)
+            }
+            OpKind::CellWrite => {
+                let mut race = None;
+                if let LocState::Data {
+                    write_hb,
+                    writer,
+                    reads,
+                } = &mut self.locs[loc].state
+                {
+                    if !write_hb.le(&clock) {
+                        race = Some(format!(
+                            "write by thread {tid} races previous write by thread {} on `{label}`",
+                            writer.map_or("?".into(), |w| w.to_string())
+                        ));
+                    }
+                    for (rt, rc) in reads.iter().enumerate() {
+                        if let Some(rc) = rc {
+                            if !rc.le(&clock) {
+                                race = Some(format!(
+                                    "write by thread {tid} races read by thread {rt} on `{label}`"
+                                ));
+                            }
+                        }
+                    }
+                    *write_hb = clock;
+                    *writer = Some(tid);
+                    **reads = [None; crate::clock::MAX_THREADS];
+                }
+                self.push_trace(TraceStep::new(tid, "cell-write", label));
+                if let Some(msg) = race {
+                    self.fail(FailureKind::DataRace, msg);
+                }
+                self.grant(tid, 0)
+            }
+            OpKind::CellRead => {
+                let mut race = None;
+                if let LocState::Data {
+                    write_hb,
+                    writer,
+                    reads,
+                } = &mut self.locs[loc].state
+                {
+                    if !write_hb.le(&clock) {
+                        race = Some(format!(
+                            "read by thread {tid} races write by thread {} on `{label}` (torn read)",
+                            writer.map_or("?".into(), |w| w.to_string())
+                        ));
+                    }
+                    reads[tid] = Some(clock);
+                }
+                self.push_trace(TraceStep::new(tid, "cell-read", label));
+                if let Some(msg) = race {
+                    self.fail(FailureKind::DataRace, msg);
+                }
+                self.grant(tid, 0)
+            }
+            OpKind::MutexLock => {
+                if let LocState::Mutex { owner, rel } = &mut self.locs[loc].state {
+                    debug_assert!(owner.is_none(), "lock granted while held");
+                    *owner = Some(tid);
+                    let rel = *rel;
+                    self.clocks[tid].join(&rel);
+                }
+                self.push_trace(TraceStep::new(tid, "mutex-lock", label));
+                self.grant(tid, 0)
+            }
+            OpKind::MutexUnlock => {
+                if let LocState::Mutex { owner, rel } = &mut self.locs[loc].state {
+                    *owner = None;
+                    *rel = clock;
+                }
+                self.push_trace(TraceStep::new(tid, "mutex-unlock", label));
+                self.grant(tid, 0)
+            }
+            OpKind::CvWait {
+                mutex_key,
+                mutex_label,
+            } => {
+                let m = self.loc_id(mutex_key, mutex_label, LocState::new_mutex);
+                if let LocState::Mutex { owner, rel } = &mut self.locs[m].state {
+                    *owner = None;
+                    *rel = clock;
+                }
+                let t = &mut self.threads[tid];
+                t.status = Status::Sleeping;
+                t.wait_mutex = m;
+                t.wait_cv = loc;
+                self.push_trace(TraceStep::new(tid, "cv-wait (sleep)", label));
+                false
+            }
+            OpKind::CvNotify { all } => {
+                let mut woken = Vec::new();
+                for (ot, t) in self.threads.iter_mut().enumerate() {
+                    if t.status == Status::Sleeping && t.wait_cv == loc {
+                        woken.push(ot);
+                        if !all {
+                            break;
+                        }
+                    }
+                }
+                for &ot in &woken {
+                    self.threads[ot].status = Status::Relock;
+                }
+                let op = if all { "notify-all" } else { "notify-one" };
+                self.push_trace(
+                    TraceStep::new(tid, op, label).note(format!("woke {} waiter(s)", woken.len())),
+                );
+                self.grant(tid, 0)
+            }
+        }
+    }
+
+    fn apply_relock(&mut self, tid: usize) -> bool {
+        let m = self.threads[tid].wait_mutex;
+        if let LocState::Mutex { owner, rel } = &mut self.locs[m].state {
+            debug_assert!(owner.is_none(), "relock granted while held");
+            *owner = Some(tid);
+            let rel = *rel;
+            self.clocks[tid].join(&rel);
+        }
+        let label = self.locs[m].label;
+        self.push_trace(TraceStep::new(tid, "cv-wake (relock)", label));
+        self.threads[tid].wait_mutex = usize::MAX;
+        self.threads[tid].wait_cv = usize::MAX;
+        self.grant(tid, 0)
+    }
+
+    /// Visible store indices (oldest-first) for the pending load of
+    /// `tid`, or `None` if the pending op is not an atomic load.
+    pub(crate) fn load_alternatives(&mut self, tid: usize) -> Option<Vec<usize>> {
+        if self.threads[tid].status != Status::AtOp {
+            return None;
+        }
+        let ord = match &self.threads[tid].req.as_ref()?.kind {
+            OpKind::Load { ord } => *ord,
+            _ => return None,
+        };
+        let loc = self.loc_for_req(
+            tid,
+            self.threads[tid].req.as_ref().expect("req").loc_key,
+            self.threads[tid].req.as_ref().expect("req").label,
+            self.threads[tid].req.as_ref().expect("req").init,
+        );
+        Some(self.load_visible(tid, loc, ord))
+    }
+
+    fn load_visible(&mut self, tid: usize, loc: usize, ord: Ordering) -> Vec<usize> {
+        let clock = self.clocks[tid];
+        match &self.locs[loc].state {
+            LocState::Atomic {
+                stores,
+                last_sc,
+                seen,
+            } => visible_indices(stores, seen[tid], *last_sc, &clock, ord == Ordering::SeqCst),
+            _ => unreachable!("load on non-atomic"),
+        }
+    }
+
+    fn grant(&mut self, tid: usize, result: u64) -> bool {
+        let t = &mut self.threads[tid];
+        t.result = result;
+        t.status = Status::Granted;
+        true
+    }
+}

@@ -1,0 +1,240 @@
+//! The checker's axiomatic-ish memory model: per-location store
+//! histories with ordering-sensitive visibility.
+//!
+//! Modification order equals execution order (the scheduler serializes
+//! operations), which is sound for exploration because the scheduler
+//! enumerates interleavings; the *weak* part is visibility. Each store
+//! carries two clocks:
+//!
+//! * `hb` — the storing thread's clock at the store. Used for
+//!   coherence: a reader whose clock dominates `hb` of store *j* can
+//!   never read a store older than *j*.
+//! * `msg` — the release message. Present only for `Release`/`SeqCst`
+//!   stores (and for RMWs, unioned with the message of the store they
+//!   read, modelling release sequences). An `Acquire`-or-stronger load
+//!   that reads the store joins this clock; a `Relaxed` load gets the
+//!   value with **no** synchronization.
+//!
+//! A load's *visible set* is every store at least as new as its
+//! coherence floor; when that set has more than one element the
+//! scheduler branches on the choice, so a `Relaxed` load legally
+//! returns stale values in some explored executions. `SeqCst` adds a
+//! per-location floor at the last `SeqCst` store (the single-total-order
+//! guarantee the sense-reversing barrier's sleepers protocol leans on).
+//!
+//! Non-atomic locations ([`LocState::Data`]) get no visibility set at
+//! all — just a happens-before race detector. An unordered read/write
+//! pair is exactly the "torn ring slot read" the trace-ring check is
+//! after.
+
+use crate::clock::{VClock, MAX_THREADS};
+use std::sync::atomic::Ordering;
+
+/// One store in a location's modification order.
+#[derive(Clone, Copy, Debug)]
+pub struct Store {
+    /// Stored value (bools are 0/1; `Data` cells don't store values
+    /// here — their payload lives in the shim).
+    pub val: u64,
+    /// Storing thread's clock at the store (coherence / race edges).
+    pub hb: VClock,
+    /// Release message an acquire reader joins; `None` for `Relaxed`.
+    pub msg: Option<VClock>,
+    /// Whether the store was `SeqCst` (drives the SC floor).
+    pub sc: bool,
+    /// Thread that performed the store (trace labelling only).
+    pub by: usize,
+}
+
+/// What kind of object a location models.
+#[derive(Debug)]
+pub enum LocState {
+    /// An atomic cell with a full store history.
+    Atomic {
+        /// Modification order, oldest first; index 0 is the initial value.
+        stores: Vec<Store>,
+        /// Index of the newest `SeqCst` store, if any.
+        last_sc: Option<usize>,
+        /// Per-thread coherence floor: newest index each thread has
+        /// read or written (a thread never reads older than this).
+        seen: [usize; MAX_THREADS],
+    },
+    /// A non-atomic cell: happens-before race detection only.
+    Data {
+        /// Clock of the last write.
+        write_hb: VClock,
+        /// Thread that performed the last write.
+        writer: Option<usize>,
+        /// Per-thread clock of the newest read since the last write
+        /// (boxed: the array dominates the enum's size otherwise).
+        reads: Box<[Option<VClock>; MAX_THREADS]>,
+    },
+    /// A mutex: ownership plus the release clock lock acquisition joins.
+    Mutex {
+        /// Owning thread, if locked.
+        owner: Option<usize>,
+        /// Clock released by the last unlock.
+        rel: VClock,
+    },
+    /// A condition variable (no memory state of its own; sleeping and
+    /// wakeups are scheduler state).
+    Condvar,
+}
+
+/// A registered location: stable label for traces plus its state.
+#[derive(Debug)]
+pub struct Loc {
+    /// Human-readable label from the shim constructor.
+    pub label: &'static str,
+    /// Model state.
+    pub state: LocState,
+}
+
+pub fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+pub fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl LocState {
+    /// Fresh atomic history holding `init`.
+    pub fn new_atomic(init: u64) -> LocState {
+        LocState::Atomic {
+            stores: vec![Store {
+                val: init,
+                hb: VClock::ZERO,
+                msg: None,
+                sc: false,
+                by: usize::MAX,
+            }],
+            last_sc: None,
+            seen: [0; MAX_THREADS],
+        }
+    }
+
+    /// Fresh data cell (initial write is unordered-before-everything,
+    /// i.e. behaves as if written before any thread started).
+    pub fn new_data() -> LocState {
+        LocState::Data {
+            write_hb: VClock::ZERO,
+            writer: None,
+            reads: Box::new([None; MAX_THREADS]),
+        }
+    }
+
+    /// Fresh unlocked mutex.
+    pub fn new_mutex() -> LocState {
+        LocState::Mutex {
+            owner: None,
+            rel: VClock::ZERO,
+        }
+    }
+}
+
+/// The indices of an atomic location's stores a load may legally
+/// return, oldest first. `clock` is the reading thread's clock.
+pub fn visible_indices(
+    stores: &[Store],
+    seen_floor: usize,
+    last_sc: Option<usize>,
+    thread_clock: &VClock,
+    load_sc: bool,
+) -> Vec<usize> {
+    // Coherence floor: the newest store this thread already knows
+    // happened (its clock dominates the store's hb clock). Reading
+    // anything older would violate read-read / write-read coherence.
+    let mut floor = seen_floor;
+    for (i, s) in stores.iter().enumerate().rev() {
+        if s.hb.le(thread_clock) {
+            floor = floor.max(i);
+            break;
+        }
+    }
+    // SC floor: an SeqCst load is ordered after every already-executed
+    // SeqCst store to this location in the single total order, so it
+    // cannot return anything older than the newest one.
+    if load_sc {
+        if let Some(sc) = last_sc {
+            floor = floor.max(sc);
+        }
+    }
+    (floor..stores.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock_of(ticks: &[(usize, u32)]) -> VClock {
+        let mut c = VClock::ZERO;
+        for &(t, n) in ticks {
+            c.0[t] = n;
+        }
+        c
+    }
+
+    fn store(val: u64, hb: VClock, sc: bool) -> Store {
+        Store {
+            val,
+            hb,
+            msg: None,
+            sc,
+            by: 0,
+        }
+    }
+
+    #[test]
+    fn unsynchronized_reader_may_read_stale() {
+        // T0 stored twice; T1's clock knows neither store -> both the
+        // init and both stores are visible.
+        let stores = vec![
+            store(0, VClock::ZERO, false),
+            store(1, clock_of(&[(0, 1)]), false),
+            store(2, clock_of(&[(0, 2)]), false),
+        ];
+        let reader = clock_of(&[(1, 5)]);
+        let v = visible_indices(&stores, 0, None, &reader, false);
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coherence_floor_excludes_known_old_stores() {
+        // Reader's clock dominates store 1's hb -> store 0 and the
+        // init are no longer visible.
+        let stores = vec![
+            store(0, VClock::ZERO, false),
+            store(1, clock_of(&[(0, 1)]), false),
+            store(2, clock_of(&[(0, 2)]), false),
+        ];
+        let reader = clock_of(&[(0, 1), (1, 3)]);
+        let v = visible_indices(&stores, 0, None, &reader, false);
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn seen_floor_is_sticky() {
+        let stores = vec![store(0, VClock::ZERO, false), store(1, VClock::ZERO, false)];
+        let reader = VClock::ZERO;
+        // After reading index 1 once, index 0 is gone for this thread.
+        let v = visible_indices(&stores, 1, None, &reader, false);
+        assert_eq!(v, vec![1]);
+    }
+
+    #[test]
+    fn sc_load_sees_newest_sc_store() {
+        let stores = vec![
+            store(0, VClock::ZERO, false),
+            store(1, clock_of(&[(0, 1)]), true),
+        ];
+        let reader = clock_of(&[(1, 1)]);
+        // Relaxed load: stale init still visible.
+        assert_eq!(
+            visible_indices(&stores, 0, Some(1), &reader, false),
+            vec![0, 1]
+        );
+        // SeqCst load: floored at the SC store.
+        assert_eq!(visible_indices(&stores, 0, Some(1), &reader, true), vec![1]);
+    }
+}

@@ -1,0 +1,483 @@
+//! Drop-in synchronization primitives that route through the model.
+//!
+//! Each shim owns a *real* `std::sync` object plus a label. On a model
+//! thread (spawned by [`crate::Checker`]) every operation is submitted
+//! to the orchestrator, which serializes it, applies the modelled
+//! memory semantics, and picks the (possibly stale) value the op
+//! observes. Off a model thread — or while unwinding from an aborted
+//! execution — the shim falls back to the real primitive, so the same
+//! code runs unchanged in plain unit tests and in `Scenario::after`
+//! property closures (where the real values reflect the final state).
+//!
+//! The real value is kept in sync after every granted write, so it
+//! always holds the newest store of the modelled history.
+
+use crate::exec::{current, OpKind, OpReq};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+fn key_of<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const u8 as usize
+}
+
+/// Shimmed `AtomicU64`.
+pub struct ModelAtomicU64 {
+    real: AtomicU64,
+    label: &'static str,
+}
+
+impl ModelAtomicU64 {
+    pub fn new(v: u64) -> ModelAtomicU64 {
+        Self::with_label(v, "atomic-u64")
+    }
+
+    pub fn with_label(v: u64, label: &'static str) -> ModelAtomicU64 {
+        ModelAtomicU64 {
+            real: AtomicU64::new(v),
+            label,
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> u64 {
+        match current() {
+            Some((sh, tid)) => sh.submit(
+                tid,
+                OpReq {
+                    loc_key: key_of(self),
+                    label: self.label,
+                    init: self.real.load(Ordering::Relaxed),
+                    kind: OpKind::Load { ord },
+                },
+            ),
+            None => self.real.load(ord),
+        }
+    }
+
+    pub fn store(&self, v: u64, ord: Ordering) {
+        match current() {
+            Some((sh, tid)) => {
+                sh.submit(
+                    tid,
+                    OpReq {
+                        loc_key: key_of(self),
+                        label: self.label,
+                        init: self.real.load(Ordering::Relaxed),
+                        kind: OpKind::Store { val: v, ord },
+                    },
+                );
+                self.real.store(v, Ordering::Relaxed);
+            }
+            None => self.real.store(v, ord),
+        }
+    }
+
+    pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        self.rmw(v as i64, ord)
+    }
+
+    pub fn fetch_sub(&self, v: u64, ord: Ordering) -> u64 {
+        self.rmw((v as i64).wrapping_neg(), ord)
+    }
+
+    fn rmw(&self, delta: i64, ord: Ordering) -> u64 {
+        match current() {
+            Some((sh, tid)) => {
+                let prev = sh.submit(
+                    tid,
+                    OpReq {
+                        loc_key: key_of(self),
+                        label: self.label,
+                        init: self.real.load(Ordering::Relaxed),
+                        kind: OpKind::Rmw { delta, ord },
+                    },
+                );
+                self.real
+                    .store(prev.wrapping_add_signed(delta), Ordering::Relaxed);
+                prev
+            }
+            None => {
+                if delta >= 0 {
+                    self.real.fetch_add(delta as u64, ord)
+                } else {
+                    self.real.fetch_sub(delta.unsigned_abs(), ord)
+                }
+            }
+        }
+    }
+}
+
+/// Shimmed `AtomicUsize`.
+pub struct ModelAtomicUsize {
+    inner: ModelAtomicU64,
+}
+
+impl ModelAtomicUsize {
+    pub fn new(v: usize) -> ModelAtomicUsize {
+        Self::with_label(v, "atomic-usize")
+    }
+
+    pub fn with_label(v: usize, label: &'static str) -> ModelAtomicUsize {
+        ModelAtomicUsize {
+            inner: ModelAtomicU64::with_label(v as u64, label),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.inner.load(ord) as usize
+    }
+
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.inner.store(v as u64, ord);
+    }
+
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        self.inner.fetch_add(v as u64, ord) as usize
+    }
+
+    pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        self.inner.fetch_sub(v as u64, ord) as usize
+    }
+}
+
+/// Shimmed `AtomicBool` (0/1 in the model history).
+pub struct ModelAtomicBool {
+    inner: ModelAtomicU64,
+}
+
+impl ModelAtomicBool {
+    pub fn new(v: bool) -> ModelAtomicBool {
+        Self::with_label(v, "atomic-bool")
+    }
+
+    pub fn with_label(v: bool, label: &'static str) -> ModelAtomicBool {
+        ModelAtomicBool {
+            inner: ModelAtomicU64::with_label(v as u64, label),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.inner.load(ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.inner.store(v as u64, ord);
+    }
+}
+
+/// Shimmed non-atomic cell with happens-before race detection.
+///
+/// On a model thread each access first asks the orchestrator to check
+/// it against the location's happens-before state (an unordered pair is
+/// reported as a data race / torn read), then performs the raw access.
+/// Outside a model execution it is a plain unsynchronized cell and must
+/// only be used single-threadedly — exactly the contract of the
+/// `Cell`-based trace ring it stands in for.
+pub struct ModelCell<T> {
+    inner: UnsafeCell<T>,
+    label: &'static str,
+}
+
+// SAFETY: the orchestrator serializes model threads (exactly one runs
+// between scheduling points), so the raw accesses below are never
+// physically concurrent; logically-racy pairs are detected and abort
+// the execution. Off-model use is restricted to one thread by contract.
+unsafe impl<T: Send> Sync for ModelCell<T> {}
+
+impl<T: Copy> ModelCell<T> {
+    pub fn new(v: T) -> ModelCell<T> {
+        Self::with_label(v, "cell")
+    }
+
+    pub fn with_label(v: T, label: &'static str) -> ModelCell<T> {
+        ModelCell {
+            inner: UnsafeCell::new(v),
+            label,
+        }
+    }
+
+    pub fn get(&self) -> T {
+        if let Some((sh, tid)) = current() {
+            sh.submit(
+                tid,
+                OpReq {
+                    loc_key: key_of(self),
+                    label: self.label,
+                    init: 0,
+                    kind: OpKind::CellRead,
+                },
+            );
+        }
+        // SAFETY: serialized by the model grant (or single-threaded by
+        // contract off-model); see the `Sync` impl.
+        unsafe { *self.inner.get() }
+    }
+
+    pub fn set(&self, v: T) {
+        if let Some((sh, tid)) = current() {
+            sh.submit(
+                tid,
+                OpReq {
+                    loc_key: key_of(self),
+                    label: self.label,
+                    init: 0,
+                    kind: OpKind::CellWrite,
+                },
+            );
+        }
+        // SAFETY: as in `get`.
+        unsafe {
+            *self.inner.get() = v;
+        }
+    }
+}
+
+/// Shimmed `Mutex`.
+pub struct ModelMutex<T> {
+    real: Mutex<T>,
+    label: &'static str,
+}
+
+/// Guard for [`ModelMutex`]; submits the model unlock on drop (after
+/// releasing the real lock, so the orchestrator can never grant a lock
+/// whose real counterpart is still held).
+pub struct ModelMutexGuard<'a, T> {
+    guard: Option<MutexGuard<'a, T>>,
+    lock: &'a ModelMutex<T>,
+}
+
+impl<T> ModelMutex<T> {
+    pub fn new(v: T) -> ModelMutex<T> {
+        Self::with_label(v, "mutex")
+    }
+
+    pub fn with_label(v: T, label: &'static str) -> ModelMutex<T> {
+        ModelMutex {
+            real: Mutex::new(v),
+            label,
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<ModelMutexGuard<'_, T>> {
+        if let Some((sh, tid)) = current() {
+            sh.submit(
+                tid,
+                OpReq {
+                    loc_key: key_of(self),
+                    label: self.label,
+                    init: 0,
+                    kind: OpKind::MutexLock,
+                },
+            );
+        }
+        // Uncontended whenever the model granted the lock: the previous
+        // holder drops the real guard before its model unlock applies.
+        match self.real.lock() {
+            Ok(g) => Ok(ModelMutexGuard {
+                guard: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(ModelMutexGuard {
+                guard: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+}
+
+impl<T> Drop for ModelMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let Some(g) = self.guard.take() else {
+            // Consumed by a condvar wait; the model release happened
+            // as part of the CvWait operation.
+            return;
+        };
+        drop(g);
+        if let Some((sh, tid)) = current() {
+            sh.submit(
+                tid,
+                OpReq {
+                    loc_key: key_of(self.lock),
+                    label: self.lock.label,
+                    init: 0,
+                    kind: OpKind::MutexUnlock,
+                },
+            );
+        }
+    }
+}
+
+impl<T> std::ops::Deref for ModelMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard not consumed")
+    }
+}
+
+impl<T> std::ops::DerefMut for ModelMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard not consumed")
+    }
+}
+
+/// Shimmed `Condvar` with spurious-wakeup injection: on model threads,
+/// the explorer may wake any sleeping waiter without a notify (within
+/// the configured per-execution budget), so protocols are only correct
+/// if every wait sits in a predicate loop.
+pub struct ModelCondvar {
+    real: Condvar,
+    label: &'static str,
+}
+
+impl ModelCondvar {
+    pub fn new() -> ModelCondvar {
+        Self::with_label("condvar")
+    }
+
+    pub fn with_label(label: &'static str) -> ModelCondvar {
+        ModelCondvar {
+            real: Condvar::new(),
+            label,
+        }
+    }
+
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: ModelMutexGuard<'a, T>,
+    ) -> LockResult<ModelMutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let real_guard = guard.guard.take().expect("guard not consumed");
+        if let Some((sh, tid)) = current() {
+            drop(guard); // no-op: the real guard was taken out
+            drop(real_guard); // release the real lock before parking
+            sh.submit(
+                tid,
+                OpReq {
+                    loc_key: key_of(self),
+                    label: self.label,
+                    init: 0,
+                    kind: OpKind::CvWait {
+                        mutex_key: key_of(lock),
+                        mutex_label: lock.label,
+                    },
+                },
+            );
+            // Granted: the model re-acquired the mutex for us; take the
+            // real lock to match (uncontended, as in `lock`).
+            match lock.real.lock() {
+                Ok(g) => Ok(ModelMutexGuard {
+                    guard: Some(g),
+                    lock,
+                }),
+                Err(p) => Err(PoisonError::new(ModelMutexGuard {
+                    guard: Some(p.into_inner()),
+                    lock,
+                })),
+            }
+        } else {
+            drop(guard);
+            match self.real.wait(real_guard) {
+                Ok(g) => Ok(ModelMutexGuard {
+                    guard: Some(g),
+                    lock,
+                }),
+                Err(p) => Err(PoisonError::new(ModelMutexGuard {
+                    guard: Some(p.into_inner()),
+                    lock,
+                })),
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(false);
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(true);
+    }
+
+    fn notify(&self, all: bool) {
+        match current() {
+            Some((sh, tid)) => {
+                sh.submit(
+                    tid,
+                    OpReq {
+                        loc_key: key_of(self),
+                        label: self.label,
+                        init: 0,
+                        kind: OpKind::CvNotify { all },
+                    },
+                );
+            }
+            None => {
+                if all {
+                    self.real.notify_all();
+                } else {
+                    self.real.notify_one();
+                }
+            }
+        }
+    }
+}
+
+impl Default for ModelCondvar {
+    fn default() -> ModelCondvar {
+        ModelCondvar::new()
+    }
+}
+
+// Debug impls mirror what the real primitives would print, so shimmed
+// protocol structs can keep their `derive(Debug)`. Values shown are the
+// real (newest) ones; model visibility is per-thread and not shown.
+impl std::fmt::Debug for ModelAtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelAtomicU64")
+            .field("label", &self.label)
+            .field("value", &self.real.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ModelAtomicUsize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelAtomicUsize")
+            .field("label", &self.inner.label)
+            .field("value", &self.inner.real.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ModelAtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelAtomicBool")
+            .field("label", &self.inner.label)
+            .field("value", &(self.inner.real.load(Ordering::Relaxed) != 0))
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for ModelMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelMutex")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ModelCondvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelCondvar")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for ModelCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelCell")
+            .field("label", &self.label)
+            .finish()
+    }
+}

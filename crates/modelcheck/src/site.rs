@@ -1,0 +1,92 @@
+//! Named ordering sites and the weaken-override map behind the
+//! ordering-minimality matrix.
+//!
+//! Every `Ordering::` site a ported protocol exposes to the checker is
+//! named (`"barrier.count-arrive-rmw"`, ...). In real builds the
+//! scheduler's `ord()` helper compiles to the default ordering; in
+//! model builds it consults this map, so the matrix can re-run a
+//! scenario with exactly one site weakened one step and demand a
+//! counterexample (the ordering is load-bearing) or grant a demotion.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+static OVERRIDES: Mutex<Vec<(&'static str, Ordering)>> = Mutex::new(Vec::new());
+
+/// Overrides `site` to `ord` for subsequent [`resolve`] calls.
+/// Overrides are process-global: matrix runs must not execute
+/// concurrently with each other (the suite serializes them).
+pub fn set_override(site: &'static str, ord: Ordering) {
+    let mut g = OVERRIDES.lock().unwrap_or_else(|e| e.into_inner());
+    g.retain(|(s, _)| *s != site);
+    g.push((site, ord));
+}
+
+/// Clears all overrides.
+pub fn clear_overrides() {
+    OVERRIDES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// The effective ordering of `site`: its override if set, else
+/// `default`.
+pub fn resolve(site: &'static str, default: Ordering) -> Ordering {
+    OVERRIDES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .find(|(s, _)| *s == site)
+        .map_or(default, |(_, o)| *o)
+}
+
+/// Operation class of a site, deciding its weakening chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// The canonical one-step-weaker ordering for the matrix, or `None`
+/// when the site is already `Relaxed` (nothing left to weaken).
+pub fn one_step_weaker(ord: Ordering, class: OpClass) -> Option<Ordering> {
+    match (class, ord) {
+        (OpClass::Load, Ordering::SeqCst) => Some(Ordering::Acquire),
+        (OpClass::Load, Ordering::Acquire) => Some(Ordering::Relaxed),
+        (OpClass::Store, Ordering::SeqCst) => Some(Ordering::Release),
+        (OpClass::Store, Ordering::Release) => Some(Ordering::Relaxed),
+        (OpClass::Rmw, Ordering::SeqCst) => Some(Ordering::AcqRel),
+        (OpClass::Rmw, Ordering::AcqRel) => Some(Ordering::Acquire),
+        (OpClass::Rmw, Ordering::Acquire | Ordering::Release) => Some(Ordering::Relaxed),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_override_and_clears() {
+        clear_overrides();
+        assert_eq!(resolve("t.site", Ordering::SeqCst), Ordering::SeqCst);
+        set_override("t.site", Ordering::Relaxed);
+        assert_eq!(resolve("t.site", Ordering::SeqCst), Ordering::Relaxed);
+        assert_eq!(resolve("t.other", Ordering::Acquire), Ordering::Acquire);
+        clear_overrides();
+        assert_eq!(resolve("t.site", Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    #[test]
+    fn weaken_chains_terminate_at_relaxed() {
+        for class in [OpClass::Load, OpClass::Store, OpClass::Rmw] {
+            let mut ord = Ordering::SeqCst;
+            let mut steps = 0;
+            while let Some(w) = one_step_weaker(ord, class) {
+                ord = w;
+                steps += 1;
+                assert!(steps < 8, "weaken chain does not terminate");
+            }
+            assert_eq!(ord, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Litmus tests calibrating the checker against the classic weak-memory
+//! and condvar shapes: if the engine cannot reproduce store buffering
+//! or catch a textbook lost wakeup, its verdicts on the runtime's
+//! protocols would be worthless.
+
+use islands_modelcheck::{
+    format_trace, Checker, Config, FailureKind, ModelAtomicUsize, ModelCell, ModelCondvar,
+    ModelMutex, Scenario,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn checker() -> Checker {
+    Checker::new(Config::default())
+}
+
+/// Store buffering: with `SeqCst` the both-read-zero outcome must be
+/// impossible; one step weaker (`Release`/`Acquire`) it must appear.
+fn store_buffering(store_ord: Ordering, load_ord: Ordering) -> Option<FailureKind> {
+    let report = checker().check(move || {
+        let mut s = Scenario::new("litmus-sb");
+        let x = Arc::new(ModelAtomicUsize::with_label(0, "x"));
+        let y = Arc::new(ModelAtomicUsize::with_label(0, "y"));
+        let r0 = Arc::new(AtomicUsize::new(9));
+        let r1 = Arc::new(AtomicUsize::new(9));
+        {
+            let (x, y, r0) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r0));
+            s.thread(move || {
+                x.store(1, store_ord);
+                r0.store(y.load(load_ord), Ordering::SeqCst);
+            });
+        }
+        {
+            let (x, y, r1) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+            s.thread(move || {
+                y.store(1, store_ord);
+                r1.store(x.load(load_ord), Ordering::SeqCst);
+            });
+        }
+        s.after(move || {
+            assert!(
+                !(r0.load(Ordering::SeqCst) == 0 && r1.load(Ordering::SeqCst) == 0),
+                "both threads read 0: stores were buffered past the loads"
+            );
+        });
+        s
+    });
+    report.counterexample.map(|ce| ce.kind)
+}
+
+#[test]
+fn sb_seqcst_forbids_both_zero() {
+    assert_eq!(store_buffering(Ordering::SeqCst, Ordering::SeqCst), None);
+}
+
+#[test]
+fn sb_release_acquire_allows_both_zero() {
+    assert_eq!(
+        store_buffering(Ordering::Release, Ordering::Acquire),
+        Some(FailureKind::PropertyFailed)
+    );
+}
+
+/// Message passing: `Release` store / `Acquire` load transfers the
+/// payload write; fully `Relaxed` the flag may be seen without it.
+fn message_passing(pub_ord: Ordering, sub_ord: Ordering) -> Option<FailureKind> {
+    let report = checker().check(move || {
+        let mut s = Scenario::new("litmus-mp");
+        let data = Arc::new(ModelAtomicUsize::with_label(0, "data"));
+        let flag = Arc::new(ModelAtomicUsize::with_label(0, "flag"));
+        {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            s.thread(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, pub_ord);
+            });
+        }
+        {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            s.thread(move || {
+                if flag.load(sub_ord) == 1 {
+                    assert_eq!(
+                        data.load(Ordering::Relaxed),
+                        42,
+                        "flag visible before payload"
+                    );
+                }
+            });
+        }
+        s
+    });
+    report.counterexample.map(|ce| ce.kind)
+}
+
+#[test]
+fn mp_release_acquire_is_clean() {
+    assert_eq!(message_passing(Ordering::Release, Ordering::Acquire), None);
+}
+
+#[test]
+fn mp_relaxed_loses_the_payload() {
+    assert_eq!(
+        message_passing(Ordering::Relaxed, Ordering::Relaxed),
+        Some(FailureKind::Panic)
+    );
+}
+
+#[test]
+fn unprotected_cell_is_a_data_race() {
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-race");
+        let c = Arc::new(ModelCell::with_label(0u64, "slot"));
+        {
+            let c = Arc::clone(&c);
+            s.thread(move || c.set(7));
+        }
+        {
+            let c = Arc::clone(&c);
+            s.thread(move || {
+                let _ = c.get();
+            });
+        }
+        s
+    });
+    let ce = report
+        .counterexample
+        .expect("unsynchronized cell access must race");
+    assert_eq!(ce.kind, FailureKind::DataRace);
+    assert!(
+        ce.message.contains("slot"),
+        "race names the location: {}",
+        ce.message
+    );
+}
+
+#[test]
+fn mutex_protects_the_cell() {
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-mutex");
+        let m = Arc::new(ModelMutex::with_label((), "m"));
+        let c = Arc::new(ModelCell::with_label(0u64, "slot"));
+        for _ in 0..2 {
+            let (m, c) = (Arc::clone(&m), Arc::clone(&c));
+            s.thread(move || {
+                let _g = m.lock().unwrap();
+                let v = c.get();
+                c.set(v + 1);
+            });
+        }
+        let c = Arc::clone(&c);
+        s.after(move || assert_eq!(c.get(), 2));
+        s
+    });
+    assert!(report.exhaustive_and_clean(), "{}", report.summary());
+}
+
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-deadlock");
+        let a = Arc::new(ModelMutex::with_label((), "a"));
+        let b = Arc::new(ModelMutex::with_label((), "b"));
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            s.thread(move || {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            });
+        }
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            s.thread(move || {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            });
+        }
+        s
+    });
+    let ce = report.counterexample.expect("AB/BA locking must deadlock");
+    assert_eq!(ce.kind, FailureKind::Deadlock);
+}
+
+#[test]
+fn wait_without_notify_is_a_lost_wakeup() {
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-lost-wakeup");
+        let m = Arc::new(ModelMutex::with_label(false, "m"));
+        let cv = Arc::new(ModelCondvar::with_label("cv"));
+        {
+            let (m, cv) = (Arc::clone(&m), Arc::clone(&cv));
+            s.thread(move || {
+                let mut g = m.lock().unwrap();
+                while !*g {
+                    g = cv.wait(g).unwrap();
+                }
+            });
+        }
+        {
+            let m = Arc::clone(&m);
+            s.thread(move || {
+                // Sets the predicate but never notifies.
+                *m.lock().unwrap() = true;
+            });
+        }
+        s
+    });
+    let ce = report
+        .counterexample
+        .expect("missing notify must be flagged");
+    assert_eq!(ce.kind, FailureKind::LostWakeup);
+    // The schedule must replay to the same failure.
+    let replayed = Checker::new(Config::default()).replay(
+        {
+            let mut s = Scenario::new("litmus-lost-wakeup");
+            let m = Arc::new(ModelMutex::with_label(false, "m"));
+            let cv = Arc::new(ModelCondvar::with_label("cv"));
+            {
+                let (m, cv) = (Arc::clone(&m), Arc::clone(&cv));
+                s.thread(move || {
+                    let mut g = m.lock().unwrap();
+                    while !*g {
+                        g = cv.wait(g).unwrap();
+                    }
+                });
+            }
+            {
+                let m = Arc::clone(&m);
+                s.thread(move || {
+                    *m.lock().unwrap() = true;
+                });
+            }
+            s
+        },
+        &ce.schedule,
+    );
+    let rep_ce = replayed
+        .counterexample
+        .expect("schedule replays the failure");
+    assert_eq!(rep_ce.kind, FailureKind::LostWakeup);
+    assert!(!format_trace(&rep_ce.trace).is_empty());
+}
+
+#[test]
+fn predicate_loop_survives_spurious_wakeups() {
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-spurious");
+        let m = Arc::new(ModelMutex::with_label(false, "m"));
+        let cv = Arc::new(ModelCondvar::with_label("cv"));
+        {
+            let (m, cv) = (Arc::clone(&m), Arc::clone(&cv));
+            s.thread(move || {
+                let mut g = m.lock().unwrap();
+                while !*g {
+                    g = cv.wait(g).unwrap();
+                }
+            });
+        }
+        {
+            let (m, cv) = (Arc::clone(&m), Arc::clone(&cv));
+            s.thread(move || {
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            });
+        }
+        s
+    });
+    assert!(report.exhaustive_and_clean(), "{}", report.summary());
+    assert!(
+        report.spurious_injected > 0,
+        "explorer must have exercised spurious wakeups: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn rmw_increments_never_lose_updates() {
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-rmw");
+        let n = Arc::new(ModelAtomicUsize::with_label(0, "n"));
+        for _ in 0..3 {
+            let n = Arc::clone(&n);
+            s.thread(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let n = Arc::clone(&n);
+        s.after(move || assert_eq!(n.load(Ordering::SeqCst), 3));
+        s
+    });
+    assert!(report.exhaustive_and_clean(), "{}", report.summary());
+}
+
+#[test]
+fn sleep_sets_prune_without_losing_outcomes() {
+    // Two independent writers: sleep sets should prune some of the
+    // 2-thread interleavings while still exploring at least one.
+    let report = checker().check(|| {
+        let mut s = Scenario::new("litmus-prune");
+        let x = Arc::new(ModelAtomicUsize::with_label(0, "x"));
+        let y = Arc::new(ModelAtomicUsize::with_label(0, "y"));
+        {
+            let x = Arc::clone(&x);
+            s.thread(move || x.store(1, Ordering::Relaxed));
+        }
+        {
+            let y = Arc::clone(&y);
+            s.thread(move || y.store(1, Ordering::Relaxed));
+        }
+        let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+        s.after(move || {
+            assert_eq!(x.load(Ordering::SeqCst), 1);
+            assert_eq!(y.load(Ordering::SeqCst), 1);
+        });
+        s
+    });
+    assert!(report.exhaustive_and_clean(), "{}", report.summary());
+    assert!(
+        report.pruned > 0,
+        "independent ops should produce sleep-set pruning: {}",
+        report.summary()
+    );
+}

@@ -18,15 +18,29 @@
 //! traffic: the releaser only touches the lock when someone is (or is
 //! about to be) asleep.
 
+use crate::sync::{ord, AtomicBool, AtomicUsize, Condvar, Mutex};
 use islands_trace::SpanKind;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::Ordering;
 
 /// Busy-spin iterations before a waiter starts yielding.
+#[cfg(not(feature = "model"))]
 const SPIN_ROUNDS: u32 = 256;
 
 /// `yield_now` iterations before a waiter parks on the condvar.
+#[cfg(not(feature = "model"))]
 const YIELD_ROUNDS: u32 = 64;
+
+/// Model builds collapse the spin and yield phases to a single round
+/// each: the checker's stale-read branching makes every extra loop
+/// iteration a fresh choice point, and one round already exercises the
+/// protocol-relevant outcomes (saw the flip early / fell through to
+/// park).
+#[cfg(feature = "model")]
+const SPIN_ROUNDS: u32 = 1;
+
+/// See [`SPIN_ROUNDS`].
+#[cfg(feature = "model")]
+const YIELD_ROUNDS: u32 = 1;
 
 /// What a barrier synchronizes — tags its wait-time trace events so
 /// the metrics can separate intra-island from once-per-step waits.
@@ -97,11 +111,11 @@ impl SenseBarrier {
         SenseBarrier {
             parties,
             scope,
-            count: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
-            sleepers: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            cv: Condvar::new(),
+            count: AtomicUsize::with_label(0, "barrier.count"),
+            sense: AtomicBool::with_label(false, "barrier.sense"),
+            sleepers: AtomicUsize::with_label(0, "barrier.sleepers"),
+            lock: Mutex::with_label((), "barrier.lock"),
+            cv: Condvar::with_label("barrier.cv"),
         }
     }
 
@@ -135,20 +149,51 @@ impl SenseBarrier {
     /// The untraced wait: this is the exact pre-instrumentation code
     /// path, kept clock-free so the disabled mode measures nothing.
     fn wait_plain(&self) -> bool {
-        let my_sense = !self.sense.load(Ordering::SeqCst);
-        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        // ordering: Relaxed — demoted from SeqCst with the checker's
+        // blessing (`demoted_sites` in the model suite): coherence
+        // alone keeps the prime exact, because every participant
+        // observed the previous episode's flip on its way out of the
+        // last wait (or the initial value at construction), so a staler
+        // value is no longer visible to it.
+        let my_sense = !self
+            .sense
+            .load(ord("barrier.sense-prime-load", Ordering::Relaxed));
+        // ordering: AcqRel — arrivals synchronize pairwise through the
+        // counter so the last arriver happens-after every earlier
+        // arrival (and the work preceding it); the release half makes
+        // this thread's pre-barrier writes visible to the releaser.
+        let arrived = self
+            .count
+            .fetch_add(1, ord("barrier.count-arrive-rmw", Ordering::AcqRel))
+            + 1;
         if arrived == self.parties {
             self.release(my_sense);
             true
         } else {
             for _ in 0..SPIN_ROUNDS {
-                if self.sense.load(Ordering::SeqCst) == my_sense {
+                // ordering: Acquire — demoted from SeqCst with the
+                // checker's blessing: returning here must acquire the
+                // flip (it publishes every participant's pre-barrier
+                // writes), but the fast path needs no SC slot — the
+                // SeqCst park recheck below is the lost-wakeup safety
+                // net when this load runs stale.
+                if self
+                    .sense
+                    .load(ord("barrier.sense-spin-load", Ordering::Acquire))
+                    == my_sense
+                {
                     return false;
                 }
                 std::hint::spin_loop();
             }
             for _ in 0..YIELD_ROUNDS {
-                if self.sense.load(Ordering::SeqCst) == my_sense {
+                // ordering: Acquire — same contract (and same demotion)
+                // as the spin load.
+                if self
+                    .sense
+                    .load(ord("barrier.sense-yield-load", Ordering::Acquire))
+                    == my_sense
+                {
                     return false;
                 }
                 std::thread::yield_now();
@@ -164,8 +209,16 @@ impl SenseBarrier {
     fn wait_traced(&self) -> bool {
         let kind = self.scope.span_kind();
         let t0 = islands_trace::now_ns();
-        let my_sense = !self.sense.load(Ordering::SeqCst);
-        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        // ordering: Relaxed — same site contract (and demotion) as the
+        // untraced prime read in `wait_plain`.
+        let my_sense = !self
+            .sense
+            .load(ord("barrier.sense-prime-load", Ordering::Relaxed));
+        // ordering: AcqRel — same site contract as `wait_plain`.
+        let arrived = self
+            .count
+            .fetch_add(1, ord("barrier.count-arrive-rmw", Ordering::AcqRel))
+            + 1;
         if arrived == self.parties {
             self.release(my_sense);
             // The serial participant never waits: a zero-length marker
@@ -175,7 +228,13 @@ impl SenseBarrier {
         } else {
             let mut released = false;
             for _ in 0..SPIN_ROUNDS {
-                if self.sense.load(Ordering::SeqCst) == my_sense {
+                // ordering: Acquire — same site (and demotion) as the
+                // untraced spin load.
+                if self
+                    .sense
+                    .load(ord("barrier.sense-spin-load", Ordering::Acquire))
+                    == my_sense
+                {
                     released = true;
                     break;
                 }
@@ -185,7 +244,13 @@ impl SenseBarrier {
             let mut t2 = t1;
             if !released {
                 for _ in 0..YIELD_ROUNDS {
-                    if self.sense.load(Ordering::SeqCst) == my_sense {
+                    // ordering: Acquire — same site (and demotion) as
+                    // the untraced yield load.
+                    if self
+                        .sense
+                        .load(ord("barrier.sense-yield-load", Ordering::Acquire))
+                        == my_sense
+                    {
                         released = true;
                         break;
                     }
@@ -207,8 +272,20 @@ impl SenseBarrier {
     /// Last-arrival release: reset the counter and flip the sense,
     /// which releases everyone waiting.
     fn release(&self, my_sense: bool) {
-        self.count.store(0, Ordering::Release);
-        self.sense.store(my_sense, Ordering::SeqCst);
+        // ordering: Relaxed — demoted from Release with the checker's
+        // blessing (see `demoted_sites` in the model suite): the next
+        // episode's arrivals already happen-after this store through
+        // the SC sense flip below, which every participant reads (SC
+        // load) before touching the counter again; an explicit release
+        // edge on the reset adds nothing the flip does not provide.
+        let reset_ord = ord("barrier.count-reset-store", Ordering::Relaxed);
+        self.count.store(0, reset_ord);
+        // ordering: SeqCst — the flip must take a slot in the single
+        // total order *before* the sleepers gate below: SC store, then
+        // SC load. Weakening either side re-creates the classic
+        // store-buffering lost wakeup (caught by the matrix).
+        self.sense
+            .store(my_sense, ord("barrier.sense-flip-store", Ordering::SeqCst));
         // SC total order makes the sleepers check sound: a waiter
         // increments `sleepers` *before* re-reading `sense`. If we
         // read 0 here, that increment is ordered after this load, so
@@ -217,7 +294,13 @@ impl SenseBarrier {
         // acquire the lock — serializing with the waiter, who either
         // sees the flipped sense under the lock or is already inside
         // `cv.wait` — and the notify cannot be lost.
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
+        // ordering: SeqCst — the load half of the store-buffering
+        // pattern described above.
+        if self
+            .sleepers
+            .load(ord("barrier.sleepers-gate-load", Ordering::SeqCst))
+            > 0
+        {
             let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
             self.cv.notify_all();
         }
@@ -227,11 +310,28 @@ impl SenseBarrier {
     /// budgets.
     fn park(&self, my_sense: bool) {
         let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        while self.sense.load(Ordering::SeqCst) != my_sense {
+        // ordering: SeqCst — the increment must be ordered before this
+        // thread's sense re-read below (program order within the SC
+        // total order), mirroring the releaser's flip-then-gate-load;
+        // this is the other half of the no-lost-wakeup argument.
+        self.sleepers
+            .fetch_add(1, ord("barrier.park-sleepers-inc-rmw", Ordering::SeqCst));
+        // ordering: SeqCst — if the releaser's gate load missed our
+        // increment, this read is ordered after its SC flip and must
+        // see the new sense, so we never park on a completed episode.
+        while self
+            .sense
+            .load(ord("barrier.park-sense-recheck-load", Ordering::SeqCst))
+            != my_sense
+        {
             g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        // ordering: Relaxed — demoted from SeqCst with the checker's
+        // blessing: RMW atomicity keeps the count exact, and a releaser
+        // whose gate load misses this decrement only reads a stale-high
+        // value — an extra lock/notify round, never a lost wakeup.
+        self.sleepers
+            .fetch_sub(1, ord("barrier.park-sleepers-dec-rmw", Ordering::Relaxed));
     }
 }
 

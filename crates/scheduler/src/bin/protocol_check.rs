@@ -1,0 +1,208 @@
+//! CI driver for the model-checked protocol suite (the concurrency
+//! sibling of `stencil-lint`).
+//!
+//! Modes:
+//!
+//! * *(no args)* — explore every protocol scenario at its documented
+//!   bounds; exit nonzero if any counterexample is found or any
+//!   exploration hits its execution bound (not exhaustive).
+//! * `--proto NAME` — explore a single named scenario.
+//! * `--matrix` — run the ordering-minimality matrix: every named site
+//!   weakened one step must either be caught with a counterexample or
+//!   already be at the weakest ordering; exit nonzero on any mismatch.
+//! * `--mutant SITE` — weaken one named site a step and explore its
+//!   scenario. Exits **nonzero when the mutant is caught** (printing
+//!   the counterexample), zero when the weakened run explores clean —
+//!   CI asserts the nonzero exit, `if protocol-check --mutant X; then
+//!   exit 1; fi` style.
+//! * `--trace SITE` — like `--mutant`, but also pretty-prints the full
+//!   replayable counterexample trace and verifies the recorded
+//!   schedule replays to the same failure.
+//! * `--list-sites` — print the matrix table (site, ordering, class,
+//!   scenario, expected verdict).
+
+use islands_modelcheck::{format_trace, Checker};
+use std::process::ExitCode;
+use work_scheduler::modelcheck_suite as suite;
+
+fn run_suite(only: Option<&str>) -> ExitCode {
+    let _g = suite::serial_guard();
+    let mut failed = false;
+    for proto in suite::protocols() {
+        if only.is_some_and(|o| o != proto.name) {
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let report = Checker::new(proto.cfg).check(proto.build);
+        println!("{} [{:.1?}]", report.summary(), started.elapsed());
+        println!("    bounds: {}", proto.bounds_note);
+        if !report.exhaustive_and_clean() {
+            failed = true;
+            if let Some(ce) = &report.counterexample {
+                println!("{}", format_trace(&ce.trace));
+            }
+        }
+    }
+    if failed {
+        println!("protocol-check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("protocol-check: all protocols explored clean");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_matrix() -> ExitCode {
+    let _g = suite::serial_guard();
+    let mut mismatches = 0u32;
+    let mut caught = 0u32;
+    println!("{:<34} {:<9} {:<16} verdict", "site", "current", "scenario");
+    for spec in suite::matrix() {
+        match suite::run_weakened(&spec) {
+            None => {
+                let ok = spec.expect == suite::Expect::Minimal;
+                if !ok {
+                    mismatches += 1;
+                }
+                println!(
+                    "{:<34} {:<9} {:<16} minimal (nothing weaker){}",
+                    spec.site,
+                    format!("{:?}", spec.current),
+                    spec.scenario,
+                    if ok { "" } else { "  <-- EXPECTED CAUGHT" }
+                );
+            }
+            Some(report) => {
+                let was_caught = report.counterexample.is_some();
+                caught += u32::from(was_caught);
+                let ok = was_caught == (spec.expect == suite::Expect::Caught);
+                if !ok {
+                    mismatches += 1;
+                }
+                let verdict = match (was_caught, &report.counterexample) {
+                    (true, Some(ce)) => format!(
+                        "caught [{}] after {} executions",
+                        ce.kind.name(),
+                        report.executions
+                    ),
+                    _ => format!(
+                        "clean ({} interleavings{})",
+                        report.executions,
+                        if report.hit_exec_bound {
+                            ", BOUND HIT"
+                        } else {
+                            ""
+                        }
+                    ),
+                };
+                println!(
+                    "{:<34} {:<9} {:<16} {}{}",
+                    spec.site,
+                    format!("{:?}", spec.current),
+                    spec.scenario,
+                    verdict,
+                    if ok { "" } else { "  <-- EXPECTATION MISMATCH" }
+                );
+            }
+        }
+    }
+    println!();
+    for (site, demotion, why) in suite::demoted_sites() {
+        println!("demoted {site}: {demotion} — {why}");
+    }
+    println!();
+    if mismatches == 0 {
+        println!("matrix: every ordering minimal ({caught} weakened mutants caught)");
+        ExitCode::SUCCESS
+    } else {
+        println!("matrix: {mismatches} expectation mismatch(es)");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_mutant(site_name: &str, with_trace: bool) -> ExitCode {
+    let _g = suite::serial_guard();
+    let Some(spec) = suite::find_site(site_name) else {
+        eprintln!("protocol-check: unknown site {site_name:?} (see --list-sites)");
+        return ExitCode::from(2);
+    };
+    let Some(report) = suite::run_weakened(&spec) else {
+        eprintln!(
+            "protocol-check: site {site_name} already uses the weakest ordering ({:?})",
+            spec.current
+        );
+        return ExitCode::from(2);
+    };
+    println!("{}", report.summary());
+    match report.counterexample {
+        Some(ce) => {
+            println!(
+                "mutant {site_name} ({:?} weakened one step) caught: {}",
+                spec.current, ce.message
+            );
+            if with_trace {
+                println!("{}", format_trace(&ce.trace));
+                // A counterexample must be deterministic: replaying its
+                // recorded schedule reproduces the same failure kind.
+                let replay = suite::replay_weakened(&spec, &ce.schedule);
+                let replayed = replay
+                    .counterexample
+                    .expect("schedule replay must reproduce the counterexample");
+                assert_eq!(
+                    replayed.kind.name(),
+                    ce.kind.name(),
+                    "replay diverged from the recorded failure"
+                );
+                println!("replay: schedule reproduces [{}]", replayed.kind.name());
+            }
+            ExitCode::FAILURE
+        }
+        None => {
+            println!(
+                "mutant {site_name} NOT caught — weakened run explored clean{}",
+                if report.hit_exec_bound {
+                    " (EXEC BOUND HIT)"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn list_sites() -> ExitCode {
+    println!(
+        "{:<34} {:<9} {:<7} {:<16} expect",
+        "site", "current", "class", "scenario"
+    );
+    for spec in suite::matrix() {
+        println!(
+            "{:<34} {:<9} {:<7} {:<16} {:?}",
+            spec.site,
+            format!("{:?}", spec.current),
+            format!("{:?}", spec.class),
+            spec.scenario,
+            spec.expect
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => run_suite(None),
+        ["--proto", name] => run_suite(Some(name)),
+        ["--matrix"] => run_matrix(),
+        ["--mutant", site] => run_mutant(site, false),
+        ["--trace", site] => run_mutant(site, true),
+        ["--list-sites"] => list_sites(),
+        _ => {
+            eprintln!(
+                "usage: protocol-check [--matrix | --mutant SITE | --trace SITE | --list-sites]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -7,7 +7,8 @@
 //! — a team can instead *self-schedule*: ranks repeatedly claim the next
 //! chunk index from an atomic counter until the range is drained.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{ord, AtomicUsize};
+use std::sync::atomic::Ordering;
 
 /// An atomic work queue over the chunk indices `0..chunks`.
 ///
@@ -37,7 +38,7 @@ impl ChunkQueue {
     /// Creates a queue over `0..chunks`.
     pub fn new(chunks: usize) -> Self {
         ChunkQueue {
-            next: AtomicUsize::new(0),
+            next: AtomicUsize::with_label(0, "chunkq.next"),
             chunks,
         }
     }
@@ -50,10 +51,23 @@ impl ChunkQueue {
     /// claimants — repeated polling of a drained queue (the idle ranks
     /// of a self-scheduled epoch) can never wrap it.
     pub fn claim(&self) -> Option<usize> {
-        if self.next.load(Ordering::Relaxed) >= self.chunks {
+        // ordering: Relaxed — the saturation gate is a heuristic
+        // (claims race past it by design, bounded by the claimant
+        // count); correctness comes from the RMW below.
+        if self
+            .next
+            .load(ord("chunkq.fastpath-load", Ordering::Relaxed))
+            >= self.chunks
+        {
             return None;
         }
-        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — uniqueness is carried by RMW atomicity
+        // alone (two claims can never return the same index); the
+        // caller orders chunk *data* via the epoch barriers, never via
+        // this counter. Verified minimal by the model suite.
+        let n = self
+            .next
+            .fetch_add(1, ord("chunkq.claim-rmw", Ordering::Relaxed));
         (n < self.chunks).then_some(n)
     }
 
@@ -62,10 +76,19 @@ impl ChunkQueue {
     /// drained (saturating, like [`ChunkQueue::claim`]).
     pub fn claim_batch(&self, batch: usize) -> Option<std::ops::Range<usize>> {
         let batch = batch.max(1);
-        if self.next.load(Ordering::Relaxed) >= self.chunks {
+        // ordering: Relaxed — same saturation-gate contract as `claim`.
+        if self
+            .next
+            .load(ord("chunkq.fastpath-load", Ordering::Relaxed))
+            >= self.chunks
+        {
             return None;
         }
-        let start = self.next.fetch_add(batch, Ordering::Relaxed);
+        // ordering: Relaxed — same uniqueness-by-atomicity contract as
+        // the single-chunk claim RMW.
+        let start = self
+            .next
+            .fetch_add(batch, ord("chunkq.claim-batch-rmw", Ordering::Relaxed));
         if start >= self.chunks {
             return None;
         }
@@ -92,7 +115,13 @@ impl ChunkQueue {
     ///   the explicit clamp below pins every snapshot into
     ///   `0..=len()`.
     pub fn remaining(&self) -> usize {
-        let claimed = self.next.load(Ordering::Relaxed).min(self.chunks);
+        // ordering: Relaxed — racy snapshot by contract (see above);
+        // exactness is only promised at barrier-fenced quiescent points,
+        // where the barrier provides the edge.
+        let claimed = self
+            .next
+            .load(ord("chunkq.remaining-load", Ordering::Relaxed))
+            .min(self.chunks);
         self.chunks - claimed
     }
 
@@ -109,7 +138,12 @@ impl ChunkQueue {
     /// Resets the queue for reuse (callers must ensure no concurrent
     /// claims, e.g. by a barrier).
     pub fn reset(&self) {
-        self.next.store(0, Ordering::Relaxed);
+        // ordering: Relaxed — the caller's barrier orders the reset
+        // against surrounding claims (quiescence is a documented
+        // precondition); the model suite checks the barrier-fenced
+        // claim/reset/claim episode end to end at this ordering.
+        self.next
+            .store(0, ord("chunkq.reset-store", Ordering::Relaxed));
     }
 }
 

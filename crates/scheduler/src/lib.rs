@@ -41,8 +41,11 @@ mod affinity;
 mod barrier;
 mod dynamic;
 mod inline_vec;
+#[cfg(feature = "model")]
+pub mod modelcheck_suite;
 mod pool;
 mod share;
+mod sync;
 mod team;
 
 pub use affinity::{AffinityMap, LogicalCpu};

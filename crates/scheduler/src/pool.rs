@@ -32,10 +32,11 @@
 //!    subsequent broadcasts.
 
 use crate::affinity::{AffinityMap, LogicalCpu};
+use crate::sync::{Condvar, Mutex};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Context handed to a broadcast closure on each worker.
@@ -51,9 +52,10 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn Any + Send>;
 
 /// Countdown latch a broadcast caller blocks on (see the module docs
-/// for the full protocol).
+/// for the full protocol). `pub(crate)` so the model-checking suite
+/// can drive the exact production protocol through the shims.
 #[derive(Debug)]
-struct Latch {
+pub(crate) struct Latch {
     state: Mutex<LatchState>,
     all_done: Condvar,
 }
@@ -65,19 +67,22 @@ struct LatchState {
 }
 
 impl Latch {
-    fn new(parties: usize) -> Self {
+    pub(crate) fn new(parties: usize) -> Self {
         Latch {
-            state: Mutex::new(LatchState {
-                remaining: parties,
-                panic: None,
-            }),
-            all_done: Condvar::new(),
+            state: Mutex::with_label(
+                LatchState {
+                    remaining: parties,
+                    panic: None,
+                },
+                "latch.state",
+            ),
+            all_done: Condvar::with_label("latch.all-done"),
         }
     }
 
     /// Records one task as finished (stashing the first panic payload)
     /// and wakes the caller when it was the last.
-    fn arrive(&self, payload: Option<PanicPayload>) {
+    pub(crate) fn arrive(&self, payload: Option<PanicPayload>) {
         let mut st = self
             .state
             .lock()
@@ -93,7 +98,7 @@ impl Latch {
 
     /// Blocks (on the condvar — no CPU burned) until every party has
     /// arrived; returns the first panic payload, if any was stashed.
-    fn wait(&self) -> Option<PanicPayload> {
+    pub(crate) fn wait(&self) -> Option<PanicPayload> {
         let mut st = self
             .state
             .lock()
@@ -470,7 +475,7 @@ mod tests {
         use crate::affinity::LogicalCpu;
         let pool =
             WorkerPool::with_affinity(AffinityMap::explicit(vec![LogicalCpu(7), LogicalCpu(3)]));
-        let seen = Mutex::new(Vec::new());
+        let seen = std::sync::Mutex::new(Vec::new());
         pool.broadcast(|ctx| {
             seen.lock().unwrap().push((ctx.worker, ctx.cpu));
         });

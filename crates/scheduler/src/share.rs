@@ -115,7 +115,13 @@ impl<T> DisjointCell<T> {
     pub fn track_read(&self) -> AccessTracker<'_, T> {
         #[cfg(debug_assertions)]
         {
+            // ordering: SeqCst — the inc-then-check-other-counter pair
+            // is the store-buffering shape; both sides SC guarantees a
+            // racing read/write pair trips at least one of the two
+            // asserts. This is a debug-only guard rail — never a hot
+            // path — so strength is free.
             self.readers.fetch_add(1, Ordering::SeqCst);
+            // ordering: SeqCst — load half of the pair above.
             assert!(
                 self.writers.load(Ordering::SeqCst) == 0,
                 "DisjointCell overlap: read tracked while a writer is active \
@@ -140,7 +146,10 @@ impl<T> DisjointCell<T> {
     pub fn track_write(&self) -> AccessTracker<'_, T> {
         #[cfg(debug_assertions)]
         {
+            // ordering: SeqCst — mirror of `track_read`: SC on both
+            // counters makes the overlap guard sound (debug-only).
             self.writers.fetch_add(1, Ordering::SeqCst);
+            // ordering: SeqCst — load half of the pair above.
             assert!(
                 self.readers.load(Ordering::SeqCst) == 0,
                 "DisjointCell overlap: write tracked while a reader is active \
@@ -172,6 +181,8 @@ impl<T> Drop for AccessTracker<'_, T> {
             } else {
                 &self.cell.readers
             };
+            // ordering: SeqCst — retire stays in the same total order
+            // as the guard's inc/check pair (debug-only).
             ctr.fetch_sub(1, Ordering::SeqCst);
         }
         #[cfg(not(debug_assertions))]

@@ -83,12 +83,16 @@ pub fn record<R>(f: impl FnOnce() -> R) -> (R, AccessLog) {
         assert!(s.is_none(), "trace::record does not nest");
         *s = Some(AccessLog::default());
     });
+    // ordering: SeqCst — one bump per recorded closure (never a hot
+    // path); SC keeps the recorder count trivially coherent with the
+    // paired release in `Reset` below.
     ACTIVE_RECORDERS.fetch_add(1, Ordering::SeqCst);
     // Restore the gate and slot even if `f` panics, so a caught panic
     // (e.g. a #[should_panic] test) cannot poison later recordings.
     struct Reset;
     impl Drop for Reset {
         fn drop(&mut self) {
+            // ordering: SeqCst — release half of the recorder gate.
             ACTIVE_RECORDERS.fetch_sub(1, Ordering::SeqCst);
             LOG.with(|slot| *slot.borrow_mut() = None);
         }
@@ -104,6 +108,9 @@ pub fn record<R>(f: impl FnOnce() -> R) -> (R, AccessLog) {
 #[cfg(debug_assertions)]
 #[inline(always)]
 fn recording() -> bool {
+    // ordering: Relaxed — a fast-path hint: the access hooks only need
+    // to know whether *this* thread is recording, which the thread-
+    // local LOG answers authoritatively right after.
     ACTIVE_RECORDERS.load(Ordering::Relaxed) > 0
 }
 

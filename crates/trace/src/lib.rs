@@ -46,6 +46,33 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+// The ring's two shared pieces — the slot cells and the publish
+// counter — go through the model-checking seam: plain `Cell`/`AtomicU64`
+// in real builds, checker shims under `--features model` (see the
+// `model_support` module and DESIGN.md §6.6).
+#[cfg(not(feature = "model"))]
+use std::cell::Cell as SlotCell;
+#[cfg(not(feature = "model"))]
+use std::sync::atomic::AtomicU64 as SeamAtomicU64;
+
+#[cfg(feature = "model")]
+use islands_modelcheck::ModelAtomicU64 as SeamAtomicU64;
+#[cfg(feature = "model")]
+use islands_modelcheck::ModelCell as SlotCell;
+
+/// Ordering resolution for the ring's named sites: identity in real
+/// builds, the checker's weaken-override map under `model`.
+#[cfg(not(feature = "model"))]
+#[inline(always)]
+fn seam_ord(_site: &'static str, default: Ordering) -> Ordering {
+    default
+}
+
+#[cfg(feature = "model")]
+fn seam_ord(site: &'static str, default: Ordering) -> Ordering {
+    islands_modelcheck::site::resolve(site, default)
+}
+
 pub mod chrome;
 pub mod json;
 pub mod metrics;
@@ -181,8 +208,8 @@ static SESSION_LOCK: Mutex<()> = Mutex::new(());
 /// `snapshot` is called while producers are quiescent (see the module
 /// docs), which the completion-latch of the pool broadcast guarantees.
 struct Ring {
-    slots: Box<[Cell<Event>]>,
-    pushed: AtomicU64,
+    slots: Box<[SlotCell<Event>]>,
+    pushed: SeamAtomicU64,
     thread: u32,
 }
 
@@ -195,22 +222,39 @@ unsafe impl Sync for Ring {}
 impl Ring {
     fn new(capacity: usize, thread: u32) -> Ring {
         Ring {
-            slots: vec![Cell::new(Event::ZERO); capacity.max(1)].into_boxed_slice(),
-            pushed: AtomicU64::new(0),
+            slots: (0..capacity.max(1))
+                .map(|_| SlotCell::new(Event::ZERO))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            pushed: SeamAtomicU64::new(0),
             thread,
         }
     }
 
     /// Owner-thread push: write the slot, then publish the new count.
     fn push(&self, ev: Event) {
-        let n = self.pushed.load(Ordering::Relaxed);
+        // ordering: Relaxed — only the owning thread writes `pushed`,
+        // so the reserve read observes its own last store (coherence);
+        // no other thread's writes are involved.
+        let n = self
+            .pushed
+            .load(seam_ord("ring.reserve-load", Ordering::Relaxed));
         self.slots[(n % self.slots.len() as u64) as usize].set(ev);
-        self.pushed.store(n + 1, Ordering::Release);
+        // ordering: Release — publishes the slot write above to the
+        // drainer's acquire read: the counter is the only edge that
+        // keeps `snapshot` from reading a torn slot when the quiescence
+        // contract is ever relaxed. Checked by the model suite.
+        self.pushed
+            .store(n + 1, seam_ord("ring.publish-store", Ordering::Release));
     }
 
     /// Surviving events in push order, plus the overwritten count.
     fn snapshot(&self) -> (Vec<TaggedEvent>, u64) {
-        let pushed = self.pushed.load(Ordering::Acquire);
+        // ordering: Acquire — pairs with the publish store; every slot
+        // the counter covers is fully visible after this load.
+        let pushed = self
+            .pushed
+            .load(seam_ord("ring.snapshot-load", Ordering::Acquire));
         let cap = self.slots.len() as u64;
         let kept = pushed.min(cap);
         let dropped = pushed - kept;
@@ -223,6 +267,38 @@ impl Ring {
             });
         }
         (out, dropped)
+    }
+}
+
+/// Model-checker access to the production ring code.
+///
+/// Only compiled under `--features model`. The protocol suite in
+/// `work-scheduler` drives the *same* `Ring::push` / `Ring::snapshot`
+/// bodies that production uses — the seam swaps the slot cells and the
+/// publish counter for checker shims, nothing else.
+#[cfg(feature = "model")]
+pub mod model_support {
+    use super::{Event, Ring, TaggedEvent};
+
+    /// A checker-instrumented per-thread ring.
+    pub struct ModelRing(Ring);
+
+    impl ModelRing {
+        /// Ring with `capacity` slots owned by dense thread id `thread`.
+        pub fn new(capacity: usize, thread: u32) -> Self {
+            ModelRing(Ring::new(capacity, thread))
+        }
+
+        /// Production publish path (`Ring::push`).
+        pub fn push(&self, ev: Event) {
+            self.0.push(ev);
+        }
+
+        /// Production drain path (`Ring::snapshot`): surviving events
+        /// plus the wrap-around drop count.
+        pub fn snapshot(&self) -> (Vec<TaggedEvent>, u64) {
+            self.0.snapshot()
+        }
     }
 }
 
@@ -245,6 +321,9 @@ thread_local! {
 /// is the entire cost of an instrumentation site when tracing is off.
 #[inline]
 pub fn is_enabled() -> bool {
+    // ordering: Relaxed — a pure on/off hint read on every hot path;
+    // threads that observe the flag late merely record (or skip) a few
+    // extra events, and `drain` is only called at quiescence anyway.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -318,6 +397,10 @@ pub fn record(kind: SpanKind, start_ns: u64, end_ns: u64, stage: u16, block: u16
     };
     LOCAL_RING.with(|slot| {
         let mut slot = slot.borrow_mut();
+        // ordering: Acquire — pairs with the AcqRel bump in `clear` so
+        // a thread that observes the new generation also observes the
+        // registry mutation that preceded it (then re-registers under
+        // the registry lock, which carries the rest).
         let generation = GENERATION.load(Ordering::Acquire);
         let stale = match slot.as_ref() {
             Some((g, _)) => *g != generation,
@@ -326,6 +409,10 @@ pub fn record(kind: SpanKind, start_ns: u64, end_ns: u64, stage: u16, block: u16
         if stale {
             let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
             let ring = Arc::new(Ring::new(
+                // ordering: Relaxed — a sizing knob, not a
+                // synchronization edge; a racing `set_ring_capacity`
+                // legitimately applies to rings registered "from now
+                // on" (documented contract).
                 RING_CAPACITY.load(Ordering::Relaxed),
                 registry.len() as u32,
             ));
@@ -340,6 +427,8 @@ pub fn record(kind: SpanKind, start_ns: u64, end_ns: u64, stage: u16, block: u16
 /// from now on. Size for the run: a dropped-event count in the drain
 /// means the capacity was too small for the traced window.
 pub fn set_ring_capacity(capacity: usize) {
+    // ordering: Relaxed — store half of the sizing knob (see the
+    // registration-time load).
     RING_CAPACITY.store(capacity.max(1), Ordering::Relaxed);
 }
 
@@ -347,6 +436,9 @@ pub fn set_ring_capacity(capacity: usize) {
 pub fn clear() {
     let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     registry.clear();
+    // ordering: AcqRel — the release half publishes the registry clear
+    // above to threads that acquire the new generation in `record`; the
+    // acquire half orders consecutive clears against each other.
     GENERATION.fetch_add(1, Ordering::AcqRel);
 }
 
@@ -382,12 +474,18 @@ impl Session {
         // Initialize the epoch outside the measured window.
         let _ = now_ns();
         clear();
+        // ordering: SeqCst — session flips are rare (one per traced
+        // run, under the session lock) and must not reorder around the
+        // epoch/clear setup above; strength is free here and keeps the
+        // enable/disable pair trivially ordered.
         ENABLED.store(true, Ordering::SeqCst);
         Session { guard: Some(guard) }
     }
 
     /// Stops recording and returns everything captured.
     pub fn finish(mut self) -> Drained {
+        // ordering: SeqCst — same contract as the enable store; the
+        // drain below additionally serializes on the registry lock.
         ENABLED.store(false, Ordering::SeqCst);
         let drained = drain();
         self.guard.take();
@@ -397,6 +495,7 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        // ordering: SeqCst — same contract as `Session::finish`.
         ENABLED.store(false, Ordering::SeqCst);
     }
 }
