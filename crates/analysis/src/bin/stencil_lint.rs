@@ -25,14 +25,18 @@
 //! * `fused-overlap-step2` — in a temporally blocked (k = 3) plan, rank
 //!   0's write slices of the *second* fused step are widened past the
 //!   team split, so the fused epoch table races where the unfused one
-//!   would not.
+//!   would not;
+//! * `tile-halo-too-narrow` — in a tile-fused plan, every tile's
+//!   first-stage scratch writes are shaved by one I-slab, modelling a
+//!   rebased scratch footprint too small for the chain's halo reads;
+//!   later stages then read cells no earlier stage of the tile wrote.
 //!
 //! Exit codes: 0 clean, 1 diagnostics found, 2 tracing unavailable
 //! (release build — rebuild in debug).
 
 use islands_analysis::{
     check_disjointness, check_graph, check_problem, islands_plan, islands_plan_dynamic,
-    islands_plan_fused, with_offset_removed, Diagnostic, KernelPath,
+    islands_plan_fused, islands_plan_tiled, with_offset_removed, Diagnostic, KernelPath,
 };
 use islands_core::Partition;
 use mpdata::{Boundary, MpdataProblem};
@@ -64,7 +68,8 @@ fn run(args: &[String]) -> i32 {
         _ => {
             eprintln!(
                 "usage: stencil-lint [--mutant drop-offset|overlap-partition\
-                 |overlap-ranks|stale-output|overlap-chunks|fused-overlap-step2]"
+                 |overlap-ranks|stale-output|overlap-chunks|fused-overlap-step2\
+                 |tile-halo-too-narrow]"
             );
             return 2;
         }
@@ -77,6 +82,7 @@ fn run(args: &[String]) -> i32 {
         Some("stale-output") => mutant_stale_output(),
         Some("overlap-chunks") => mutant_overlap_chunks(),
         Some("fused-overlap-step2") => mutant_fused_overlap_step2(),
+        Some("tile-halo-too-narrow") => mutant_tile_halo_too_narrow(),
         Some(other) => {
             eprintln!("stencil-lint: unknown mutant `{other}`");
             return 2;
@@ -247,10 +253,48 @@ fn full_matrix() -> Vec<Diagnostic> {
                             );
                             all.extend(found);
                         }
+
+                        // Tile-fused schedules: slot-per-tile plans
+                        // proving chain privacy, tile-halo sufficiency
+                        // and output disjointness — a mid-size tile
+                        // that straddles part boundaries and a fat
+                        // tile that swallows whole parts, alone and
+                        // under temporal blocking. (The team shape is
+                        // irrelevant: the proof holds for any tile →
+                        // rank assignment.)
+                        for (ti, tj) in [(3, 2), (64, 64)] {
+                            for fuse in [1, 2] {
+                                let tiled_plan =
+                                    islands_plan_tiled(&problem, domain, parts, (ti, tj), fuse);
+                                let found = check_disjointness(&tiled_plan);
+                                println!(
+                                    "disjointness domain={:?} partition={desc} \
+                                     tile={ti}x{tj} fuse={fuse}: {} diagnostic(s)",
+                                    domain,
+                                    found.len()
+                                );
+                                all.extend(found);
+                            }
+                        }
                     }
                 }
             }
         }
+    }
+
+    // Sliver tiles on a small prime-extent domain: every tile is a
+    // single (i, j) column, the degenerate extreme of the tile cutter.
+    let domain = Region3::of_extent(11, 7, 4);
+    let parts = domain.split(Axis::I, 2);
+    for fuse in [1, 2] {
+        let plan = islands_plan_tiled(&problem, domain, &parts, (1, 1), fuse);
+        let found = check_disjointness(&plan);
+        println!(
+            "disjointness domain={domain:?} partition=1D x 2 tile=1x1 fuse={fuse}: \
+             {} diagnostic(s)",
+            found.len()
+        );
+        all.extend(found);
     }
     all
 }
@@ -378,6 +422,28 @@ fn mutant_fused_overlap_step2() -> Vec<Diagnostic> {
                     let r = acc.region.range(split_axis);
                     let hi = (r.hi + 1).min(plan.domain.range(split_axis).hi);
                     acc.region = acc.region.with_range(split_axis, Range1::new(r.lo, hi));
+                }
+            }
+        }
+    }
+    check_disjointness(&plan)
+}
+
+fn mutant_tile_halo_too_narrow() -> Vec<Diagnostic> {
+    let problem = MpdataProblem::standard();
+    let domain = Region3::of_extent(16, 12, 6);
+    let parts = domain.split(Axis::I, 2);
+    let mut plan = islands_plan_tiled(&problem, domain, &parts, (4, 4), 1);
+    // Shave one I-slab off every tile's first-stage scratch writes: the
+    // chain now computes the producer over less than tile + halo —
+    // exactly what a rebased scratch footprint one cell too narrow
+    // would do — so later stages read cells no stage of the tile wrote.
+    for team in &mut plan.teams {
+        if let Some(ep) = team.epochs.first_mut() {
+            for accs in &mut ep.per_rank {
+                for acc in accs.iter_mut().filter(|a| a.write) {
+                    let r = acc.region.range(Axis::I);
+                    acc.region = acc.region.with_range(Axis::I, Range1::new(r.lo + 1, r.hi));
                 }
             }
         }

@@ -27,7 +27,7 @@
 
 use crate::diag::{Diagnostic, DiagnosticCode};
 use mpdata::MpdataProblem;
-use stencil_engine::{Axis, BlockPlanner, FieldRole, PlanBlocksError, Region3};
+use stencil_engine::{tile_grid, Axis, BlockPlanner, FieldRole, PlanBlocksError, Region3};
 
 /// One planned access of one rank inside an epoch.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -197,6 +197,182 @@ pub fn islands_plan_dynamic(
         Some(chunks_per_rank),
         1,
     )
+}
+
+/// Like [`islands_plan`], but for the *tile-fused* executor: each
+/// fused-step target is cut into `(ti, tj)` column tiles and every
+/// tile's whole stage chain runs back to back on one rank against
+/// rank-private scratch rebased to the tile's halo footprint. The
+/// reconstruction models:
+///
+/// * one slot per **tile** (not per rank) in every epoch. Tile-level
+///   disjointness implies disjointness under *any* assignment of tiles
+///   to ranks, which covers both the static round-robin and the
+///   dynamic claiming schedule — there is no `team_sizes` parameter
+///   because the proof is independent of the team shape;
+/// * each tile's intermediates as tile-private pseudo-fields
+///   (`t0/s0/tile3:flux-i`), mirroring the rank store rebased per
+///   tile, so rule 4 demands every chain read be covered by the same
+///   tile's earlier-stage writes — the tile-halo sufficiency proof: a
+///   producer region too narrow for a consumer's halo read surfaces
+///   as `UncoveredRead`;
+/// * stage-granular epochs. The real executor fences only between
+///   fused steps, but the extra model fences are sound for these
+///   graphs: within a tile the chain is serial on one rank (so the
+///   per-stage ordering is real), and the only cross-tile mutable
+///   fields are the shared output and the fused x slots, all written
+///   solely at the final stage over tile regions that partition the
+///   step target — while an in-flight step writes slot `ts % 2` and
+///   reads slot `(ts - 1) % 2`, never the same slot.
+///
+/// Unlike the executor, the model does not zero-fill chain-uncovered
+/// scratch reads; for graphs that have any (the MPDATA graphs have
+/// none) the checker is conservative and reports them.
+///
+/// # Panics
+///
+/// Panics like [`islands_plan`], and if `fuse_steps` or a tile extent
+/// is zero.
+pub fn islands_plan_tiled(
+    problem: &MpdataProblem,
+    domain: Region3,
+    parts: &[Region3],
+    tile: (usize, usize),
+    fuse_steps: usize,
+) -> SchedulePlan {
+    let (ti, tj) = tile;
+    assert!(ti > 0 && tj > 0, "tile extents must be positive");
+    assert!(fuse_steps > 0, "need at least one fused step");
+    assert_eq!(
+        problem.boundary(),
+        mpdata::Boundary::Open,
+        "the islands schedule is only defined for open boundaries"
+    );
+    let k = fuse_steps;
+    let graph = problem.graph();
+    let fields = graph.fields();
+    let xout = problem.xout();
+    let x_ext = problem.ext().x;
+    let final_stage = graph
+        .stages()
+        .iter()
+        .position(|st| st.outputs == [xout])
+        .expect("the graph ends in the advected-output stage");
+    let mut field_names: Vec<String> = (0..fields.len())
+        .map(|n| fields.name(stencil_engine::FieldId(n as u32)).to_string())
+        .collect();
+    let mut shared: Vec<bool> = (0..fields.len())
+        .map(|n| fields.role(stencil_engine::FieldId(n as u32)) != FieldRole::Intermediate)
+        .collect();
+    let mut external: Vec<bool> = (0..fields.len())
+        .map(|n| fields.role(stencil_engine::FieldId(n as u32)) == FieldRole::External)
+        .collect();
+    if k > 1 {
+        for slot in 0..2 {
+            field_names.push(format!("x@slot{slot}"));
+            shared.push(false);
+            external.push(false);
+        }
+    }
+
+    let mut teams = Vec::with_capacity(parts.len());
+    for (t, &part) in parts.iter().enumerate() {
+        let mut epochs = Vec::new();
+        if !part.is_empty() {
+            // Fused-step targets, identical to the fused reconstruction
+            // (and to `fused_step_targets` in the plan builder).
+            let mut step_parts = vec![part; k];
+            for ts in (0..k - 1).rev() {
+                step_parts[ts] = graph
+                    .external_read_regions(step_parts[ts + 1], domain)
+                    .get(&x_ext)
+                    .copied()
+                    .unwrap_or_else(Region3::empty);
+            }
+            for (ts, &sp) in step_parts.iter().enumerate() {
+                // Cut the step target into tiles exactly as the plan
+                // builder does: the shared balanced grid, I-bands
+                // outer, J-columns inner.
+                let tiles = tile_grid(sp, (ti, tj));
+                // Per-tile backward requirement regions, and one fresh
+                // pseudo-field per (tile, intermediate) pair — sharing
+                // them across tiles would let one tile's writes
+                // spuriously cover another tile's reads.
+                let reqs: Vec<Vec<Region3>> = tiles
+                    .iter()
+                    .map(|&tl| graph.required_regions(tl, domain))
+                    .collect();
+                let mut scratch = vec![vec![usize::MAX; fields.len()]; tiles.len()];
+                for (n, row) in scratch.iter_mut().enumerate() {
+                    for (f, slot) in row.iter_mut().enumerate() {
+                        let fid = stencil_engine::FieldId(f as u32);
+                        if fields.role(fid) == FieldRole::Intermediate {
+                            *slot = field_names.len();
+                            field_names.push(format!("t{t}/s{ts}/tile{n}:{}", fields.name(fid)));
+                            shared.push(false);
+                            external.push(false);
+                        }
+                    }
+                }
+                for (s, st) in graph.stages().iter().enumerate() {
+                    let mut per_rank = Vec::with_capacity(tiles.len());
+                    for (n, _) in tiles.iter().enumerate() {
+                        let r = reqs[n][st.id.index()];
+                        let mut acc = Vec::new();
+                        if !r.is_empty() {
+                            for &o in &st.outputs {
+                                // The final stage's requirement region
+                                // of a tile is the tile itself; before
+                                // the last fused step it lands in the
+                                // step's x slot, not the shared output.
+                                let field = if s == final_stage {
+                                    if ts + 1 < k {
+                                        fields.len() + ts % 2
+                                    } else {
+                                        o.index()
+                                    }
+                                } else {
+                                    scratch[n][o.index()]
+                                };
+                                acc.push(PlannedAccess {
+                                    field,
+                                    region: r,
+                                    write: true,
+                                });
+                            }
+                            for (f, pat) in &st.inputs {
+                                let field = if *f == x_ext && ts > 0 {
+                                    fields.len() + (ts - 1) % 2
+                                } else if fields.role(*f) == FieldRole::Intermediate {
+                                    scratch[n][f.index()]
+                                } else {
+                                    f.index()
+                                };
+                                acc.push(PlannedAccess {
+                                    field,
+                                    region: r.expand(pat.halo()).intersect(domain),
+                                    write: false,
+                                });
+                            }
+                        }
+                        per_rank.push(acc);
+                    }
+                    epochs.push(Epoch {
+                        label: format!("step {ts} / stage {} (tiles)", st.name),
+                        per_rank,
+                    });
+                }
+            }
+        }
+        teams.push(TeamPlan { epochs });
+    }
+    SchedulePlan {
+        domain,
+        field_names,
+        shared,
+        external,
+        teams,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -18,7 +18,15 @@
 //! * `fuse{2,4}_*/4` — the P = 4 islands schedule replayed as k-step
 //!   fused epochs (temporal blocking), whose attached
 //!   `global_barriers` per-step crossing count falls ~k× below the
-//!   unfused `islands_steady/4` row.
+//!   unfused `islands_steady/4` row;
+//! * `tiled_*/4` — the P = 4 islands schedule in tile-fused mode
+//!   (`TileMode::Auto`): each part is cut into cache-sized (i, j)
+//!   column tiles and every tile's whole stage chain replays against
+//!   rank-private scratch, so intermediates never stream through main
+//!   memory. Its attached `bytes_moved` (from `tiled_traffic_bytes`)
+//!   must undercut the untiled `islands_steady/4` row's (from
+//!   `staged_traffic_bytes`) — `bench-check --min-traffic-reduction`
+//!   gates the ratio.
 //!
 //! After the timed samples of each `*_steady/P` row, one extra
 //! *untimed* batch runs under the `islands-trace` recorder to attach a
@@ -44,8 +52,13 @@
 
 use islands_bench::microbench::{Harness, Phases};
 use islands_trace::metrics::RunMetrics;
-use mpdata::{gaussian_pulse, FusedExecutor, IslandsExecutor, MpdataFields, MpdataProblem};
-use stencil_engine::{balanced_cuts, measured_plane_scale, Axis, CostModel, Region3};
+use mpdata::{
+    gaussian_pulse, FusedExecutor, IslandsExecutor, MpdataFields, MpdataProblem, TileMode,
+};
+use stencil_engine::{
+    balanced_cuts, choose_tile, measured_plane_scale, staged_traffic_bytes, tile_grid,
+    tiled_traffic_bytes, Axis, CostModel, Region3,
+};
 use work_scheduler::{TeamSpec, WorkerPool};
 
 /// How the bench chooses island cut positions.
@@ -133,7 +146,45 @@ fn traced_phases(steps: u64, run: impl FnOnce()) -> Phases {
         swap_ns: per_step(totals.iter().map(|m| m.swap_ns).sum()),
         imbalance_ns: excess_cells * rate / steps as f64,
         global_barriers: gb_events / f64::from(workers).max(1.0) / steps as f64,
+        // Filled in by the caller where a traffic model / throughput
+        // figure applies to the row.
+        bytes_moved: 0.0,
+        mlups: 0.0,
     }
+}
+
+/// Modeled per-step main-memory bytes of the *untiled* per-stage replay
+/// over `parts`: each island streams every stage's inputs and outputs
+/// over its halo-enlarged requirement regions, summed across islands
+/// (so redundant halo traffic is priced in).
+fn staged_bytes(parts: &[Region3], domain: Region3) -> f64 {
+    let problem = MpdataProblem::standard();
+    let graph = problem.graph();
+    parts
+        .iter()
+        .filter(|p| !p.is_empty())
+        .map(|&p| staged_traffic_bytes(graph, &graph.required_regions(p, domain)))
+        .sum::<usize>() as f64
+}
+
+/// Modeled per-step main-memory bytes of the *tile-fused* replay over
+/// `parts` with `TileMode::Auto` extents: per tile, only the external
+/// input hulls are read and the owned output cells written —
+/// intermediates stay resident in the rank-private scratch.
+fn tiled_bytes(parts: &[Region3], domain: Region3) -> f64 {
+    let problem = MpdataProblem::standard();
+    let graph = problem.graph();
+    let tile = choose_tile(graph, domain, TILE_CACHE_BYTES);
+    let mut total = 0_usize;
+    for &p in parts {
+        total += tiled_traffic_bytes(graph, &tile_grid(p, tile), domain);
+    }
+    total as f64
+}
+
+/// Millions of lattice updates per second at `median_ns` per step.
+fn mlups(median_ns: Option<f64>, domain: Region3) -> f64 {
+    median_ns.map_or(0.0, |ns| domain.cells() as f64 * 1000.0 / ns)
 }
 
 /// Island cut positions along I for `islands` teams under `balance`.
@@ -183,6 +234,17 @@ fn island_parts(
 /// both bench domains.
 const CACHE_BYTES: usize = 1 << 20;
 
+/// Scratch budget for the tile-fused rows. Larger than [`CACHE_BYTES`]
+/// on purpose: the traffic the tiled rows model is *main-memory*
+/// traffic, so tile scratch only has to stay resident in the last-level
+/// cache (a per-core LLC slice is typically several MiB), while the
+/// choose_tile footprint model conservatively charges every live buffer
+/// at full enlarged extent. Budgeting tiles at the L2-sized
+/// `CACHE_BYTES` shrinks them until the per-face halo recompute
+/// dominates the step; at 4 MiB the balanced grid rounds the targets
+/// down to even part divisors with single-digit recompute overhead.
+const TILE_CACHE_BYTES: usize = 4 << 20;
+
 /// Steps per steady-state batch (one pool dispatch, `STEADY_STEPS`
 /// plan replays).
 const STEADY_STEPS: u64 = 8;
@@ -223,10 +285,49 @@ fn main() {
             warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
         });
         if g.benched(&steady) {
-            let phases = traced_phases(STEADY_STEPS, || {
+            let mut phases = traced_phases(STEADY_STEPS, || {
                 warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
             });
+            phases.bytes_moved = staged_bytes(&parts, domain);
+            phases.mlups = mlups(g.median_ns(&steady), domain);
             g.attach_phases(&steady, phases);
+        }
+
+        // Tile-fused point: the same islands schedule with the parts
+        // cut into cache-sized column tiles (`TileMode::Auto`), each
+        // tile's whole chain replayed against rank-private scratch —
+        // bit-identical numerics, a fraction of the modeled traffic.
+        // The tile budget is TILE_CACHE_BYTES, not CACHE_BYTES: tile
+        // scratch only needs *last-level* residency to cut the modeled
+        // main-memory traffic, and the tighter L2 budget would shrink
+        // tiles until redundant halo recompute dominates the step.
+        if p == 4 {
+            let mut f = fields.clone();
+            g.bench_param("tiled_first", p, || {
+                let fresh = IslandsExecutor::new(&pool, spec.clone(), Axis::I)
+                    .cache_bytes(TILE_CACHE_BYTES)
+                    .with_partition(parts.clone())
+                    .tile(TileMode::Auto);
+                fresh.run(&mut f, 1).unwrap();
+            });
+            let warmed = IslandsExecutor::new(&pool, spec.clone(), Axis::I)
+                .cache_bytes(TILE_CACHE_BYTES)
+                .with_partition(parts.clone())
+                .tile(TileMode::Auto);
+            let mut f = fields.clone();
+            warmed.run(&mut f, 1).unwrap();
+            let steady = format!("tiled_steady/{p}");
+            g.bench_per_unit(&steady, STEADY_STEPS, || {
+                warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+            });
+            if g.benched(&steady) {
+                let mut phases = traced_phases(STEADY_STEPS, || {
+                    warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
+                });
+                phases.bytes_moved = tiled_bytes(&parts, domain);
+                phases.mlups = mlups(g.median_ns(&steady), domain);
+                g.attach_phases(&steady, phases);
+            }
         }
 
         // Dynamic self-scheduling point: two 2-worker islands, chunked
@@ -258,9 +359,11 @@ fn main() {
                 warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
             });
             if g.benched(&steady) {
-                let phases = traced_phases(STEADY_STEPS, || {
+                let mut phases = traced_phases(STEADY_STEPS, || {
                     warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
                 });
+                phases.bytes_moved = staged_bytes(&dyn_parts, domain);
+                phases.mlups = mlups(g.median_ns(&steady), domain);
                 g.attach_phases(&steady, phases);
             }
         }
@@ -321,9 +424,11 @@ fn main() {
             warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
         });
         if g.benched(&steady) {
-            let phases = traced_phases(STEADY_STEPS, || {
+            let mut phases = traced_phases(STEADY_STEPS, || {
                 warmed.run(&mut f, STEADY_STEPS as usize).unwrap();
             });
+            phases.bytes_moved = staged_bytes(&[domain], domain);
+            phases.mlups = mlups(g.median_ns(&steady), domain);
             g.attach_phases(&steady, phases);
         }
     }

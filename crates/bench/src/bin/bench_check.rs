@@ -1,8 +1,8 @@
 //! `bench-check` — validates benchmark and trace artifacts in CI.
 //!
 //! Usage: `bench-check [<bench.json>] [--phases] [--max-steady-ratio R]
-//! [--max-barrier-share S] [--chrome <trace.json>]`. Exits non-zero
-//! when
+//! [--max-barrier-share S] [--min-traffic-reduction F]
+//! [--chrome <trace.json>]`. Exits non-zero when
 //!
 //! * the bench file is not well-formed JSON or not an array of complete
 //!   `{group, label, min_ns, median_ns, max_ns, iters}` records with
@@ -29,6 +29,14 @@
 //!   an oversubscribed host (more workers than cores) summed barrier
 //!   wait is dominated by the scheduler, approaching `(P−1)/P` of the
 //!   step regardless of how well the islands are balanced, or
+//! * `--min-traffic-reduction F` is given and any `tiled_steady/P` row
+//!   fails to cut the modeled main-memory traffic (`bytes_moved`, from
+//!   the compulsory-stream models) by at least the fraction `F`
+//!   relative to its untiled `islands_steady/P` baseline — or the
+//!   tiled steady step is slower than the untiled one beyond a 5 %
+//!   noise allowance: cache-resident scratch must save traffic without
+//!   costing time. Phase rows must also carry finite, non-negative
+//!   `bytes_moved` / `mlups` members (positive on the gated rows), or
 //! * `--chrome <trace.json>` names a file the in-repo Chrome
 //!   trace-event validator rejects.
 
@@ -44,6 +52,7 @@ struct Opts {
     phases: bool,
     max_steady_ratio: Option<f64>,
     max_barrier_share: Option<f64>,
+    min_traffic_reduction: Option<f64>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -53,6 +62,7 @@ fn parse_opts() -> Result<Opts, String> {
         phases: false,
         max_steady_ratio: None,
         max_barrier_share: None,
+        min_traffic_reduction: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,6 +88,18 @@ fn parse_opts() -> Result<Opts, String> {
                 }
                 o.max_barrier_share = Some(s);
             }
+            "--min-traffic-reduction" => {
+                let v = args.next().ok_or("--min-traffic-reduction needs a value")?;
+                let f: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --min-traffic-reduction {v:?}: {e}"))?;
+                if !(f.is_finite() && f > 0.0 && f < 1.0) {
+                    return Err(format!(
+                        "--min-traffic-reduction must be in (0, 1), got {v}"
+                    ));
+                }
+                o.min_traffic_reduction = Some(f);
+            }
             "--chrome" => o.chrome_path = Some(args.next().ok_or("--chrome needs a path")?),
             other if !other.starts_with('-') && o.bench_path.is_none() => {
                 o.bench_path = Some(other.to_string());
@@ -91,7 +113,7 @@ fn parse_opts() -> Result<Opts, String> {
     if o.bench_path.is_none() && o.chrome_path.is_none() {
         return Err("usage: bench-check [<bench.json>] [--phases] \
                     [--max-steady-ratio R] [--max-barrier-share S] \
-                    [--chrome <trace.json>]"
+                    [--min-traffic-reduction F] [--chrome <trace.json>]"
             .into());
     }
     Ok(o)
@@ -158,6 +180,8 @@ struct PhaseRec {
     swap: f64,
     workers: f64,
     imbalance: f64,
+    bytes_moved: f64,
+    mlups: f64,
 }
 
 /// One validated record (only the fields the checks need).
@@ -220,7 +244,16 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
                     swap: field_f64(item, "swap_ns", n)?,
                     workers: field_f64(item, "workers", n)?,
                     imbalance: field_f64(item, "imbalance_ns", n)?,
+                    bytes_moved: field_f64(item, "bytes_moved", n)?,
+                    mlups: field_f64(item, "mlups", n)?,
                 };
+                if !(p.bytes_moved >= 0.0 && p.mlups >= 0.0) {
+                    return Err(format!(
+                        "record {n} ({group}/{label}): `bytes_moved` ({}) and `mlups` \
+                         ({}) must be non-negative",
+                        p.bytes_moved, p.mlups
+                    ));
+                }
                 // The per-worker values must be the summed values over
                 // `workers` — they are derived at render time, so a
                 // mismatch means a corrupted or hand-edited artifact.
@@ -336,6 +369,69 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
         }
     }
 
+    // Traffic gate: every tiled steady row must cut the modeled
+    // main-memory traffic against its untiled islands baseline by at
+    // least the requested fraction, without giving the time back.
+    let mut traffic_pairs = 0;
+    if let Some(min_red) = o.min_traffic_reduction {
+        for tiled in recs
+            .iter()
+            .filter(|r| r.group == "steady_state" && r.label.starts_with("tiled_steady/"))
+        {
+            let p = &tiled.label["tiled_steady/".len()..];
+            let base_label = format!("islands_steady/{p}");
+            let base = recs
+                .iter()
+                .find(|r| r.group == "steady_state" && r.label == base_label)
+                .ok_or_else(|| {
+                    format!(
+                        "`{}` has no `{base_label}` baseline to gate against",
+                        tiled.label
+                    )
+                })?;
+            let (tp, bp) = match (&tiled.phases, &base.phases) {
+                (Some(tp), Some(bp)) if tp.bytes_moved > 0.0 && bp.bytes_moved > 0.0 => (tp, bp),
+                _ => {
+                    return Err(format!(
+                        "--min-traffic-reduction: `{}` and `{base_label}` must both \
+                         carry positive `bytes_moved` traffic models",
+                        tiled.label
+                    ))
+                }
+            };
+            if !(tp.mlups > 0.0 && bp.mlups > 0.0) {
+                return Err(format!(
+                    "--min-traffic-reduction: `{}` and `{base_label}` must both \
+                     carry positive `mlups` throughput figures",
+                    tiled.label
+                ));
+            }
+            let reduction = 1.0 - tp.bytes_moved / bp.bytes_moved;
+            if reduction < min_red {
+                return Err(format!(
+                    "modeled traffic reduction too small: `{}` moves {} bytes/step vs \
+                     `{base_label}`'s {} — a {reduction:.3} cut, below the required \
+                     {min_red} — tile fusion is no longer keeping intermediates \
+                     cache-resident",
+                    tiled.label, tp.bytes_moved, bp.bytes_moved
+                ));
+            }
+            // "No worse" with a small allowance for timer noise between
+            // the two rows of one artifact.
+            if tiled.median_ns > base.median_ns * 1.05 {
+                return Err(format!(
+                    "tiled steady step is slower than untiled: `{}` median {} ns vs \
+                     `{base_label}` median {} ns — the traffic cut is costing time",
+                    tiled.label, tiled.median_ns, base.median_ns
+                ));
+            }
+            traffic_pairs += 1;
+        }
+        if traffic_pairs == 0 {
+            return Err("--min-traffic-reduction: no tiled_steady rows to gate".into());
+        }
+    }
+
     let phase_note = if o.phases {
         format!(", {with_phases} phase breakdown(s) present")
     } else {
@@ -346,8 +442,14 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
     } else {
         String::new()
     };
+    let traffic_note = if o.min_traffic_reduction.is_some() {
+        format!(", {traffic_pairs} tiled traffic cut(s) over the floor")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{} record(s) well-formed, {pairs} steady/first pair(s) ordered{phase_note}{gate_note}",
+        "{} record(s) well-formed, {pairs} steady/first pair(s) \
+         ordered{phase_note}{gate_note}{traffic_note}",
         recs.len()
     ))
 }

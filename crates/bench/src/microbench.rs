@@ -66,6 +66,16 @@ pub struct Phases {
     /// blocking (`--fuse-steps=k`) amortizes the global pair over k
     /// steps, so this falls from 2 toward 2/k as k grows.
     pub global_barriers: f64,
+    /// Modeled main-memory bytes moved per iteration (logical step) by
+    /// the benched schedule, from the compulsory-stream traffic models
+    /// (`staged_traffic_bytes` for per-stage sweeps,
+    /// `tiled_traffic_bytes` for tile-fused chains). Zero when the
+    /// bench attaches no traffic model to the row.
+    pub bytes_moved: f64,
+    /// Measured throughput in millions of lattice updates per second,
+    /// derived from the row's median time and the domain cell count
+    /// (`cells × 1000 / median_ns`). Zero when not attached.
+    pub mlups: f64,
 }
 
 impl Phases {
@@ -240,6 +250,8 @@ pub fn render_json(records: &[Record]) -> String {
                 m.push(("swap_pw_ns".to_string(), Json::Num(p.per_worker(p.swap_ns))));
                 m.push(("imbalance_ns".to_string(), Json::Num(p.imbalance_ns)));
                 m.push(("global_barriers".to_string(), Json::Num(p.global_barriers)));
+                m.push(("bytes_moved".to_string(), Json::Num(p.bytes_moved)));
+                m.push(("mlups".to_string(), Json::Num(p.mlups)));
             }
             Json::Object(m)
         })
@@ -349,6 +361,18 @@ impl Group<'_> {
             phases: None,
         });
         self.harness.ran += 1;
+    }
+
+    /// The median per-iteration time of the already-benched `label` of
+    /// this group, or `None` when it was filtered out — lets a bench
+    /// derive throughput figures (MLUPS) from its own timed result.
+    pub fn median_ns(&self, label: &str) -> Option<f64> {
+        let name = self.name.as_str();
+        self.harness
+            .records
+            .iter()
+            .find(|r| r.group == name && r.label == label)
+            .map(|r| r.median_ns)
     }
 
     /// True when `label` in this group survived the filter and was
@@ -498,6 +522,8 @@ mod tests {
                     swap_ns: 0.5,
                     imbalance_ns: 1.25,
                     global_barriers: 0.75,
+                    bytes_moved: 4096.0,
+                    mlups: 12.5,
                 }),
             },
         ];
@@ -542,6 +568,11 @@ mod tests {
             arr[1].get("global_barriers").and_then(|v| v.as_f64()),
             Some(0.75)
         );
+        assert_eq!(
+            arr[1].get("bytes_moved").and_then(|v| v.as_f64()),
+            Some(4096.0)
+        );
+        assert_eq!(arr[1].get("mlups").and_then(|v| v.as_f64()), Some(12.5));
     }
 
     #[test]
@@ -583,6 +614,8 @@ mod tests {
             swap_ns: 3.0,
             imbalance_ns: 0.5,
             global_barriers: 2.0,
+            bytes_moved: 0.0,
+            mlups: 0.0,
         };
         g.attach_phases("b", attached);
         g.attach_phases(
@@ -594,6 +627,8 @@ mod tests {
                 swap_ns: 9.0,
                 imbalance_ns: 9.0,
                 global_barriers: 9.0,
+                bytes_moved: 9.0,
+                mlups: 9.0,
             },
         );
         g.finish();

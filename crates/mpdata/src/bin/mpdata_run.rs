@@ -5,7 +5,7 @@
 //!            [--workers W] [--islands P] [--iord N] [--boundary open|periodic]
 //!            [--problem gaussian|cone|random] [--cache BYTES] [--verify]
 //!            [--balance uniform|model|measured] [--self-schedule N]
-//!            [--fuse-steps K] [--trace OUT.json] [--metrics]
+//!            [--fuse-steps K] [--tile auto|TIxTJ] [--trace OUT.json] [--metrics]
 //! ```
 //!
 //! Example: advect a rotating cone for 50 steps on 2 islands × 2 cores
@@ -35,11 +35,18 @@
 //! K whole time steps into one replay epoch (temporal blocking):
 //! islands widen their halos by K cumulative stencil radii and pay the
 //! global-barrier pair once per K steps — still bit-identical under
-//! `--verify` (islands and fused strategies).
+//! `--verify` (islands and fused strategies). `--tile auto|TIxTJ`
+//! switches those strategies to tile-fused execution: each island's
+//! part is cut into (i, j) column tiles and every tile's whole stage
+//! chain replays back to back against rank-private scratch shrunk to
+//! the tile's halo footprint, so intermediates stay cache-resident
+//! instead of streaming through main memory once per stage. `auto`
+//! sizes tiles from `--cache`; an explicit `TIxTJ` (e.g. `8x16`)
+//! forces the extents. Also bit-identical under `--verify`.
 
 use mpdata::{
     gaussian_pulse, random_fields, rotating_cone, Boundary, FusedExecutor, IslandsExecutor,
-    MpdataFields, MpdataProblem, OriginalExecutor, ReferenceExecutor,
+    MpdataFields, MpdataProblem, OriginalExecutor, ReferenceExecutor, TileMode,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -62,6 +69,7 @@ struct Args {
     balance: String,
     self_schedule: usize,
     fuse_steps: usize,
+    tile: TileMode,
     trace: Option<String>,
     metrics: bool,
 }
@@ -82,6 +90,7 @@ impl Default for Args {
             balance: "uniform".into(),
             self_schedule: 0,
             fuse_steps: 1,
+            tile: TileMode::Off,
             trace: None,
             metrics: false,
         }
@@ -140,6 +149,22 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--fuse-steps needs at least 1".into());
                 }
             }
+            "--tile" => {
+                let v = val()?;
+                a.tile = if v == "auto" {
+                    TileMode::Auto
+                } else {
+                    let (ti, tj) = v
+                        .split_once('x')
+                        .ok_or_else(|| format!("bad --tile {v:?}; use auto or TIxTJ"))?;
+                    let ti: usize = ti.parse().map_err(|e| format!("bad --tile: {e}"))?;
+                    let tj: usize = tj.parse().map_err(|e| format!("bad --tile: {e}"))?;
+                    if ti == 0 || tj == 0 {
+                        return Err("--tile extents must be positive".into());
+                    }
+                    TileMode::Fixed { ti, tj }
+                };
+            }
             "--trace" => a.trace = Some(val()?),
             "--metrics" => a.metrics = true,
             "--help" | "-h" => {
@@ -148,7 +173,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20          --workers W --islands P --iord N --boundary open|periodic\n\
                      \x20          --problem gaussian|cone|random --cache BYTES --verify\n\
                      \x20          --balance uniform|model|measured --self-schedule N\n\
-                     \x20          --fuse-steps K --trace OUT.json --metrics"
+                     \x20          --fuse-steps K --tile auto|TIxTJ --trace OUT.json --metrics"
                 );
                 std::process::exit(0);
             }
@@ -178,6 +203,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if a.fuse_steps > 1 && !matches!(a.strategy.as_str(), "islands" | "fused") {
         return Err("--fuse-steps only applies to --strategy islands|fused".into());
+    }
+    if a.tile != TileMode::Off && !matches!(a.strategy.as_str(), "islands" | "fused") {
+        return Err("--tile only applies to --strategy islands|fused".into());
     }
     Ok(a)
 }
@@ -317,7 +345,8 @@ fn main() -> ExitCode {
         "fused" => {
             let mut exec = FusedExecutor::with_problem(&pool, problem())
                 .cache_bytes(a.cache)
-                .fuse_steps(a.fuse_steps);
+                .fuse_steps(a.fuse_steps)
+                .tile(a.tile);
             if a.self_schedule > 0 {
                 exec = exec.schedule(mpdata::SchedulePolicy::Dynamic {
                     chunks_per_rank: a.self_schedule,
@@ -333,7 +362,8 @@ fn main() -> ExitCode {
                 problem(),
             )
             .cache_bytes(a.cache)
-            .fuse_steps(a.fuse_steps);
+            .fuse_steps(a.fuse_steps)
+            .tile(a.tile);
             if let Some(parts) = balanced_parts {
                 exec = exec.with_partition(parts);
             }

@@ -267,6 +267,31 @@ impl ParStore {
             .expect("buffer present")
     }
 
+    /// Re-targets `f`'s buffer at `region`, reusing its allocation
+    /// ([`Array3::rebase`]) — the per-tile scratch shrink of the
+    /// tile-fused replay, which must stay allocation-free.
+    ///
+    /// The buffer's previous contents become meaningless at the new
+    /// indexing; callers re-zero exactly what the tile chain reads
+    /// before writing (its plan-time `must_zero` set — empty for the
+    /// real MPDATA graphs, whose chains cover every read).
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// The store must be *rank-private*: no other thread may access it
+    /// concurrently. The tiled executors allocate one store per team
+    /// rank and never share them, so the claim below can never collide.
+    pub(crate) fn rebase(&self, f: FieldId, region: Region3) {
+        #[cfg(debug_assertions)]
+        let _claim = self.cells.claim(&[(f, region, true)], "tile-rebase");
+        let _tracker = self.cells.cell(f).track_write();
+        // SAFETY: see the contract above — the store is rank-private.
+        unsafe { self.cells.cell(f).get_mut() }
+            .as_mut()
+            .expect("buffer present")
+            .rebase(region);
+    }
+
     /// Zeroes `region` of `f` in place — the per-step refill for
     /// persistent stores, covering exactly the cells a plan's coverage
     /// analysis proves are read before they are written.

@@ -61,5 +61,5 @@ pub use graph::{
 pub use islands::IslandsExecutor;
 pub use kernels::{apply_kind, apply_kind_scalar, apply_stage, Boundary};
 pub use original::OriginalExecutor;
-pub use plan::SchedulePolicy;
+pub use plan::{SchedulePolicy, TileMode};
 pub use reference::ReferenceExecutor;

@@ -53,7 +53,8 @@ use crate::graph::{MpdataProblem, StageKind};
 use crate::kernels::Boundary;
 use std::fmt;
 use stencil_engine::{
-    Array3, Axis, BlockPlanner, FieldId, FieldRole, PlanBlocksError, Region3, StageDef, StageGraph,
+    choose_tile, tile_grid, Array3, Axis, BlockPlanner, FieldId, FieldRole, PlanBlocksError,
+    Region3, StageDef, StageGraph,
 };
 use work_scheduler::{ChunkQueue, DisjointCell, TeamCtx, TeamSpec, WorkerPool};
 
@@ -86,6 +87,36 @@ impl SchedulePolicy {
             SchedulePolicy::Dynamic { chunks_per_rank } => ranks * chunks_per_rank.max(1),
         }
     }
+}
+
+/// Cache-tiled stage fusion: how (and whether) each fused-step target
+/// is cut into `(i, j)` tiles whose whole stage chain runs back-to-back
+/// on tile-local scratch.
+///
+/// Untiled replay sweeps each stage across the island's full part,
+/// round-tripping every intermediate array through main memory between
+/// stages. Tiled replay instead partitions the target into tiles sized
+/// so one tile's scratch (tile + cumulative halo, times the peak live
+/// buffer count) stays resident in L2, and executes all 17 stages of
+/// one tile before moving to the next: intermediates never leave cache,
+/// and the per-stage team barriers collapse to one per fused step. Tile
+/// faces pay redundant halo recomputation — the same overlapped-tiling
+/// trade the (3+1)D blocks make along `I`, here in both `I` and `J`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TileMode {
+    /// Per-stage sweeps (the classic replay; the default).
+    #[default]
+    Off,
+    /// Tile extents chosen from the plan's cache budget by
+    /// [`stencil_engine::choose_tile`].
+    Auto,
+    /// Explicit tile extents along `I` and `J` (clamped to ≥ 1).
+    Fixed {
+        /// Tile extent along `I`.
+        ti: usize,
+        /// Tile extent along `J`.
+        tj: usize,
+    },
 }
 
 /// How the domain is divided among islands.
@@ -144,6 +175,8 @@ pub(crate) struct PlanKey {
     /// Fused time steps per replay epoch (≥ 1; 1 = classic per-step
     /// synchronization). Keyed so flipping `--fuse-steps` replans.
     fuse_steps: usize,
+    /// Tile-fused replay mode. Keyed so flipping `--tile` replans.
+    tile: TileMode,
 }
 
 impl PlanKey {
@@ -156,12 +189,14 @@ impl PlanKey {
         split_axis: Axis,
         schedule: SchedulePolicy,
         fuse_steps: usize,
+        tile: TileMode,
     ) -> bool {
         self.domain == domain
             && self.cache_bytes == cache_bytes
             && self.split_axis == split_axis
             && self.schedule == schedule
             && self.fuse_steps == fuse_steps.max(1)
+            && self.tile == tile
             && &self.partition == partition
     }
 }
@@ -185,6 +220,9 @@ struct EpochPlan {
     step: u16,
     /// Block index within the island's wavefront blocking (trace tag).
     block: u16,
+    /// The whole epoch region (the union of `units`, which slice it
+    /// contiguously along the split axis).
+    region: Region3,
     /// Slice per work unit (empty regions for surplus units).
     units: Vec<Region3>,
     /// Per unit: cells of the slice lying outside `part ∩
@@ -193,6 +231,31 @@ struct EpochPlan {
     /// whole widened halo band), precomputed so traced kernels can
     /// report it without any plan-time math on the hot path.
     units_extra: Vec<u64>,
+}
+
+/// One `(i, j)` tile of a fused-step target under [`TileMode`]: the
+/// whole stage chain replayed back-to-back by one rank on that rank's
+/// private scratch, rebased to this tile's footprint.
+struct TileTask {
+    /// The owned output region (tiles partition the fused-step target,
+    /// so concurrent final-stage writes are disjoint by construction).
+    tile: Region3,
+    /// Per-stage compute regions from the backward requirement analysis
+    /// (`required_regions(tile, domain)`): every intra-chain read of an
+    /// intermediate resolves to a cell this chain computed earlier.
+    stage_regions: Vec<Region3>,
+    /// Per scratch field, the region the rank store is rebased to
+    /// before the chain runs — the producing stage's region, which
+    /// contains every later read of the field.
+    field_regions: Vec<(FieldId, Region3)>,
+    /// Scratch cells the chain reads before writing them, zeroed after
+    /// the rebase (rebased scratch holds *stale* cells of the previous
+    /// tile, not zeros, so coverage must be exact). Empty for the real
+    /// MPDATA graphs — the chain-coverage analysis proves it per tile.
+    must_zero: Vec<(FieldId, Region3)>,
+    /// Per-stage redundant cells beyond `tile ∩ part ∩ base_regions[s]`
+    /// (trace attribution, mirroring `EpochPlan::units_extra`).
+    stage_extra: Vec<u64>,
 }
 
 /// One team's replay schedule.
@@ -219,6 +282,14 @@ struct TeamPlan {
     /// Sized to the first (widest) fused step's target, which contains
     /// every later step's writes and reads.
     xslots: Option<[DisjointCell<Array3>; 2]>,
+    /// Tile tables, one `Vec<TileTask>` per fused step (tiled plans
+    /// only; empty when `TileMode::Off`). Tiles of step `s` partition
+    /// `fused_step_targets[s]`.
+    tiles: Vec<Vec<TileTask>>,
+    /// One preallocated claim queue per fused step over that step's
+    /// tiles (dynamic tiled plans only). Same reset contract as
+    /// `queues`.
+    tile_queues: Vec<ChunkQueue>,
 }
 
 /// A fully materialized, reusable execution plan for one time step (or,
@@ -230,6 +301,17 @@ pub(crate) struct StepPlan {
     key: PlanKey,
     teams: Vec<TeamPlan>,
     stores: Vec<ParStore>,
+    /// Rank-private scratch stores for the tiled replay, indexed
+    /// `[team][rank]` (empty when `TileMode::Off`). Each holds every
+    /// scratch field at its worst-case tile footprint and is rebased
+    /// tile by tile, so the steady state allocates nothing.
+    tile_stores: Vec<Vec<ParStore>>,
+    /// Stage kinds in stage order (the tiled replay walks the graph
+    /// directly instead of through per-epoch tables).
+    stage_kinds: Vec<StageKind>,
+    /// Index of the final stage (the single writer of the advected
+    /// output).
+    final_stage: usize,
     /// Domain cells no final-stage write covers (empty for covering
     /// partitions); re-zeroed in the output buffer at swap time.
     out_gaps: Vec<Region3>,
@@ -270,41 +352,45 @@ fn uncovered_reads(
     hull: Region3,
     domain: Region3,
 ) -> Vec<(FieldId, Region3)> {
-    let mut written: Vec<(FieldId, Region3)> = Vec::new();
+    // Coverage is checked at *epoch* granularity: an epoch's units
+    // slice `ep.region` contiguously along one axis, and halo
+    // expansion distributes over a contiguous split, so the union of
+    // the per-unit read hulls is exactly the epoch-region read hull —
+    // same gap cells, far fewer region subtractions. Writes are
+    // bucketed per field so each read only scans its own field's
+    // history instead of one flat list (this analysis used to dominate
+    // the first-step cost of whole-domain fused plans).
+    let mut written: Vec<Vec<Region3>> = vec![Vec::new(); graph.fields().len()];
     let mut gaps: Vec<(FieldId, Region3)> = Vec::new();
     for ep in epochs {
         let st = &graph.stages()[ep.stage];
-        for &mine in &ep.units {
-            if mine.is_empty() {
+        if ep.region.is_empty() {
+            continue;
+        }
+        for (f, pat) in &st.inputs {
+            if graph.fields().role(*f) != FieldRole::Intermediate {
                 continue;
             }
-            for (f, pat) in &st.inputs {
-                if graph.fields().role(*f) != FieldRole::Intermediate {
-                    continue;
+            let read = ep
+                .region
+                .expand(pat.halo())
+                .intersect(domain)
+                .intersect(hull);
+            let mut remaining = vec![read];
+            for &wr in &written[f.index()] {
+                remaining = subtract_all(remaining, wr);
+                if remaining.is_empty() {
+                    break;
                 }
-                let read = mine.expand(pat.halo()).intersect(domain).intersect(hull);
-                let mut remaining = vec![read];
-                for (wf, wr) in &written {
-                    if wf == f {
-                        remaining = subtract_all(remaining, *wr);
-                        if remaining.is_empty() {
-                            break;
-                        }
-                    }
-                }
-                gaps.extend(remaining.into_iter().map(|g| (*f, g)));
             }
+            gaps.extend(remaining.into_iter().map(|g| (*f, g)));
         }
         // Merge writes only after the epoch's reads: a same-epoch
         // write→read pair has no fence between them, so it cannot
         // provide coverage (matching the analyzer).
         if !ep.is_final {
-            for &mine in &ep.units {
-                if !mine.is_empty() {
-                    for &o in &st.outputs {
-                        written.push((o, mine));
-                    }
-                }
+            for &o in &st.outputs {
+                written[o.index()].push(ep.region);
             }
         }
     }
@@ -335,6 +421,88 @@ pub(crate) fn fused_step_targets(
     targets
 }
 
+/// Builds one tile's chain table: per-stage compute regions from the
+/// backward requirement analysis, the scratch footprints the rank store
+/// is rebased to, and the chain-coverage obligations.
+fn plan_tile(
+    graph: &StageGraph,
+    xout: FieldId,
+    tile: Region3,
+    part: Region3,
+    domain: Region3,
+    base_regions: &[Region3],
+) -> TileTask {
+    let regs = graph.required_regions(tile, domain);
+    // Scratch footprint per field = the producing stage's region, which
+    // (by the backward requirement invariant) contains every later read
+    // of the field clipped to the domain.
+    let mut scratch: Vec<Region3> = vec![Region3::empty(); graph.fields().len()];
+    let mut field_regions = Vec::new();
+    let mut stage_extra = vec![0u64; regs.len()];
+    for st in graph.stages() {
+        let r = regs[st.id.index()];
+        let owned = r
+            .intersect(tile)
+            .intersect(part)
+            .intersect(base_regions[st.id.index()]);
+        stage_extra[st.id.index()] = (r.cells() - owned.cells()) as u64;
+        if r.is_empty() {
+            continue;
+        }
+        for &o in &st.outputs {
+            if o != xout {
+                scratch[o.index()] = r;
+                field_regions.push((o, r));
+            }
+        }
+    }
+    // Chain coverage: the chain is serial on one rank, so each stage's
+    // writes are visible to every later stage — merge after *each*
+    // stage (unlike the epoch analysis, which merges only across
+    // barrier fences). Rebased scratch holds stale cells of the
+    // previous tile, not zeros, so any read the chain's own writes do
+    // not cover must be zeroed first. Empty for the real MPDATA graphs:
+    // the requirement regions cover every read by construction.
+    let mut written: Vec<Vec<Region3>> = vec![Vec::new(); graph.fields().len()];
+    let mut must_zero = Vec::new();
+    for st in graph.stages() {
+        let r = regs[st.id.index()];
+        if r.is_empty() {
+            continue;
+        }
+        for (f, pat) in &st.inputs {
+            if graph.fields().role(*f) != FieldRole::Intermediate {
+                continue;
+            }
+            let read = r.expand(pat.halo()).intersect(domain);
+            debug_assert!(
+                scratch[f.index()].contains_region(read),
+                "tile chain read escapes the rebased scratch footprint"
+            );
+            let mut remaining = vec![read.intersect(scratch[f.index()])];
+            for &wr in &written[f.index()] {
+                remaining = subtract_all(remaining, wr);
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+            must_zero.extend(remaining.into_iter().map(|g| (*f, g)));
+        }
+        for &o in &st.outputs {
+            if o != xout {
+                written[o.index()].push(r);
+            }
+        }
+    }
+    TileTask {
+        tile,
+        stage_regions: regs,
+        field_regions,
+        must_zero,
+        stage_extra,
+    }
+}
+
 impl StepPlan {
     /// Builds the plan for `key`: partition, per-island and
     /// per-fused-step blocking, epoch tables with precomputed rank
@@ -356,6 +524,23 @@ impl StepPlan {
         let graph = problem.graph();
         let xout = problem.xout();
         let x = problem.ext().x;
+        let final_stage = graph
+            .stages()
+            .iter()
+            .position(|st| st.outputs == [xout])
+            .expect("the graph ends in the advected-output stage");
+        let stage_kinds: Vec<StageKind> = graph
+            .stages()
+            .iter()
+            .map(|st| problem.kind(st.id))
+            .collect();
+        // Tile extents for tiled plans (`Fixed` is clamped to ≥ 1, so a
+        // degenerate request still partitions the target).
+        let tile_extents = match key.tile {
+            TileMode::Off => None,
+            TileMode::Auto => Some(choose_tile(graph, domain, key.cache_bytes)),
+            TileMode::Fixed { ti, tj } => Some((ti.max(1), tj.max(1))),
+        };
         // Per-stage regions a zero-overlap schedule would compute —
         // the baseline against which each epoch's redundant halo
         // recomputation is measured (indexed by `StageId::index`).
@@ -365,76 +550,140 @@ impl StepPlan {
         let base_regions = graph.required_regions(domain, domain);
         let mut teams = Vec::with_capacity(parts.len());
         let mut stores = Vec::with_capacity(parts.len());
+        let mut tile_stores = Vec::with_capacity(parts.len());
         let mut out_gaps = vec![domain];
         for (t, &part) in parts.iter().enumerate() {
             let size = spec.members(t).len();
             let mut store = ParStore::new(graph.fields().len(), problem.ext());
+            let mut rank_stores = Vec::new();
             let mut epochs = Vec::new();
             let mut step_bounds = vec![(0usize, 0usize); k];
             let mut xslots = None;
+            let mut queues = Vec::new();
+            let mut must_zero = Vec::new();
+            let mut tiles: Vec<Vec<TileTask>> = Vec::new();
+            let mut tile_queues = Vec::new();
             if !part.is_empty() {
                 let step_parts = fused_step_targets(graph, x, part, domain, k);
-                // One wavefront blocking per fused step; the scratch
-                // store spans the union of their hulls (steps reuse the
-                // same scratch, refilled before each fused step).
-                let mut blockings = Vec::with_capacity(k);
-                let mut hull = Region3::empty();
-                for &sp in &step_parts {
-                    let blocking =
-                        BlockPlanner::new(key.cache_bytes).plan_wavefront(graph, sp, domain)?;
-                    hull = hull.hull(blocking.hull());
-                    blockings.push(blocking);
-                }
-                if !hull.is_empty() {
-                    for st in graph.stages() {
-                        for &o in &st.outputs {
-                            if o != xout {
-                                store.alloc(o, hull);
-                            }
-                        }
-                    }
-                }
-                let n_units = key.schedule.units_for(size);
-                for (ts, blocking) in blockings.iter().enumerate() {
-                    let start = epochs.len();
-                    for (b, block) in blocking.blocks.iter().enumerate() {
-                        for (s, st) in graph.stages().iter().enumerate() {
-                            let region = block.stage_regions[st.id.index()];
-                            let is_final = st.outputs == [xout];
+                if let Some((ti, tj)) = tile_extents {
+                    // Tiled: cut each fused-step target into the
+                    // balanced (i, j) tile grid and table the whole
+                    // chain per tile; no wavefront blocking and no
+                    // shared scratch.
+                    for (ts, &sp) in step_parts.iter().enumerate() {
+                        let mut tasks = Vec::new();
+                        for tile in tile_grid(sp, (ti, tj)) {
+                            let task = plan_tile(graph, xout, tile, part, domain, &base_regions);
                             // Only the last fused step writes the
-                            // shared output buffer.
-                            if is_final && ts + 1 == k {
-                                out_gaps = subtract_all(out_gaps, region);
+                            // shared output buffer. The final-stage
+                            // requirement region of a tile is the
+                            // tile itself, which is what makes
+                            // concurrent output writes disjoint.
+                            if ts + 1 == k {
+                                let written =
+                                    task.stage_regions[graph.stages()[final_stage].id.index()];
+                                debug_assert_eq!(written, task.tile);
+                                out_gaps = subtract_all(out_gaps, written);
                             }
-                            let units: Vec<Region3> = (0..n_units)
-                                .map(|u| rank_slice(region, key.split_axis, u, n_units))
-                                .collect();
-                            let needed = part.intersect(base_regions[st.id.index()]);
-                            let units_extra = units
-                                .iter()
-                                .map(|&mine| (mine.cells() - mine.intersect(needed).cells()) as u64)
-                                .collect();
-                            epochs.push(EpochPlan {
-                                stage: s,
-                                kind: problem.kind(st.id),
-                                is_final,
-                                step: ts.min(usize::from(u16::MAX)) as u16,
-                                block: b.min(usize::from(u16::MAX)) as u16,
-                                units,
-                                units_extra,
-                            });
+                            tasks.push(task);
+                        }
+                        if let SchedulePolicy::Dynamic { .. } = key.schedule {
+                            tile_queues.push(ChunkQueue::new(tasks.len()));
+                        }
+                        tiles.push(tasks);
+                    }
+                    // Every rank owns a private store sized for the
+                    // fattest tile of any fused step; the replay
+                    // rebases it tile by tile, so the steady state
+                    // allocates nothing.
+                    let mut widest: Vec<Option<(FieldId, Region3)>> =
+                        vec![None; graph.fields().len()];
+                    for task in tiles.iter().flatten() {
+                        for &(f, r) in &task.field_regions {
+                            let slot = &mut widest[f.index()];
+                            if slot.is_none_or(|(_, w)| w.cells() < r.cells()) {
+                                *slot = Some((f, r));
+                            }
                         }
                     }
-                    step_bounds[ts] = (start, epochs.len());
-                }
-                // The refill reruns before *every* fused step, so the
-                // coverage analysis is per fused step (each step must
-                // cover its own scratch reads — stale values from the
-                // previous fused step are zeroed first, exactly like a
-                // fresh store).
-                let mut must_zero = Vec::new();
-                for &(lo, hi) in &step_bounds {
-                    must_zero.extend(uncovered_reads(graph, &epochs[lo..hi], hull, domain));
+                    for _ in 0..size {
+                        let mut rs = ParStore::new(graph.fields().len(), problem.ext());
+                        for &(f, r) in widest.iter().flatten() {
+                            rs.alloc(f, r);
+                        }
+                        rank_stores.push(rs);
+                    }
+                } else {
+                    // One wavefront blocking per fused step; the scratch
+                    // store spans the union of their hulls (steps reuse the
+                    // same scratch, refilled before each fused step).
+                    let mut blockings = Vec::with_capacity(k);
+                    let mut hull = Region3::empty();
+                    for &sp in &step_parts {
+                        let blocking =
+                            BlockPlanner::new(key.cache_bytes).plan_wavefront(graph, sp, domain)?;
+                        hull = hull.hull(blocking.hull());
+                        blockings.push(blocking);
+                    }
+                    if !hull.is_empty() {
+                        for st in graph.stages() {
+                            for &o in &st.outputs {
+                                if o != xout {
+                                    store.alloc(o, hull);
+                                }
+                            }
+                        }
+                    }
+                    let n_units = key.schedule.units_for(size);
+                    for (ts, blocking) in blockings.iter().enumerate() {
+                        let start = epochs.len();
+                        for (b, block) in blocking.blocks.iter().enumerate() {
+                            for (s, st) in graph.stages().iter().enumerate() {
+                                let region = block.stage_regions[st.id.index()];
+                                let is_final = st.outputs == [xout];
+                                // Only the last fused step writes the
+                                // shared output buffer.
+                                if is_final && ts + 1 == k {
+                                    out_gaps = subtract_all(out_gaps, region);
+                                }
+                                let units: Vec<Region3> = (0..n_units)
+                                    .map(|u| rank_slice(region, key.split_axis, u, n_units))
+                                    .collect();
+                                let needed = part.intersect(base_regions[st.id.index()]);
+                                let units_extra = units
+                                    .iter()
+                                    .map(|&mine| {
+                                        (mine.cells() - mine.intersect(needed).cells()) as u64
+                                    })
+                                    .collect();
+                                epochs.push(EpochPlan {
+                                    stage: s,
+                                    kind: problem.kind(st.id),
+                                    is_final,
+                                    step: ts.min(usize::from(u16::MAX)) as u16,
+                                    block: b.min(usize::from(u16::MAX)) as u16,
+                                    region,
+                                    units,
+                                    units_extra,
+                                });
+                            }
+                        }
+                        step_bounds[ts] = (start, epochs.len());
+                    }
+                    // The refill reruns before *every* fused step, so the
+                    // coverage analysis is per fused step (each step must
+                    // cover its own scratch reads — stale values from the
+                    // previous fused step are zeroed first, exactly like a
+                    // fresh store).
+                    for &(lo, hi) in &step_bounds {
+                        must_zero.extend(uncovered_reads(graph, &epochs[lo..hi], hull, domain));
+                    }
+                    if let SchedulePolicy::Dynamic { .. } = key.schedule {
+                        queues = epochs
+                            .iter()
+                            .map(|ep| ChunkQueue::new(ep.units.len()))
+                            .collect();
+                    }
                 }
                 if k > 1 {
                     // Ping-pong x buffers between fused steps, sized to
@@ -445,50 +694,46 @@ impl StepPlan {
                         DisjointCell::new(Array3::zeros(step_parts[0])),
                     ]);
                 }
-                let queues = match key.schedule {
-                    SchedulePolicy::Static => Vec::new(),
-                    SchedulePolicy::Dynamic { .. } => epochs
-                        .iter()
-                        .map(|ep| ChunkQueue::new(ep.units.len()))
-                        .collect(),
-                };
-                teams.push(TeamPlan {
-                    epochs,
-                    step_bounds,
-                    queues,
-                    must_zero,
-                    xslots,
-                });
-            } else {
-                teams.push(TeamPlan {
-                    epochs,
-                    step_bounds,
-                    queues: Vec::new(),
-                    must_zero: Vec::new(),
-                    xslots,
-                });
             }
+            teams.push(TeamPlan {
+                epochs,
+                step_bounds,
+                queues,
+                must_zero,
+                xslots,
+                tiles,
+                tile_queues,
+            });
             stores.push(store);
+            tile_stores.push(rank_stores);
         }
         Ok(StepPlan {
             key,
             teams,
             stores,
+            tile_stores,
+            stage_kinds,
+            final_stage,
             out_gaps,
             cur: DisjointCell::new(Array3::zeros(domain)),
             out: DisjointCell::new(Array3::zeros(domain)),
         })
     }
 
-    /// The buffer an epoch's final stage writes: the shared output for
-    /// the last fused step, the step's team-private x slot otherwise.
-    fn final_dest<'a>(&'a self, team: &'a TeamPlan, ep: &EpochPlan) -> &'a DisjointCell<Array3> {
-        let ts = usize::from(ep.step);
+    /// The buffer fused step `ts`'s final stage writes: the shared
+    /// output for the last fused step, the step's team-private x slot
+    /// otherwise.
+    fn final_dest_for<'a>(&'a self, team: &'a TeamPlan, ts: usize) -> &'a DisjointCell<Array3> {
         if ts + 1 == self.key.fuse_steps.max(1) {
             &self.out
         } else {
             &team.xslots.as_ref().expect("fused plans allocate x slots")[ts % 2]
         }
+    }
+
+    /// The buffer an epoch's final stage writes.
+    fn final_dest<'a>(&'a self, team: &'a TeamPlan, ep: &EpochPlan) -> &'a DisjointCell<Array3> {
+        self.final_dest_for(team, usize::from(ep.step))
     }
 
     /// Replays one fused epoch of `epoch_len ∈ 1..=k` time steps for
@@ -515,6 +760,9 @@ impl StepPlan {
         epoch_len: usize,
     ) {
         islands_trace::set_island_rank(ctx.team as u32, ctx.rank as u32);
+        if self.key.tile != TileMode::Off {
+            return self.replay_tiled(ctx, ext, domain, bc, graph, base_step, epoch_len);
+        }
         let k = self.key.fuse_steps.max(1);
         debug_assert!((1..=k).contains(&epoch_len));
         let first_ts = k - epoch_len;
@@ -592,6 +840,140 @@ impl StepPlan {
         }
     }
 
+    /// Tiled replay of one fused epoch: each tile of each fused-step
+    /// target runs its *whole* stage chain back-to-back on the calling
+    /// rank's private scratch, so intermediates stay cache-resident and
+    /// the per-stage team barriers collapse to one per fused step (the
+    /// barrier fences step `ts`'s x-slot and output-tile writes from
+    /// step `ts+1`'s reads; the dispatch join or global barrier fences
+    /// the last step). Static schedules stride tiles round-robin by
+    /// rank; dynamic schedules claim tiles from the step's
+    /// [`ChunkQueue`]. Allocation-free in release builds: the only
+    /// per-tile bookkeeping is rebasing the rank store's arrays.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_tiled(
+        &self,
+        ctx: &TeamCtx,
+        ext: ExtFields<'_>,
+        domain: Region3,
+        bc: Boundary,
+        graph: &StageGraph,
+        base_step: u32,
+        epoch_len: usize,
+    ) {
+        let k = self.key.fuse_steps.max(1);
+        debug_assert!((1..=k).contains(&epoch_len));
+        let first_ts = k - epoch_len;
+        let team = &self.teams[ctx.team];
+        // Empty islands allocate no rank stores (and no tiles).
+        let rank_stores = &self.tile_stores[ctx.team];
+        for ts in first_ts..k {
+            islands_trace::set_step(base_step + (ts - first_ts) as u32);
+            // The advected input of this fused step: the shared buffer
+            // for the epoch's first step, afterwards the team-private
+            // slot the previous fused step just produced.
+            let mut _slot_read = None;
+            let step_ext = if ts == first_ts {
+                ext
+            } else {
+                let slots = team.xslots.as_ref().expect("fused plans allocate x slots");
+                let slot = &slots[(ts - 1) % 2];
+                _slot_read = Some(slot.track_read());
+                ExtFields {
+                    // SAFETY: the team barrier ending fused step ts-1
+                    // fences its slot writes; within this step the slot
+                    // is only read (this step writes the *other* slot
+                    // or the shared output).
+                    x: unsafe { slot.get_ref() },
+                    ..ext
+                }
+            };
+            let tasks = team.tiles.get(ts).map_or(&[][..], |v| v.as_slice());
+            if !tasks.is_empty() {
+                let store = &rank_stores[ctx.rank];
+                let dest = self.final_dest_for(team, ts);
+                match self.key.schedule {
+                    SchedulePolicy::Static => {
+                        let mut n = ctx.rank;
+                        while n < tasks.len() {
+                            self.run_tile(&tasks[n], n, store, graph, step_ext, domain, bc, dest);
+                            n += ctx.size;
+                        }
+                    }
+                    SchedulePolicy::Dynamic { .. } => {
+                        // Self-schedule whole tiles: any claim order is
+                        // race-free — tiles own disjoint output regions
+                        // and all scratch is rank-private.
+                        let q = &team.tile_queues[ts];
+                        while let Some(n) = q.claim() {
+                            self.run_tile(&tasks[n], n, store, graph, step_ext, domain, bc, dest);
+                        }
+                    }
+                }
+            }
+            // One team barrier per fused step (the whole synchronization
+            // saving of tile fusion); the last step is fenced by the
+            // caller's join or global barrier instead.
+            if ts + 1 < k {
+                ctx.team_barrier();
+            }
+        }
+    }
+
+    /// Runs one tile's whole stage chain on `store` (the calling rank's
+    /// private scratch): rebase every scratch field to the tile
+    /// footprint, zero the (normally empty) uncovered reads, then apply
+    /// each stage over its requirement region — the final stage straight
+    /// into `dest`, everything else into the rebased scratch.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn run_tile(
+        &self,
+        task: &TileTask,
+        n: usize,
+        store: &ParStore,
+        graph: &StageGraph,
+        ext: ExtFields<'_>,
+        domain: Region3,
+        bc: Boundary,
+        dest: &DisjointCell<Array3>,
+    ) {
+        for &(f, r) in &task.field_regions {
+            store.rebase(f, r);
+        }
+        for &(f, r) in &task.must_zero {
+            store.zero_region(f, r);
+        }
+        for (s, st) in graph.stages().iter().enumerate() {
+            let mine = task.stage_regions[st.id.index()];
+            if mine.is_empty() {
+                continue;
+            }
+            let t0 = islands_trace::now();
+            if s == self.final_stage {
+                let _wt = dest.track_write();
+                // SAFETY: tiles partition the fused-step target, so
+                // concurrent final-stage writes (this tile region) are
+                // pairwise disjoint; earlier steps' x slots are
+                // team-private.
+                let out_arr = unsafe { dest.get_mut() };
+                store.apply_into(st, self.stage_kinds[s], domain, bc, mine, out_arr, ext);
+            } else {
+                store.apply(st, self.stage_kinds[s], domain, bc, mine, ext);
+            }
+            if let Some(t0) = t0 {
+                islands_trace::record(
+                    islands_trace::SpanKind::Kernel,
+                    t0,
+                    islands_trace::now_ns(),
+                    s.min(usize::from(u16::MAX)) as u16,
+                    n.min(usize::from(u16::MAX)) as u16,
+                    [mine.cells() as u64, task.stage_extra[st.id.index()], 0],
+                );
+            }
+        }
+    }
+
     /// Executes one work unit of one epoch: the kernel over the unit's
     /// slice, routed to the scratch store or (for final stages) `dest`
     /// — the step's x output buffer — with the kernel trace span
@@ -650,6 +1032,9 @@ impl StepPlan {
             for q in &team.queues {
                 q.reset();
             }
+            for q in &team.tile_queues {
+                q.reset();
+            }
         }
     }
 }
@@ -669,6 +1054,7 @@ fn ensure_plan<'s>(
     split_axis: Axis,
     schedule: SchedulePolicy,
     fuse_steps: usize,
+    tile: TileMode,
 ) -> Result<&'s mut StepPlan, PlanBlocksError> {
     let hit = slot.as_ref().is_some_and(|p| {
         p.key.matches(
@@ -678,6 +1064,7 @@ fn ensure_plan<'s>(
             split_axis,
             schedule,
             fuse_steps,
+            tile,
         )
     });
     if !hit {
@@ -689,6 +1076,7 @@ fn ensure_plan<'s>(
             split_axis,
             schedule,
             fuse_steps: fuse_steps.max(1),
+            tile,
         };
         *slot = Some(StepPlan::build(problem, spec, key)?);
     }
@@ -723,6 +1111,7 @@ pub(crate) fn plan_step(
     split_axis: Axis,
     schedule: SchedulePolicy,
     fuse_steps: usize,
+    tile: TileMode,
     fields: &crate::fields::MpdataFields,
 ) -> Result<Array3, PlanBlocksError> {
     let domain = fields.domain();
@@ -736,6 +1125,7 @@ pub(crate) fn plan_step(
         split_axis,
         schedule,
         fuse_steps,
+        tile,
     )?;
     // Rewind the self-scheduling queues before the dispatch sees them.
     plan.reset_queues();
@@ -771,6 +1161,7 @@ pub(crate) fn plan_run(
     split_axis: Axis,
     schedule: SchedulePolicy,
     fuse_steps: usize,
+    tile: TileMode,
     fields: &mut crate::fields::MpdataFields,
     steps: usize,
 ) -> Result<(), PlanBlocksError> {
@@ -788,6 +1179,7 @@ pub(crate) fn plan_run(
         split_axis,
         schedule,
         fuse_steps,
+        tile,
     )?;
     plan.reset_queues();
     // Lend `fields.x` to the plan's current-input slot; the plan's old

@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mpdata::{gaussian_pulse, IslandsExecutor};
+use mpdata::{gaussian_pulse, IslandsExecutor, TileMode};
 use stencil_engine::{Axis, Region3};
 use work_scheduler::{TeamSpec, WorkerPool};
 
@@ -164,4 +164,36 @@ fn steady_state_steps_do_not_allocate() {
     );
     #[cfg(debug_assertions)]
     let _ = (fused_one, fused_many);
+
+    // Same pin for the tile-fused replay: the per-tile chain tables,
+    // the rank-private scratch stores, and (for k>1) the x-slot
+    // ping-pong buffers are all built into the plan, and the per-tile
+    // rebase just re-aims the existing allocations — so replaying every
+    // tile's whole chain must add no per-step allocations either.
+    let tiled_exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I)
+        .cache_bytes(64 * 1024)
+        .tile(TileMode::Fixed { ti: 5, tj: 4 })
+        .fuse_steps(3);
+    let before = allocs();
+    tiled_exec.run(&mut fields, 1).unwrap();
+    let tiled_cold = allocs() - before;
+    assert!(tiled_cold > 0, "cold tiled run should build its plan");
+    tiled_exec.run(&mut fields, 2).unwrap();
+
+    let before = allocs();
+    tiled_exec.run(&mut fields, 1).unwrap();
+    let tiled_one = allocs() - before;
+
+    let before = allocs();
+    tiled_exec.run(&mut fields, STEPS).unwrap();
+    let tiled_many = allocs() - before;
+
+    #[cfg(not(debug_assertions))]
+    assert!(
+        tiled_many <= tiled_one + 4,
+        "tiled (5x4, k=3) steps 2..{STEPS} allocated: run({STEPS}) made {tiled_many} \
+         allocations vs {tiled_one} for run(1)"
+    );
+    #[cfg(debug_assertions)]
+    let _ = (tiled_one, tiled_many);
 }

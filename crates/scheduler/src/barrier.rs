@@ -22,11 +22,11 @@ use crate::sync::{ord, AtomicBool, AtomicUsize, Condvar, Mutex};
 use islands_trace::SpanKind;
 use std::sync::atomic::Ordering;
 
-/// Busy-spin iterations before a waiter starts yielding.
+/// Default busy-spin iterations before a waiter starts yielding.
 #[cfg(not(feature = "model"))]
 const SPIN_ROUNDS: u32 = 256;
 
-/// `yield_now` iterations before a waiter parks on the condvar.
+/// Default `yield_now` iterations before a waiter parks on the condvar.
 #[cfg(not(feature = "model"))]
 const YIELD_ROUNDS: u32 = 64;
 
@@ -62,6 +62,32 @@ impl BarrierScope {
     }
 }
 
+/// The spin and yield budgets appropriate for `workers` total runnable
+/// workers on `cores` hardware threads.
+///
+/// At or below full subscription the default budgets apply: arrival
+/// skew is tiny and a short spin beats a syscall. Oversubscribed, a
+/// spinning waiter occupies the very CPU its straggler needs, so the
+/// spin phase is dropped entirely and the yield phase shrinks with the
+/// oversubscription ratio — the waiter gets out of the way and parks
+/// almost immediately. Pure so the policy is unit-testable; the budgets
+/// never exceed the defaults, which keeps model builds collapsed to one
+/// round per phase.
+pub fn spin_budget_for(workers: usize, cores: usize) -> (u32, u32) {
+    let cores = cores.max(1);
+    if workers <= cores {
+        (SPIN_ROUNDS, YIELD_ROUNDS)
+    } else {
+        let ratio = workers.div_ceil(cores) as u32;
+        (0, (YIELD_ROUNDS / ratio).clamp(1, YIELD_ROUNDS))
+    }
+}
+
+/// Hardware threads available to this process (1 when undetectable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// A reusable sense-reversing barrier for a fixed set of participants.
 ///
 /// # Examples
@@ -89,6 +115,14 @@ pub struct SenseBarrier {
     sleepers: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
+    /// Busy-spin iterations before a waiter starts yielding (default
+    /// [`SPIN_ROUNDS`]; see [`spin_budget_for`]). Plain data set at
+    /// construction — the waiting protocol and its ordering audit are
+    /// untouched by the budget.
+    spin_rounds: u32,
+    /// `yield_now` iterations before a waiter parks (default
+    /// [`YIELD_ROUNDS`]).
+    yield_rounds: u32,
 }
 
 impl SenseBarrier {
@@ -107,6 +141,27 @@ impl SenseBarrier {
     ///
     /// Panics if `parties == 0`.
     pub fn scoped(parties: usize, scope: BarrierScope) -> Self {
+        Self::with_budget(parties, scope, (SPIN_ROUNDS, YIELD_ROUNDS))
+    }
+
+    /// Creates a barrier sized for a dispatch of `total_workers`
+    /// runnable workers (of which this barrier synchronizes `parties`):
+    /// the spin/yield budgets come from [`spin_budget_for`] against the
+    /// machine's [`available_cores`], so oversubscribed runs park
+    /// almost immediately instead of stealing the straggler's CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn scoped_for_load(parties: usize, scope: BarrierScope, total_workers: usize) -> Self {
+        Self::with_budget(
+            parties,
+            scope,
+            spin_budget_for(total_workers, available_cores()),
+        )
+    }
+
+    fn with_budget(parties: usize, scope: BarrierScope, budget: (u32, u32)) -> Self {
         assert!(parties > 0, "a barrier needs at least one participant");
         SenseBarrier {
             parties,
@@ -116,6 +171,8 @@ impl SenseBarrier {
             sleepers: AtomicUsize::with_label(0, "barrier.sleepers"),
             lock: Mutex::with_label((), "barrier.lock"),
             cv: Condvar::with_label("barrier.cv"),
+            spin_rounds: budget.0,
+            yield_rounds: budget.1,
         }
     }
 
@@ -170,7 +227,7 @@ impl SenseBarrier {
             self.release(my_sense);
             true
         } else {
-            for _ in 0..SPIN_ROUNDS {
+            for _ in 0..self.spin_rounds {
                 // ordering: Acquire — demoted from SeqCst with the
                 // checker's blessing: returning here must acquire the
                 // flip (it publishes every participant's pre-barrier
@@ -186,7 +243,7 @@ impl SenseBarrier {
                 }
                 std::hint::spin_loop();
             }
-            for _ in 0..YIELD_ROUNDS {
+            for _ in 0..self.yield_rounds {
                 // ordering: Acquire — same contract (and same demotion)
                 // as the spin load.
                 if self
@@ -227,7 +284,7 @@ impl SenseBarrier {
             true
         } else {
             let mut released = false;
-            for _ in 0..SPIN_ROUNDS {
+            for _ in 0..self.spin_rounds {
                 // ordering: Acquire — same site (and demotion) as the
                 // untraced spin load.
                 if self
@@ -243,7 +300,7 @@ impl SenseBarrier {
             let t1 = islands_trace::now_ns();
             let mut t2 = t1;
             if !released {
-                for _ in 0..YIELD_ROUNDS {
+                for _ in 0..self.yield_rounds {
                     // ordering: Acquire — same site (and demotion) as
                     // the untraced yield load.
                     if self
@@ -454,6 +511,59 @@ mod tests {
     #[should_panic]
     fn zero_parties_panics() {
         let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn spin_budget_full_below_subscription() {
+        // At or below full subscription the default budgets apply.
+        assert_eq!(spin_budget_for(1, 8), (SPIN_ROUNDS, YIELD_ROUNDS));
+        assert_eq!(spin_budget_for(8, 8), (SPIN_ROUNDS, YIELD_ROUNDS));
+    }
+
+    #[test]
+    fn spin_budget_shrinks_toward_park_when_oversubscribed() {
+        // Oversubscribed: no spinning at all, and the yield phase
+        // shrinks with the oversubscription ratio (never to zero — a
+        // single yield gives the straggler one scheduling chance before
+        // the waiter takes the park path).
+        let (spin2, yield2) = spin_budget_for(16, 8);
+        assert_eq!(spin2, 0);
+        assert!(yield2 <= YIELD_ROUNDS.div_ceil(2) && yield2 >= 1);
+        let (spin_huge, yield_huge) = spin_budget_for(10_000, 8);
+        assert_eq!(spin_huge, 0);
+        assert_eq!(yield_huge, 1);
+        // Degenerate core counts clamp to one core (no division by
+        // zero): 4 workers on "no" cores is 4× oversubscription.
+        assert_eq!(spin_budget_for(4, 0), (0, YIELD_ROUNDS / 4));
+    }
+
+    #[test]
+    fn oversubscribed_budget_barrier_still_correct() {
+        // A barrier that parks almost immediately must keep the exact
+        // same protocol guarantees.
+        let n = 4;
+        let b = Arc::new(SenseBarrier::scoped_for_load(
+            n,
+            BarrierScope::Team,
+            10_000, // wildly oversubscribed → (0, 1) budget
+        ));
+        let serials = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let b = Arc::clone(&b);
+            let serials = Arc::clone(&serials);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    if b.wait() {
+                        serials.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(serials.load(Ordering::SeqCst), 100);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod sync;
 mod team;
 
 pub use affinity::{AffinityMap, LogicalCpu};
-pub use barrier::{BarrierScope, SenseBarrier};
+pub use barrier::{available_cores, spin_budget_for, BarrierScope, SenseBarrier};
 pub use dynamic::ChunkQueue;
 pub use inline_vec::InlineVec;
 pub use pool::{WorkerCtx, WorkerPool};

@@ -195,17 +195,24 @@ impl WorkerPool {
                 );
             }
         }
+        // Budget the barriers for the *whole* dispatch, not one team:
+        // when the spec oversubscribes the machine, every waiter backs
+        // off to an almost-immediate park instead of spinning on the
+        // CPU its straggler needs.
+        let total = spec.worker_count();
         let barriers: Vec<Arc<SenseBarrier>> = (0..spec.team_count())
             .map(|t| {
-                Arc::new(SenseBarrier::scoped(
+                Arc::new(SenseBarrier::scoped_for_load(
                     spec.members(t).len(),
                     BarrierScope::Team,
+                    total,
                 ))
             })
             .collect();
-        let global = Arc::new(SenseBarrier::scoped(
-            spec.worker_count(),
+        let global = Arc::new(SenseBarrier::scoped_for_load(
+            total,
             BarrierScope::Global,
+            total,
         ));
         self.broadcast(|wctx| {
             if let Some((team, rank)) = spec.placement(wctx.worker) {

@@ -86,6 +86,34 @@ impl Array3 {
         self.region
     }
 
+    /// Re-targets the array at `region`, reusing the existing
+    /// allocation — the per-tile scratch shrink of the tile-fused
+    /// replay, which must not allocate on the steady-state path.
+    ///
+    /// The contents are *not* cleared: cells keep whatever bytes the
+    /// previous region left at the same linear offsets, so callers must
+    /// write (or explicitly zero) every cell they read. The debug trace
+    /// key is the data pointer, which survives a rebase — access
+    /// tracing follows the buffer, not the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is empty or holds more cells than the
+    /// original allocation.
+    pub fn rebase(&mut self, region: Region3) {
+        assert!(!region.is_empty(), "cannot rebase to an empty region");
+        assert!(
+            region.cells() <= self.data.len(),
+            "rebase target {:?} needs {} cells but the allocation holds {}",
+            region,
+            region.cells(),
+            self.data.len()
+        );
+        self.region = region;
+        self.nj = region.j.len() as i64;
+        self.nk = region.k.len() as i64;
+    }
+
     /// Number of elements.
     #[inline]
     pub fn len(&self) -> usize {
@@ -355,6 +383,34 @@ mod tests {
         let row = a.row_mut(4, 1, Range1::new(10, 16));
         row[5] = -7.0;
         assert_eq!(a.get(4, 1, 15), -7.0);
+    }
+
+    #[test]
+    fn rebase_reuses_allocation_and_reindexes() {
+        let big = Region3::of_extent(4, 4, 4);
+        let mut a = Array3::from_fn(big, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        let small = Region3::new(Range1::new(10, 12), Range1::new(-1, 2), Range1::new(0, 3));
+        assert!(small.cells() <= big.cells());
+        a.rebase(small);
+        assert_eq!(a.region(), small);
+        // Same allocation, new indexing: writing through the new region
+        // and reading it back round-trips.
+        for (i, j, k) in small.points() {
+            a.set(i, j, k, (i - j + k) as f64);
+        }
+        for (i, j, k) in small.points() {
+            assert_eq!(a.get(i, j, k), (i - j + k) as f64);
+        }
+        // Rebasing back to a same-cell-count region also works.
+        a.rebase(big);
+        assert_eq!(a.region(), big);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebase target")]
+    fn rebase_larger_than_allocation_panics() {
+        let mut a = Array3::zeros(Region3::of_extent(2, 2, 2));
+        a.rebase(Region3::of_extent(3, 3, 3));
     }
 
     #[test]

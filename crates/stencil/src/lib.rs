@@ -58,10 +58,12 @@ mod stage;
 pub mod trace;
 
 pub use array3::Array3;
-pub use balance::{balanced_cuts, island_cost, measured_plane_scale, suggest_k, CostModel};
+pub use balance::{
+    balanced_cuts, choose_tile, island_cost, measured_plane_scale, suggest_k, tile_grid, CostModel,
+};
 pub use block::{
-    fused_traffic_bytes, original_traffic_bytes, BlockPlan, BlockPlanner, Blocking,
-    PlanBlocksError, BYTES_PER_CELL,
+    fused_traffic_bytes, original_traffic_bytes, staged_traffic_bytes, tiled_traffic_bytes,
+    BlockPlan, BlockPlanner, Blocking, PlanBlocksError, BYTES_PER_CELL,
 };
 pub use field::{FieldId, FieldRole, FieldStore, FieldTable};
 pub use graph::{BuildGraphError, StageGraph};
