@@ -139,6 +139,14 @@ fn traced_phases(steps: u64, run: impl FnOnce()) -> Phases {
         .iter()
         .filter(|t| t.ev.kind == islands_trace::SpanKind::GlobalBarrier)
         .count() as f64;
+    // Per-step latency quantiles through the same log2-bucketed
+    // histogram the live telemetry plane uses, so the bench artifact's
+    // jitter figures quantize identically to a `/metrics` scrape.
+    let step_hist = islands_trace::histogram::Histogram::new();
+    for step in &metrics.steps {
+        step_hist.record(step.wall_ns);
+    }
+    let step_hist = step_hist.snapshot();
     Phases {
         workers: f64::from(workers),
         kernel_ns: per_step(totals.iter().map(|m| m.kernel_ns).sum()),
@@ -150,6 +158,8 @@ fn traced_phases(steps: u64, run: impl FnOnce()) -> Phases {
         // figure applies to the row.
         bytes_moved: 0.0,
         mlups: 0.0,
+        p50_step_ns: step_hist.quantile(0.50) as f64,
+        p99_step_ns: step_hist.quantile(0.99) as f64,
     }
 }
 

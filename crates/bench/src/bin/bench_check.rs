@@ -2,7 +2,9 @@
 //!
 //! Usage: `bench-check [<bench.json>] [--phases] [--max-steady-ratio R]
 //! [--max-barrier-share S] [--min-traffic-reduction F]
-//! [--chrome <trace.json>]`. Exits non-zero when
+//! [--max-p99-ratio R] [--chrome <trace.json>]
+//! [--prom <scrape.txt> [<scrape2.txt>]] [--scrape <addr>]`.
+//! Exits non-zero when
 //!
 //! * the bench file is not well-formed JSON or not an array of complete
 //!   `{group, label, min_ns, median_ns, max_ns, iters}` records with
@@ -37,10 +39,33 @@
 //!   noise allowance: cache-resident scratch must save traffic without
 //!   costing time. Phase rows must also carry finite, non-negative
 //!   `bytes_moved` / `mlups` members (positive on the gated rows), or
+//! * `--max-p99-ratio R` is given and any steady row's per-step
+//!   latency tail exceeds it: the gated quantity is
+//!   `p99_step_ns / p50_step_ns` from the phase breakdown's
+//!   log2-histogram quantiles, so the ratio quantizes to powers of two
+//!   and the cap bounds step-time *jitter*, not absolute speed, or
 //! * `--chrome <trace.json>` names a file the in-repo Chrome
 //!   trace-event validator rejects.
+//!
+//! Telemetry exposition checks (the CI `telemetry-smoke` job):
+//!
+//! * `--prom <scrape.txt> [<scrape2.txt>]` validates Prometheus text
+//!   exposition syntax through the in-repo
+//!   `islands_trace::export::validate_exposition` parser. With two
+//!   files (two scrapes of one live run, in order), every `_total`
+//!   counter present in the first must be present and non-decreasing
+//!   in the second, the summed `islands_kernel_ns_total` must strictly
+//!   increase (the run was alive between scrapes), and the second
+//!   scrape must show nonzero kernel time and computed cells for at
+//!   least one island;
+//! * `--scrape <addr>` performs the two `GET /metrics` scrapes itself
+//!   against a live `mpdata-run --serve-metrics` endpoint (std-only
+//!   HTTP/1.1 over `TcpStream`, ~400 ms apart) and applies the same
+//!   two-scrape validation.
 
 use islands_bench::json::{self, Json};
+use islands_trace::export::{validate_exposition, Sample};
+use std::collections::HashMap;
 
 fn main() {
     std::process::exit(run());
@@ -53,6 +78,9 @@ struct Opts {
     max_steady_ratio: Option<f64>,
     max_barrier_share: Option<f64>,
     min_traffic_reduction: Option<f64>,
+    max_p99_ratio: Option<f64>,
+    prom_paths: Vec<String>,
+    scrape_addr: Option<String>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -63,8 +91,11 @@ fn parse_opts() -> Result<Opts, String> {
         max_steady_ratio: None,
         max_barrier_share: None,
         min_traffic_reduction: None,
+        max_p99_ratio: None,
+        prom_paths: Vec::new(),
+        scrape_addr: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--phases" => o.phases = true,
@@ -100,6 +131,24 @@ fn parse_opts() -> Result<Opts, String> {
                 }
                 o.min_traffic_reduction = Some(f);
             }
+            "--max-p99-ratio" => {
+                let v = args.next().ok_or("--max-p99-ratio needs a value")?;
+                let r: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-p99-ratio {v:?}: {e}"))?;
+                if !(r.is_finite() && r >= 1.0) {
+                    return Err(format!("--max-p99-ratio must be at least 1, got {v}"));
+                }
+                o.max_p99_ratio = Some(r);
+            }
+            "--prom" => {
+                o.prom_paths.push(args.next().ok_or("--prom needs a path")?);
+                // A second positional path is the follow-up scrape.
+                if args.peek().is_some_and(|n| !n.starts_with('-')) {
+                    o.prom_paths.push(args.next().expect("peeked"));
+                }
+            }
+            "--scrape" => o.scrape_addr = Some(args.next().ok_or("--scrape needs an address")?),
             "--chrome" => o.chrome_path = Some(args.next().ok_or("--chrome needs a path")?),
             other if !other.starts_with('-') && o.bench_path.is_none() => {
                 o.bench_path = Some(other.to_string());
@@ -110,10 +159,19 @@ fn parse_opts() -> Result<Opts, String> {
     if o.phases && o.max_steady_ratio.is_none() {
         o.max_steady_ratio = Some(0.95);
     }
-    if o.bench_path.is_none() && o.chrome_path.is_none() {
+    if o.prom_paths.len() > 2 {
+        return Err("--prom takes at most two scrape files".into());
+    }
+    if o.bench_path.is_none()
+        && o.chrome_path.is_none()
+        && o.prom_paths.is_empty()
+        && o.scrape_addr.is_none()
+    {
         return Err("usage: bench-check [<bench.json>] [--phases] \
                     [--max-steady-ratio R] [--max-barrier-share S] \
-                    [--min-traffic-reduction F] [--chrome <trace.json>]"
+                    [--min-traffic-reduction F] [--max-p99-ratio R] \
+                    [--chrome <trace.json>] [--prom <scrape.txt> [<scrape2.txt>]] \
+                    [--scrape <addr>]"
             .into());
     }
     Ok(o)
@@ -170,7 +228,157 @@ fn run() -> i32 {
             }
         }
     }
+    if !o.prom_paths.is_empty() {
+        let mut docs = Vec::new();
+        for path in &o.prom_paths {
+            match std::fs::read_to_string(path) {
+                Ok(t) => docs.push(t),
+                Err(e) => {
+                    eprintln!("bench-check: cannot read {path}: {e}");
+                    return 1;
+                }
+            }
+        }
+        match check_exposition(&docs) {
+            Ok(summary) => println!("bench-check: {}: {summary}", o.prom_paths.join(", ")),
+            Err(e) => {
+                eprintln!("bench-check: {}: {e}", o.prom_paths.join(", "));
+                return 1;
+            }
+        }
+    }
+    if let Some(addr) = &o.scrape_addr {
+        let result = scrape(addr).and_then(|first| {
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            let second = scrape(addr)?;
+            check_exposition(&[first, second])
+        });
+        match result {
+            Ok(summary) => println!("bench-check: {addr}: {summary}"),
+            Err(e) => {
+                eprintln!("bench-check: {addr}: {e}");
+                return 1;
+            }
+        }
+    }
     0
+}
+
+/// One `GET /metrics` over a std-only HTTP/1.1 client; returns the
+/// response body.
+fn scrape(addr: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let timeout = Some(std::time::Duration::from_secs(5));
+    stream
+        .set_read_timeout(timeout)
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(timeout)
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("scrape request failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("scrape read failed: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response: no header/body separator")?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.starts_with("HTTP/1.1 200") {
+        return Err(format!("scrape returned {status:?}, expected 200"));
+    }
+    Ok(body.to_string())
+}
+
+/// Indexes samples by `name{labels}` identity for cross-scrape
+/// comparison.
+fn index(samples: &[Sample]) -> HashMap<String, f64> {
+    samples.iter().map(|s| (s.key(), s.value)).collect()
+}
+
+/// Sum of a per-island counter over all islands in one scrape.
+fn island_total(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// Validates one or two Prometheus exposition documents: syntax via the
+/// in-repo parser, and (with two) counter monotonicity plus liveness of
+/// the kernel counters between the scrapes.
+fn check_exposition(docs: &[String]) -> Result<String, String> {
+    let mut parsed = Vec::new();
+    for (n, doc) in docs.iter().enumerate() {
+        let samples = validate_exposition(doc)
+            .map_err(|e| format!("scrape {}: invalid exposition: {e}", n + 1))?;
+        if samples.is_empty() {
+            return Err(format!("scrape {}: no samples", n + 1));
+        }
+        parsed.push(samples);
+    }
+    let last = parsed.last().expect("at least one document");
+    for name in ["islands_kernel_ns_total", "islands_computed_cells_total"] {
+        if island_total(last, name) <= 0.0 {
+            return Err(format!(
+                "final scrape: `{name}` is zero across all islands — the \
+                 collector never folded a kernel span"
+            ));
+        }
+    }
+    if !last
+        .iter()
+        .any(|s| s.name == "islands_kernel_ns_total" && s.value > 0.0)
+    {
+        return Err("final scrape: no island shows nonzero kernel time".into());
+    }
+    if let [first, second] = &parsed[..] {
+        let after = index(second);
+        let mut counters = 0;
+        for s in first.iter().filter(|s| s.name.ends_with("_total")) {
+            let Some(&later) = after.get(&s.key()) else {
+                return Err(format!("counter `{}` vanished between scrapes", s.key()));
+            };
+            if later < s.value {
+                return Err(format!(
+                    "counter `{}` went backwards between scrapes: {} -> {later}",
+                    s.key(),
+                    s.value
+                ));
+            }
+            counters += 1;
+        }
+        if counters == 0 {
+            return Err("first scrape exposes no `_total` counters".into());
+        }
+        let (k1, k2) = (
+            island_total(first, "islands_kernel_ns_total"),
+            island_total(second, "islands_kernel_ns_total"),
+        );
+        if k2 <= k1 {
+            return Err(format!(
+                "summed `islands_kernel_ns_total` did not increase between \
+                 scrapes ({k1} -> {k2}) — the run was not live"
+            ));
+        }
+        Ok(format!(
+            "2 scrape(s) valid, {counters} counter(s) monotone, kernel time \
+             advanced {k1} -> {k2}"
+        ))
+    } else {
+        Ok(format!(
+            "1 scrape valid ({} sample(s), nonzero island kernel counters)",
+            last.len()
+        ))
+    }
 }
 
 /// Phase breakdown of one record, as read back from the artifact.
@@ -182,6 +390,8 @@ struct PhaseRec {
     imbalance: f64,
     bytes_moved: f64,
     mlups: f64,
+    p50_step: f64,
+    p99_step: f64,
 }
 
 /// One validated record (only the fields the checks need).
@@ -246,7 +456,16 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
                     imbalance: field_f64(item, "imbalance_ns", n)?,
                     bytes_moved: field_f64(item, "bytes_moved", n)?,
                     mlups: field_f64(item, "mlups", n)?,
+                    p50_step: field_f64(item, "p50_step_ns", n)?,
+                    p99_step: field_f64(item, "p99_step_ns", n)?,
                 };
+                if !(p.p50_step >= 0.0 && p.p99_step >= p.p50_step) {
+                    return Err(format!(
+                        "record {n} ({group}/{label}): expected 0 ≤ p50_step_ns ≤ \
+                         p99_step_ns, got {}/{}",
+                        p.p50_step, p.p99_step
+                    ));
+                }
                 if !(p.bytes_moved >= 0.0 && p.mlups >= 0.0) {
                     return Err(format!(
                         "record {n} ({group}/{label}): `bytes_moved` ({}) and `mlups` \
@@ -369,6 +588,45 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
         }
     }
 
+    // Latency-tail gate: every steady row with a per-step histogram
+    // must keep its p99/p50 jitter under the cap. The quantiles are
+    // log2 bucket ceilings, so the ratio quantizes to powers of two —
+    // a cap of 4 tolerates one-bucket spread, 8 tolerates two.
+    let mut tails = 0;
+    if let Some(cap) = o.max_p99_ratio {
+        for r in recs
+            .iter()
+            .filter(|r| r.group == "steady_state" && r.label.contains("_steady/"))
+        {
+            let Some(p) = &r.phases else {
+                return Err(format!(
+                    "`{}`: --max-p99-ratio requires the phase breakdown",
+                    r.label
+                ));
+            };
+            if p.p50_step <= 0.0 {
+                return Err(format!(
+                    "`{}`: --max-p99-ratio requires a per-step histogram \
+                     (p50_step_ns is zero — the traced replay tracked no steps)",
+                    r.label
+                ));
+            }
+            let ratio = p.p99_step / p.p50_step;
+            if ratio > cap {
+                return Err(format!(
+                    "per-step latency tail too heavy: `{}` p99 {} ns / p50 {} ns \
+                     = {ratio:.1}, over the cap {cap} — steady-state step times \
+                     are no longer tight",
+                    r.label, p.p99_step, p.p50_step
+                ));
+            }
+            tails += 1;
+        }
+        if tails == 0 {
+            return Err("--max-p99-ratio: no steady rows to gate".into());
+        }
+    }
+
     // Traffic gate: every tiled steady row must cut the modeled
     // main-memory traffic against its untiled islands baseline by at
     // least the requested fraction, without giving the time back.
@@ -447,9 +705,14 @@ fn check(doc: &Json, o: &Opts) -> Result<String, String> {
     } else {
         String::new()
     };
+    let tail_note = if o.max_p99_ratio.is_some() {
+        format!(", {tails} latency tail(s) under the cap")
+    } else {
+        String::new()
+    };
     Ok(format!(
         "{} record(s) well-formed, {pairs} steady/first pair(s) \
-         ordered{phase_note}{gate_note}{traffic_note}",
+         ordered{phase_note}{gate_note}{traffic_note}{tail_note}",
         recs.len()
     ))
 }

@@ -24,8 +24,9 @@
 //!   validates such artifacts in CI). Rows with a phase breakdown
 //!   attached via [`Group::attach_phases`] additionally carry the
 //!   worker-summed `kernel_ns` / `barrier_ns` / `swap_ns`, the worker
-//!   count, comparable-across-P `*_pw_ns` per-worker values and the
-//!   imbalance-attributable `imbalance_ns` (see [`Phases`]);
+//!   count, comparable-across-P `*_pw_ns` per-worker values, the
+//!   imbalance-attributable `imbalance_ns` and the per-step latency
+//!   quantiles `p50_step_ns` / `p99_step_ns` (see [`Phases`]);
 //! * `--quick` — benches that call [`Harness::quick`] shrink their
 //!   configurations for smoke runs.
 
@@ -76,6 +77,15 @@ pub struct Phases {
     /// derived from the row's median time and the domain cell count
     /// (`cells × 1000 / median_ns`). Zero when not attached.
     pub mlups: f64,
+    /// Median per-step wall time of the traced replay, from the
+    /// `islands-trace` log2-bucketed latency histogram — the value is
+    /// the histogram's bucket ceiling, so it quantizes to powers of
+    /// two. Zero when the replay tracked no steps.
+    pub p50_step_ns: f64,
+    /// 99th-percentile per-step wall time, same histogram and same
+    /// quantization. The p99/p50 ratio is the per-step jitter figure
+    /// `bench-check --max-p99-ratio` gates.
+    pub p99_step_ns: f64,
 }
 
 impl Phases {
@@ -252,6 +262,8 @@ pub fn render_json(records: &[Record]) -> String {
                 m.push(("global_barriers".to_string(), Json::Num(p.global_barriers)));
                 m.push(("bytes_moved".to_string(), Json::Num(p.bytes_moved)));
                 m.push(("mlups".to_string(), Json::Num(p.mlups)));
+                m.push(("p50_step_ns".to_string(), Json::Num(p.p50_step_ns)));
+                m.push(("p99_step_ns".to_string(), Json::Num(p.p99_step_ns)));
             }
             Json::Object(m)
         })
@@ -524,6 +536,8 @@ mod tests {
                     global_barriers: 0.75,
                     bytes_moved: 4096.0,
                     mlups: 12.5,
+                    p50_step_ns: 8192.0,
+                    p99_step_ns: 16384.0,
                 }),
             },
         ];
@@ -573,6 +587,15 @@ mod tests {
             Some(4096.0)
         );
         assert_eq!(arr[1].get("mlups").and_then(|v| v.as_f64()), Some(12.5));
+        assert_eq!(
+            arr[1].get("p50_step_ns").and_then(|v| v.as_f64()),
+            Some(8192.0)
+        );
+        assert_eq!(
+            arr[1].get("p99_step_ns").and_then(|v| v.as_f64()),
+            Some(16384.0)
+        );
+        assert!(arr[0].get("p50_step_ns").is_none());
     }
 
     #[test]
@@ -616,6 +639,8 @@ mod tests {
             global_barriers: 2.0,
             bytes_moved: 0.0,
             mlups: 0.0,
+            p50_step_ns: 0.0,
+            p99_step_ns: 0.0,
         };
         g.attach_phases("b", attached);
         g.attach_phases(
@@ -629,6 +654,8 @@ mod tests {
                 global_barriers: 9.0,
                 bytes_moved: 9.0,
                 mlups: 9.0,
+                p50_step_ns: 9.0,
+                p99_step_ns: 9.0,
             },
         );
         g.finish();

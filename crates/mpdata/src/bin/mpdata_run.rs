@@ -6,6 +6,7 @@
 //!            [--problem gaussian|cone|random] [--cache BYTES] [--verify]
 //!            [--balance uniform|model|measured] [--self-schedule N]
 //!            [--fuse-steps K] [--tile auto|TIxTJ] [--trace OUT.json] [--metrics]
+//!            [--metrics-json OUT.json] [--serve-metrics ADDR] [--metrics-interval SECS]
 //! ```
 //!
 //! Example: advect a rotating cone for 50 steps on 2 islands × 2 cores
@@ -21,7 +22,20 @@
 //! `chrome://tracing` or Perfetto); `--metrics` prints the per-island
 //! phase breakdown (kernel / barrier / swap time, redundant cells,
 //! per-worker imbalance summary). Both only affect the timed run — the
-//! `--verify` reference pass is never traced.
+//! `--verify` reference pass is never traced. `--metrics-json OUT.json`
+//! writes the same per-step/per-island breakdown as a strict JSON
+//! document (self-validated through the in-repo parser before the file
+//! is written).
+//!
+//! The *live* telemetry plane: `--serve-metrics ADDR` attaches a
+//! background collector that drains the trace rings mid-run into an
+//! atomic metrics registry and serves it over plain HTTP —
+//! `GET /metrics` (Prometheus text exposition) and `GET /metrics.json`
+//! (strict JSON snapshot) — from a std-only thread-per-connection
+//! listener. `--metrics-interval SECS` prints a one-line registry
+//! snapshot to stderr on that cadence. Both imply tracing; neither
+//! perturbs the workers beyond the wait-free ring writes they already
+//! do.
 //!
 //! `--balance` (islands strategy only) picks the island cut positions:
 //! `uniform` splits the axis evenly, `model` solves non-uniform cuts
@@ -72,6 +86,9 @@ struct Args {
     tile: TileMode,
     trace: Option<String>,
     metrics: bool,
+    metrics_json: Option<String>,
+    serve_metrics: Option<String>,
+    metrics_interval: Option<u64>,
 }
 
 impl Default for Args {
@@ -93,6 +110,9 @@ impl Default for Args {
             tile: TileMode::Off,
             trace: None,
             metrics: false,
+            metrics_json: None,
+            serve_metrics: None,
+            metrics_interval: None,
         }
     }
 }
@@ -167,13 +187,25 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => a.trace = Some(val()?),
             "--metrics" => a.metrics = true,
+            "--metrics-json" => a.metrics_json = Some(val()?),
+            "--serve-metrics" => a.serve_metrics = Some(val()?),
+            "--metrics-interval" => {
+                let secs: u64 = val()?
+                    .parse()
+                    .map_err(|e| format!("bad --metrics-interval: {e}"))?;
+                if secs == 0 {
+                    return Err("--metrics-interval needs at least 1 second".into());
+                }
+                a.metrics_interval = Some(secs);
+            }
             "--help" | "-h" => {
                 println!(
                     "mpdata-run --domain NI,NJ,NK --steps N --strategy reference|original|fused|islands|exchange\n\
                      \x20          --workers W --islands P --iord N --boundary open|periodic\n\
                      \x20          --problem gaussian|cone|random --cache BYTES --verify\n\
                      \x20          --balance uniform|model|measured --self-schedule N\n\
-                     \x20          --fuse-steps K --tile auto|TIxTJ --trace OUT.json --metrics"
+                     \x20          --fuse-steps K --tile auto|TIxTJ --trace OUT.json --metrics\n\
+                     \x20          --metrics-json OUT.json --serve-metrics ADDR --metrics-interval SECS"
                 );
                 std::process::exit(0);
             }
@@ -300,13 +332,13 @@ fn main() -> ExitCode {
     let problem = || MpdataProblem::with_iord(a.iord).with_boundary(a.boundary);
     let mut fields = make_fields(&a);
     let mass0 = fields.mass();
-    let reference = a.verify.then(|| {
-        let mut r = fields.clone();
-        ReferenceExecutor::with_problem(problem()).run(&mut r, a.steps);
-        r
-    });
+    // `--verify` snapshots the initial fields here but runs the serial
+    // reference pass only after the timed run: the live telemetry
+    // endpoint comes up with the run, not after a full serial pass a
+    // scraper would see as `connection refused`.
+    let initial = a.verify.then(|| fields.clone());
 
-    let pool = WorkerPool::new(a.workers);
+    let mut pool = WorkerPool::new(a.workers);
     // Non-uniform island cuts are solved before the timed run (and
     // before the trace session opens — the `measured` probe drives its
     // own short session, which must finish first).
@@ -324,7 +356,8 @@ fn main() -> ExitCode {
             }
         },
     };
-    let tracing = a.trace.is_some() || a.metrics;
+    let live = a.serve_metrics.is_some() || a.metrics_interval.is_some();
+    let tracing = a.trace.is_some() || a.metrics || a.metrics_json.is_some() || live;
     let session = tracing.then(|| {
         // Room for every event of the run: ~2 spans per (step, stage,
         // block) per worker, with generous slack so long runs do not
@@ -332,6 +365,55 @@ fn main() -> ExitCode {
         islands_trace::set_ring_capacity((a.steps * 512).clamp(1 << 16, 1 << 21));
         islands_trace::Session::start()
     });
+    // The live telemetry plane: a background collector drains the trace
+    // rings into an atomic registry mid-run; the registry is served
+    // over TCP (`--serve-metrics`) and/or printed on a fixed cadence
+    // (`--metrics-interval`).
+    let registry =
+        live.then(|| std::sync::Arc::new(islands_trace::registry::MetricsRegistry::new(a.islands)));
+    let mut server = None;
+    let mut ticker: Option<(std::sync::mpsc::Sender<()>, std::thread::JoinHandle<()>)> = None;
+    if let Some(registry) = &registry {
+        pool.attach_telemetry(
+            std::sync::Arc::clone(registry),
+            std::time::Duration::from_millis(20),
+        );
+        if let Some(addr) = &a.serve_metrics {
+            match islands_trace::serve::MetricsServer::bind(addr, std::sync::Arc::clone(registry)) {
+                Ok(s) => {
+                    println!("metrics      : http://{}/metrics", s.local_addr());
+                    server = Some(s);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind --serve-metrics {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(secs) = a.metrics_interval {
+            let reg = std::sync::Arc::clone(registry);
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("islands-metrics-tick".into())
+                .spawn(move || {
+                    let period = std::time::Duration::from_secs(secs);
+                    // Stops the moment the run sends the shutdown tick.
+                    while rx.recv_timeout(period).is_err() {
+                        let s = reg.snapshot();
+                        eprintln!(
+                            "telemetry    : step {} | {:.2} Mcells/s | {} events | {} dropped | p99 step {} ns",
+                            s.current_step,
+                            s.cells_per_second() / 1e6,
+                            s.events_folded,
+                            s.dropped_events,
+                            s.step_ns.quantile(0.99),
+                        );
+                    }
+                })
+                .expect("spawn metrics ticker");
+            ticker = Some((tx, handle));
+        }
+    }
     let t0 = Instant::now();
     let run = match a.strategy.as_str() {
         "reference" => {
@@ -389,6 +471,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let elapsed = t0.elapsed();
+    // Live-plane shutdown, in dependency order: stop the periodic
+    // printer, then the collector (its final pass folds every span the
+    // run recorded); the server stays up to serve the final registry
+    // state until it drops at the end of `main`.
+    if let Some((tx, handle)) = ticker.take() {
+        let _ = tx.send(());
+        let _ = handle.join();
+    }
+    pool.detach_telemetry();
     let drained = session.map(islands_trace::Session::finish);
 
     println!(
@@ -414,7 +505,9 @@ fn main() -> ExitCode {
         fields.x.min(),
         fields.x.max()
     );
-    if let Some(r) = reference {
+    if let Some(mut r) = initial {
+        // Post-run and post-finish, so the reference pass is untraced.
+        ReferenceExecutor::with_problem(problem()).run(&mut r, a.steps);
         let diff = fields.x.max_abs_diff(&r.x);
         println!("verify       : max |Δ| vs reference = {diff:.3e}");
         if diff != 0.0 {
@@ -423,9 +516,44 @@ fn main() -> ExitCode {
         }
     }
     if let Some(drained) = drained {
-        if a.metrics {
+        if a.metrics || a.metrics_json.is_some() {
             let metrics = islands_trace::metrics::RunMetrics::aggregate(&drained);
-            print!("{}", metrics.render());
+            if a.metrics {
+                print!("{}", metrics.render());
+            }
+            if let Some(path) = &a.metrics_json {
+                let doc = metrics.to_json();
+                // Self-validate through the strict renderer/parser pair
+                // before writing: a non-finite number or a render/parse
+                // mismatch fails loudly here, not in downstream tooling.
+                let text = match doc.render() {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("error: metrics JSON failed validation: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match islands_trace::json::parse(&text) {
+                    Ok(back) if back == doc => {}
+                    Ok(_) => {
+                        eprintln!("error: metrics JSON did not round-trip");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("error: metrics JSON failed self-parse: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "metrics json : {} steps ({} dropped) -> {path}",
+                    metrics.steps.len(),
+                    metrics.dropped_events
+                );
+            }
         }
         if let Some(path) = &a.trace {
             let graph = problem().graph().clone();
@@ -449,5 +577,8 @@ fn main() -> ExitCode {
             );
         }
     }
+    // The metrics server (if any) stayed up through the drain so late
+    // scrapes see the final registry state; it shuts down here.
+    drop(server);
     ExitCode::SUCCESS
 }

@@ -66,7 +66,7 @@ fn steady_state_steps_do_not_allocate() {
         "counting allocator missed seeded per-iteration allocations"
     );
 
-    let pool = WorkerPool::new(4);
+    let mut pool = WorkerPool::new(4);
     let domain = Region3::of_extent(24, 12, 8);
     let exec = IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).cache_bytes(64 * 1024);
     let mut fields = gaussian_pulse(domain, (0.2, 0.1, 0.0));
@@ -196,4 +196,52 @@ fn steady_state_steps_do_not_allocate() {
     );
     #[cfg(debug_assertions)]
     let _ = (tiled_one, tiled_many);
+
+    // Same pin with the live telemetry plane running: a trace session
+    // open AND the background collector attached. Ring slots are
+    // preallocated at registration, spans fold into the registry's
+    // fixed counters/histograms, and the collector's ring/cursor
+    // mirrors grow only when a new worker ring registers — which the
+    // warm-up (plus a short settle so a few collector passes observe
+    // the rings) forces to happen before the measured window.
+    islands_trace::set_ring_capacity(1 << 16);
+    let registry = std::sync::Arc::new(islands_trace::registry::MetricsRegistry::new(2));
+    pool.attach_telemetry(
+        std::sync::Arc::clone(&registry),
+        std::time::Duration::from_millis(1),
+    );
+    let session = islands_trace::Session::start();
+    let live_exec =
+        IslandsExecutor::new(&pool, TeamSpec::even(4, 2), Axis::I).cache_bytes(64 * 1024);
+    let before = allocs();
+    live_exec.run(&mut fields, 1).unwrap();
+    let live_cold = allocs() - before;
+    assert!(live_cold > 0, "cold traced run should build its plan");
+    live_exec.run(&mut fields, 2).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(25));
+
+    let before = allocs();
+    live_exec.run(&mut fields, 1).unwrap();
+    let live_one = allocs() - before;
+
+    let before = allocs();
+    live_exec.run(&mut fields, STEPS).unwrap();
+    let live_many = allocs() - before;
+
+    pool.detach_telemetry();
+    let snap = registry.snapshot();
+    assert!(snap.events_folded > 0, "collector never folded a live span");
+    assert!(
+        !session.finish().events.is_empty(),
+        "quiescent drain saw no events despite the live collector"
+    );
+
+    #[cfg(not(debug_assertions))]
+    assert!(
+        live_many <= live_one + 4,
+        "live-telemetry steps 2..{STEPS} of a warmed run allocated: run({STEPS}) made \
+         {live_many} allocations vs {live_one} for run(1) with the collector attached"
+    );
+    #[cfg(debug_assertions)]
+    let _ = (live_one, live_many);
 }

@@ -239,48 +239,103 @@ fn latch_completion() -> Scenario {
     s
 }
 
-/// The trace ring's reserve/publish counter: a producer pushes two
-/// events while a reader snapshots concurrently. Checks: the reader
-/// never observes a torn slot (the publish/snapshot edge is the only
-/// thing ordering the non-atomic slot writes) and every event it does
-/// see is internally consistent.
-fn ring_publish() -> Scenario {
-    fn ev(tag: u64) -> Event {
-        Event {
-            kind: SpanKind::Kernel,
-            start_ns: tag,
-            dur_ns: tag * 10,
-            aux: [0; 3],
-            island: 0,
-            rank: 0,
-            step: 0,
-            stage: 0,
-            block: 0,
-        }
+/// A ring event whose every varying word is a distinct nonzero
+/// function of `tag`: any torn mix of two pushes' words, any stale
+/// word, and any never-written (zero) word changes the decoded event,
+/// so exact-equality assertions detect every corruption the seqlock
+/// protocol is supposed to exclude.
+fn ring_ev(tag: u64) -> Event {
+    Event {
+        kind: SpanKind::Kernel,
+        start_ns: tag * 1000 + 1,
+        dur_ns: tag * 1000 + 2,
+        aux: [tag * 1000 + 3, tag * 1000 + 4, tag * 1000 + 5],
+        island: tag as u32,
+        rank: 100 + tag as u32,
+        step: tag as u32,
+        stage: 10 + tag as u16,
+        block: 20 + tag as u16,
     }
+}
+
+/// The trace ring's concurrent publish path, no wrap: a producer
+/// pushes two events into a two-slot ring while a collector drains
+/// from cursor 0. Checks: the collector never reports an unpublished
+/// slot (the publish-store/window-load edge), never a torn or stale
+/// event (the per-slot sequence validation), and the events it does
+/// see are exactly the pushed prefix, in order.
+fn ring_publish() -> Scenario {
     let mut s = Scenario::new("ring-publish");
     let ring = Arc::new(ModelRing::new(2, 7));
     {
         let ring = Arc::clone(&ring);
         s.thread(move || {
-            ring.push(ev(1));
-            ring.push(ev(2));
+            ring.push(ring_ev(1));
+            ring.push(ring_ev(2));
         });
     }
     {
         let ring = Arc::clone(&ring);
         s.thread(move || {
-            let (events, dropped) = ring.snapshot();
-            assert_eq!(dropped, 0, "no wrap in a 2-slot ring with 2 pushes");
-            for t in &events {
+            let (events, stats) = ring.collect(0);
+            assert_eq!(
+                stats.unpublished, 0,
+                "slot behind the published window not committed"
+            );
+            assert_eq!(
+                stats.overwritten, 0,
+                "no wrap in a 2-slot ring with 2 pushes"
+            );
+            assert_eq!(
+                events.len() as u64,
+                stats.next,
+                "events are the full window"
+            );
+            for (n, t) in events.iter().enumerate() {
                 assert_eq!(t.thread, 7, "ring tagged the wrong thread");
-                assert_eq!(
-                    t.ev.dur_ns,
-                    t.ev.start_ns * 10,
-                    "torn slot: start {} dur {}",
-                    t.ev.start_ns,
-                    t.ev.dur_ns
-                );
+                assert_eq!(t.ev, ring_ev(n as u64 + 1), "torn or stale slot");
+            }
+        });
+    }
+    s
+}
+
+/// The trace ring's concurrent drain under wrap-around: two pushes
+/// into a ONE-slot ring (the second recycles the first's slot) racing
+/// a collector. Checks the overwrite accounting is exact and loss is
+/// never silent (`events + overwritten == window`, `unpublished == 0`)
+/// and that slot recycling never leaks a torn mix of the two pushes —
+/// the sequence recheck must reject a slot rewritten mid-read.
+fn ring_drain() -> Scenario {
+    let mut s = Scenario::new("ring-drain");
+    let ring = Arc::new(ModelRing::new(1, 3));
+    {
+        let ring = Arc::clone(&ring);
+        s.thread(move || {
+            ring.push(ring_ev(1));
+            ring.push(ring_ev(2));
+        });
+    }
+    {
+        let ring = Arc::clone(&ring);
+        s.thread(move || {
+            let (events, stats) = ring.collect(0);
+            assert_eq!(
+                stats.unpublished, 0,
+                "slot behind the published window not committed"
+            );
+            assert_eq!(
+                events.len() as u64 + stats.overwritten,
+                stats.next,
+                "lost events must be counted, never silent"
+            );
+            // A 1-slot ring exposes only the newest push of the
+            // window: if anything is readable it is exactly the last
+            // published event, untorn.
+            assert!(events.len() <= 1, "1-slot ring yielded {}", events.len());
+            if let Some(t) = events.first() {
+                assert_eq!(t.thread, 3, "ring tagged the wrong thread");
+                assert_eq!(t.ev, ring_ev(stats.next), "torn or stale slot");
             }
         });
     }
@@ -331,7 +386,13 @@ pub fn protocols() -> Vec<Proto> {
             name: "ring-publish",
             build: ring_publish,
             cfg: Config::default(),
-            bounds_note: "1 producer (2 pushes) + 1 concurrent reader, exhaustive",
+            bounds_note: "1 producer (2 pushes) + 1 concurrent collector, 2 slots, exhaustive",
+        },
+        Proto {
+            name: "ring-drain",
+            build: ring_drain,
+            cfg: Config::default(),
+            bounds_note: "1 producer (2 pushes, wrap) + 1 concurrent collector, 1 slot, exhaustive",
         },
     ]
 }
@@ -395,8 +456,14 @@ pub fn matrix() -> Vec<SiteSpec> {
         SiteSpec { site: "chunkq.remaining-load",          current: Relaxed, class: Load,  scenario: "chunkq-claims",   expect: Minimal },
         SiteSpec { site: "chunkq.reset-store",             current: Relaxed, class: Store, scenario: "chunkq-reuse",    expect: Minimal },
         SiteSpec { site: "ring.reserve-load",              current: Relaxed, class: Load,  scenario: "ring-publish",    expect: Minimal },
+        SiteSpec { site: "ring.slot-begin-store",          current: Relaxed, class: Store, scenario: "ring-drain",      expect: Minimal },
+        SiteSpec { site: "ring.slot-word-store",           current: Release, class: Store, scenario: "ring-drain",      expect: Caught },
+        SiteSpec { site: "ring.slot-commit-store",         current: Relaxed, class: Store, scenario: "ring-publish",    expect: Minimal },
         SiteSpec { site: "ring.publish-store",             current: Release, class: Store, scenario: "ring-publish",    expect: Caught },
-        SiteSpec { site: "ring.snapshot-load",             current: Acquire, class: Load,  scenario: "ring-publish",    expect: Caught },
+        SiteSpec { site: "ring.slot-validate-load",        current: Relaxed, class: Load,  scenario: "ring-publish",    expect: Minimal },
+        SiteSpec { site: "ring.slot-word-load",            current: Acquire, class: Load,  scenario: "ring-drain",      expect: Caught },
+        SiteSpec { site: "ring.slot-recheck-load",         current: Relaxed, class: Load,  scenario: "ring-drain",      expect: Minimal },
+        SiteSpec { site: "ring.window-load",               current: Acquire, class: Load,  scenario: "ring-publish",    expect: Caught },
     ]
 }
 
@@ -429,6 +496,16 @@ pub fn demoted_sites() -> Vec<(&'static str, &'static str, &'static str)> {
             "barrier.park-sleepers-dec-rmw",
             "SeqCst -> Relaxed",
             "a stale-high sleeper count only causes a harmless extra notify; RMW atomicity keeps the count exact",
+        ),
+        (
+            "ring.slot-commit-store",
+            "Release -> Relaxed",
+            "every reader reaches the slot through the Acquired publish window, which program-order-follows this commit and already orders the seq and the words",
+        ),
+        (
+            "ring.slot-validate-load",
+            "Acquire -> Relaxed",
+            "the Acquired window floors this load at the committed seq; a concurrent recycler is caught by the word-load Acquire edge and the s2 re-check",
         ),
     ]
 }

@@ -146,6 +146,11 @@ pub struct WorkerPool {
     affinity: AffinityMap,
     senders: Vec<Sender<Task>>,
     handles: Vec<JoinHandle<()>>,
+    /// Live telemetry collector, if attached (see
+    /// [`WorkerPool::attach_telemetry`]). Stopped before the workers
+    /// are joined so its final pass folds every span they recorded.
+    #[cfg(not(feature = "model"))]
+    telemetry: Option<islands_trace::collector::Collector>,
 }
 
 impl WorkerPool {
@@ -189,6 +194,37 @@ impl WorkerPool {
             affinity,
             senders,
             handles,
+            #[cfg(not(feature = "model"))]
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a live telemetry collector: a background thread that
+    /// drains every trace ring (through the concurrent seqlock
+    /// protocol) into `registry` once per `interval`, while the pool's
+    /// workers keep recording. Replaces any previously attached
+    /// collector (stopping it first). The collector lives until
+    /// [`WorkerPool::detach_telemetry`] or the pool is dropped,
+    /// whichever comes first; either way its final pass runs before
+    /// the workers are joined, so no span is left unfolded.
+    #[cfg(not(feature = "model"))]
+    pub fn attach_telemetry(
+        &mut self,
+        registry: std::sync::Arc<islands_trace::registry::MetricsRegistry>,
+        interval: std::time::Duration,
+    ) {
+        self.detach_telemetry();
+        self.telemetry = Some(islands_trace::collector::Collector::start(
+            registry, interval,
+        ));
+    }
+
+    /// Stops and joins the attached collector (running its final
+    /// drain pass). No-op when none is attached.
+    #[cfg(not(feature = "model"))]
+    pub fn detach_telemetry(&mut self) {
+        if let Some(mut collector) = self.telemetry.take() {
+            collector.stop();
         }
     }
 
@@ -285,6 +321,10 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        // Stop the collector first: its final pass folds the spans the
+        // workers recorded before any of them is joined away.
+        #[cfg(not(feature = "model"))]
+        self.detach_telemetry();
         // Closing the channels terminates the worker loops.
         self.senders.clear();
         for h in self.handles.drain(..) {
@@ -482,6 +522,64 @@ mod tests {
         let mut v = seen.lock().unwrap().clone();
         v.sort();
         assert_eq!(v, vec![(0, LogicalCpu(7)), (1, LogicalCpu(3))]);
+    }
+
+    #[test]
+    #[cfg(not(feature = "model"))]
+    fn attached_collector_folds_live_spans() {
+        use islands_trace::registry::MetricsRegistry;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let mut pool = WorkerPool::new(3);
+        let registry = Arc::new(MetricsRegistry::new(4));
+        pool.attach_telemetry(Arc::clone(&registry), Duration::from_millis(1));
+        // Detach-before-attach and re-attach must both be clean.
+        pool.attach_telemetry(Arc::clone(&registry), Duration::from_millis(1));
+
+        let session = islands_trace::Session::start();
+        pool.broadcast(|_| {
+            islands_trace::set_island_rank(1, 0);
+            islands_trace::set_step(5);
+            let t0 = islands_trace::now().expect("session enabled");
+            islands_trace::record(
+                islands_trace::SpanKind::Kernel,
+                t0,
+                t0 + 1000,
+                2,
+                0,
+                [64, 8, 0],
+            );
+        });
+        // Detach runs the collector's final pass, so everything the
+        // broadcast recorded (plus the caller's dispatch span) is
+        // folded without any interval-timing assumptions.
+        pool.detach_telemetry();
+        let snap = registry.snapshot();
+        assert!(snap.dispatch_ns > 0, "dispatch span not folded: {snap:?}");
+        assert_eq!(snap.current_step, 5);
+        let island = snap
+            .islands
+            .iter()
+            .find(|i| i.island == 1)
+            .expect("island 1 folded");
+        assert_eq!(island.kernel_ns, 3 * 1000);
+        assert_eq!(island.computed_cells, 3 * 64);
+        assert_eq!(snap.dropped_events, 0);
+        assert_eq!(snap.unpublished, 0);
+        // The quiescent drain is undisturbed by the live collector: it
+        // re-reads the full window through its own cursor.
+        let drained = session.finish();
+        assert_eq!(
+            drained
+                .events
+                .iter()
+                .filter(|t| t.ev.kind == islands_trace::SpanKind::Kernel)
+                .count(),
+            3
+        );
+        // Detach is idempotent; Drop with no collector attached is too.
+        pool.detach_telemetry();
     }
 
     #[test]

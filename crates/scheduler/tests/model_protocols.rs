@@ -51,6 +51,16 @@ fn chunkq_reuse_explores_clean() {
     assert!(report.exhaustive_and_clean(), "{}", report.summary());
 }
 
+/// The wrap-around drain race: a collector must never see a torn mix
+/// of the push being overwritten and the push overwriting it, and
+/// every lost event must be counted.
+#[test]
+fn ring_drain_explores_clean() {
+    let _g = serial_guard();
+    let report = check("ring-drain");
+    assert!(report.exhaustive_and_clean(), "{}", report.summary());
+}
+
 /// The ordering-minimality matrix: weakening any load-bearing site one
 /// step must be caught with a counterexample; every other site must
 /// already sit at the weakest ordering its class admits.

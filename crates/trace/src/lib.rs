@@ -30,35 +30,68 @@
 //! ([`metrics`]) and Chrome trace-event export ([`chrome`]) are pure
 //! functions of that list.
 //!
-//! # Quiescence contract
+//! # Concurrent drain protocol
 //!
-//! Rings are single-producer: only the owning thread writes. A drain
-//! must therefore happen while producers are quiescent — in practice,
-//! after the `WorkerPool` broadcast that did the traced work has
-//! returned (the pool's completion latch is the happens-before edge
-//! that makes every worker's writes visible to the drainer). `Session`
-//! encodes this: it disables recording *before* draining, and the
-//! executors only record inside broadcasts that are joined before
-//! `finish` is called.
+//! Rings are single-producer: only the owning thread writes. Reads,
+//! however, are allowed **mid-run**: each slot carries a sequence
+//! number (seqlock-style) that lets any reader — the final quiescent
+//! drain or the live [`collector`] thread — take a torn-read-free
+//! snapshot while the producer keeps pushing. Slot payloads are stored
+//! as plain `u64` words through relaxed-or-stronger atomics, so a
+//! racing read is *well-defined* (never UB) and merely **discarded**
+//! when the sequence check says the producer recycled the slot
+//! mid-read. Overwritten and in-flight slots are counted explicitly
+//! ([`Drained::dropped`], [`CollectStats`]) instead of silently lost.
+//!
+//! The protocol, for push index `n` landing in slot `i = n % capacity`
+//! (`seq` starts at 0; `2n+1` marks "push n in progress", `2n+2` marks
+//! "push n committed"):
+//!
+//! ```text
+//! producer (push n)                reader (window first!)
+//! seq[i] = 2n+1      (Relaxed)     pushed                (Acquire)
+//! words[i][..] = ev  (Release ×8)  then, for each n < pushed:
+//! seq[i] = 2n+2      (Relaxed)     s1 = seq[i]           (Relaxed)
+//! pushed = n+1       (Release)     if s1 != 2n+2: recycled/unpublished
+//!                                  w = words[i][..]      (Acquire ×8)
+//!                                  s2 = seq[i]           (Relaxed)
+//!                                  if s2 != s1: recycled (discard w)
+//! ```
+//!
+//! Why this is enough (the full argument is in DESIGN.md §6.8): every
+//! reader first `Acquire`s the publish counter, pairing with the
+//! producer's `Release` publish store — and push `n`'s commit and word
+//! stores precede the publish of any count `> n` on the owning thread,
+//! so for every slot the window names, coherence floors `s1` at `2n+2`
+//! and floors the word reads at push `n`'s words (this is also what
+//! keeps `CollectStats::unpublished` at 0, and why the commit store
+//! and `s1` load are blessed `Relaxed` demotions). The remaining race
+//! is the producer wrapping around and re-writing the slot as push
+//! `m > n` mid-read: if some word read returns one of push `m`'s
+//! values, that `Acquire` word load synchronizes with push `m`'s
+//! `Release` word store, which makes push `m`'s in-progress marker
+//! `2m+1` (sequenced before its word stores) visible — so the `s2`
+//! re-check, even `Relaxed`, must observe `seq[i] >= 2m+1 != s1` by
+//! coherence and the torn mix is discarded. The protocol is
+//! model-checked exhaustively (`ring-publish`, `ring-drain` scenarios)
+//! and every ordering is proven one-step-minimal or demoted with the
+//! checker's blessing; the load-bearing ones are pinned as caught
+//! mutants.
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-// The ring's two shared pieces — the slot cells and the publish
-// counter — go through the model-checking seam: plain `Cell`/`AtomicU64`
-// in real builds, checker shims under `--features model` (see the
-// `model_support` module and DESIGN.md §6.6).
-#[cfg(not(feature = "model"))]
-use std::cell::Cell as SlotCell;
+// The ring's shared pieces — per-slot sequence numbers, slot payload
+// words and the publish counter — go through the model-checking seam:
+// plain `AtomicU64` in real builds, checker shims under `--features
+// model` (see the `model_support` module and DESIGN.md §6.6).
 #[cfg(not(feature = "model"))]
 use std::sync::atomic::AtomicU64 as SeamAtomicU64;
 
 #[cfg(feature = "model")]
 use islands_modelcheck::ModelAtomicU64 as SeamAtomicU64;
-#[cfg(feature = "model")]
-use islands_modelcheck::ModelCell as SlotCell;
 
 /// Ordering resolution for the ring's named sites: identity in real
 /// builds, the checker's weaken-override map under `model`.
@@ -74,8 +107,15 @@ fn seam_ord(site: &'static str, default: Ordering) -> Ordering {
 }
 
 pub mod chrome;
+#[cfg(not(feature = "model"))]
+pub mod collector;
+pub mod export;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod registry;
+#[cfg(not(feature = "model"))]
+pub mod serve;
 
 /// Island tag for events recorded outside any island (e.g. pool
 /// dispatch on the caller thread).
@@ -123,7 +163,7 @@ impl SpanKind {
 }
 
 /// One recorded span. 64 bytes, `Copy`, preallocated in rings.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Phase of execution this span covers.
     pub kind: SpanKind,
@@ -145,27 +185,63 @@ pub struct Event {
     pub block: u16,
 }
 
-impl Event {
-    const ZERO: Event = Event {
-        kind: SpanKind::Kernel,
-        start_ns: 0,
-        dur_ns: 0,
-        aux: [0; 3],
-        island: 0,
-        rank: 0,
-        step: 0,
-        stage: 0,
-        block: 0,
-    };
+/// Number of `u64` words in the ring-slot encoding of an [`Event`].
+const EVENT_WORDS: usize = 8;
 
+impl Event {
     /// End of the span, nanoseconds since the session clock epoch.
     pub fn end_ns(&self) -> u64 {
         self.start_ns + self.dur_ns
     }
+
+    /// Packs the event into the fixed word layout the ring slots use.
+    /// Word-wise atomic slot storage is what makes the concurrent
+    /// drain well-defined: a torn read mixes *words*, never bytes, and
+    /// the per-slot sequence check discards any mix.
+    fn encode(&self) -> [u64; EVENT_WORDS] {
+        [
+            self.kind as u64,
+            self.start_ns,
+            self.dur_ns,
+            self.aux[0],
+            self.aux[1],
+            self.aux[2],
+            ((self.island as u64) << 32) | self.rank as u64,
+            ((self.step as u64) << 32) | ((self.stage as u64) << 16) | self.block as u64,
+        ]
+    }
+
+    /// Inverse of [`Event::encode`]. Total on any input (an
+    /// out-of-range kind falls back to `Kernel`) so a decode can never
+    /// panic — callers only decode words that passed the sequence
+    /// validation, but mutated-ordering model runs exercise the
+    /// fallback.
+    fn decode(w: [u64; EVENT_WORDS]) -> Event {
+        let kind = match w[0] {
+            0 => SpanKind::Kernel,
+            1 => SpanKind::TeamBarrier,
+            2 => SpanKind::GlobalBarrier,
+            3 => SpanKind::Swap,
+            4 => SpanKind::Refill,
+            5 => SpanKind::Dispatch,
+            _ => SpanKind::Exchange,
+        };
+        Event {
+            kind,
+            start_ns: w[1],
+            dur_ns: w[2],
+            aux: [w[3], w[4], w[5]],
+            island: (w[6] >> 32) as u32,
+            rank: w[6] as u32,
+            step: (w[7] >> 32) as u32,
+            stage: (w[7] >> 16) as u16,
+            block: w[7] as u16,
+        }
+    }
 }
 
 /// An event together with the dense id of the thread that recorded it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TaggedEvent {
     /// Registration index of the recording thread (Chrome `tid`).
     pub thread: u32,
@@ -204,26 +280,68 @@ static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
 
 static SESSION_LOCK: Mutex<()> = Mutex::new(());
 
-/// A single-producer event ring. Only the owning thread writes slots;
-/// `snapshot` is called while producers are quiescent (see the module
-/// docs), which the completion-latch of the pool broadcast guarantees.
+/// Live "newest step started" gauge fed by [`set_step`] (see
+/// [`live_step`]).
+static LIVE_STEP: AtomicU64 = AtomicU64::new(0);
+
+/// One ring slot: a seqlock sequence number plus the event payload as
+/// plain words. `seq == 2n+1` means push `n` is in progress, `2n+2`
+/// means push `n` is committed; 0 means never written.
+struct Slot {
+    seq: SeamAtomicU64,
+    words: [SeamAtomicU64; EVENT_WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: SeamAtomicU64::new(0),
+            words: [(); EVENT_WORDS].map(|()| SeamAtomicU64::new(0)),
+        }
+    }
+}
+
+/// What a validated slot read produced.
+enum SlotRead {
+    /// The sequence check passed; the words are push `n`'s, untorn.
+    Valid(Event),
+    /// The producer recycled the slot for a later push (before or
+    /// during the read); the event is lost to this reader.
+    Recycled,
+    /// The slot's commit is not visible even though the publish
+    /// counter covers it — impossible under the protocol's orderings,
+    /// counted (never silenced) so the model checker can pin the
+    /// publish/window edge.
+    Unpublished,
+}
+
+/// Accounting for one [`Ring::collect`] pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CollectStats {
+    /// Cursor for the next pass: the publish count this pass observed.
+    pub next: u64,
+    /// Events lost to this reader: overwritten before the pass reached
+    /// them, or recycled mid-read.
+    pub overwritten: u64,
+    /// Protocol-violation count (see [`SlotRead::Unpublished`]);
+    /// always 0 under the shipped orderings.
+    pub unpublished: u64,
+}
+
+/// A single-producer event ring with seqlock-validated concurrent
+/// reads. Only the owning thread writes; any thread may `collect` or
+/// `snapshot` at any time (see the module docs for the protocol).
 struct Ring {
-    slots: Box<[SlotCell<Event>]>,
+    slots: Box<[Slot]>,
     pushed: SeamAtomicU64,
     thread: u32,
 }
-
-// SAFETY: slots are written only by the owning thread (single
-// producer) and read by the drainer only after that thread's work has
-// been joined (quiescence contract above), so the `Cell`s are never
-// accessed concurrently.
-unsafe impl Sync for Ring {}
 
 impl Ring {
     fn new(capacity: usize, thread: u32) -> Ring {
         Ring {
             slots: (0..capacity.max(1))
-                .map(|_| SlotCell::new(Event::ZERO))
+                .map(|_| Slot::new())
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             pushed: SeamAtomicU64::new(0),
@@ -231,7 +349,8 @@ impl Ring {
         }
     }
 
-    /// Owner-thread push: write the slot, then publish the new count.
+    /// Owner-thread push: mark the slot in-progress, write the payload
+    /// words, commit the slot, then publish the new count.
     fn push(&self, ev: Event) {
         // ordering: Relaxed — only the owning thread writes `pushed`,
         // so the reserve read observes its own last store (coherence);
@@ -239,34 +358,131 @@ impl Ring {
         let n = self
             .pushed
             .load(seam_ord("ring.reserve-load", Ordering::Relaxed));
-        self.slots[(n % self.slots.len() as u64) as usize].set(ev);
-        // ordering: Release — publishes the slot write above to the
-        // drainer's acquire read: the counter is the only edge that
-        // keeps `snapshot` from reading a torn slot when the quiescence
-        // contract is ever relaxed. Checked by the model suite.
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        // ordering: Relaxed — the in-progress marker needs no edge of
+        // its own: any reader that could observe this slot's new words
+        // does so through an Acquire word load pairing with a Release
+        // word store below, and that edge already makes this
+        // (sequenced-earlier) marker visible to the reader's re-check.
+        slot.seq.store(
+            2 * n + 1,
+            seam_ord("ring.slot-begin-store", Ordering::Relaxed),
+        );
+        for (w, v) in slot.words.iter().zip(ev.encode()) {
+            // ordering: Release — two jobs: pairs with the reader's
+            // Acquire word load so a wrapped-around rewrite drags the
+            // in-progress marker into view (torn reads get discarded by
+            // the s2 re-check), and keeps each word ordered before the
+            // commit store below.
+            w.store(v, seam_ord("ring.slot-word-store", Ordering::Release));
+        }
+        // ordering: Relaxed — demoted from Release with the checker's
+        // blessing: every reader reaches this slot only through a
+        // collect window it Acquired from `ring.publish-store`, which
+        // program-order-follows this commit — that edge already orders
+        // both the seq value and the words; the wrap race is covered
+        // by the word-store/word-load edge plus the s2 re-check. The
+        // word stores above stay ordered before this store on the
+        // owning thread by program order alone.
+        slot.seq.store(
+            2 * n + 2,
+            seam_ord("ring.slot-commit-store", Ordering::Relaxed),
+        );
+        // ordering: Release — publishes the count: a reader that
+        // Acquires `pushed == n+1` inherits every commit store above,
+        // so the collect window never names a slot whose commit is
+        // invisible (`CollectStats::unpublished` stays 0).
         self.pushed
             .store(n + 1, seam_ord("ring.publish-store", Ordering::Release));
     }
 
-    /// Surviving events in push order, plus the overwritten count.
-    fn snapshot(&self) -> (Vec<TaggedEvent>, u64) {
+    /// Seqlock-validated read of push index `n`'s slot.
+    ///
+    /// Sound only for `n` inside a window the caller obtained from an
+    /// `Acquire` load of `pushed` (`ring.window-load`): the demoted
+    /// `Relaxed` orderings below lean on that edge — see the module
+    /// docs.
+    fn read_slot(&self, n: u64) -> SlotRead {
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        let committed = 2 * n + 2;
+        // ordering: Relaxed — demoted from Acquire with the checker's
+        // blessing: callers only pass `n` inside a window Acquired
+        // from `ring.publish-store`, and push n's commit precedes that
+        // publish on the owning thread, so coherence already floors
+        // this load at `2n+2` and floors the word loads at push n's
+        // words; a concurrent recycler is caught by the word-load
+        // Acquire edge and the s2 re-check, not by this load.
+        let s1 = slot
+            .seq
+            .load(seam_ord("ring.slot-validate-load", Ordering::Relaxed));
+        if s1 < committed {
+            return SlotRead::Unpublished;
+        }
+        if s1 > committed {
+            return SlotRead::Recycled;
+        }
+        let mut words = [0u64; EVENT_WORDS];
+        for (out, w) in words.iter_mut().zip(slot.words.iter()) {
+            // ordering: Acquire — pairs with the producer's Release
+            // word store: if this load observes a *newer* push's word,
+            // the edge makes that push's in-progress seq marker visible,
+            // which is what forces the s2 re-check below to fail and the
+            // torn mix to be discarded.
+            *out = w.load(seam_ord("ring.slot-word-load", Ordering::Acquire));
+        }
+        // ordering: Relaxed — the re-check needs no edge of its own:
+        // if any word above came from a later push, the Acquire word
+        // load already made that push's seq marker visible, and
+        // coherence forbids this load from returning the older `s1`.
+        let s2 = slot
+            .seq
+            .load(seam_ord("ring.slot-recheck-load", Ordering::Relaxed));
+        if s2 != committed {
+            return SlotRead::Recycled;
+        }
+        SlotRead::Valid(Event::decode(words))
+    }
+
+    /// Concurrent drain: feeds every event with push index in
+    /// `[from, pushed)` that is still readable to `sink`, in push
+    /// order, and accounts for the rest. Safe to call from any thread
+    /// while the producer keeps pushing; each caller owns its cursor
+    /// (pass the returned `next` back in), so independent readers do
+    /// not disturb each other or the final drain.
+    fn collect(&self, from: u64, sink: &mut dyn FnMut(TaggedEvent)) -> CollectStats {
         // ordering: Acquire — pairs with the publish store; every slot
-        // the counter covers is fully visible after this load.
+        // the observed window covers is committed-and-visible, which
+        // keeps `unpublished` at 0.
         let pushed = self
             .pushed
-            .load(seam_ord("ring.snapshot-load", Ordering::Acquire));
+            .load(seam_ord("ring.window-load", Ordering::Acquire));
         let cap = self.slots.len() as u64;
-        let kept = pushed.min(cap);
-        let dropped = pushed - kept;
-        let first = pushed - kept; // oldest surviving push index
-        let mut out = Vec::with_capacity(kept as usize);
-        for i in first..pushed {
-            out.push(TaggedEvent {
-                thread: self.thread,
-                ev: self.slots[(i % cap) as usize].get(),
-            });
+        let start = from.max(pushed.saturating_sub(cap));
+        let mut stats = CollectStats {
+            next: pushed,
+            overwritten: start - from,
+            unpublished: 0,
+        };
+        for n in start..pushed {
+            match self.read_slot(n) {
+                SlotRead::Valid(ev) => sink(TaggedEvent {
+                    thread: self.thread,
+                    ev,
+                }),
+                SlotRead::Recycled => stats.overwritten += 1,
+                SlotRead::Unpublished => stats.unpublished += 1,
+            }
         }
-        (out, dropped)
+        stats
+    }
+
+    /// Surviving events in push order, plus the lost-event count.
+    /// (The full-window read the final quiescent drain uses; at
+    /// quiescence every in-window slot validates.)
+    fn snapshot(&self) -> (Vec<TaggedEvent>, u64) {
+        let mut out = Vec::new();
+        let stats = self.collect(0, &mut |t| out.push(t));
+        (out, stats.overwritten + stats.unpublished)
     }
 }
 
@@ -278,7 +494,7 @@ impl Ring {
 /// publish counter for checker shims, nothing else.
 #[cfg(feature = "model")]
 pub mod model_support {
-    use super::{Event, Ring, TaggedEvent};
+    use super::{CollectStats, Event, Ring, TaggedEvent};
 
     /// A checker-instrumented per-thread ring.
     pub struct ModelRing(Ring);
@@ -295,9 +511,17 @@ pub mod model_support {
         }
 
         /// Production drain path (`Ring::snapshot`): surviving events
-        /// plus the wrap-around drop count.
+        /// plus the lost-event count.
         pub fn snapshot(&self) -> (Vec<TaggedEvent>, u64) {
             self.0.snapshot()
+        }
+
+        /// Production concurrent-collect path (`Ring::collect`) from
+        /// cursor `from`: readable events plus the pass accounting.
+        pub fn collect(&self, from: u64) -> (Vec<TaggedEvent>, CollectStats) {
+            let mut out = Vec::new();
+            let stats = self.0.collect(from, &mut |t| out.push(t));
+            (out, stats)
         }
     }
 }
@@ -364,16 +588,28 @@ pub fn set_island_rank(island: u32, rank: u32) {
 }
 
 /// Tags subsequent events on this thread with a time step. No-op
-/// while disabled.
+/// while disabled. Also advances the process-wide [`live_step`] gauge,
+/// so a live scrape sees step progress the moment a replay *starts* a
+/// step, not only once its first spans are collected.
 pub fn set_step(step: u32) {
     if !is_enabled() {
         return;
     }
+    // ordering: Relaxed — advisory monotone gauge with no payload
+    // behind it; the RMW keeps concurrent threads' maxima exact.
+    LIVE_STEP.fetch_max(u64::from(step), Ordering::Relaxed);
     CTX.with(|c| {
         let mut ctx = c.get();
         ctx.step = step;
         c.set(ctx);
     });
+}
+
+/// Newest time step any thread has tagged via [`set_step`] this
+/// session (0 before the first tag; reset by [`clear`]).
+pub fn live_step() -> u64 {
+    // ordering: Relaxed — advisory gauge read (see `set_step`).
+    LIVE_STEP.load(Ordering::Relaxed)
 }
 
 /// Records a closed span `[start_ns, end_ns]` with this thread's
@@ -436,6 +672,9 @@ pub fn set_ring_capacity(capacity: usize) {
 pub fn clear() {
     let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     registry.clear();
+    // ordering: Relaxed — advisory gauge reset (see `set_step`); the
+    // generation bump below is the real session boundary.
+    LIVE_STEP.store(0, Ordering::Relaxed);
     // ordering: AcqRel — the release half publishes the registry clear
     // above to threads that acquire the new generation in `record`; the
     // acquire half orders consecutive clears against each other.

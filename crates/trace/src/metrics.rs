@@ -8,6 +8,7 @@
 //! computed and redundant cell counts that the static overlap analysis
 //! in `islands-core` predicts and `islands-analysis` cross-checks.
 
+use crate::json::Json;
 use crate::{Drained, SpanKind, NO_ISLAND};
 
 /// Phase totals for one island within one time step (or across a whole
@@ -201,6 +202,30 @@ pub struct ImbalanceSummary {
     pub excess_ns: f64,
 }
 
+/// Run-level accounted-fraction summary, with an explicit honesty
+/// flag. The fraction is computed only over steps whose own
+/// [`StepMetrics::accounted_fraction`] is defined; when rings wrapped
+/// (`dropped_events > 0`) or any step had silent islands, the number
+/// still describes what *was* recorded, but `degraded` is set so
+/// consumers (and the `--metrics` report) never mistake a partial
+/// trace for a complete one.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccountedSummary {
+    /// Worker-time-weighted accounted fraction over the valid steps:
+    /// `Σ accounted / Σ (wall × workers)`. `None` when no step had a
+    /// defined fraction.
+    pub fraction: Option<f64>,
+    /// Steps whose per-step fraction was defined.
+    pub valid_steps: usize,
+    /// Steps suppressed by silent islands (or empty denominators).
+    pub suppressed_steps: usize,
+    /// Events lost to ring wrap (copied from the run).
+    pub dropped_events: u64,
+    /// True when the trace is known incomplete: events were dropped or
+    /// at least one step was suppressed.
+    pub degraded: bool,
+}
+
 /// A whole traced run, aggregated per step.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -208,7 +233,7 @@ pub struct RunMetrics {
     pub steps: Vec<StepMetrics>,
     /// Events lost to ring wrap-around (nonzero means the capacity was
     /// too small — see `set_ring_capacity`).
-    pub dropped: u64,
+    pub dropped_events: u64,
 }
 
 impl RunMetrics {
@@ -275,8 +300,141 @@ impl RunMetrics {
         steps.sort_by_key(|s| s.step);
         RunMetrics {
             steps,
-            dropped: drained.dropped,
+            dropped_events: drained.dropped,
         }
+    }
+
+    /// Run-level accounted fraction with an honesty flag; see
+    /// [`AccountedSummary`].
+    pub fn accounted(&self) -> AccountedSummary {
+        let mut accounted = 0.0;
+        let mut capacity = 0.0;
+        let mut valid_steps = 0usize;
+        for s in &self.steps {
+            if s.accounted_fraction().is_none() {
+                continue;
+            }
+            valid_steps += 1;
+            let workers: u64 = s
+                .islands
+                .iter()
+                .filter(|m| m.island != NO_ISLAND)
+                .map(|m| u64::from(m.workers))
+                .sum();
+            accounted += s
+                .islands
+                .iter()
+                .filter(|m| m.island != NO_ISLAND)
+                .map(IslandMetrics::accounted_ns)
+                .sum::<u64>() as f64;
+            capacity += s.wall_ns as f64 * workers as f64;
+        }
+        let suppressed_steps = self.steps.len() - valid_steps;
+        AccountedSummary {
+            fraction: (capacity > 0.0).then(|| accounted / capacity),
+            valid_steps,
+            suppressed_steps,
+            dropped_events: self.dropped_events,
+            degraded: self.dropped_events > 0 || suppressed_steps > 0,
+        }
+    }
+
+    /// The whole report as strict JSON (the `--metrics-json` payload):
+    /// per-step per-island phase totals, the accounted summary with its
+    /// degradation flag, and the imbalance summary. Every number here
+    /// is finite by construction, so `render()` on the result cannot
+    /// fail.
+    pub fn to_json(&self) -> Json {
+        fn num(v: u64) -> Json {
+            Json::Num(v as f64)
+        }
+        let islands = |ms: &[IslandMetrics]| {
+            Json::Array(
+                ms.iter()
+                    .map(|m| {
+                        Json::Object(vec![
+                            (
+                                "island".into(),
+                                if m.island == NO_ISLAND {
+                                    Json::Null
+                                } else {
+                                    num(u64::from(m.island))
+                                },
+                            ),
+                            ("workers".into(), num(u64::from(m.workers))),
+                            ("kernel_ns".into(), num(m.kernel_ns)),
+                            ("team_barrier_ns".into(), num(m.team_barrier_ns)),
+                            ("global_barrier_ns".into(), num(m.global_barrier_ns)),
+                            ("spin_ns".into(), num(m.spin_ns)),
+                            ("yield_ns".into(), num(m.yield_ns)),
+                            ("park_ns".into(), num(m.park_ns)),
+                            ("swap_ns".into(), num(m.swap_ns)),
+                            ("refill_ns".into(), num(m.refill_ns)),
+                            ("exchange_ns".into(), num(m.exchange_ns)),
+                            ("computed_cells".into(), num(m.computed_cells)),
+                            ("redundant_cells".into(), num(m.redundant_cells)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let steps = Json::Array(
+            self.steps
+                .iter()
+                .map(|s| {
+                    Json::Object(vec![
+                        ("step".into(), num(u64::from(s.step))),
+                        ("wall_ns".into(), num(s.wall_ns)),
+                        ("islands".into(), islands(&s.islands)),
+                        (
+                            "silent_islands".into(),
+                            Json::Array(
+                                s.silent_islands
+                                    .iter()
+                                    .map(|&i| num(u64::from(i)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "accounted_fraction".into(),
+                            s.accounted_fraction().map_or(Json::Null, Json::Num),
+                        ),
+                        (
+                            "imbalance".into(),
+                            s.imbalance().map_or(Json::Null, Json::Num),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let acc = self.accounted();
+        let accounted = Json::Object(vec![
+            (
+                "fraction".into(),
+                acc.fraction.map_or(Json::Null, Json::Num),
+            ),
+            ("valid_steps".into(), num(acc.valid_steps as u64)),
+            ("suppressed_steps".into(), num(acc.suppressed_steps as u64)),
+            ("dropped_events".into(), num(acc.dropped_events)),
+            ("degraded".into(), Json::Bool(acc.degraded)),
+        ]);
+        let imbalance = self.imbalance_summary().map_or(Json::Null, |im| {
+            Json::Object(vec![
+                ("steps".into(), num(im.steps as u64)),
+                ("max_pw_ns".into(), Json::Num(im.max_pw_ns)),
+                ("mean_pw_ns".into(), Json::Num(im.mean_pw_ns)),
+                ("ratio".into(), Json::Num(im.ratio)),
+                ("excess_ns".into(), Json::Num(im.excess_ns)),
+            ])
+        });
+        Json::Object(vec![
+            ("steps".into(), steps),
+            ("totals".into(), islands(&self.totals())),
+            ("wall_ns".into(), num(self.wall_ns())),
+            ("dropped_events".into(), num(self.dropped_events)),
+            ("accounted".into(), accounted),
+            ("imbalance_summary".into(), imbalance),
+        ])
     }
 
     /// Per-island totals across every step, sorted by island index.
@@ -359,7 +517,7 @@ impl RunMetrics {
             "steps: {}   wall: {:.3} ms   dropped events: {}\n",
             self.steps.len(),
             ms(self.wall_ns()),
-            self.dropped
+            self.dropped_events
         ));
         out.push_str(
             "island workers kernel_ms team_bar_ms glob_bar_ms  spin_ms yield_ms  park_ms  \
@@ -398,6 +556,19 @@ impl RunMetrics {
             out.push_str(&format!(
                 "per-step accounted fraction: [{}]\n",
                 fractions.join(", ")
+            ));
+        }
+        let acc = self.accounted();
+        if let Some(f) = acc.fraction {
+            let flag = if acc.degraded {
+                " DEGRADED (incomplete trace: ring wrap or silent islands)"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "run accounted fraction: {f:.2} over {}/{} steps{flag}\n",
+                acc.valid_steps,
+                self.steps.len(),
             ));
         }
         let silent = self
@@ -486,7 +657,7 @@ mod tests {
     #[test]
     fn aggregates_per_step_and_island() {
         let m = RunMetrics::aggregate(&synthetic());
-        assert_eq!(m.dropped, 2);
+        assert_eq!(m.dropped_events, 2);
         assert_eq!(m.steps.len(), 2);
         let s0 = &m.steps[0];
         assert_eq!(s0.step, 0);
@@ -586,6 +757,71 @@ mod tests {
         assert!(m.steps[0].silent_islands.is_empty());
         assert_eq!(m.steps[0].wall_ns, 100);
         assert!(m.steps[0].accounted_fraction().is_some());
+    }
+
+    #[test]
+    fn accounted_summary_degrades_on_drops_and_silence() {
+        // synthetic() dropped 2 events, and island 1 is silent in
+        // step 1 → degraded with one suppressed step.
+        let m = RunMetrics::aggregate(&synthetic());
+        let acc = m.accounted();
+        assert_eq!(acc.valid_steps, 1);
+        assert_eq!(acc.suppressed_steps, 1);
+        assert_eq!(acc.dropped_events, 2);
+        assert!(acc.degraded);
+        // Only step 0 is valid: it accounts 315 ns of 145 ns × 3.
+        let expect = 315.0 / (145.0 * 3.0);
+        assert!((acc.fraction.unwrap() - expect).abs() < 1e-12, "{acc:?}");
+        assert!(m.render().contains("DEGRADED"), "{}", m.render());
+
+        // A clean run is not degraded and not flagged.
+        let clean = Drained {
+            events: vec![ev(SpanKind::Kernel, 0, 100, 0, 0, 0, [0; 3])],
+            dropped: 0,
+        };
+        let m = RunMetrics::aggregate(&clean);
+        let acc = m.accounted();
+        assert!(!acc.degraded);
+        assert_eq!(acc.fraction, Some(1.0));
+        assert!(!m.render().contains("DEGRADED"), "{}", m.render());
+
+        // Silent islands degrade too, with the step suppressed.
+        let silent = Drained {
+            events: vec![
+                ev(SpanKind::Kernel, 0, 100, 0, 0, 0, [0; 3]),
+                ev(SpanKind::Kernel, 0, 90, 1, 0, 0, [0; 3]),
+                ev(SpanKind::Kernel, 200, 80, 0, 0, 1, [0; 3]),
+            ],
+            dropped: 0,
+        };
+        let acc = RunMetrics::aggregate(&silent).accounted();
+        assert_eq!(acc.valid_steps, 1);
+        assert_eq!(acc.suppressed_steps, 1);
+        assert!(acc.degraded);
+    }
+
+    #[test]
+    fn json_report_is_strict_and_round_trips() {
+        let m = RunMetrics::aggregate(&synthetic());
+        let doc = m.to_json();
+        let text = doc.render().expect("all metrics numbers are finite");
+        let back = crate::json::parse(&text).expect("self-parse");
+        assert_eq!(back, doc);
+        assert_eq!(back.get("dropped_events"), Some(&Json::Num(2.0)));
+        let acc = back.get("accounted").expect("accounted object");
+        assert_eq!(acc.get("degraded"), Some(&Json::Bool(true)));
+        let steps = match back.get("steps") {
+            Some(Json::Array(steps)) => steps,
+            other => panic!("steps: {other:?}"),
+        };
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].get("wall_ns"), Some(&Json::Num(145.0)));
+        let islands = match steps[0].get("islands") {
+            Some(Json::Array(islands)) => islands,
+            other => panic!("islands: {other:?}"),
+        };
+        assert_eq!(islands.len(), 2);
+        assert_eq!(islands[0].get("kernel_ns"), Some(&Json::Num(180.0)));
     }
 
     #[test]

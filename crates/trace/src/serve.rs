@@ -1,0 +1,199 @@
+//! A std-only metrics endpoint: a thread-per-connection TCP listener
+//! serving the live registry as Prometheus text exposition
+//! (`GET /metrics`) and as a strict-JSON snapshot (`GET /metrics.json`
+//! or `/json`).
+//!
+//! Deliberately minimal HTTP/1.x: one request per connection,
+//! `Connection: close`, `Content-Length` always set. The accept loop
+//! is non-blocking with a short poll so shutdown needs no platform
+//! tricks; each accepted connection is handled on its own thread, so a
+//! slow scraper can never stall the accept loop or another scrape.
+//! Scrape handling allocates — it runs on serving threads, far from
+//! the workers and the collector, and never touches the trace rings
+//! (it reads the registry's counters only).
+
+use crate::export;
+use crate::registry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-loop poll period while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection socket timeout (read and write).
+const CONN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Handle to a running metrics server. Shuts down (and joins the
+/// accept loop) on `shutdown` or drop.
+pub struct MetricsServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `registry`.
+    pub fn bind(addr: &str, registry: Arc<MetricsRegistry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("islands-metrics-http".into())
+            .spawn(move || accept_loop(listener, registry, flag))?;
+        Ok(MetricsServer {
+            local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops accepting and joins the accept loop. In-flight connection
+    /// threads finish on their own (bounded by `CONN_TIMEOUT`).
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // ordering: Relaxed — advisory shutdown flag polled by the
+            // accept loop; the join below is the completion edge.
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+    // ordering: Relaxed — advisory flag (see `shutdown`).
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let registry = Arc::clone(&registry);
+                let _ = thread::Builder::new()
+                    .name("islands-metrics-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(conn, &registry);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_connection(mut conn: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    conn.set_read_timeout(Some(CONN_TIMEOUT))?;
+    conn.set_write_timeout(Some(CONN_TIMEOUT))?;
+    let path = match read_request_path(&mut conn)? {
+        Some(path) => path,
+        None => return Ok(()),
+    };
+    let (status, content_type, body) = route(&path, registry);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(response.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+/// Reads the request head (up to 8 KiB) and returns the GET path, or
+/// `None` for malformed requests (the connection is just dropped).
+fn read_request_path(conn: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+fn route(path: &str, registry: &MetricsRegistry) -> (&'static str, &'static str, String) {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" | "/" => match export::prometheus(&registry.snapshot()) {
+            Ok(body) => ("200 OK", "text/plain; version=0.0.4", body),
+            Err(e) => ("500 Internal Server Error", "text/plain", format!("{e}\n")),
+        },
+        "/metrics.json" | "/json" => match export::render_json_snapshot(&registry.snapshot()) {
+            Ok(body) => ("200 OK", "application/json", body),
+            Err(e) => ("500 Internal Server Error", "text/plain", format!("{e}\n")),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "not found; try /metrics or /metrics.json\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_prometheus_json_and_404() {
+        let registry = Arc::new(MetricsRegistry::new(2));
+        registry.note_step(9);
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        crate::export::validate_exposition(&body).unwrap();
+        assert!(body.contains("islands_current_step 9"));
+
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("current_step"), Some(&json::Json::Num(9.0)));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+        // Shutdown is idempotent and the port is released.
+        server.shutdown();
+    }
+}
